@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures: paper-parameter keys, printing helpers.
+
+Benchmarks reproduce the paper's evaluation with its actual parameters:
+1024-bit durable SCPU keys, 512-bit short-lived burst keys (§4.3), and
+the IBM 4764 / P4 cost calibration of Table 2.  Throughput numbers are
+*virtual-time* results from the queueing model — deterministic across
+machines — while pytest-benchmark additionally times the real
+(functional) crypto of one representative operation on the host machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.keys import SigningKey
+from repro.hardware.scpu import ScpuKeyring
+
+
+@pytest.fixture(scope="session")
+def paper_keyring() -> ScpuKeyring:
+    """1024-bit s/d keys + 512-bit burst key — the §4.3 parameters."""
+    return ScpuKeyring(
+        s_key=SigningKey.generate(1024, "s"),
+        d_key=SigningKey.generate(1024, "d"),
+        burst_key=SigningKey.generate(512, "burst"),
+        hmac=HmacScheme(),
+    )
+
+
+def fresh_keyring_copy(keyring: ScpuKeyring) -> ScpuKeyring:
+    """A shallow copy so per-store burst rotation can't cross-contaminate."""
+    return ScpuKeyring(s_key=keyring.s_key, d_key=keyring.d_key,
+                       burst_key=keyring.burst_key, hmac=keyring.hmac)

@@ -1,0 +1,114 @@
+"""Ablation — the encryption-at-rest / crypto-shredding extension's cost.
+
+Not a paper experiment (the extension goes beyond the paper's scope); this
+ablation quantifies what the stronger Secure Deletion guarantee costs:
+
+* per-write overhead: host-side ChaCha20 (SHA-like rate) + one SCPU key
+  wrap (~100 µs) on top of the normal witnessing;
+* per-read overhead: one SCPU key unwrap + host decryption — reads are no
+  longer SCPU-free, the one architectural concession;
+* epoch-rotation cost: O(active records) unwrap+wrap pairs, run in idle
+  periods, amortized over deletion batches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encryption import EncryptedWormStore
+from repro.core.worm import StrongWormStore
+from repro.hardware.scpu import SecureCoprocessor
+from repro.sim.metrics import format_table
+
+from conftest import fresh_keyring_copy
+
+_SIZE = 16 * 1024
+
+
+def _cost_of(fn, store):
+    marks = store._cost_checkpoints()
+    fn()
+    return store._cost_delta(marks)
+
+
+@pytest.fixture(scope="module")
+def comparison(paper_keyring):
+    plain_store = StrongWormStore(
+        scpu=SecureCoprocessor(keyring=fresh_keyring_copy(paper_keyring)))
+    enc_store = StrongWormStore(
+        scpu=SecureCoprocessor(keyring=fresh_keyring_copy(paper_keyring)))
+    encrypted = EncryptedWormStore(enc_store)
+
+    from repro.crypto.keys import CertificateAuthority
+    ca = CertificateAuthority(bits=512)
+    plain_client = plain_store.make_client(ca)
+    enc_client = enc_store.make_client(ca)
+
+    payload = b"\x5c" * _SIZE
+    results = {}
+    plain_receipt = None
+    enc_receipt = None
+
+    def plain_write():
+        nonlocal plain_receipt
+        plain_receipt = plain_store.write([payload], policy="sox",
+                                          defer_data_hash=True)
+
+    def enc_write():
+        nonlocal enc_receipt
+        enc_receipt = encrypted.write(payload, policy="sox",
+                                      defer_data_hash=True)
+
+    results["plain write"] = _cost_of(plain_write, plain_store)
+    results["encrypted write"] = _cost_of(enc_write, enc_store)
+    results["plain read"] = _cost_of(
+        lambda: plain_client.verify_read(plain_store.read(plain_receipt.sn),
+                                         plain_receipt.sn), plain_store)
+    results["encrypted read"] = _cost_of(
+        lambda: encrypted.read_verified(enc_client, enc_receipt.sn), enc_store)
+    return results, encrypted, enc_store
+
+
+def test_overhead_table(comparison, benchmark):
+    results, _, _ = comparison
+    rows = [[label, f"{c['scpu'] * 1000:.3f}", f"{c['host'] * 1000:.3f}",
+             f"{c['disk'] * 1000:.3f}"]
+            for label, c in results.items()]
+    print()
+    print(format_table(["operation (16KB)", "scpu ms", "host ms", "disk ms"],
+                       rows, title="Encryption-at-rest overhead"))
+    benchmark(lambda: None)
+
+
+def test_write_overhead_is_modest(comparison, benchmark):
+    results, _, _ = comparison
+    plain = sum(results["plain write"].values())
+    encrypted = sum(results["encrypted write"].values())
+    assert encrypted < 2.0 * plain  # well under doubling at 16KB
+    benchmark(lambda: None)
+
+
+def test_reads_pay_the_unwrap(comparison, benchmark):
+    results, _, _ = comparison
+    # The concession: encrypted reads touch the SCPU (one key unwrap).
+    assert results["plain read"]["scpu"] == 0.0
+    assert results["encrypted read"]["scpu"] > 0.0
+    # But the unwrap is ~100µs — far below one disk seek.
+    assert results["encrypted read"]["scpu"] < 0.001
+    benchmark(lambda: None)
+
+
+def test_rotation_cost_linear_in_survivors(comparison, benchmark):
+    _, encrypted, enc_store = comparison
+    for i in range(20):
+        encrypted.write(b"x" * 128, policy="ferpa")
+    mark = enc_store.scpu.meter.checkpoint()
+    encrypted.shred_epoch()
+    cost_21 = enc_store.scpu.meter.delta(mark)
+    for i in range(40):
+        encrypted.write(b"x" * 128, policy="ferpa")
+    mark = enc_store.scpu.meter.checkpoint()
+    encrypted.shred_epoch()
+    cost_61 = enc_store.scpu.meter.delta(mark)
+    assert 2.0 < cost_61 / cost_21 < 4.0  # ~linear in survivor count
+    benchmark(lambda: None)

@@ -1,0 +1,111 @@
+"""Ablation — §4.2.1's two freshness mechanisms for S_s(SN_current).
+
+To stop the main CPU hiding recent records behind a stale upper bound,
+the paper offers two options:
+
+  (i) **per-read SCPU contact**: every client read fetches the current
+      ``S_s(SN_current)`` from the SCPU itself;
+ (ii) **timestamped refresh**: the SCPU re-signs the bound every few
+      minutes; clients reject older values.
+
+The paper picks (ii) "in general cases" — this benchmark shows why: under
+(i) the SCPU sits on the *read* path, so a read-heavy store is capped by
+the card (even serving a cached signature costs a DMA round trip; a
+conservative fresh signature per read caps at ~848 reads/s), while under
+(ii) reads run at host/disk speed and the SCPU spends one signature per
+refresh interval, regardless of read rate.
+
+The price of (ii) is the bounded deniability horizon measured in
+``test_deniability_horizon``: refresh_interval + freshness_window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.calibration import SCPU_IBM_4764
+from repro.hardware.device import TimedDevice
+from repro.sim.engine import Simulator
+from repro.sim.metrics import format_table
+
+_READS = 2000
+_WORKERS = 32
+#: Host+disk cost of serving one cached 4KB read (seek + transfer).
+_HOST_READ_SECONDS = 0.0008  # cache-friendly read path
+
+
+def _read_throughput(scpu_cost_per_read: float) -> float:
+    """Closed-loop read throughput with the given per-read SCPU charge."""
+    sim = Simulator()
+    scpu = TimedDevice(sim, "scpu", capacity=1)
+    host = TimedDevice(sim, "host", capacity=4)
+    remaining = [_READS]
+    finished = []
+
+    def reader():
+        while remaining[0] > 0:
+            remaining[0] -= 1
+            yield from host.use(_HOST_READ_SECONDS)
+            yield from scpu.use(scpu_cost_per_read)
+            finished.append(sim.now)
+
+    for _ in range(_WORKERS):
+        sim.process(reader())
+    sim.run()
+    return _READS / finished[-1]
+
+
+@pytest.fixture(scope="module")
+def mechanisms():
+    sign_cost = SCPU_IBM_4764.rsa_sign_seconds(1024)
+    dma_cost = SCPU_IBM_4764.dma_seconds(256) + 2e-5  # round trip + dispatch
+    return {
+        "(i) fresh signature per read": _read_throughput(sign_cost),
+        "(i) cached sig, SCPU round trip": _read_throughput(dma_cost),
+        "(ii) timestamped refresh": _read_throughput(0.0),
+    }
+
+
+def test_freshness_mechanism_table(mechanisms, benchmark):
+    rows = [[label, f"{rate:.0f}"] for label, rate in mechanisms.items()]
+    print()
+    print(format_table(["mechanism", "reads/s"], rows,
+                       title="Read throughput under §4.2.1 freshness mechanisms"))
+    benchmark(_read_throughput, 0.0)
+
+
+def test_per_read_signing_caps_at_card_rate(mechanisms, benchmark):
+    assert mechanisms["(i) fresh signature per read"] < 900
+    benchmark(lambda: None)
+
+
+def test_timestamp_refresh_reads_at_host_speed(mechanisms, benchmark):
+    assert (mechanisms["(ii) timestamped refresh"]
+            > 5 * mechanisms["(i) fresh signature per read"])
+    benchmark(lambda: None)
+
+
+def test_refresh_cost_independent_of_read_rate(benchmark):
+    """Mechanism (ii)'s SCPU cost: one signature per interval, period."""
+    sign_cost = SCPU_IBM_4764.rsa_sign_seconds(1024)
+    refresh_interval = 120.0
+    scpu_fraction = sign_cost / refresh_interval
+    assert scpu_fraction < 1e-4  # < 0.01% of the card
+    benchmark(lambda: None)
+
+
+def test_deniability_horizon(benchmark):
+    """The exposure (ii) buys: a fresh record can be denied for at most
+    refresh_interval + freshness_window seconds (see the attack suite's
+    hide-within-freshness-window / hide-with-stale-sn-current pair)."""
+    from repro.adversary.attacks import (
+        hide_with_stale_sn_current,
+        hide_within_freshness_window,
+    )
+    from repro.adversary.games import fresh_environment
+
+    inside = hide_within_freshness_window(fresh_environment())
+    beyond = hide_with_stale_sn_current(fresh_environment())
+    assert not inside.detected   # designed exposure, bounded
+    assert beyond.detected       # and it really is bounded
+    benchmark(lambda: None)

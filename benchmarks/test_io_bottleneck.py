@@ -1,0 +1,88 @@
+"""§5's closing observation — disk I/O, not the WORM layer, dominates.
+
+"Ultimately, it is likely that ... I/O seek and transfer overheads are
+likely to constitute the main operational bottlenecks (and not the WORM
+layer).  Typical high-speed enterprise disks feature 3-4ms+ latencies for
+individual block disk access, twice the projected average SCPU
+overheads."
+
+This benchmark decomposes per-operation virtual cost by device and checks
+the paper's arithmetic: a random block access (~5.5 ms with seek +
+rotation) is about twice the average per-write SCPU overhead in deferred
+mode (~1 ms: two 512-bit signatures + small-record hashing), so a
+read-heavy store seeking for every record bottlenecks on the spindle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.worm import StrongWormStore
+from repro.hardware.calibration import ENTERPRISE_DISK
+from repro.hardware.scpu import SecureCoprocessor, Strength
+from repro.sim.metrics import format_table
+
+from conftest import fresh_keyring_copy
+
+
+@pytest.fixture(scope="module")
+def decomposition(paper_keyring):
+    store = StrongWormStore(
+        scpu=SecureCoprocessor(keyring=fresh_keyring_copy(paper_keyring)))
+    rows = {}
+    for label, kwargs in [
+        ("write strong 4KB", dict(strength=Strength.STRONG)),
+        ("write deferred 4KB", dict(strength=Strength.WEAK,
+                                    defer_data_hash=True)),
+    ]:
+        receipt = store.write([b"z" * 4096], retention_seconds=1e9, **kwargs)
+        rows[label] = receipt.costs
+        last_sn = receipt.sn
+    marks = store._cost_checkpoints()
+    store.read(last_sn)
+    rows["read 4KB (random seek)"] = store._cost_delta(marks)
+    return rows
+
+
+def test_latency_decomposition_table(decomposition, benchmark):
+    rows = []
+    for label, costs in decomposition.items():
+        total = sum(costs.values())
+        rows.append([label] + [f"{costs[d] * 1000:.3f}"
+                               for d in ("scpu", "host", "disk")]
+                    + [f"{total * 1000:.3f}"])
+    print()
+    print(format_table(
+        ["operation", "scpu ms", "host ms", "disk ms", "total ms"], rows,
+        title="Per-operation latency decomposition (virtual ms)"))
+    benchmark(ENTERPRISE_DISK.access_seconds, 4096)
+
+
+def test_random_disk_access_matches_paper(benchmark):
+    """'3-4ms+ latencies for individual block disk access'."""
+    latency = ENTERPRISE_DISK.access_seconds(4096)
+    assert latency >= 0.003
+    benchmark(lambda: None)
+
+
+def test_disk_seek_about_twice_deferred_scpu_overhead(decomposition, benchmark):
+    """The paper's ''twice the projected average SCPU overheads''."""
+    seek = ENTERPRISE_DISK.access_seconds(4096)
+    scpu_per_write = decomposition["write deferred 4KB"]["scpu"]
+    assert 1.5 < seek / scpu_per_write < 12.0
+    benchmark(lambda: None)
+
+
+def test_reads_are_disk_dominated(decomposition, benchmark):
+    costs = decomposition["read 4KB (random seek)"]
+    assert costs["scpu"] == 0.0
+    assert costs["disk"] > 0.9 * sum(costs.values())
+    benchmark(lambda: None)
+
+
+def test_write_path_disk_cost_small_when_sequential(decomposition, benchmark):
+    """Log-structured write placement keeps the spindle off the write
+    critical path; the SCPU dominates writes, the disk dominates reads."""
+    write = decomposition["write strong 4KB"]
+    assert write["scpu"] > write["disk"]
+    benchmark(lambda: None)

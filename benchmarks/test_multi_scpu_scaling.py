@@ -1,0 +1,78 @@
+"""§5 claim: "These results naturally scale if multiple SCPUs are available."
+
+Sweeps the SCPU pool size at fixed record size and witnessing mode and
+checks near-linear scaling until another device becomes the bottleneck.
+Also reproduces the headline: "With a single secure co-processor ... over
+2500 transactions per second" — reached here in HMAC burst mode (and
+approached at 2000-2500 by deferred 512-bit signing, per Figure 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.scpu import Strength
+from repro.sim.driver import SimulationConfig, make_sim_store, run_closed_loop
+from repro.sim.metrics import format_table
+from repro.sim.workload import ClosedLoopArrivals, FixedSize
+
+from conftest import fresh_keyring_copy
+
+_COUNTS = [1, 2, 4]
+
+
+def _rate(keyring, scpu_count, strength):
+    config = SimulationConfig(scpu_count=scpu_count, workers=64,
+                              host_count=8, disk_count=16)
+    simstore = make_sim_store(config=config, keyring=keyring)
+    metrics = run_closed_loop(
+        simstore, ClosedLoopArrivals(FixedSize(1024), 300), config=config,
+        write_kwargs=dict(strength=strength, defer_data_hash=True))
+    return metrics.throughput("write")
+
+
+@pytest.fixture(scope="module")
+def scaling(paper_keyring):
+    results = {}
+    for strength in (Strength.STRONG, Strength.WEAK):
+        results[strength] = [
+            _rate(fresh_keyring_copy(paper_keyring), n, strength)
+            for n in _COUNTS
+        ]
+    return results
+
+
+def test_scaling_table(scaling, benchmark, paper_keyring):
+    rows = []
+    for strength, rates in scaling.items():
+        rows.append([strength] + [f"{r:.0f}" for r in rates])
+    print()
+    print(format_table(
+        ["mode \\ SCPUs"] + [str(n) for n in _COUNTS], rows,
+        title="Multi-SCPU scaling — write throughput (records/s), 1KB records"))
+    benchmark.pedantic(
+        _rate, args=(fresh_keyring_copy(paper_keyring), 1, Strength.WEAK),
+        rounds=1, iterations=1)
+
+
+def test_two_scpus_near_double(scaling, benchmark):
+    for strength, rates in scaling.items():
+        assert 1.7 < rates[1] / rates[0] < 2.3, strength
+    benchmark(lambda: None)
+
+
+def test_four_scpus_near_quadruple(scaling, benchmark):
+    for strength, rates in scaling.items():
+        assert 3.2 < rates[2] / rates[0] < 4.5, strength
+    benchmark(lambda: None)
+
+
+def test_headline_2500_tps_single_scpu(paper_keyring, benchmark):
+    """§1/§6: 'over 2500 transactions per second' with one SCPU.
+
+    The deferred-512 mode reaches 2000-2500/s (Figure 1); with HMAC
+    witnessing during the peak of the burst, a single card clears 2500.
+    """
+    rate = _rate(fresh_keyring_copy(paper_keyring), 1, Strength.HMAC)
+    assert rate > 2500
+    benchmark(lambda: None)

@@ -1,0 +1,91 @@
+"""Read-path throughput — the "reads never touch the SCPU" design (§4.1).
+
+"The SCPU is involved in *updates* only but not in *reads*, thus
+minimizing the overhead for a query load dominated by read queries."
+This benchmark sweeps the read fraction of a mixed workload and shows:
+
+* read throughput is bounded by host/disk, not by the card;
+* the SCPU's utilization falls linearly with the write fraction;
+* adding WORM verification at the *client* costs client CPU, not store
+  throughput (verification is embarrassingly parallel across clients).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.driver import SimulationConfig, make_sim_store, run_open_loop
+from repro.sim.metrics import format_table
+from repro.sim.workload import FixedSize, MixedWorkload
+
+from conftest import fresh_keyring_copy
+
+_READ_FRACTIONS = [0.0, 0.5, 0.9, 0.99]
+_COUNT = 400
+_RATE = 300.0
+
+
+def _run(keyring, read_fraction):
+    config = SimulationConfig(disk_count=32, host_count=8)
+    simstore = make_sim_store(config=config, keyring=keyring)
+    workload = MixedWorkload(rate=_RATE, read_fraction=read_fraction,
+                             size_dist=FixedSize(4096), count=_COUNT, seed=21)
+    metrics = run_open_loop(simstore, workload, config=config,
+                            write_kwargs={"defer_data_hash": True})
+    return metrics, simstore
+
+
+@pytest.fixture(scope="module")
+def sweep(paper_keyring):
+    return {fraction: _run(fresh_keyring_copy(paper_keyring), fraction)
+            for fraction in _READ_FRACTIONS}
+
+
+def test_read_mix_table(sweep, benchmark):
+    rows = []
+    for fraction, (metrics, simstore) in sweep.items():
+        util = simstore.utilization(simstore.sim.now)
+        rows.append([
+            f"{fraction:.0%}",
+            f"{metrics.throughput():.0f}",
+            f"{metrics.latency_summary('read')['p99'] * 1000:.1f}"
+            if metrics.count("read") else "-",
+            f"{util['scpu']:.2f}",
+            f"{util['disk']:.2f}",
+        ])
+    print()
+    print(format_table(
+        ["read fraction", "total req/s", "read p99 ms", "scpu util",
+         "disk util"],
+        rows, title=f"Mixed workload at {_RATE:.0f} req/s (4KB records)"))
+    benchmark(lambda: None)
+
+
+def test_scpu_load_falls_with_read_fraction(sweep, benchmark):
+    utils = [simstore.utilization(simstore.sim.now)["scpu"]
+             for _, simstore in sweep.values()]
+    assert utils == sorted(utils, reverse=True)
+    # At 99% reads the card is essentially idle.
+    assert utils[-1] < 0.05
+    benchmark(lambda: None)
+
+
+def test_read_heavy_load_sustained(sweep, benchmark):
+    """At 99% reads, the full offered 300 req/s flows without queueing."""
+    metrics, _ = sweep[0.99]
+    assert metrics.throughput() > 0.9 * _RATE
+    summary = metrics.latency_summary("read")
+    assert summary["p99"] < 0.05
+    benchmark(lambda: None)
+
+
+def test_reads_cost_zero_scpu_seconds(sweep, benchmark):
+    """Functional check on the model: read cost attribution is SCPU-free."""
+    metrics, simstore = sweep[0.99]
+    store = simstore.store
+    marks = store._cost_checkpoints()
+    store.read(1)
+    costs = store._cost_delta(marks)
+    assert costs["scpu"] == 0.0
+    assert costs["disk"] > 0.0
+    benchmark(lambda: None)

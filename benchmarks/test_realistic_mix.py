@@ -1,0 +1,104 @@
+"""Realistic workload — the email-archive mixture behind §4.2's VRs.
+
+Figure 1 sweeps fixed record sizes; real compliance archives see a
+heavy-tailed mix (mostly small message bodies, occasional multi-megabyte
+attachments).  This benchmark runs the :class:`EmailMixSize` blend
+through the witnessing modes and reports effective records/s and MB/s —
+the numbers an operator sizing a deployment actually needs — plus the
+dedup win when popular attachments are content-addressed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.dedup import DedupIndex
+from repro.core.worm import StrongWormStore
+from repro.hardware.scpu import SecureCoprocessor, Strength
+from repro.sim.driver import make_sim_store, run_closed_loop
+from repro.sim.metrics import format_table
+from repro.sim.workload import ClosedLoopArrivals, EmailMixSize
+
+from conftest import fresh_keyring_copy
+
+_COUNT = 150
+
+
+def _run(keyring, write_kwargs):
+    simstore = make_sim_store(keyring=keyring)
+    metrics = run_closed_loop(
+        simstore, ClosedLoopArrivals(EmailMixSize(), _COUNT, seed=5),
+        write_kwargs=write_kwargs)
+    rate = metrics.throughput("write")
+    mb_s = metrics.bytes_written() / (1024 * 1024) / (
+        max(s.finish for s in metrics.samples) or 1.0)
+    return rate, mb_s
+
+
+@pytest.fixture(scope="module")
+def mix(paper_keyring):
+    return {
+        "strong-1024": _run(fresh_keyring_copy(paper_keyring),
+                            dict(strength=Strength.STRONG,
+                                 defer_data_hash=True)),
+        "deferred-512": _run(fresh_keyring_copy(paper_keyring),
+                             dict(strength=Strength.WEAK,
+                                  defer_data_hash=True)),
+        "deferred-512+scpu-hash": _run(fresh_keyring_copy(paper_keyring),
+                                       dict(strength=Strength.WEAK)),
+    }
+
+
+def test_email_mix_table(mix, benchmark):
+    rows = [[label, f"{rate:.0f}", f"{mb:.1f}"]
+            for label, (rate, mb) in mix.items()]
+    print()
+    print(format_table(["mode", "records/s", "MB/s"], rows,
+                       title="Email-archive mix (80% small, 18% medium, 2% large)"))
+    benchmark(lambda: None)
+
+
+def test_mix_bands_consistent_with_figure1(mix, benchmark):
+    strong_rate, strong_mb = mix["strong-1024"]
+    deferred_rate, deferred_mb = mix["deferred-512"]
+    # Strong mode stays signature-bound (the ~100KB mean record hashes at
+    # host speed faster than two 1024-bit signatures sign).
+    assert 330 < strong_rate < 520
+    # Deferred mode exposes the *next* bottleneck under realistic sizes:
+    # host SHA at 120 MB/s caps byte throughput, so records/s lands well
+    # below the 1KB-record figure — an honest consequence of the mixture,
+    # and still ~1.5x the strong mode.
+    assert deferred_rate > 1.4 * strong_rate
+    assert 90 < deferred_mb < 130  # at the host hashing ceiling
+    benchmark(lambda: None)
+
+
+def test_scpu_hashing_hurts_under_real_sizes(mix, benchmark):
+    """With attachments in the mix, card hashing drags the average down."""
+    host_hash_rate, _ = mix["deferred-512"]
+    scpu_hash_rate, _ = mix["deferred-512+scpu-hash"]
+    assert scpu_hash_rate < 0.5 * host_hash_rate
+    benchmark(lambda: None)
+
+
+def test_attachment_dedup_saves_storage(paper_keyring, benchmark):
+    """The §4.2 motivation quantified: popular attachments stored once."""
+    store = StrongWormStore(
+        scpu=SecureCoprocessor(keyring=fresh_keyring_copy(paper_keyring)))
+    index = DedupIndex(store)
+    rng = random.Random(7)
+    attachments = [rng.randbytes(32 * 1024) for _ in range(5)]
+    total_logical = 0
+    for i in range(60):
+        body = f"message {i}".encode() * 20
+        attachment = rng.choice(attachments)  # popular attachments recur
+        outcome = index.deposit([body, attachment], policy="sec17a-4")
+        total_logical += len(body) + len(attachment)
+    stored_physical = sum(store.blocks.size_of(k) for k in store.blocks.keys())
+    savings = 1.0 - stored_physical / total_logical
+    print(f"\ndedup: {total_logical // 1024} KB logical -> "
+          f"{stored_physical // 1024} KB stored ({savings:.0%} saved)")
+    assert savings > 0.5  # 60 emails share 5 attachments
+    benchmark(lambda: None)

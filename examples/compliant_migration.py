@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Compliant migration: moving a WORM store to new media (§1).
+
+"Retention periods are measured in years ... compliant data migration
+mechanisms are required to transfer information from obsolete to new
+storage media while preserving the associated security assurances."
+
+A 2018-vintage store (aging disks, aging SCPU) migrates to new hardware:
+
+1. the source SCPU signs a manifest over the full package;
+2. the destination SCPU verifies the manifest and every record's
+   signatures before re-witnessing anything;
+3. retention clocks carry over (a record 4 years into a 6-year period
+   has 2 years left, not 6);
+4. a record Mallory doctored on the old store's disks is REFUSED at
+   import — migration is precisely where altered history would otherwise
+   be laundered into a clean new store.
+
+Run:  python examples/compliant_migration.py
+"""
+
+from repro import (
+    CertificateAuthority,
+    StrongWormStore,
+    demo_keyring,
+    export_package,
+    import_package,
+)
+from repro.hardware import SecureCoprocessor
+
+YEAR = 365.0 * 24 * 3600
+
+
+def main() -> None:
+    ca = CertificateAuthority(bits=512)
+
+    # -- the obsolete store, 4 years into service ------------------------
+    old = StrongWormStore(scpu=SecureCoprocessor(keyring=demo_keyring()))
+    ledger = old.write([b"general ledger FY2022"], policy="sox")
+    contracts = old.write([b"vendor contracts 2022-2029"], policy="sec17a-4")
+    doomed = old.write([b"press clippings"], retention_seconds=1 * YEAR)
+    old.scpu.clock.advance(4 * YEAR)
+    old.maintenance()  # the clippings expired along the way
+    print(f"source store: {len(old.vrdt.active_sns)} active records, "
+          f"{old.vrdt.proof_count()} deletion proofs, 4 years of history")
+
+    # -- Mallory doctors one record on the old disks before the move -----
+    old.blocks.unchecked_overwrite(
+        contracts.vrd.rdl[0].key, b"vendor contracts 2022-2029 [REDACTED]")
+    print("(Mallory quietly rewrites the contracts record on the old disks)")
+
+    # -- export: source SCPU signs the migration manifest -----------------
+    package = export_package(old, ca)
+    print(f"exported package: {len(package.blocks)} payloads, manifest "
+          f"signed by source SCPU at t={package.manifest.timestamp:.0f}")
+
+    # -- import: new store, new SCPU, new keys ----------------------------
+    new = StrongWormStore(scpu=SecureCoprocessor(keyring=demo_keyring()))
+    new.scpu.clock.advance(4 * YEAR)  # wall-clock time is shared
+    report = import_package(new, package, ca)
+
+    print(f"import report: migrated={report.migrated}, "
+          f"rejected={len(report.rejected)}, "
+          f"archived deletion proofs={report.archived_deletion_proofs}")
+    for sn, reason in report.rejected:
+        print(f"  REJECTED source SN {sn}: {reason}")
+
+    # -- the clean record carried its retention clock ---------------------
+    new_sn = report.sn_mapping[ledger.sn]
+    vrd = new.vrdt.get_active(new_sn)
+    remaining = (vrd.attr.expires_at - new.now) / YEAR
+    print(f"ledger migrated as SN {new_sn}: "
+          f"{remaining:.1f} years of retention remaining (not reset to 7)")
+
+    # -- and verifies under the new store's trust chain -------------------
+    client = new.make_client(ca)
+    verified = client.verify_read(new.read(new_sn), new_sn)
+    print(f"verified on new store: {verified.status}, "
+          f"data={verified.data!r}")
+
+
+if __name__ == "__main__":
+    main()

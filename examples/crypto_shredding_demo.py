@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Crypto-shredding: secure deletion that survives hoarded media copies.
+
+§1's Secure Deletion demands that deleted records "not be recoverable
+even with unrestricted access to the underlying storage medium".
+Overwrite passes handle the store's own disks — but not the copy Mallory
+made of the raw medium *last month*.  The encrypted-records extension
+closes that hole:
+
+1. records are encrypted at rest under per-record DEKs;
+2. DEKs are wrapped by an epoch key that exists only inside the SCPU;
+3. deletion = shred the ciphertext + drop the DEK from the survivor set;
+4. the next epoch rotation destroys the old epoch key inside the
+   enclosure — at which point every hoarded copy (ciphertext + wrapped
+   DEK) on any medium anywhere becomes undecryptable noise.
+
+Run:  python examples/crypto_shredding_demo.py
+"""
+
+from repro import CertificateAuthority, StrongWormStore, demo_keyring
+from repro.core.encryption import EncryptedWormStore
+from repro.hardware import SecureCoprocessor
+
+
+def main() -> None:
+    ca = CertificateAuthority(bits=512)
+    scpu = SecureCoprocessor(keyring=demo_keyring())
+    store = StrongWormStore(scpu=scpu)
+    estore = EncryptedWormStore(store)
+    client = store.make_client(ca)
+
+    # -- two records: one regrettable, one routine -----------------------
+    secret = estore.write(b"payroll exception list, Q2", retention_seconds=60.0)
+    routine = estore.write(b"office seating chart", policy="ferpa")
+    print(f"committed SN {secret.sn} (60s retention) and SN {routine.sn}")
+    on_disk = store.blocks.get(secret.vrd.rdl[0].key)
+    print(f"on disk, SN {secret.sn} is ciphertext: {on_disk[:24].hex()}...")
+
+    # -- Mallory images the whole medium today ---------------------------
+    hoarded_ciphertext = bytes(on_disk)
+    hoarded_wrapped_dek = estore.wrapped_table()[secret.sn]
+    print("Mallory images the disk AND the wrapped-DEK table "
+          f"(epoch {estore.current_epoch}).")
+
+    # -- reads still work for authorized clients --------------------------
+    read = estore.read_verified(client, secret.sn)
+    print(f"authorized verified read: {read.plaintext!r}")
+
+    # -- retention passes; maintenance shreds + rotates the epoch ---------
+    scpu.clock.advance(120.0)
+    summary = estore.maintenance()
+    print(f"maintenance: expired={summary['expired']}, "
+          f"DEKs destroyed={summary['deks_destroyed']}, "
+          f"now in epoch {estore.current_epoch}")
+
+    # -- the hoarded copy is now cryptographic noise ------------------------
+    from repro.hardware.scpu import WrappedKey
+    hoarded = WrappedKey.from_dict(hoarded_wrapped_dek)
+    try:
+        scpu.unwrap_key(hoarded)
+        print("FAILURE: hoarded DEK unwrapped!")
+    except ValueError as exc:
+        print(f"hoarded wrapped DEK refused by the SCPU: {exc}")
+    print(f"hoarded ciphertext ({len(hoarded_ciphertext)} bytes) is "
+          "undecryptable without the destroyed epoch key.")
+
+    # -- the routine record sailed through the rotation --------------------
+    read = estore.read_verified(client, routine.sn)
+    print(f"survivor still reads fine: {read.plaintext!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: write, verify, expire, and prove deletion in 40 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CertificateAuthority, StrongWormStore, demo_keyring
+from repro.hardware import SecureCoprocessor
+
+
+def main() -> None:
+    # A regulatory CA certifies the SCPU's keys; clients trust only the CA.
+    ca = CertificateAuthority(bits=512)
+    scpu = SecureCoprocessor(keyring=demo_keyring())
+    store = StrongWormStore(scpu=scpu)
+    client = store.make_client(ca)
+
+    # 1. Commit a record under Sarbanes-Oxley (7-year retention floor).
+    receipt = store.write([b"Q3 board minutes: the merger is approved."],
+                          policy="sox")
+    print(f"committed SN {receipt.sn} "
+          f"(SCPU cost {receipt.costs['scpu'] * 1000:.2f} virtual ms)")
+
+    # 2. Read it back and *verify* — signatures, freshness, the works.
+    verified = client.verify_read(store.read(receipt.sn), receipt.sn)
+    print(f"verified read: status={verified.status!r}, "
+          f"data={verified.data[:30]!r}...")
+
+    # 3. A second record with a short retention, to watch it expire.
+    brief = store.write([b"temporary scratch data"], retention_seconds=60.0)
+
+    # 4. Time passes; the Retention Monitor shreds the expired record.
+    scpu.clock.advance(120.0)
+    summary = store.maintenance()
+    print(f"maintenance: {summary['expired']} record(s) expired and shredded")
+
+    # 5. Reading the deleted record yields a *proof* of rightful deletion.
+    verified = client.verify_read(store.read(brief.sn), brief.sn)
+    print(f"SN {brief.sn}: status={verified.status!r} "
+          f"(proof kind: {verified.proof_kind})")
+
+    # 6. Reading a never-written SN proves it never existed.
+    verified = client.verify_read(store.read(999), 999)
+    print(f"SN 999: status={verified.status!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""SEC 17a-4 broker-dealer archive: end-of-day burst + idle strengthening.
+
+The workload that motivates §4.3: a brokerage archives its trade blotter
+in a sharp end-of-day burst that exceeds what full-strength SCPU signing
+sustains.  The store absorbs the burst with short-lived 512-bit
+signatures (and host-computed data hashes, verified later), then the
+overnight idle period strengthens everything — well inside the weak
+constructs' security lifetime.
+
+Run:  python examples/sec17a4_broker_archive.py
+"""
+
+import random
+
+from repro import CertificateAuthority, StrongWormStore, Strength, demo_keyring
+from repro.hardware import SecureCoprocessor
+
+
+def trade_record(rng: random.Random, i: int) -> bytes:
+    side = rng.choice(["BUY", "SELL"])
+    ticker = rng.choice(["ACME", "GLOBEX", "INITECH", "HOOLI"])
+    qty = rng.randint(100, 10_000)
+    price = rng.uniform(5.0, 500.0)
+    return (f"T{i:06d} {side} {qty} {ticker} @ {price:.2f} "
+            f"acct={rng.randint(10_000, 99_999)}").encode()
+
+
+def main() -> None:
+    rng = random.Random(17)
+    ca = CertificateAuthority(bits=512)
+    scpu = SecureCoprocessor(keyring=demo_keyring())
+    store = StrongWormStore(scpu=scpu)
+    client = store.make_client(ca)
+
+    # -- 16:00: the end-of-day burst, witnessed weakly -----------------
+    print("16:00 — archiving the day's blotter (burst mode)...")
+    receipts = []
+    for i in range(200):
+        receipts.append(store.write(
+            [trade_record(rng, i)],
+            policy="sec17a-4",            # 6-year retention floor
+            strength=Strength.WEAK,        # 512-bit burst signatures
+            defer_data_hash=True,          # host hashes; SCPU verifies later
+        ))
+    burst_scpu_ms = sum(r.costs["scpu"] for r in receipts) * 1000
+    print(f"  200 trades committed; SCPU spent {burst_scpu_ms:.1f} virtual ms "
+          f"({burst_scpu_ms / 200:.2f} ms/trade)")
+
+    # Records are immediately readable — flagged as weakly signed.
+    sample = receipts[42]
+    verified = client.verify_read(store.read(sample.sn), sample.sn)
+    print(f"  spot check SN {sample.sn}: {verified.status}, "
+          f"weakly_signed={verified.weakly_signed}")
+    print(f"  strengthening backlog: {len(store.strengthening)} records, "
+          f"unverified hashes: {len(store.hash_verification)}")
+
+    # -- 16:30: the post-close lull does the §4.3 heavy lifting --------
+    # Strengthening MUST land inside the 512-bit constructs' ~60-minute
+    # security lifetime; a prudent operator drains the queue within the
+    # first idle half hour, not overnight.
+    print("16:30 — post-close lull, maintenance slice...")
+    scpu.clock.advance(30 * 60.0)
+    summary = store.maintenance()
+    print(f"  strengthened {summary['strengthened']} signatures, "
+          f"verified {summary['hashes_verified']} deferred hashes")
+    print(f"  lifetime violations: "
+          f"{store.strengthening.lifetime_violations} (must be 0)")
+    print(f"  host-hash mismatches: "
+          f"{store.hash_verification.mismatches} (must be [])")
+
+    # -- next morning: everything strongly signed ----------------------
+    verified = client.verify_read(store.read(sample.sn), sample.sn)
+    print(f"09:00 — spot check SN {sample.sn}: {verified.status}, "
+          f"weakly_signed={verified.weakly_signed}")
+
+    # -- 6+ years later: retention passes, records become deletable ----
+    print("2032 — retention expires; the RM shreds and issues proofs...")
+    scpu.clock.advance(6.1 * 365 * 24 * 3600.0)
+    summary = store.maintenance()
+    print(f"  expired {summary['expired']} records, "
+          f"compacted {summary['windows_compacted']} deletion window(s), "
+          f"base advanced: {bool(summary['base_advanced'])}")
+    verified = client.verify_read(store.read(sample.sn), sample.sn)
+    print(f"  SN {sample.sn} now: {verified.status} "
+          f"(proof: {verified.proof_kind})")
+    print(f"  VRDT footprint: {store.vrdt.estimated_bytes()} bytes "
+          f"for {store.scpu.current_serial_number} lifetime records")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim so editable installs work without the `wheel` package.
+
+The environment is offline; `pip install -e .` falls back to this legacy
+path (PEP 660 editable wheels need `wheel`, which is not installed).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Insider adversary model: attack implementations and security games."""
+
+from repro.adversary.attacks import (
+    ATTACKS,
+    AttackEnvironment,
+    AttackOutcome,
+    run_attack,
+)
+from repro.adversary.games import SuiteResult, fresh_environment, run_suite
+
+__all__ = [
+    "ATTACKS",
+    "AttackEnvironment",
+    "AttackOutcome",
+    "run_attack",
+    "SuiteResult",
+    "fresh_environment",
+    "run_suite",
+]

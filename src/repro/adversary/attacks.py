@@ -1,0 +1,440 @@
+"""The insider attack suite — Mallory with superuser and physical access.
+
+§2.1's threat model: Alice legitimately stores a record, later regrets it,
+and as "Mallory" — with superuser powers and direct physical access to the
+storage hardware — does everything she can to alter it, remove it, or deny
+its existence *undetectably*.  She can rewrite any byte of untrusted state
+(block store, VRDT, stored signed artifacts) and fabricate arbitrary
+responses to clients; she cannot open the SCPU (tamper response destroys
+it) and cannot forge its signatures.
+
+Every attack below follows the same shape:
+
+1. set up a store with a *target* record (what Mallory regrets),
+2. perform the insider mutation / fabricate the malicious response,
+3. play investigator Bob: read and verify through a
+   :class:`~repro.core.client.WormClient`,
+4. report whether the client **detected** the attack.
+
+``expected_detected`` encodes the paper's claims: every Theorem 1/2 attack
+must be detected, with one deliberate exception —
+:func:`hide_within_freshness_window` — whose success is the *designed*,
+bounded exposure of freshness mechanism (ii) in §4.2.1 (a record can be
+denied for at most one freshness window after its write).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.client import WormClient
+from repro.core.errors import FreshnessError, VerificationError
+from repro.core.proofs import (
+    BaseBoundProof,
+    DeletionProofResponse,
+    DeletionWindowProof,
+    NeverAllocatedProof,
+    ReadResult,
+)
+from repro.core.worm import StrongWormStore
+from repro.crypto.envelope import Envelope, Purpose
+from repro.crypto.keys import SigningKey
+from repro.hardware.scpu import Strength
+
+__all__ = ["AttackOutcome", "AttackEnvironment", "ATTACKS", "run_attack"]
+
+
+@dataclass
+class AttackOutcome:
+    """Result of one attack run."""
+
+    name: str
+    theorem: int
+    detected: bool
+    expected_detected: bool
+    detail: str
+
+    @property
+    def as_expected(self) -> bool:
+        return self.detected == self.expected_detected
+
+
+@dataclass
+class AttackEnvironment:
+    """Everything an attack needs: the store, a verifying client, the clock."""
+
+    store: StrongWormStore
+    client: WormClient
+
+    @property
+    def clock(self):
+        return self.store.scpu.clock
+
+    def verify(self, result: ReadResult, sn: int) -> Optional[str]:
+        """Run Bob's verification; returns the failure reason, or None."""
+        try:
+            self.client.verify_read(result, sn)
+            return None
+        except (VerificationError, FreshnessError) as exc:
+            return f"{type(exc).__name__}: {exc}"
+
+
+def _outcome(name: str, theorem: int, failure: Optional[str],
+             expected_detected: bool = True) -> AttackOutcome:
+    return AttackOutcome(
+        name=name,
+        theorem=theorem,
+        detected=failure is not None,
+        expected_detected=expected_detected,
+        detail=failure or "attack went undetected",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1: committed records cannot be altered or removed undetected.
+# ---------------------------------------------------------------------------
+
+def tamper_record_payload(env: AttackEnvironment) -> AttackOutcome:
+    """Rewrite a committed record's bytes directly on the medium."""
+    receipt = env.store.write([b"incriminating wire transfer: $4,000,000"],
+                              policy="sox")
+    rd = receipt.vrd.rdl[0]
+    env.store.blocks.unchecked_overwrite(
+        rd.key, b"routine wire transfer:       $4,000.00")
+    failure = env.verify(env.store.read(receipt.sn), receipt.sn)
+    return _outcome("tamper-record-payload", 1, failure)
+
+
+def tamper_attributes(env: AttackEnvironment) -> AttackOutcome:
+    """Shorten a record's retention period in the VRDT (keep old sigs)."""
+    import dataclasses
+    receipt = env.store.write([b"audit trail"], policy="sox")
+    vrd = env.store.vrdt.get_active(receipt.sn)
+    hacked_attr = dataclasses.replace(vrd.attr, retention_seconds=1.0)
+    hacked = dataclasses.replace(vrd, attr=hacked_attr)
+    env.store.vrdt.replace_active(hacked)
+    failure = env.verify(env.store.read(receipt.sn), receipt.sn)
+    return _outcome("tamper-attributes", 1, failure)
+
+
+def resign_with_forged_key(env: AttackEnvironment) -> AttackOutcome:
+    """Replace record and re-sign everything with Mallory's own key.
+
+    Mallory can generate keys and produce internally consistent
+    signatures — but her key has no CA certificate binding it to this
+    store's SCPU, so clients reject it.
+    """
+    import dataclasses
+    receipt = env.store.write([b"original ledger page"], policy="sec17a-4")
+    vrd = env.store.vrdt.get_active(receipt.sn)
+    forged_data = b"doctored ledger page"
+    rd = vrd.rdl[0]
+    env.store.blocks.unchecked_overwrite(rd.key, forged_data)
+
+    mallory = SigningKey.generate(512, role="s")
+    from repro.crypto.hashing import ChainedHasher
+    hasher = ChainedHasher()
+    hasher.update(forged_data)
+    forged_hash = hasher.digest()
+    metasig = mallory.sign_envelope(Envelope(
+        purpose=Purpose.METASIG,
+        fields={"sn": vrd.sn, "attr": vrd.attr.canonical_bytes()},
+        timestamp=env.store.now))
+    datasig = mallory.sign_envelope(Envelope(
+        purpose=Purpose.DATASIG,
+        fields={"sn": vrd.sn, "data_hash": forged_hash},
+        timestamp=env.store.now))
+    forged_rdl = (dataclasses.replace(rd, length=len(forged_data)),)
+    forged = dataclasses.replace(vrd, rdl=forged_rdl, metasig=metasig,
+                                 datasig=datasig, data_hash=forged_hash)
+    env.store.vrdt.replace_active(forged)
+    failure = env.verify(env.store.read(receipt.sn), receipt.sn)
+    return _outcome("resign-with-forged-key", 1, failure)
+
+
+def truncate_record_list(env: AttackEnvironment) -> AttackOutcome:
+    """Drop one record from a multi-record VR (partial destruction)."""
+    import dataclasses
+    receipt = env.store.write([b"email body", b"attachment: smoking gun.pdf"],
+                              policy="sec17a-4")
+    vrd = env.store.vrdt.get_active(receipt.sn)
+    truncated = dataclasses.replace(vrd, rdl=vrd.rdl[:1])
+    env.store.vrdt.replace_active(truncated)
+    failure = env.verify(env.store.read(receipt.sn), receipt.sn)
+    return _outcome("truncate-record-list", 1, failure)
+
+
+def fake_deletion_proof(env: AttackEnvironment) -> AttackOutcome:
+    """Remove an active record and present a self-made 'deletion proof'."""
+    receipt = env.store.write([b"whistleblower complaint"], policy="hipaa")
+    mallory = SigningKey.generate(512, role="d")
+    fake = mallory.sign_envelope(Envelope(
+        purpose=Purpose.DELETION_PROOF,
+        fields={"sn": receipt.sn},
+        timestamp=env.store.now))
+    malicious = ReadResult(sn=receipt.sn, status="deleted",
+                           proof=DeletionProofResponse(proof=fake))
+    failure = env.verify(malicious, receipt.sn)
+    return _outcome("fake-deletion-proof", 1, failure)
+
+
+def reuse_deletion_proof(env: AttackEnvironment) -> AttackOutcome:
+    """Serve a *legitimate* deletion proof — for the wrong record."""
+    doomed = env.store.write([b"ephemeral note"], retention_seconds=1.0)
+    target = env.store.write([b"long-lived contract"], policy="sox")
+    env.clock.advance(5.0)
+    env.store.maintenance(compact=False)
+    real_proof = env.store.vrdt.get_deletion_proof(doomed.sn)
+    assert real_proof is not None
+    malicious = ReadResult(sn=target.sn, status="deleted",
+                           proof=DeletionProofResponse(proof=real_proof))
+    failure = env.verify(malicious, target.sn)
+    return _outcome("reuse-deletion-proof", 1, failure)
+
+
+def swap_record_payloads(env: AttackEnvironment) -> AttackOutcome:
+    """Swap the payloads of two committed records of identical length."""
+    a = env.store.write([b"ACCOUNT A: balance 9,000,000"], policy="sox")
+    b = env.store.write([b"ACCOUNT B: balance 0,000,001"], policy="sox")
+    key_a = a.vrd.rdl[0].key
+    key_b = b.vrd.rdl[0].key
+    data_a = env.store.blocks.get(key_a)
+    data_b = env.store.blocks.get(key_b)
+    env.store.blocks.unchecked_overwrite(key_a, data_b)
+    env.store.blocks.unchecked_overwrite(key_b, data_a)
+    failure = env.verify(env.store.read(a.sn), a.sn)
+    return _outcome("swap-record-payloads", 1, failure)
+
+
+def splice_envelope_purposes(env: AttackEnvironment) -> AttackOutcome:
+    """Present a legitimate S_s(SN_current) as a 'deletion proof'.
+
+    Cross-protocol splicing: both constructs are genuine SCPU signatures,
+    but the envelope purpose tags make them non-interchangeable.
+    """
+    receipt = env.store.write([b"meeting minutes"], policy="sox")
+    sn_current_env = env.store.vrdt.sn_current_envelope
+    assert sn_current_env is not None
+    malicious = ReadResult(sn=receipt.sn, status="deleted",
+                           proof=DeletionProofResponse(proof=sn_current_env))
+    failure = env.verify(malicious, receipt.sn)
+    return _outcome("splice-envelope-purposes", 1, failure)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 2: insiders cannot hide active records.
+# ---------------------------------------------------------------------------
+
+def hide_with_stale_sn_current(env: AttackEnvironment) -> AttackOutcome:
+    """Claim 'never stored' using a pre-write S_s(SN_current) replay.
+
+    Mallory keeps the old signed upper bound from before the regretted
+    write and serves it to deny the record exists.  Once the client's
+    freshness window has passed, the stale timestamp gives her away.
+    """
+    stale_envelope = env.store.vrdt.sn_current_envelope
+    assert stale_envelope is not None
+    receipt = env.store.write([b"the record Mallory regrets"], policy="sox")
+    env.clock.advance(env.client.freshness_window + 60.0)
+    malicious = ReadResult(sn=receipt.sn, status="never-allocated",
+                           proof=NeverAllocatedProof(sn_current=stale_envelope))
+    failure = env.verify(malicious, receipt.sn)
+    return _outcome("hide-with-stale-sn-current", 2, failure)
+
+
+def hide_within_freshness_window(env: AttackEnvironment) -> AttackOutcome:
+    """The *designed* exposure: replaying a bound newer than the window.
+
+    Inside the freshness window a stale bound is indistinguishable from
+    an idle store, so this attack succeeds — for at most
+    ``freshness_window`` seconds after the write, after which it becomes
+    :func:`hide_with_stale_sn_current`.  The paper accepts this bounded
+    exposure in exchange for SCPU-free reads (§4.2.1 mechanism (ii)).
+    """
+    stale_envelope = env.store.vrdt.sn_current_envelope
+    assert stale_envelope is not None
+    receipt = env.store.write([b"very recent record"], policy="sox")
+    env.clock.advance(min(30.0, env.client.freshness_window / 2))
+    malicious = ReadResult(sn=receipt.sn, status="never-allocated",
+                           proof=NeverAllocatedProof(sn_current=stale_envelope))
+    failure = env.verify(malicious, receipt.sn)
+    return _outcome("hide-within-freshness-window", 2, failure,
+                    expected_detected=False)
+
+
+def hide_with_fresh_bound(env: AttackEnvironment) -> AttackOutcome:
+    """Drop the VRDT entry and claim 'never stored' with a *fresh* bound.
+
+    The monotonic consecutive SNs defeat this: once the SCPU's periodic
+    refresh has run (at most one refresh interval after the write), the
+    fresh signed SN_current is at or above the hidden record's SN, so
+    'never allocated' is checkably false.  Combined with
+    :func:`hide_with_stale_sn_current` (replaying the pre-refresh bound
+    ages out of the freshness window), the total deniability horizon is
+    bounded by refresh_interval + freshness_window.
+    """
+    receipt = env.store.write([b"subpoenaed email"], policy="sec17a-4")
+    env.clock.advance(env.store.windows.refresh_interval + 1.0)
+    env.store.maintenance()  # the SCPU's periodic refresh fires
+    fresh = env.store.vrdt.sn_current_envelope
+    assert fresh is not None
+    malicious = ReadResult(sn=receipt.sn, status="never-allocated",
+                           proof=NeverAllocatedProof(sn_current=fresh))
+    failure = env.verify(malicious, receipt.sn)
+    return _outcome("hide-with-fresh-bound", 2, failure)
+
+
+def hide_with_expired_base(env: AttackEnvironment) -> AttackOutcome:
+    """Claim 'below base' with an expired S_s(SN_base) from the past."""
+    expired_base = env.store.scpu.sign_sn_base(validity_seconds=10.0)
+    receipt = env.store.write([b"live record"], policy="sox")
+    env.clock.advance(60.0)  # base signature expires
+    malicious = ReadResult(sn=receipt.sn, status="deleted",
+                           proof=BaseBoundProof(sn_base=expired_base))
+    failure = env.verify(malicious, receipt.sn)
+    return _outcome("hide-with-expired-base", 2, failure)
+
+
+def hide_with_wrong_base(env: AttackEnvironment) -> AttackOutcome:
+    """Claim 'below base' for an SN that is not below the signed base."""
+    receipt = env.store.write([b"active record"], policy="sox")
+    env.store.maintenance()
+    base_env = env.store.vrdt.sn_base_envelope
+    assert base_env is not None
+    malicious = ReadResult(sn=receipt.sn, status="deleted",
+                           proof=BaseBoundProof(sn_base=base_env))
+    failure = env.verify(malicious, receipt.sn)
+    return _outcome("hide-with-wrong-base", 2, failure)
+
+
+def _expire_run(env: AttackEnvironment, count: int, retention: float = 1.0):
+    """Write *count* short-lived records and expire them into a window."""
+    receipts = [env.store.write([f"tmp-{i}".encode()],
+                                retention_seconds=retention)
+                for i in range(count)]
+    env.clock.advance(retention + 5.0)
+    env.store.maintenance()
+    return receipts
+
+
+def splice_deletion_windows(env: AttackEnvironment) -> AttackOutcome:
+    """Combine bounds of two unrelated windows to 'cover' an active SN.
+
+    Windows (a..b) and (c..d) exist legitimately; Mallory presents
+    lower(a) with upper(d) to claim everything between — including the
+    active target — was deleted.  The per-window random window_id
+    correlation (§4.2.1) exposes the splice.
+    """
+    env.store.write([b"anchor record pinning SN_base"], policy="ferpa")
+    _expire_run(env, 3)                       # window 1
+    target = env.store.write([b"the active record in between"], policy="sox")
+    _expire_run(env, 3)                       # window 2
+    windows = env.store.vrdt.deletion_windows
+    assert len(windows) >= 2, "setup failed to create two windows"
+    spliced = DeletionWindowProof(lower=windows[0].lower,
+                                  upper=windows[-1].upper)
+    malicious = ReadResult(sn=target.sn, status="deleted", proof=spliced)
+    failure = env.verify(malicious, target.sn)
+    return _outcome("splice-deletion-windows", 2, failure)
+
+
+def wrong_window_for_sn(env: AttackEnvironment) -> AttackOutcome:
+    """Serve a valid deletion window that simply does not contain the SN."""
+    env.store.write([b"anchor record pinning SN_base"], policy="ferpa")
+    _expire_run(env, 3)
+    target = env.store.write([b"post-window record"], policy="sox")
+    window = env.store.vrdt.deletion_windows[0]
+    malicious = ReadResult(
+        sn=target.sn, status="deleted",
+        proof=DeletionWindowProof(lower=window.lower, upper=window.upper))
+    failure = env.verify(malicious, target.sn)
+    return _outcome("wrong-window-for-sn", 2, failure)
+
+
+def weak_signature_lapse(env: AttackEnvironment) -> AttackOutcome:
+    """Serve a burst-signed record after its security lifetime lapsed.
+
+    §4.3 assumes 512-bit signatures resist Mallory for only tens of
+    minutes.  A record still weakly signed *after* that horizon could
+    carry a forged signature — so clients must refuse it outright, which
+    is what makes timely strengthening a safety property.
+    """
+    receipt = env.store.write([b"burst-period record"],
+                              policy="sox", strength=Strength.WEAK)
+    lifetime = 60 * 60.0  # 512-bit security lifetime (§4.3)
+    env.clock.advance(lifetime + 120.0)
+    # Mallory suppressed the strengthening pass; the record still has
+    # its (now past-lifetime) weak signatures.
+    failure = env.verify(env.store.read(receipt.sn), receipt.sn)
+    return _outcome("weak-signature-lapse", 2, failure)
+
+
+def downgrade_to_weak_signature(env: AttackEnvironment) -> AttackOutcome:
+    """Serve the pre-strengthening weak VRD after its lifetime lapsed.
+
+    Mallory archives the weak-signed VRD during the burst; after the
+    idle-period strengthening she swaps it back in and waits out the
+    512-bit lifetime (when she could plausibly have forged it).  Clients
+    must reject the downgraded record even though its signatures are
+    genuine — the *timestamped lifetime* is what expires.
+    """
+    receipt = env.store.write([b"burst-then-strengthened"],
+                              policy="sox", strength=Strength.WEAK)
+    weak_vrd = env.store.vrdt.get_active(receipt.sn)
+    env.store.maintenance()  # honest strengthening happens
+    env.clock.advance(2 * 60 * 60.0)  # well past the 512-bit lifetime
+    env.store.maintenance()
+    env.store.vrdt.replace_active(weak_vrd)  # the downgrade swap
+    failure = env.verify(env.store.read(receipt.sn), receipt.sn)
+    return _outcome("downgrade-to-weak-signature", 1, failure)
+
+
+def destroy_window_artifacts(env: AttackEnvironment) -> AttackOutcome:
+    """Wipe the signed window bounds and fabricate an unproven denial.
+
+    With the artifacts destroyed the main CPU cannot produce *any* valid
+    proof for a 'never stored' claim; the fabricated bare response fails
+    verification — destruction is loud, not silent (the availability
+    corner of the threat model).
+    """
+    receipt = env.store.write([b"the record"], policy="sox")
+    env.store.vrdt.sn_current_envelope = None
+    env.store.vrdt.sn_base_envelope = None
+    malicious = ReadResult(sn=receipt.sn, status="never-allocated",
+                           proof=NeverAllocatedProof(sn_current=None))
+    try:
+        env.client.verify_read(malicious, receipt.sn)
+        failure = None
+    except Exception as exc:  # any failure counts as detection here
+        failure = f"{type(exc).__name__}: {exc}"
+    return _outcome("destroy-window-artifacts", 2, failure)
+
+
+#: The full suite: name → (attack function, theorem number).
+ATTACKS: List[Callable[[AttackEnvironment], AttackOutcome]] = [
+    tamper_record_payload,
+    tamper_attributes,
+    resign_with_forged_key,
+    truncate_record_list,
+    fake_deletion_proof,
+    reuse_deletion_proof,
+    swap_record_payloads,
+    splice_envelope_purposes,
+    hide_with_stale_sn_current,
+    hide_within_freshness_window,
+    hide_with_fresh_bound,
+    hide_with_expired_base,
+    hide_with_wrong_base,
+    splice_deletion_windows,
+    wrong_window_for_sn,
+    weak_signature_lapse,
+    downgrade_to_weak_signature,
+    destroy_window_artifacts,
+]
+
+
+def run_attack(attack: Callable[[AttackEnvironment], AttackOutcome],
+               env: AttackEnvironment) -> AttackOutcome:
+    """Execute one attack in *env* and return its outcome."""
+    return attack(env)

@@ -1,0 +1,85 @@
+"""Security games backing Theorems 1 and 2 (§5).
+
+* **Theorem 1** — "Data records committed to WORM storage can not be
+  altered or removed undetected."
+* **Theorem 2** — "Insiders with super-user powers are unable to 'hide'
+  active data records from querying clients by claiming they have expired
+  or were not stored in the first place."
+
+:func:`run_suite` executes every attack from
+:mod:`repro.adversary.attacks` in a fresh environment and checks each
+outcome against its expectation.  The suite passes exactly when every
+Theorem 1/2 attack is detected and the one *designed* exposure (hiding
+within the freshness window) behaves as documented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.adversary.attacks import (
+    ATTACKS,
+    AttackEnvironment,
+    AttackOutcome,
+)
+from repro.core.worm import StrongWormStore
+from repro.crypto.keys import CertificateAuthority
+from repro.hardware.scpu import ScpuKeyring, SecureCoprocessor
+
+__all__ = ["SuiteResult", "fresh_environment", "run_suite"]
+
+
+@dataclass
+class SuiteResult:
+    """Aggregate outcome of the full attack suite."""
+
+    outcomes: List[AttackOutcome] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for o in self.outcomes if o.detected)
+
+    @property
+    def surprises(self) -> List[AttackOutcome]:
+        """Outcomes that contradict the paper's claims."""
+        return [o for o in self.outcomes if not o.as_expected]
+
+    @property
+    def theorems_hold(self) -> bool:
+        return not self.surprises
+
+    def by_theorem(self, theorem: int) -> List[AttackOutcome]:
+        return [o for o in self.outcomes if o.theorem == theorem]
+
+
+def fresh_environment(keyring: Optional[ScpuKeyring] = None,
+                      freshness_window: float = 300.0) -> AttackEnvironment:
+    """A brand-new store + verifying client for one attack run.
+
+    Attacks mutate untrusted state destructively, so each gets its own
+    world; passing a pre-generated *keyring* avoids paying RSA keygen
+    per attack.
+    """
+    from repro import demo_keyring
+
+    ca = CertificateAuthority(bits=512)
+    scpu = SecureCoprocessor(
+        keyring=keyring if keyring is not None else demo_keyring())
+    store = StrongWormStore(scpu=scpu)
+    client = store.make_client(ca, freshness_window=freshness_window)
+    return AttackEnvironment(store=store, client=client)
+
+
+def run_suite(make_env: Optional[Callable[[], AttackEnvironment]] = None
+              ) -> SuiteResult:
+    """Run every attack, each in a fresh environment."""
+    result = SuiteResult()
+    for attack in ATTACKS:
+        env = make_env() if make_env is not None else fresh_environment()
+        result.outcomes.append(attack(env))
+    return result

@@ -1,0 +1,13 @@
+"""Comparison baselines: Merkle-authenticated, soft-WORM, and all-in-SCPU."""
+
+from repro.baselines.merkle_worm import MerkleReadResult, MerkleWormStore
+from repro.baselines.scpu_only import ScpuOnlyStore
+from repro.baselines.soft_worm import SoftReadResult, SoftWormStore
+
+__all__ = [
+    "MerkleReadResult",
+    "MerkleWormStore",
+    "ScpuOnlyStore",
+    "SoftReadResult",
+    "SoftWormStore",
+]

@@ -1,0 +1,87 @@
+"""All-in-SCPU baseline: the "straight-forward implementation" of §1.
+
+"Straight-forward implementations of the full processing logic *inside*
+SCPUs are bound to fail in practice simply due to lack of performance.
+The server's main CPUs will remain starkly under-utilized and the entire
+cost-proposition ... will be defeated."
+
+In this design every request — reads included — is mediated by the SCPU:
+data is DMA-transferred into the enclosure, hashed, signature-checked or
+signed there, and served back out.  It is maximally simple and maximally
+trustworthy, and its throughput collapses because the one-order-of-
+magnitude-slower card sits on every code path.  The scaling benchmark
+plots it as the lower bound that motivates the paper's sparse-access
+design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.crypto.envelope import SignedEnvelope
+from repro.hardware.scpu import SecureCoprocessor, Strength
+from repro.storage.block_store import BlockStore, MemoryBlockStore
+from repro.storage.record import RecordAttributes
+
+__all__ = ["ScpuOnlyStore"]
+
+
+@dataclass(frozen=True)
+class _Entry:
+    key: str
+    attr: RecordAttributes
+    metasig: SignedEnvelope
+    datasig: SignedEnvelope
+    data_hash: bytes
+    length: int
+
+
+class ScpuOnlyStore:
+    """Everything through the card: writes AND reads."""
+
+    def __init__(self, scpu: SecureCoprocessor,
+                 block_store: Optional[BlockStore] = None) -> None:
+        self.scpu = scpu
+        self.blocks = block_store if block_store is not None else MemoryBlockStore()
+        self._entries: Dict[int, _Entry] = {}
+
+    def write(self, data: bytes, retention_seconds: float) -> int:
+        """Same witnessing as Strong WORM — all mandatory, never deferred."""
+        key = self.blocks.put(data)
+        data_hash = self.scpu.hash_record_data([data])
+        sn = self.scpu.issue_serial_number()
+        attr = RecordAttributes(created_at=self.scpu.now,
+                                retention_seconds=retention_seconds)
+        metasig, datasig = self.scpu.witness_write(
+            sn, attr.canonical_bytes(), data_hash, strength=Strength.STRONG)
+        self._entries[sn] = _Entry(key=key, attr=attr, metasig=metasig,
+                                   datasig=datasig, data_hash=data_hash,
+                                   length=len(data))
+        return sn
+
+    def read(self, sn: int) -> bytes:
+        """A read that round-trips the enclosure.
+
+        The SCPU DMAs the record in, re-hashes it, verifies its own
+        datasig, and (in the real design) re-encrypts/serves it out over
+        the bus — so every read pays DMA both ways plus card-speed
+        hashing plus a signature verification.
+        """
+        entry = self._entries.get(sn)
+        if entry is None:
+            raise KeyError(f"SN {sn} not present")
+        data = self.blocks.get(entry.key)
+        recomputed = self.scpu.hash_record_data([data])  # DMA in + SHA
+        if recomputed != entry.data_hash:
+            raise ValueError(f"SN {sn}: data hash mismatch detected in-enclosure")
+        publics = self.scpu.public_keys()
+        if not self.scpu.verify_envelope(entry.datasig, publics["s"]):
+            raise ValueError(f"SN {sn}: datasig verification failed")
+        # Serve back out across the bus.
+        self.scpu.meter.charge("dma", self.scpu.profile.dma_seconds(len(data)))
+        return data
+
+    @property
+    def size(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,117 @@
+"""Soft-WORM baseline: software-enforced write-once (EMC Centera-style).
+
+§3: "all recently-introduced WORM storage devices are built atop
+conventional rewritable magnetic disks, with write-once semantics enforced
+through software ('soft-WORM') ... its software-only nature renders it
+vulnerable to simple insider software and/or physical direct disk-access
+attacks.  Data integrity can be easily compromised."
+
+:class:`SoftWormStore` faithfully implements what such products do:
+
+* the *API* refuses overwrites and pre-retention deletes,
+* integrity checksums are stored next to the data — on the same
+  untrusted medium, at locations "logically un-addressable from
+  user-land" (modelled as a separate dict the normal API never exposes),
+
+and faithfully inherits their weakness: an insider with physical access
+(:meth:`insider_rewrite`) rewrites both the record *and* its checksum, so
+subsequent reads verify "clean".  The adversary benchmark shows the
+Strong WORM detecting every attack this baseline misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import RetentionViolationError, WormError
+
+__all__ = ["SoftWormStore", "SoftReadResult"]
+
+
+@dataclass(frozen=True)
+class SoftReadResult:
+    """A soft-WORM read: the data and whether the checksum matched."""
+
+    record_id: int
+    data: bytes
+    checksum_ok: bool
+
+
+class SoftWormStore:
+    """Software-only WORM enforcement over rewritable storage."""
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        self._data: Dict[int, bytes] = {}
+        self._retention_until: Dict[int, float] = {}
+        # "Hidden" checksum area — still on the same rewritable medium.
+        self._checksums: Dict[int, bytes] = {}
+        self._next_id = 0
+
+    @property
+    def now(self) -> float:
+        return self._clock.now
+
+    # -- the honest API (what legitimate software can do) ---------------------
+
+    def write(self, data: bytes, retention_seconds: float) -> int:
+        """Store a record; software remembers it is immutable until expiry."""
+        self._next_id += 1
+        record_id = self._next_id
+        self._data[record_id] = bytes(data)
+        self._retention_until[record_id] = self.now + retention_seconds
+        self._checksums[record_id] = hashlib.sha256(data).digest()
+        return record_id
+
+    def overwrite(self, record_id: int, data: bytes) -> None:
+        """The API-level guard: refuses all overwrites (write-once)."""
+        raise WormError("soft-WORM: records are write-once via this API")
+
+    def delete(self, record_id: int) -> None:
+        """API-level delete: allowed only after the retention period."""
+        if record_id not in self._data:
+            raise KeyError(record_id)
+        if self.now < self._retention_until[record_id]:
+            raise RetentionViolationError(
+                "soft-WORM: record is inside its retention period")
+        del self._data[record_id]
+        del self._checksums[record_id]
+        del self._retention_until[record_id]
+
+    def read(self, record_id: int) -> SoftReadResult:
+        """Read with the product's built-in checksum verification."""
+        if record_id not in self._data:
+            raise KeyError(record_id)
+        data = self._data[record_id]
+        checksum_ok = (hashlib.sha256(data).digest()
+                       == self._checksums.get(record_id))
+        return SoftReadResult(record_id=record_id, data=data,
+                              checksum_ok=checksum_ok)
+
+    # -- the insider's reality (physical access to the medium) ------------------
+
+    def insider_rewrite(self, record_id: int, new_data: bytes,
+                        fix_checksum: bool = True) -> None:
+        """Alter a record the way §3 describes: direct media access.
+
+        With superuser powers and the drive enclosure open, both the data
+        area and the "hidden" checksum area are just sectors; fixing the
+        checksum (the default — any competent insider would) makes the
+        alteration invisible to every check the product can run.
+        """
+        if record_id not in self._data:
+            raise KeyError(record_id)
+        self._data[record_id] = bytes(new_data)
+        if fix_checksum:
+            self._checksums[record_id] = hashlib.sha256(new_data).digest()
+
+    def insider_purge(self, record_id: int) -> None:
+        """Destroy a record and all its traces before retention expiry."""
+        self._data.pop(record_id, None)
+        self._checksums.pop(record_id, None)
+        self._retention_until.pop(record_id, None)
+
+    def __contains__(self, record_id: int) -> bool:
+        return record_id in self._data

@@ -1,0 +1,5 @@
+"""Block-level WORM device — the paper's embedded deployment point."""
+
+from repro.blockdev.device import BlockWriteError, WormBlockDevice
+
+__all__ = ["BlockWriteError", "WormBlockDevice"]

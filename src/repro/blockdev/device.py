@@ -1,0 +1,187 @@
+"""Block-level WORM: the paper's second deployment point (§4.1).
+
+"The mechanisms introduced here can be layered at arbitrary points in a
+storage stack ... or inside a block-level storage device interface (e.g.,
+in embedded scenarios without namespaces or indexing constraints)."
+
+:class:`WormBlockDevice` presents a classic block-device interface —
+fixed-size logical blocks addressed by LBA — where every block is
+write-once: the first write to an LBA commits it as a WORM record (the
+LBA is bound inside the signed payload, so remapping attacks fail), and
+any rewrite attempt is refused at the interface and detectable past it.
+Unwritten LBAs read as zeros, like a fresh disk.
+
+Retention is device-wide (embedded scenarios have one governing policy —
+e.g., a flight recorder or a lab instrument's raw-output store), and
+TRIM-style discard is only honoured after retention, through the normal
+Retention Monitor machinery.
+
+This is deliberately the *namespace-free* deployment: no paths, no
+versions — just LBAs, exactly as the paper frames the embedded case.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.client import WormClient
+from repro.core.errors import VerificationError, WormError
+from repro.core.worm import StrongWormStore
+
+__all__ = ["WormBlockDevice", "BlockWriteError"]
+
+_LBA_HEADER = struct.Struct(">8sQ")  # magic + LBA
+_MAGIC = b"WORMBLK1"
+
+
+class BlockWriteError(WormError):
+    """Raised on an attempt to rewrite a committed block."""
+
+
+@dataclass(frozen=True)
+class _BlockEntry:
+    sn: int
+    written_at: float
+
+
+class WormBlockDevice:
+    """A write-once block device over one Strong WORM store."""
+
+    def __init__(self, store: StrongWormStore, block_size: int = 4096,
+                 capacity_blocks: int = 1 << 20,
+                 retention_seconds: Optional[float] = None,
+                 policy: str = "default") -> None:
+        if block_size < 64:
+            raise ValueError("block size must be at least 64 bytes")
+        if capacity_blocks < 1:
+            raise ValueError("capacity must be positive")
+        self._store = store
+        self.block_size = block_size
+        self.capacity_blocks = capacity_blocks
+        self._policy = policy
+        self._retention = retention_seconds
+        self._lba_map: Dict[int, _BlockEntry] = {}
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_blocks * self.block_size
+
+    @property
+    def blocks_written(self) -> int:
+        return len(self._lba_map)
+
+    def _check_lba(self, lba: int) -> None:
+        if not 0 <= lba < self.capacity_blocks:
+            raise WormError(f"LBA {lba} out of range "
+                            f"(capacity {self.capacity_blocks})")
+
+    # -- payload framing ------------------------------------------------------
+
+    def _frame(self, lba: int, data: bytes) -> bytes:
+        """The committed payload: header binding the LBA, then the data.
+
+        Binding the LBA into the signed bytes means a main CPU that serves
+        block A's record for a read of block B produces a payload whose
+        embedded LBA disagrees — caught without any trusted index.
+        """
+        return _LBA_HEADER.pack(_MAGIC, lba) + data
+
+    def _unframe(self, lba: int, payload: bytes) -> bytes:
+        if len(payload) < _LBA_HEADER.size:
+            raise VerificationError("block payload too short for its header")
+        magic, embedded_lba = _LBA_HEADER.unpack_from(payload)
+        if magic != _MAGIC:
+            raise VerificationError("block payload missing WORM framing")
+        if embedded_lba != lba:
+            raise VerificationError(
+                f"block served for LBA {lba} is signed as LBA {embedded_lba} "
+                "(remap detected)")
+        return payload[_LBA_HEADER.size:]
+
+    # -- the block interface ------------------------------------------------------
+
+    def write_block(self, lba: int, data: bytes) -> int:
+        """First-and-only write to *lba*; returns the backing SN.
+
+        Short writes are zero-padded to the block size (like any sector
+        write); long writes are refused.
+        """
+        self._check_lba(lba)
+        if len(data) > self.block_size:
+            raise WormError(f"data exceeds the {self.block_size}-byte block")
+        if lba in self._lba_map:
+            raise BlockWriteError(f"LBA {lba} is write-once and already written")
+        padded = data.ljust(self.block_size, b"\x00")
+        receipt = self._store.write(
+            [self._frame(lba, padded)],
+            policy=self._policy, retention_seconds=self._retention)
+        self._lba_map[lba] = _BlockEntry(sn=receipt.sn,
+                                         written_at=self._store.now)
+        return receipt.sn
+
+    def read_block(self, lba: int) -> bytes:
+        """Read one block; unwritten (or expired) LBAs read as zeros."""
+        self._check_lba(lba)
+        entry = self._lba_map.get(lba)
+        if entry is None:
+            return b"\x00" * self.block_size
+        result = self._store.read(entry.sn)
+        if result.status != "active":
+            return b"\x00" * self.block_size  # expired + discarded
+        return self._unframe(lba, result.records[0])
+
+    def read_block_verified(self, client: WormClient, lba: int) -> bytes:
+        """Read with full client verification of the backing record."""
+        self._check_lba(lba)
+        entry = self._lba_map.get(lba)
+        if entry is None:
+            return b"\x00" * self.block_size
+        verified = client.verify_read(self._store.read(entry.sn), entry.sn)
+        if verified.status != "active":
+            return b"\x00" * self.block_size
+        return self._unframe(lba, verified.data)
+
+    def is_written(self, lba: int) -> bool:
+        self._check_lba(lba)
+        return lba in self._lba_map
+
+    def written_lbas(self) -> Iterator[int]:
+        return iter(sorted(self._lba_map))
+
+    def sn_of(self, lba: int) -> Optional[int]:
+        """The backing serial number of a written LBA (for audits)."""
+        entry = self._lba_map.get(lba)
+        return entry.sn if entry else None
+
+    # -- ranged helpers ----------------------------------------------------------
+
+    def write_range(self, start_lba: int, data: bytes) -> Tuple[int, ...]:
+        """Write *data* across consecutive blocks from *start_lba*."""
+        sns = []
+        for offset in range(0, len(data), self.block_size):
+            chunk = data[offset:offset + self.block_size]
+            sns.append(self.write_block(start_lba + offset // self.block_size,
+                                        chunk))
+        return tuple(sns)
+
+    def read_range(self, start_lba: int, nblocks: int) -> bytes:
+        """Read *nblocks* consecutive blocks."""
+        return b"".join(self.read_block(start_lba + i)
+                        for i in range(nblocks))
+
+    def discard_expired(self) -> int:
+        """TRIM: release LBAs whose backing records have expired.
+
+        Only retention-expired blocks are released (their slots become
+        rewritable); the deletion proofs remain at the record layer.
+        """
+        released = []
+        for lba, entry in list(self._lba_map.items()):
+            if not self._store.vrdt.is_active(entry.sn):
+                released.append(lba)
+                del self._lba_map[lba]
+        return len(released)

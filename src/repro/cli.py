@@ -1,0 +1,414 @@
+"""Command-line interface: a persistent on-disk Strong WORM store.
+
+Turns the library into a usable tool::
+
+    python -m repro.cli init /var/worm
+    python -m repro.cli write /var/worm report.pdf --policy sox
+    python -m repro.cli cat /var/worm 1 > report.pdf
+    python -m repro.cli fs-put /var/worm /ledger/2026.csv ledger.csv
+    python -m repro.cli fs-cat /var/worm /ledger/2026.csv
+    python -m repro.cli status /var/worm
+    python -m repro.cli maintain /var/worm
+    python -m repro.cli audit /var/worm
+
+SIMULATION CAVEAT: the real system's trust anchor is key material sealed
+inside a tamper-responding coprocessor.  This CLI necessarily persists
+the simulated SCPU's state (keys, counters) in ``scpu_state.json`` on
+ordinary disk — fine for evaluation and demos, meaningless against a
+real insider.  Deployments would replace :func:`_load_state`'s key
+handling with an actual card.
+
+Store directory layout::
+
+    <dir>/blocks/            record payloads (DirectoryBlockStore)
+    <dir>/scpu_state.json    simulated card NVRAM (keys, counters)
+    <dir>/ca.json            the demo regulatory CA's root key
+    <dir>/state.json         VRDT snapshot + file-system index
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.core.audit import StoreAuditor
+from repro.core.worm import StrongWormStore
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.keys import CertificateAuthority, SigningKey
+from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey
+from repro.fs import WormFileSystem
+from repro.hardware.scpu import ScpuKeyring, SecureCoprocessor, Strength
+from repro.sim.clock import SystemClock
+from repro.sim.metrics import format_table
+from repro.storage.block_store import DirectoryBlockStore
+from repro.storage.vrdt import VrdTable
+
+__all__ = ["main"]
+
+_YEAR = 365.0 * 24 * 3600
+
+
+# ---------------------------------------------------------------------------
+# persistence
+# ---------------------------------------------------------------------------
+
+def _key_to_dict(key: SigningKey) -> dict:
+    return {"private": key.keypair.private.to_dict(), "role": key.role}
+
+
+def _key_from_dict(data: dict) -> SigningKey:
+    private = RsaPrivateKey.from_dict(data["private"])
+    return SigningKey(keypair=RsaKeyPair(private=private), role=data["role"])
+
+
+def _save_state(root: Path, store: StrongWormStore,
+                fs: WormFileSystem) -> None:
+    keys = store.scpu._keys_or_die()  # simulation-only persistence
+    scpu_state = {
+        "s_key": _key_to_dict(keys.s_key),
+        "d_key": _key_to_dict(keys.d_key),
+        "burst_key": _key_to_dict(keys.burst_key),
+        "hmac_key": keys.hmac._key.hex(),
+        "sn_counter": store.scpu._sn_counter,
+        "sn_base": store.scpu._sn_base,
+        "retired_burst": list(store.scpu._retired_burst_fingerprints),
+    }
+    (root / "scpu_state.json").write_text(json.dumps(scpu_state))
+    state = {"vrdt": store.vrdt.to_dict(), "fs": fs.to_dict()}
+    (root / "state.json").write_text(json.dumps(state))
+
+
+def _load_state(root: Path) -> Tuple[StrongWormStore, WormFileSystem,
+                                     CertificateAuthority]:
+    scpu_state = json.loads((root / "scpu_state.json").read_text())
+    keyring = ScpuKeyring(
+        s_key=_key_from_dict(scpu_state["s_key"]),
+        d_key=_key_from_dict(scpu_state["d_key"]),
+        burst_key=_key_from_dict(scpu_state["burst_key"]),
+        hmac=HmacScheme(key=bytes.fromhex(scpu_state["hmac_key"])),
+    )
+    scpu = SecureCoprocessor(keyring=keyring, clock=SystemClock())
+    scpu._sn_counter = int(scpu_state["sn_counter"])
+    scpu._sn_base = int(scpu_state["sn_base"])
+    scpu._retired_burst_fingerprints = list(scpu_state["retired_burst"])
+
+    store = StrongWormStore(
+        scpu=scpu, block_store=DirectoryBlockStore(root / "blocks"))
+    state = json.loads((root / "state.json").read_text())
+    restored = VrdTable.from_dict(state["vrdt"])
+    store.vrdt.__dict__.update(restored.__dict__)
+    store.windows._vrdt = store.vrdt
+    fs = WormFileSystem.from_dict(store, state["fs"])
+    # Rebuild SCPU-side schedules from the (verified) table.
+    store.retention.night_scan(store.now)
+    _reenqueue_weak(store)
+
+    ca_data = json.loads((root / "ca.json").read_text())
+    ca = CertificateAuthority(root_key=_key_from_dict(ca_data))
+    return store, fs, ca
+
+
+def _reenqueue_weak(store: StrongWormStore) -> None:
+    """Re-discover weak/HMAC constructs that still need strengthening."""
+    from repro.crypto.keys import security_lifetime
+    strong_fp = store.scpu.public_keys()["s"].fingerprint()
+    for sn in store.vrdt.active_sns:
+        vrd = store.vrdt.get_active(sn)
+        if vrd is None:
+            continue
+        signed = vrd.metasig
+        if signed.scheme == "hmac":
+            store.strengthening.enqueue(sn, signed.timestamp, 3600.0)
+        elif signed.key_fingerprint != strong_fp:
+            store.strengthening.enqueue(
+                sn, signed.timestamp, security_lifetime(signed.key_bits))
+
+
+def _open(directory: str):
+    root = Path(directory)
+    if not (root / "scpu_state.json").exists():
+        raise SystemExit(f"{directory} is not an initialized WORM store "
+                         f"(run: repro.cli init {directory})")
+    return root, *_load_state(root)
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+def cmd_init(args) -> int:
+    root = Path(args.directory)
+    if (root / "scpu_state.json").exists():
+        raise SystemExit(f"{args.directory} is already initialized")
+    root.mkdir(parents=True, exist_ok=True)
+    bits = args.strong_bits
+    print(f"generating {bits}-bit SCPU keys (one-time)...")
+    keyring = ScpuKeyring(
+        s_key=SigningKey.generate(bits, "s"),
+        d_key=SigningKey.generate(bits, "d"),
+        burst_key=SigningKey.generate(512, "burst"),
+        hmac=HmacScheme(),
+    )
+    scpu = SecureCoprocessor(keyring=keyring, clock=SystemClock())
+    store = StrongWormStore(
+        scpu=scpu, block_store=DirectoryBlockStore(root / "blocks"))
+    fs = WormFileSystem(store)
+    ca = CertificateAuthority(bits=min(bits, 1024))
+    (root / "ca.json").write_text(json.dumps(_key_to_dict(ca._root)))
+    _save_state(root, store, fs)
+    print(f"initialized WORM store at {root} "
+          f"(s-key fingerprint {keyring.s_key.fingerprint})")
+    return 0
+
+
+def cmd_write(args) -> int:
+    root, store, fs, ca = _open(args.directory)
+    payload = Path(args.file).read_bytes()
+    retention = args.retention_years * _YEAR if args.retention_years else None
+    receipt = store.write([payload], policy=args.policy,
+                          retention_seconds=retention,
+                          strength=args.strength)
+    _save_state(root, store, fs)
+    print(f"SN {receipt.sn}  ({len(payload)} bytes, policy={args.policy}, "
+          f"strength={args.strength}, "
+          f"scpu cost {receipt.costs['scpu'] * 1000:.2f} virtual ms)")
+    return 0
+
+
+def cmd_cat(args) -> int:
+    root, store, fs, ca = _open(args.directory)
+    client = store.make_client(ca)
+    result = store.read(args.sn)
+    verified = client.verify_read(result, args.sn)
+    if verified.status != "active":
+        print(f"SN {args.sn}: {verified.status} "
+              f"(proof: {verified.proof_kind})", file=sys.stderr)
+        return 1
+    sys.stdout.buffer.write(verified.data)
+    sys.stdout.buffer.flush()
+    print(f"\n[verified: weakly_signed={verified.weakly_signed}]",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_fs_put(args) -> int:
+    root, store, fs, ca = _open(args.directory)
+    content = Path(args.file).read_bytes()
+    if args.policy:
+        directory = args.path.rsplit("/", 1)[0] or "/"
+        fs.set_directory_policy(directory, args.policy)
+    entry = (fs.append(args.path, content) if args.append
+             else fs.write(args.path, content))
+    _save_state(root, store, fs)
+    print(f"{entry.path} v{entry.version} -> SN {entry.sn} "
+          f"({entry.size} bytes, policy={entry.policy})")
+    return 0
+
+
+def cmd_fs_cat(args) -> int:
+    root, store, fs, ca = _open(args.directory)
+    client = store.make_client(ca)
+    verified = fs.verified_read(client, args.path, version=args.version)
+    sys.stdout.buffer.write(verified.content)
+    sys.stdout.buffer.flush()
+    print(f"\n[{verified.path} v{verified.version}, SN {verified.sn}, "
+          f"verified]", file=sys.stderr)
+    return 0
+
+
+def cmd_fs_ls(args) -> int:
+    root, store, fs, ca = _open(args.directory)
+    for name in fs.listdir(args.path):
+        print(name)
+    return 0
+
+
+def cmd_fs_history(args) -> int:
+    """Show every committed version of a path (survives unlink)."""
+    root, store, fs, ca = _open(args.directory)
+    versions = fs.versions(args.path)
+    if not versions:
+        print(f"no history for {args.path}", file=sys.stderr)
+        return 1
+    for entry in versions:
+        print(f"v{entry.version}  SN {entry.sn}  {entry.size} bytes  "
+              f"policy={entry.policy}  created_at={entry.created_at:.0f}")
+    if not fs.exists(args.path):
+        print("(currently unlinked — versions remain auditable by number)",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_status(args) -> int:
+    root, store, fs, ca = _open(args.directory)
+    client = store.make_client(ca)
+    overview = StoreAuditor(store, client).compliance_overview()
+    print(f"store:          {root}")
+    print(f"frontier SN:    {store.scpu.current_serial_number}")
+    print(f"SN base:        {store.scpu.sn_base}")
+    for key, value in overview.items():
+        print(f"{key + ':':24s}{value}")
+    return 0
+
+
+def cmd_maintain(args) -> int:
+    root, store, fs, ca = _open(args.directory)
+    summary = store.maintenance()
+    _save_state(root, store, fs)
+    for key, value in summary.items():
+        print(f"{key + ':':22s}{value}")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    root, store, fs, ca = _open(args.directory)
+    client = store.make_client(ca)
+    store.windows.refresh_current(force=True)
+    report = StoreAuditor(store, client).sweep()
+    rows = [[str(f.sn), f.verdict,
+             "weak" if f.weakly_signed else "", f.detail[:60]]
+            for f in report.findings]
+    print(format_table(["SN", "verdict", "sig", "detail"], rows,
+                       title=f"Audit sweep @ {time.ctime(report.audited_at)}"))
+    summary = report.summary()
+    print(f"\n{summary}")
+    if not report.clean:
+        print("TAMPERING DETECTED", file=sys.stderr)
+        return 2
+    print("store is clean")
+    return 0
+
+
+def cmd_attest(args) -> int:
+    """Print (and optionally chain-verify) an SCPU attestation."""
+    root, store, fs, ca = _open(args.directory)
+    attestation = store.scpu.attest()
+    blob = json.dumps(attestation.to_dict())
+    if args.previous:
+        from repro.crypto.envelope import SignedEnvelope
+        from repro.hardware.scpu import SecureCoprocessor
+        previous = SignedEnvelope.from_dict(
+            json.loads(Path(args.previous).read_text()))
+        ok = SecureCoprocessor.verify_attestation(
+            attestation, store.scpu.public_keys()["s"], previous=previous)
+        print(f"chain check vs {args.previous}: "
+              f"{'OK' if ok else 'FAILED (rollback or forgery)'}",
+              file=sys.stderr)
+        if not ok:
+            return 2
+    if args.out:
+        Path(args.out).write_text(blob)
+        print(f"attestation written to {args.out}", file=sys.stderr)
+    env = attestation.envelope
+    print(f"sn_counter={env.fields['sn_counter']} "
+          f"sn_base={env.fields['sn_base']} "
+          f"epoch={env.fields['epoch_id']} "
+          f"t={env.timestamp:.0f}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.core.report import generate_report
+    root, store, fs, ca = _open(args.directory)
+    client = store.make_client(ca)
+    report = generate_report(store, client)
+    print(report.text)
+    if report.verdict == "FAIL":
+        return 2
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Strong WORM compliance store (ICDCS 2008 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="initialize a store directory")
+    p.add_argument("directory")
+    p.add_argument("--strong-bits", type=int, default=1024,
+                   help="modulus size for the durable SCPU keys")
+    p.set_defaults(func=cmd_init)
+
+    p = sub.add_parser("write", help="commit a file as one WORM record")
+    p.add_argument("directory")
+    p.add_argument("file")
+    p.add_argument("--policy", default="default")
+    p.add_argument("--retention-years", type=float, default=None)
+    p.add_argument("--strength", default=Strength.STRONG,
+                   choices=[Strength.STRONG, Strength.WEAK, Strength.HMAC])
+    p.set_defaults(func=cmd_write)
+
+    p = sub.add_parser("cat", help="read + verify a record by SN")
+    p.add_argument("directory")
+    p.add_argument("sn", type=int)
+    p.set_defaults(func=cmd_cat)
+
+    p = sub.add_parser("fs-put", help="write a file into the WORM namespace")
+    p.add_argument("directory")
+    p.add_argument("path", help="absolute WORM-fs path, e.g. /ledger/q3.csv")
+    p.add_argument("file", help="local file to ingest")
+    p.add_argument("--policy", default=None,
+                   help="bind this policy to the parent directory first")
+    p.add_argument("--append", action="store_true")
+    p.set_defaults(func=cmd_fs_put)
+
+    p = sub.add_parser("fs-cat", help="read + verify a WORM-fs file")
+    p.add_argument("directory")
+    p.add_argument("path")
+    p.add_argument("--version", type=int, default=None)
+    p.set_defaults(func=cmd_fs_cat)
+
+    p = sub.add_parser("fs-ls", help="list a WORM-fs directory")
+    p.add_argument("directory")
+    p.add_argument("path", nargs="?", default="/")
+    p.set_defaults(func=cmd_fs_ls)
+
+    p = sub.add_parser("fs-history",
+                       help="full version history of a WORM-fs path")
+    p.add_argument("directory")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_fs_history)
+
+    p = sub.add_parser("status", help="compliance overview")
+    p.add_argument("directory")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("maintain", help="run one idle-period maintenance slice")
+    p.add_argument("directory")
+    p.set_defaults(func=cmd_maintain)
+
+    p = sub.add_parser("audit", help="full verification sweep (exit 2 on tamper)")
+    p.add_argument("directory")
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("report",
+                       help="full compliance report (exit 2 on FAIL)")
+    p.add_argument("directory")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("attest",
+                       help="signed SCPU state snapshot; chain with --previous")
+    p.add_argument("directory")
+    p.add_argument("--out", default=None,
+                   help="write the attestation JSON here for later chaining")
+    p.add_argument("--previous", default=None,
+                   help="verify monotonicity against a saved attestation")
+    p.set_defaults(func=cmd_attest)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

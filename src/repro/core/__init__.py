@@ -1,0 +1,108 @@
+"""The Strong WORM core: store, client, windows, retention, deferral."""
+
+from repro.core.audit import AuditFinding, AuditReport, StoreAuditor
+from repro.core.catalog import RecordCatalog
+from repro.core.client import VerifiedRead, WormClient
+from repro.core.deferred import (
+    HashVerificationQueue,
+    PendingStrengthening,
+    StrengtheningQueue,
+)
+from repro.core.dedup import DedupIndex, DepositOutcome
+from repro.core.encryption import EncryptedRead, EncryptedWormStore
+from repro.core.errors import (
+    CredentialError,
+    FreshnessError,
+    LitigationHoldError,
+    MigrationError,
+    RetentionViolationError,
+    SecureMemoryError,
+    UnknownSerialNumberError,
+    VerificationError,
+    WormError,
+)
+from repro.core.migration import (
+    MigrationPackage,
+    MigrationReport,
+    export_package,
+    import_package,
+)
+from repro.core.policy import (
+    STANDARD_POLICIES,
+    YEAR_SECONDS,
+    PolicyRegistry,
+    RegulationPolicy,
+)
+from repro.core.proofs import (
+    ActiveProof,
+    BaseBoundProof,
+    DeletionProofResponse,
+    DeletionWindowProof,
+    NeverAllocatedProof,
+    ProofKind,
+    ReadResult,
+)
+from repro.core.replication import (
+    DivergenceReport,
+    MirroredWormStore,
+    MirroredWrite,
+)
+from repro.core.report import ComplianceReport, generate_report
+from repro.core.retention import RetentionMonitor, Vexp
+from repro.core.shredding import SHREDDING_ALGORITHMS, ShredResult, Shredder, shred
+from repro.core.windows import WindowManager
+from repro.core.worm import StrongWormStore, WriteReceipt
+
+__all__ = [
+    "AuditFinding",
+    "AuditReport",
+    "StoreAuditor",
+    "RecordCatalog",
+    "DedupIndex",
+    "DepositOutcome",
+    "EncryptedRead",
+    "EncryptedWormStore",
+    "DivergenceReport",
+    "MirroredWormStore",
+    "MirroredWrite",
+    "ComplianceReport",
+    "generate_report",
+    "VerifiedRead",
+    "WormClient",
+    "HashVerificationQueue",
+    "PendingStrengthening",
+    "StrengtheningQueue",
+    "CredentialError",
+    "FreshnessError",
+    "LitigationHoldError",
+    "MigrationError",
+    "RetentionViolationError",
+    "SecureMemoryError",
+    "UnknownSerialNumberError",
+    "VerificationError",
+    "WormError",
+    "MigrationPackage",
+    "MigrationReport",
+    "export_package",
+    "import_package",
+    "STANDARD_POLICIES",
+    "YEAR_SECONDS",
+    "PolicyRegistry",
+    "RegulationPolicy",
+    "ActiveProof",
+    "BaseBoundProof",
+    "DeletionProofResponse",
+    "DeletionWindowProof",
+    "NeverAllocatedProof",
+    "ProofKind",
+    "ReadResult",
+    "RetentionMonitor",
+    "Vexp",
+    "SHREDDING_ALGORITHMS",
+    "ShredResult",
+    "Shredder",
+    "shred",
+    "WindowManager",
+    "StrongWormStore",
+    "WriteReceipt",
+]

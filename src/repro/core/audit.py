@@ -1,0 +1,166 @@
+"""Store auditing: the investigator's full-sweep verification.
+
+The threat model's Bob (§2.1 — "e.g., federal investigators") does not
+read single records; he sweeps the store and demands that *every* serial
+number ever issued is accounted for: active and verifiable, deleted with
+proof, or beyond the signed allocation frontier.  The monotonic
+consecutive SNs (§4.2.1) are what make this sweep complete — there is no
+place for a record to hide between serial numbers.
+
+:class:`StoreAuditor` runs that sweep through a verifying
+:class:`~repro.core.client.WormClient` and produces an
+:class:`AuditReport`:
+
+* per-SN outcomes (verified-active / proven-deleted / never-allocated /
+  **violation**),
+* compliance statistics (records near end-of-retention, active holds,
+  weakly signed records still awaiting strengthening),
+* a pass/fail verdict: a store with any violation has provably been
+  tampered with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.client import WormClient
+from repro.core.errors import (
+    FreshnessError,
+    UnknownSerialNumberError,
+    VerificationError,
+    WormError,
+)
+from repro.core.worm import StrongWormStore
+
+__all__ = ["AuditFinding", "AuditReport", "StoreAuditor"]
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One audited serial number and its verdict."""
+
+    sn: int
+    verdict: str          # "active" | "deleted" | "never-allocated" | "violation"
+    detail: str = ""
+    weakly_signed: bool = False
+
+
+@dataclass
+class AuditReport:
+    """The outcome of one full-store sweep."""
+
+    audited_at: float = 0.0
+    frontier_sn: int = 0
+    findings: List[AuditFinding] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.findings)
+
+    @property
+    def violations(self) -> List[AuditFinding]:
+        return [f for f in self.findings if f.verdict == "violation"]
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for f in self.findings if f.verdict == "active")
+
+    @property
+    def deleted_count(self) -> int:
+        return sum(1 for f in self.findings if f.verdict == "deleted")
+
+    @property
+    def weakly_signed_count(self) -> int:
+        return sum(1 for f in self.findings if f.weakly_signed)
+
+    @property
+    def clean(self) -> bool:
+        """True when every SN verified — no evidence of tampering."""
+        return not self.violations
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "total": self.total,
+            "active": self.active_count,
+            "deleted": self.deleted_count,
+            "violations": len(self.violations),
+            "weakly_signed": self.weakly_signed_count,
+        }
+
+
+class StoreAuditor:
+    """Sweeps a store through a verifying client.
+
+    The auditor only uses the *public* read/verify interface — exactly
+    what an external investigator gets — plus optional store-side
+    statistics for the compliance overview (retention horizons, queue
+    backlogs) that an operator-facing audit would include.
+    """
+
+    def __init__(self, store: StrongWormStore, client: WormClient) -> None:
+        self._store = store
+        self._client = client
+
+    def sweep(self, start_sn: int = 1,
+              end_sn: Optional[int] = None) -> AuditReport:
+        """Audit every SN in [start_sn, end_sn] (frontier by default).
+
+        The sweep also probes one SN *beyond* the frontier to confirm the
+        store proves non-allocation rather than stonewalling.
+        """
+        frontier = self._store.scpu.current_serial_number
+        end = end_sn if end_sn is not None else frontier
+        report = AuditReport(audited_at=self._client.now, frontier_sn=frontier)
+        for sn in list(range(start_sn, end + 1)) + [frontier + 1]:
+            report.findings.append(self._audit_one(sn))
+        return report
+
+    def _audit_one(self, sn: int) -> AuditFinding:
+        try:
+            result = self._store.read(sn)
+        except UnknownSerialNumberError as exc:
+            # The honest store cannot even construct a proof: an insider
+            # destroyed VRDT state without covering their tracks.
+            return AuditFinding(sn=sn, verdict="violation",
+                                detail=f"store cannot answer: {exc}")
+        except WormError as exc:  # pragma: no cover - defensive
+            return AuditFinding(sn=sn, verdict="violation",
+                                detail=f"read failed: {exc}")
+        try:
+            verified = self._client.verify_read(result, sn)
+        except (VerificationError, FreshnessError) as exc:
+            return AuditFinding(sn=sn, verdict="violation",
+                                detail=f"{type(exc).__name__}: {exc}")
+        return AuditFinding(sn=sn, verdict=verified.status,
+                            weakly_signed=verified.weakly_signed)
+
+    def compliance_overview(self, horizon_seconds: float = 30 * 24 * 3600.0
+                            ) -> Dict[str, object]:
+        """Operator-facing stats to accompany the sweep.
+
+        ``horizon_seconds`` controls the "expiring soon" window.
+        """
+        store = self._store
+        now = store.now
+        expiring_soon: List[int] = []
+        held: List[int] = []
+        for sn in store.vrdt.active_sns:
+            vrd = store.vrdt.get_active(sn)
+            if vrd is None:  # pragma: no cover - race with expiry
+                continue
+            if vrd.attr.litigation_hold and now < vrd.attr.litigation_timeout:
+                held.append(sn)
+            elif now <= vrd.attr.expires_at <= now + horizon_seconds:
+                expiring_soon.append(sn)
+        return {
+            "active_records": len(store.vrdt.active_sns),
+            "expiring_within_horizon": expiring_soon,
+            "litigation_holds": held,
+            "strengthening_backlog": len(store.strengthening),
+            "strengthening_overdue": store.strengthening.overdue_count(now),
+            "unverified_host_hashes": len(store.hash_verification),
+            "hash_mismatches_found": list(store.hash_verification.mismatches),
+            "vrdt_bytes": store.vrdt.estimated_bytes(),
+            "vexp_needs_rescan": store.retention.vexp.needs_rescan,
+        }

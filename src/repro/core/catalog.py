@@ -1,0 +1,161 @@
+"""Record catalog: attribute and time-range queries over a store.
+
+The paper scopes indexing out ("we do not discuss name spaces, indexing
+or content addressing here") — but its users need it: an examiner asks
+for "all HIPAA records created in Q3", a compliance officer for
+"everything expiring in the next 90 days", a litigation team for "every
+record under hold".  :class:`RecordCatalog` answers those queries.
+
+Trust posture, as always: the catalog is an *untrusted index*.  Query
+results are SN lists; anything that matters gets verified through the
+normal read path.  The one sharp edge is **completeness** — a poisoned
+index could *omit* records from "find everything matching X", and no
+per-record signature can prove a set is complete.  The catalog therefore
+supports verified rebuilds (:meth:`rebuild_verified`): re-derive the
+index from a full SN sweep in which every entry's metasig is checked, so
+a rebuild-then-query is complete up to Theorem 1.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.client import WormClient
+from repro.core.errors import FreshnessError, VerificationError
+from repro.core.worm import StrongWormStore
+
+__all__ = ["RecordCatalog"]
+
+
+class RecordCatalog:
+    """Secondary indexes over a store's active records."""
+
+    def __init__(self, store: StrongWormStore) -> None:
+        self._store = store
+        self._by_policy: Dict[str, Set[int]] = {}
+        # sorted lists of (time, sn) for range queries
+        self._by_created: List[Tuple[float, int]] = []
+        self._by_expiry: List[Tuple[float, int]] = []
+        self._indexed: Set[int] = set()
+
+    # -- maintenance ----------------------------------------------------------
+
+    def index_record(self, sn: int) -> bool:
+        """Add one active record to the indexes; False if absent/known."""
+        if sn in self._indexed:
+            return False
+        vrd = self._store.vrdt.get_active(sn)
+        if vrd is None:
+            return False
+        self._by_policy.setdefault(vrd.attr.policy, set()).add(sn)
+        bisect.insort(self._by_created, (vrd.attr.created_at, sn))
+        bisect.insort(self._by_expiry, (vrd.attr.expires_at, sn))
+        self._indexed.add(sn)
+        return True
+
+    def index_all(self) -> int:
+        """Index every currently active record; returns how many were new."""
+        added = 0
+        for sn in self._store.vrdt.active_sns:
+            if self.index_record(sn):
+                added += 1
+        return added
+
+    def prune_expired(self) -> int:
+        """Drop entries whose records are no longer active."""
+        dead = {sn for sn in self._indexed
+                if not self._store.vrdt.is_active(sn)}
+        if not dead:
+            return 0
+        for policy_set in self._by_policy.values():
+            policy_set -= dead
+        self._by_created = [(t, sn) for t, sn in self._by_created
+                            if sn not in dead]
+        self._by_expiry = [(t, sn) for t, sn in self._by_expiry
+                           if sn not in dead]
+        self._indexed -= dead
+        return len(dead)
+
+    def rebuild_verified(self, client: WormClient) -> Tuple[int, List[int]]:
+        """Full verified rebuild: sweep SNs 1..frontier, index what proves.
+
+        Returns ``(indexed_count, violations)`` — SNs whose reads failed
+        verification (tampering evidence, forwarded to the auditor).
+        Completeness of subsequent queries then rests on the monotonic
+        SN sweep, not on the old index's honesty.
+        """
+        self._by_policy.clear()
+        self._by_created.clear()
+        self._by_expiry.clear()
+        self._indexed.clear()
+        violations: List[int] = []
+        for sn in range(1, self._store.scpu.current_serial_number + 1):
+            try:
+                verified = client.verify_read(self._store.read(sn), sn)
+            except (VerificationError, FreshnessError) as exc:
+                violations.append(sn)
+                continue
+            except Exception:
+                violations.append(sn)
+                continue
+            if verified.status == "active":
+                self.index_record(sn)
+        return len(self._indexed), violations
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._indexed)
+
+    def by_policy(self, policy: str) -> Tuple[int, ...]:
+        """All indexed SNs governed by *policy*."""
+        return tuple(sorted(self._by_policy.get(policy, ())))
+
+    def created_between(self, start: float, end: float) -> Tuple[int, ...]:
+        """SNs created in ``[start, end)``."""
+        lo = bisect.bisect_left(self._by_created, (start, -1))
+        hi = bisect.bisect_left(self._by_created, (end, -1))
+        return tuple(sorted(sn for _, sn in self._by_created[lo:hi]))
+
+    def expiring_between(self, start: float, end: float) -> Tuple[int, ...]:
+        """SNs whose retention lapses in ``[start, end)``."""
+        lo = bisect.bisect_left(self._by_expiry, (start, -1))
+        hi = bisect.bisect_left(self._by_expiry, (end, -1))
+        return tuple(sorted(sn for _, sn in self._by_expiry[lo:hi]))
+
+    def under_litigation_hold(self) -> Tuple[int, ...]:
+        """Indexed SNs currently held (reads live attr — holds change)."""
+        held = []
+        now = self._store.now
+        for sn in self._indexed:
+            vrd = self._store.vrdt.get_active(sn)
+            if (vrd is not None and vrd.attr.litigation_hold
+                    and now < vrd.attr.litigation_timeout):
+                held.append(sn)
+        return tuple(sorted(held))
+
+    def query(self, policy: Optional[str] = None,
+              created_after: Optional[float] = None,
+              created_before: Optional[float] = None,
+              expiring_before: Optional[float] = None) -> Tuple[int, ...]:
+        """Conjunctive query across the indexes."""
+        candidates: Optional[Set[int]] = None
+
+        def intersect(sns) -> None:
+            nonlocal candidates
+            sns = set(sns)
+            candidates = sns if candidates is None else candidates & sns
+
+        if policy is not None:
+            intersect(self._by_policy.get(policy, ()))
+        if created_after is not None or created_before is not None:
+            intersect(self.created_between(
+                created_after if created_after is not None else 0.0,
+                created_before if created_before is not None else float("inf")))
+        if expiring_before is not None:
+            intersect(self.expiring_between(0.0, expiring_before))
+        if candidates is None:
+            candidates = set(self._indexed)
+        return tuple(sorted(candidates))

@@ -1,0 +1,235 @@
+"""Client-side verification — the checking that makes WORM *strong*.
+
+Clients "only need to trust the SCPU" (§4.1): every answer the untrusted
+main CPU gives is accompanied by SCPU-signed constructs, and this module
+is the verifier a client runs over them.  A read of SN ``v`` is believed
+only if one of the five proof cases checks out (see
+:mod:`repro.core.proofs`); anything else raises
+:class:`~repro.core.errors.VerificationError` — the detection events of
+Theorems 1 and 2.
+
+Trust bootstrap: the client holds the regulatory CA's public key and
+receives certificates for the SCPU's ``s``, ``d`` and burst keys from the
+main CPU (§4.2.1); it verifies each certificate once, then accepts
+envelopes under the certified keys for their certified roles.
+
+Freshness: the client "will not accept values older than a few minutes"
+for ``S_s(SN_current)`` (§4.2.1, mechanism (ii)) — a stale upper bound is
+exactly how an insider hides recently written records.  Short-lived burst
+signatures are accepted only inside their §4.3 security lifetime; a
+record still weakly signed after its construct's lifetime has lapsed is a
+system in violation and is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.errors import FreshnessError, VerificationError
+from repro.core.proofs import (
+    ActiveProof,
+    BaseBoundProof,
+    DeletionProofResponse,
+    DeletionWindowProof,
+    NeverAllocatedProof,
+    ProofKind,
+    ReadResult,
+)
+from repro.crypto.envelope import Purpose, SignedEnvelope
+from repro.crypto.hashing import ChainedHasher
+from repro.crypto.keys import Certificate, CertificateAuthority, security_lifetime
+from repro.crypto.rsa import RsaPublicKey
+from repro.storage.vrd import VirtualRecordDescriptor
+
+__all__ = ["WormClient", "VerifiedRead"]
+
+#: Tolerated forward clock skew between client and SCPU (seconds).
+_CLOCK_SKEW = 60.0
+
+
+@dataclass(frozen=True)
+class VerifiedRead:
+    """The outcome of a fully verified read."""
+
+    sn: int
+    status: str                 # "active" | "deleted" | "never-allocated"
+    proof_kind: str
+    data: bytes = b""
+    weakly_signed: bool = False  # True when accepted under a burst key
+
+
+class WormClient:
+    """A verifying WORM client with its own (roughly synchronized) clock."""
+
+    def __init__(self, ca_public_key: RsaPublicKey,
+                 certificates: Iterable[Certificate],
+                 clock, freshness_window: float = 300.0,
+                 accept_unverifiable: bool = False) -> None:
+        self._ca_key = ca_public_key
+        self._clock = clock
+        self.freshness_window = freshness_window
+        self.accept_unverifiable = accept_unverifiable
+        # fingerprint -> (public key, role)
+        self._trusted: Dict[str, Tuple[RsaPublicKey, str]] = {}
+        for cert in certificates:
+            self.add_certificate(cert)
+
+    # -- trust management -----------------------------------------------------
+
+    def add_certificate(self, cert: Certificate) -> None:
+        """Admit a CA-certified SCPU key (e.g., a rotated burst key)."""
+        if not CertificateAuthority.verify_certificate(cert, self._ca_key):
+            raise VerificationError(
+                f"certificate for role {cert.role!r} fails CA verification")
+        self._trusted[cert.fingerprint] = (cert.public_key, cert.role)
+
+    @property
+    def now(self) -> float:
+        return self._clock.now
+
+    # -- envelope primitives -----------------------------------------------------
+
+    def _check_envelope(self, signed: SignedEnvelope, purpose: str,
+                        roles: Tuple[str, ...]) -> None:
+        """Verify signature, purpose, signer role, and burst-key lifetime."""
+        if signed.scheme == "hmac":
+            if self.accept_unverifiable:
+                return
+            raise VerificationError(
+                "construct is HMAC-witnessed and not yet client-verifiable")
+        if signed.envelope.purpose != purpose:
+            raise VerificationError(
+                f"envelope purpose {signed.envelope.purpose!r} != expected {purpose!r}")
+        trusted = self._trusted.get(signed.key_fingerprint)
+        if trusted is None:
+            raise VerificationError("envelope signed by an unknown key")
+        public_key, role = trusted
+        if role not in roles:
+            raise VerificationError(
+                f"envelope signed by role {role!r}; expected one of {roles}")
+        if not public_key.verify(signed.envelope.canonical_bytes(),
+                                 signed.signature, hash_name=signed.hash_name):
+            raise VerificationError(f"signature check failed for {purpose}")
+        if role == "burst":
+            lifetime = security_lifetime(public_key.bits)
+            if self.now > signed.timestamp + lifetime:
+                raise FreshnessError(
+                    "short-lived signature outlived its security lifetime "
+                    "without being strengthened")
+
+    def _check_fresh(self, signed: SignedEnvelope) -> None:
+        """Enforce the freshness window on a timestamped construct."""
+        age = self.now - signed.timestamp
+        if age > self.freshness_window:
+            raise FreshnessError(
+                f"construct is {age:.0f}s old; freshness window is "
+                f"{self.freshness_window:.0f}s")
+        if signed.timestamp > self.now + _CLOCK_SKEW:
+            raise FreshnessError("construct timestamp is in the future")
+
+    def _sn_current_value(self, signed: SignedEnvelope) -> int:
+        """Validate and extract a fresh S_s(SN_current)."""
+        self._check_envelope(signed, Purpose.SN_CURRENT, roles=("s",))
+        self._check_fresh(signed)
+        return int(signed.field("sn_current"))
+
+    # -- VRD verification -----------------------------------------------------------
+
+    def verify_vrd(self, vrd: VirtualRecordDescriptor,
+                   records: Tuple[bytes, ...]) -> bool:
+        """Check metasig and datasig of an active VRD against actual data.
+
+        Returns True when both signatures hold over (SN, attr) and
+        (SN, Hash(data)); raises on any mismatch.
+        """
+        self._check_envelope(vrd.metasig, Purpose.METASIG, roles=("s", "burst"))
+        if vrd.metasig.field("sn") != vrd.sn:
+            raise VerificationError("metasig signs a different SN")
+        if vrd.metasig.field("attr") != vrd.attr.canonical_bytes():
+            raise VerificationError("metasig does not match the VRD attributes")
+
+        self._check_envelope(vrd.datasig, Purpose.DATASIG, roles=("s", "burst"))
+        if vrd.datasig.field("sn") != vrd.sn:
+            raise VerificationError("datasig signs a different SN")
+        if len(records) != len(vrd.rdl):
+            raise VerificationError("record count does not match the RDL")
+        hasher = ChainedHasher()
+        for payload in records:
+            hasher.update(payload)
+        if vrd.datasig.field("data_hash") != hasher.digest():
+            raise VerificationError("record data does not match datasig")
+        return True
+
+    # -- the read-proof case analysis ---------------------------------------------------
+
+    def verify_read(self, result: ReadResult, requested_sn: int) -> VerifiedRead:
+        """Verify a store response end-to-end; raises on any tampering.
+
+        This is the exhaustive case analysis of §4.2.2: every status the
+        store may claim must be backed by the matching proof, and the
+        claims are cross-checked against the requested SN.
+        """
+        if result.sn != requested_sn:
+            raise VerificationError("store answered for a different SN")
+        proof = result.proof
+
+        if isinstance(proof, ActiveProof):
+            if result.status != "active" or result.vrd is None:
+                raise VerificationError("active proof without an active record")
+            # The companion S_s(SN_current) is validated for authenticity
+            # but not freshness here: for a *successful* read, metasig and
+            # datasig alone prove authenticity, and the signed bound may
+            # legitimately lag a very recent write by up to one refresh
+            # interval.  Freshness only matters when the store *denies*
+            # existence (the never-allocated case below).
+            self._check_envelope(proof.sn_current, Purpose.SN_CURRENT, roles=("s",))
+            self.verify_vrd(result.vrd, result.records)
+            weak = (result.vrd.metasig.scheme == "hmac"
+                    or self._trusted.get(result.vrd.metasig.key_fingerprint,
+                                         (None, ""))[1] == "burst")
+            return VerifiedRead(sn=requested_sn, status="active",
+                                proof_kind=ProofKind.ACTIVE,
+                                data=result.data, weakly_signed=weak)
+
+        if isinstance(proof, DeletionProofResponse):
+            self._check_envelope(proof.proof, Purpose.DELETION_PROOF, roles=("d",))
+            if proof.proof.field("sn") != requested_sn:
+                raise VerificationError("deletion proof names a different SN")
+            return VerifiedRead(sn=requested_sn, status="deleted",
+                                proof_kind=ProofKind.DELETION_PROOF)
+
+        if isinstance(proof, BaseBoundProof):
+            self._check_envelope(proof.sn_base, Purpose.SN_BASE, roles=("s",))
+            expires_at = int(proof.sn_base.field("expires_at_us")) / 1e6
+            if self.now >= expires_at:
+                raise FreshnessError("S_s(SN_base) has expired; demand a fresh one")
+            if requested_sn >= int(proof.sn_base.field("sn_base")):
+                raise VerificationError(
+                    "SN is not below the signed base; proof does not apply")
+            return VerifiedRead(sn=requested_sn, status="deleted",
+                                proof_kind=ProofKind.BELOW_BASE)
+
+        if isinstance(proof, DeletionWindowProof):
+            self._check_envelope(proof.lower, Purpose.WINDOW_LOWER, roles=("s",))
+            self._check_envelope(proof.upper, Purpose.WINDOW_UPPER, roles=("s",))
+            if proof.lower.field("window_id") != proof.upper.field("window_id"):
+                raise VerificationError(
+                    "window bounds are not correlated (spliced windows)")
+            low = int(proof.lower.field("sn"))
+            high = int(proof.upper.field("sn"))
+            if not low <= requested_sn <= high:
+                raise VerificationError("SN is outside the claimed deletion window")
+            return VerifiedRead(sn=requested_sn, status="deleted",
+                                proof_kind=ProofKind.DELETION_WINDOW)
+
+        if isinstance(proof, NeverAllocatedProof):
+            sn_current = self._sn_current_value(proof.sn_current)
+            if requested_sn <= sn_current:
+                raise VerificationError(
+                    "store claims never-allocated for an SN inside the window "
+                    "(record hiding)")
+            return VerifiedRead(sn=requested_sn, status="never-allocated",
+                                proof_kind=ProofKind.NEVER_ALLOCATED)
+
+        raise VerificationError(f"unrecognized proof object: {proof!r}")

@@ -1,0 +1,120 @@
+"""Content-addressed deduplication for shared records (§4.2).
+
+The paper motivates VR overlap with "repeatedly stored objects (such as
+popular email attachments) to potentially be stored only once".  The WORM
+layer itself deliberately ignores indexing ("we do not discuss name
+spaces, indexing or content addressing"), so this module supplies the
+piece a deployment layers on top: a content-addressed index that turns
+"store these bytes" into either a fresh record or a
+:class:`~repro.storage.record.RecordDescriptor` reference to an
+already-stored identical payload.
+
+Safety considerations baked in:
+
+* the index is untrusted state — a wrong entry cannot corrupt anything,
+  because the *store* re-reads the referenced bytes and the SCPU's
+  datasig covers what was actually hashed; a poisoned index entry yields
+  a record whose content is wrong-but-signed-as-what-it-is, caught the
+  moment the depositor verifies their own write (:meth:`deposit`'s
+  ``verify`` flag does this automatically);
+* reference counting tracks how many *active* VRs share each payload, so
+  the expiry path knows when the last referent is gone (the store already
+  refuses to shred still-referenced records; the index keeps lookups from
+  resurrecting expired payloads).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.core.worm import StrongWormStore, WriteReceipt
+from repro.storage.record import RecordDescriptor
+
+__all__ = ["DedupIndex", "DepositOutcome"]
+
+
+@dataclass(frozen=True)
+class DepositOutcome:
+    """Result of one deduplicating deposit."""
+
+    receipt: WriteReceipt
+    new_payload_bytes: int
+    shared_payload_bytes: int
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.shared_payload_bytes
+
+
+class DedupIndex:
+    """Content-addressed index over one store's committed records."""
+
+    def __init__(self, store: StrongWormStore) -> None:
+        self._store = store
+        # content digest -> RecordDescriptor of the canonical copy
+        self._by_digest: Dict[bytes, RecordDescriptor] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _digest(payload: bytes) -> bytes:
+        return hashlib.sha256(payload).digest()
+
+    def _lookup(self, payload: bytes) -> Optional[RecordDescriptor]:
+        """Find a live, byte-identical committed copy of *payload*.
+
+        The candidate's bytes are re-read and compared — the index is a
+        hint, never an authority (hash collisions and poisoned entries
+        both fail the comparison).
+        """
+        rd = self._by_digest.get(self._digest(payload))
+        if rd is None:
+            return None
+        if rd.key not in self._store.blocks:
+            del self._by_digest[self._digest(payload)]
+            return None
+        if self._store.blocks.get(rd.key) != payload:
+            return None  # poisoned or collided entry: ignore it
+        return rd
+
+    def deposit(self, payloads: Sequence[bytes],
+                **write_kwargs) -> DepositOutcome:
+        """Commit a VR whose duplicate payloads are shared, not copied."""
+        plan: list = []
+        new_bytes = 0
+        shared_bytes = 0
+        pending: list = []  # (payload, position) for index update
+        for payload in payloads:
+            existing = self._lookup(payload)
+            if existing is not None:
+                self.hits += 1
+                shared_bytes += len(payload)
+                plan.append(existing)
+            else:
+                self.misses += 1
+                new_bytes += len(payload)
+                plan.append(payload)
+                pending.append((payload, len(plan) - 1))
+        receipt = self._store.write(plan, **write_kwargs)
+        for payload, position in pending:
+            self._by_digest[self._digest(payload)] = receipt.vrd.rdl[position]
+        return DepositOutcome(receipt=receipt, new_payload_bytes=new_bytes,
+                              shared_payload_bytes=shared_bytes)
+
+    def forget_expired(self) -> int:
+        """Drop index entries whose payloads have been shredded."""
+        stale = [digest for digest, rd in self._by_digest.items()
+                 if rd.key not in self._store.blocks]
+        for digest in stale:
+            del self._by_digest[digest]
+        return len(stale)
+
+    @property
+    def unique_payloads(self) -> int:
+        return len(self._by_digest)
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "unique_payloads": self.unique_payloads}

@@ -1,0 +1,55 @@
+"""Exception hierarchy of the WORM layer."""
+
+from __future__ import annotations
+
+__all__ = [
+    "WormError",
+    "RetentionViolationError",
+    "LitigationHoldError",
+    "UnknownSerialNumberError",
+    "VerificationError",
+    "FreshnessError",
+    "CredentialError",
+    "MigrationError",
+    "SecureMemoryError",
+]
+
+
+class WormError(Exception):
+    """Base class for all WORM-layer errors."""
+
+
+class RetentionViolationError(WormError):
+    """An operation would delete or alter a record inside its retention period."""
+
+
+class LitigationHoldError(WormError):
+    """A record under litigation hold cannot be deleted or released improperly."""
+
+
+class UnknownSerialNumberError(WormError):
+    """The serial number does not correspond to any response the store can prove."""
+
+
+class VerificationError(WormError):
+    """A client-side proof check failed — evidence of tampering."""
+
+
+class FreshnessError(VerificationError):
+    """A presented construct is older than the client's freshness window.
+
+    Raised when the main CPU offers a stale ``S_s(SN_current)`` (the
+    record-hiding attack of §4.2.1) or an expired ``S_s(SN_base)``.
+    """
+
+
+class CredentialError(WormError):
+    """A litigation credential failed SCPU-side verification."""
+
+
+class MigrationError(WormError):
+    """Compliant migration failed verification at the destination."""
+
+
+class SecureMemoryError(WormError):
+    """An SCPU-resident structure exceeded the secure memory budget."""

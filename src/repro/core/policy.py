@@ -1,0 +1,151 @@
+"""Regulation policies: retention rules per compliance regime (§1).
+
+The paper motivates WORM storage with the regulatory landscape — SEC 17a-4
+for broker-dealers, HIPAA for health records, Sarbanes-Oxley, FERPA, DOD
+5015.2, FDA 21 CFR Part 11, Gramm-Leach-Bliley.  A :class:`RegulationPolicy`
+captures what the WORM layer needs from each: the mandated retention
+period, whether secure deletion at end-of-life is required or merely
+allowed, the shredding algorithm to use, and whether litigation holds
+apply.  :data:`STANDARD_POLICIES` provides ready-made profiles for the
+regulations the paper cites, with their commonly mandated retention
+periods.
+
+Retention periods here are defaults; a write may lengthen (never shorten)
+the period for an individual record — regulation sets a floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional
+
+from repro.core.errors import RetentionViolationError
+
+__all__ = ["RegulationPolicy", "PolicyRegistry", "STANDARD_POLICIES", "YEAR_SECONDS"]
+
+#: One (non-leap) year in seconds — the unit regulations speak in.
+YEAR_SECONDS = 365.0 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class RegulationPolicy:
+    """One compliance regime's record-level requirements."""
+
+    name: str
+    citation: str
+    retention_seconds: float
+    secure_deletion_required: bool = False
+    shredding_algorithm: str = "zero-fill"
+    litigation_holds: bool = True
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.retention_seconds < 0:
+            raise ValueError("retention period cannot be negative")
+
+    def effective_retention(self, requested_seconds: Optional[float]) -> float:
+        """Resolve a caller-requested retention against the policy floor.
+
+        ``None`` means "use the policy default"; an explicit request below
+        the mandated period is a compliance violation and is refused.
+        """
+        if requested_seconds is None:
+            return self.retention_seconds
+        if requested_seconds < self.retention_seconds:
+            raise RetentionViolationError(
+                f"policy {self.name} mandates at least "
+                f"{self.retention_seconds / YEAR_SECONDS:.1f}y retention; "
+                f"got {requested_seconds / YEAR_SECONDS:.1f}y"
+            )
+        return requested_seconds
+
+
+#: Profiles for the regulations cited in the paper's introduction.  The
+#: retention periods are the commonly mandated figures for each regime.
+STANDARD_POLICIES: Mapping[str, RegulationPolicy] = {
+    policy.name: policy
+    for policy in (
+        RegulationPolicy(
+            name="sec17a-4",
+            citation="SEC Rule 17a-4, 17 CFR 240",
+            retention_seconds=6 * YEAR_SECONDS,
+            secure_deletion_required=False,
+            description="Broker-dealer records: 6 years, first 2 easily accessible.",
+        ),
+        RegulationPolicy(
+            name="hipaa",
+            citation="HIPAA, 45 CFR 164.530(j)",
+            retention_seconds=6 * YEAR_SECONDS,
+            secure_deletion_required=True,
+            shredding_algorithm="dod-5220-3pass",
+            description="Health-care documentation: 6 years; PHI must be destroyed.",
+        ),
+        RegulationPolicy(
+            name="sox",
+            citation="Sarbanes-Oxley Act §802",
+            retention_seconds=7 * YEAR_SECONDS,
+            description="Audit work papers: 7 years.",
+        ),
+        RegulationPolicy(
+            name="ferpa",
+            citation="FERPA, 20 U.S.C. 1232g",
+            retention_seconds=20 * YEAR_SECONDS,
+            description="Educational records: retention horizons over 20 years.",
+        ),
+        RegulationPolicy(
+            name="dod5015",
+            citation="DOD Directive 5015.2",
+            retention_seconds=25 * YEAR_SECONDS,
+            secure_deletion_required=True,
+            shredding_algorithm="random-7pass",
+            description="DOD records management; intelligence-grade retention.",
+        ),
+        RegulationPolicy(
+            name="fda-cfr11",
+            citation="FDA 21 CFR Part 11",
+            retention_seconds=10 * YEAR_SECONDS,
+            description="Electronic records/signatures for life sciences.",
+        ),
+        RegulationPolicy(
+            name="glba",
+            citation="Gramm-Leach-Bliley Act",
+            retention_seconds=5 * YEAR_SECONDS,
+            secure_deletion_required=True,
+            description="Financial-institution customer records.",
+        ),
+        RegulationPolicy(
+            name="default",
+            citation="(none)",
+            retention_seconds=0.0,
+            description="Unregulated data: caller chooses any retention.",
+        ),
+    )
+}
+
+
+class PolicyRegistry:
+    """Mutable registry of regulation policies known to one store."""
+
+    def __init__(self, policies: Optional[Mapping[str, RegulationPolicy]] = None) -> None:
+        self._policies: Dict[str, RegulationPolicy] = dict(
+            policies if policies is not None else STANDARD_POLICIES)
+
+    def get(self, name: str) -> RegulationPolicy:
+        """Look up a policy by name; raises KeyError for unknown names."""
+        try:
+            return self._policies[name]
+        except KeyError:
+            raise KeyError(f"unknown regulation policy: {name!r}") from None
+
+    def register(self, policy: RegulationPolicy) -> None:
+        """Add or replace a policy (site-specific regimes)."""
+        self._policies[policy.name] = policy
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._policies
+
+    def __iter__(self) -> Iterator[RegulationPolicy]:
+        return iter(self._policies.values())
+
+    def names(self) -> tuple:
+        return tuple(sorted(self._policies))

@@ -1,0 +1,108 @@
+"""Proof objects the store presents to reading clients (§4.2.2 Read).
+
+A read of serial number ``v`` yields exactly one of:
+
+* **active** — the VRD plus record data, checkable against metasig/datasig,
+  together with the fresh ``S_s(SN_current)`` (so the client knows the SN
+  range that must be accounted for);
+* **deleted, individually proven** — the deletion proof ``S_d(v.SN)``;
+* **deleted, below the base** — ``S_s(SN_base)`` with ``v.SN < SN_base``;
+* **deleted, inside a compacted window** — the correlated signed
+  lower/upper bounds of a deletion window containing ``v.SN``;
+* **never allocated** — ``v.SN > SN_current`` under the fresh signed
+  ``S_s(SN_current)``.
+
+Clients must treat any response that fits none of these as tampering
+(Theorems 1 and 2 rest on this case analysis being exhaustive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.envelope import SignedEnvelope
+from repro.storage.vrd import VirtualRecordDescriptor
+
+__all__ = [
+    "ProofKind",
+    "ActiveProof",
+    "DeletionProofResponse",
+    "BaseBoundProof",
+    "DeletionWindowProof",
+    "NeverAllocatedProof",
+    "ReadResult",
+]
+
+
+class ProofKind:
+    """Discriminators for the read-proof case analysis."""
+
+    ACTIVE = "active"
+    DELETION_PROOF = "deletion-proof"
+    BELOW_BASE = "below-base"
+    DELETION_WINDOW = "deletion-window"
+    NEVER_ALLOCATED = "never-allocated"
+
+
+@dataclass(frozen=True)
+class ActiveProof:
+    """Companion proof for a successful read: the fresh upper window bound."""
+
+    kind = ProofKind.ACTIVE
+    sn_current: SignedEnvelope
+
+
+@dataclass(frozen=True)
+class DeletionProofResponse:
+    """``S_d(SN)``: the record existed and was rightfully deleted."""
+
+    kind = ProofKind.DELETION_PROOF
+    proof: SignedEnvelope
+
+
+@dataclass(frozen=True)
+class BaseBoundProof:
+    """``S_s(SN_base)`` with the target SN below it: rightfully deleted."""
+
+    kind = ProofKind.BELOW_BASE
+    sn_base: SignedEnvelope
+
+
+@dataclass(frozen=True)
+class DeletionWindowProof:
+    """Correlated window bounds covering the target SN (§4.2.1 multi-window)."""
+
+    kind = ProofKind.DELETION_WINDOW
+    lower: SignedEnvelope
+    upper: SignedEnvelope
+
+
+@dataclass(frozen=True)
+class NeverAllocatedProof:
+    """Fresh ``S_s(SN_current)`` with the target SN above it: never stored."""
+
+    kind = ProofKind.NEVER_ALLOCATED
+    sn_current: SignedEnvelope
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """What the (untrusted) store returns for a read of one SN.
+
+    ``status`` is ``"active"``, ``"deleted"`` or ``"never-allocated"``.
+    For active reads, ``vrd`` and ``records`` (one payload per RD in the
+    RDL) are set; in every case ``proof`` carries the construct(s) the
+    client must verify before believing the status.
+    """
+
+    sn: int
+    status: str
+    proof: object
+    vrd: Optional[VirtualRecordDescriptor] = None
+    records: Tuple[bytes, ...] = ()
+
+    @property
+    def data(self) -> bytes:
+        """Concatenated record payloads (convenience for single-record VRs)."""
+        return b"".join(self.records)

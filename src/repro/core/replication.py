@@ -1,0 +1,182 @@
+"""Replicated WORM: availability against outright destruction.
+
+WORM detection makes tampering *evident* but cannot stop Mallory simply
+destroying a store (§3 notes enterprise reality: "the associated magnetic
+media MTBFs will lead to several failed disks per day").  The standard
+answer is replication — and it composes cleanly with the Strong WORM
+design because every replica carries its own SCPU and its own complete
+proof system:
+
+* a **write** commits to every replica (each SCPU witnesses
+  independently; per-replica SNs differ, so a logical *record id* maps to
+  the tuple of replica SNs);
+* a **read** is served by the first replica whose proof verifies — one
+  honest surviving replica suffices for both availability *and*
+  integrity, since verification never trusts the serving host;
+* a **divergence audit** cross-checks replicas byte-for-byte: verified
+  replicas disagreeing on content is impossible without a signature
+  break, so any divergence localizes which replicas are tampered/failed.
+
+There is no consensus protocol here on purpose: WORM writes are
+idempotent appends of immutable data, so "write to all, read from any
+verifiable" is sufficient, and partial write failures are surfaced to
+the writer for retry rather than papered over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.client import WormClient
+from repro.core.errors import FreshnessError, VerificationError, WormError
+from repro.core.worm import StrongWormStore, WriteReceipt
+from repro.hardware.tamper import TamperedError
+
+__all__ = ["MirroredWormStore", "MirroredWrite", "DivergenceReport"]
+
+
+@dataclass(frozen=True)
+class MirroredWrite:
+    """One logical record: its id and the per-replica receipts."""
+
+    record_id: int
+    receipts: Tuple[WriteReceipt, ...]
+
+    @property
+    def replica_sns(self) -> Tuple[int, ...]:
+        return tuple(r.sn for r in self.receipts)
+
+
+@dataclass
+class DivergenceReport:
+    """Outcome of a cross-replica audit."""
+
+    checked: int = 0
+    divergent: List[Tuple[int, str]] = field(default_factory=list)
+    unavailable: List[Tuple[int, int]] = field(default_factory=list)  # (record, replica)
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergent
+
+
+class MirroredWormStore:
+    """N-way mirrored Strong WORM stores with verify-on-read fail-over."""
+
+    def __init__(self, stores: Sequence[StrongWormStore],
+                 clients: Sequence[WormClient]) -> None:
+        if len(stores) < 2:
+            raise ValueError("mirroring needs at least two replicas")
+        if len(stores) != len(clients):
+            raise ValueError("one verifying client per replica is required")
+        self._stores = list(stores)
+        self._clients = list(clients)
+        self._records: Dict[int, Tuple[int, ...]] = {}  # id -> per-replica SNs
+        self._next_id = 0
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._stores)
+
+    @property
+    def record_count(self) -> int:
+        return len(self._records)
+
+    # -- writes -----------------------------------------------------------
+
+    def write(self, records: Sequence[bytes], **write_kwargs) -> MirroredWrite:
+        """Commit to every replica; raises if *any* replica write fails.
+
+        A failed replica leaves the successfully written copies in place
+        (they are immutable records; re-running the write after repair
+        simply creates a fresh logical id) — the error tells the caller
+        durability is degraded *now*, which beats finding out later.
+        """
+        receipts: List[WriteReceipt] = []
+        failures: List[str] = []
+        for index, store in enumerate(self._stores):
+            try:
+                receipts.append(store.write(records, **write_kwargs))
+            except Exception as exc:  # pragma: no cover - store bugs
+                failures.append(f"replica {index}: {exc}")
+        if failures:
+            raise WormError("replicated write degraded: " + "; ".join(failures))
+        self._next_id += 1
+        record_id = self._next_id
+        self._records[record_id] = tuple(r.sn for r in receipts)
+        return MirroredWrite(record_id=record_id, receipts=tuple(receipts))
+
+    # -- reads ------------------------------------------------------------------
+
+    def read_verified(self, record_id: int) -> bytes:
+        """Serve from the first replica whose proof verifies.
+
+        Tampered or dead replicas are skipped; only if *every* replica
+        fails does the read fail — with all the per-replica reasons.
+        """
+        sns = self._records.get(record_id)
+        if sns is None:
+            raise WormError(f"unknown record id {record_id}")
+        reasons: List[str] = []
+        for index, (store, client, sn) in enumerate(
+                zip(self._stores, self._clients, sns)):
+            try:
+                verified = client.verify_read(store.read(sn), sn)
+            except (VerificationError, FreshnessError, WormError,
+                    TamperedError) as exc:
+                reasons.append(f"replica {index}: {type(exc).__name__}: {exc}")
+                continue
+            if verified.status != "active":
+                reasons.append(f"replica {index}: status {verified.status}")
+                continue
+            return verified.data
+        raise WormError(
+            f"record {record_id} unavailable on all replicas: "
+            + " | ".join(reasons))
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def maintenance(self) -> List[Dict[str, int]]:
+        """Run maintenance on every replica."""
+        return [store.maintenance() for store in self._stores]
+
+    def advance_clocks(self, seconds: float) -> None:
+        """Advance every replica's (manual) clock in lock-step."""
+        for store in self._stores:
+            store.scpu.clock.advance(seconds)
+
+    # -- divergence auditing --------------------------------------------------------
+
+    def audit_divergence(self) -> DivergenceReport:
+        """Cross-check every logical record across the replicas.
+
+        Content is compared only between replicas whose proofs verify;
+        any byte disagreement between *verified* replicas would require a
+        signature forgery, so in practice divergence pinpoints replicas
+        whose verification already failed (tampered) or that lost data.
+        """
+        report = DivergenceReport()
+        for record_id, sns in sorted(self._records.items()):
+            report.checked += 1
+            contents: Dict[int, bytes] = {}
+            statuses: Dict[int, str] = {}
+            for index, (store, client, sn) in enumerate(
+                    zip(self._stores, self._clients, sns)):
+                try:
+                    verified = client.verify_read(store.read(sn), sn)
+                except (VerificationError, FreshnessError, WormError,
+                        TamperedError) as exc:
+                    report.unavailable.append((record_id, index))
+                    statuses[index] = f"unverifiable: {type(exc).__name__}"
+                    continue
+                statuses[index] = verified.status
+                if verified.status == "active":
+                    contents[index] = verified.data
+            distinct = set(contents.values())
+            if len(distinct) > 1:
+                report.divergent.append(
+                    (record_id, f"verified replicas disagree: {statuses}"))
+            elif not contents and any(s == "active" for s in statuses.values()):
+                report.divergent.append((record_id, f"inconsistent: {statuses}"))
+        return report

@@ -1,0 +1,201 @@
+"""Record expiration: the VEXP list and the Retention Monitor (§4.2.2).
+
+The Retention Monitor (RM) is "a specialized daemon running inside the
+SCPU".  To avoid linear VRDT scans at every deletion decision, the SCPU
+keeps **VEXP** — a list of (expiration time, SN) pairs sorted by
+expiration — in its scarce secure memory, "subject to secure storage
+space".  The RM sleeps until the next expiration, wakes, deletes the due
+record (shredding + deletion proof), re-arms, and goes back to sleep; a
+write with an earlier expiration resets the alarm.
+
+Secure-memory pressure: when VEXP is full, inserting an entry that expires
+*earlier* than the current latest entry evicts that latest entry (the near
+future must stay precise; the far future can be recovered later), and the
+monitor marks itself as needing a **night scan** — the "updated during
+light load periods (e.g., night-time)" pass that linearly scans the VRDT,
+*verifying each metasig* (the VRDT is untrusted, so expiry times are only
+believed when the SCPU's own signature over the attributes checks out)
+and refilling VEXP.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+__all__ = ["Vexp", "RetentionMonitor"]
+
+#: Approximate secure-memory footprint of one VEXP entry (time + SN).
+VEXP_ENTRY_BYTES = 16
+
+
+class Vexp:
+    """The sorted expiration list, capacity-bounded by secure memory."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("VEXP capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: List[Tuple[float, int]] = []  # sorted by (time, sn)
+        self._needs_rescan = False
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def needs_rescan(self) -> bool:
+        """True when capacity pressure may have dropped far-future entries."""
+        return self._needs_rescan
+
+    def insert(self, expires_at: float, sn: int) -> bool:
+        """Add an entry; returns False when it was dropped for capacity.
+
+        A full VEXP still admits entries earlier than its latest one (by
+        evicting that latest entry): timely deletion of the near future
+        is the monitor's contract, the far future is recoverable by the
+        night scan.
+        """
+        entry = (expires_at, sn)
+        if len(self._entries) >= self.capacity:
+            latest = self._entries[-1]
+            if entry >= latest:
+                self._needs_rescan = True
+                return False
+            self._entries.pop()
+            self.evictions += 1
+            self._needs_rescan = True
+        bisect.insort(self._entries, entry)
+        return True
+
+    def remove(self, sn: int) -> None:
+        """Drop any entries for *sn* (deleted through another path)."""
+        self._entries = [(t, s) for t, s in self._entries if s != sn]
+
+    def peek(self) -> Optional[Tuple[float, int]]:
+        """The next (earliest) expiration, or None when empty."""
+        return self._entries[0] if self._entries else None
+
+    def pop_due(self, now: float) -> List[Tuple[float, int]]:
+        """Remove and return every entry with ``expires_at <= now``."""
+        split = bisect.bisect_right(self._entries, (now, float("inf")))
+        due, self._entries = self._entries[:split], self._entries[split:]
+        return due
+
+    def rebuild(self, entries: List[Tuple[float, int]]) -> None:
+        """Replace contents from a night scan (earliest entries win)."""
+        entries = sorted(entries)
+        self._entries = entries[: self.capacity]
+        self._needs_rescan = len(entries) > self.capacity
+        if self._needs_rescan:
+            self.evictions += len(entries) - self.capacity
+
+    def secure_memory_bytes(self) -> int:
+        """Current secure-memory footprint of the list."""
+        return len(self._entries) * VEXP_ENTRY_BYTES
+
+
+class RetentionMonitor:
+    """The RM daemon: drives timely deletion from VEXP.
+
+    ``store`` is the owning :class:`~repro.core.worm.StrongWormStore`; the
+    monitor conceptually runs inside the store's SCPU and calls back into
+    the (SCPU-mediated) expiry path.  The monitor is written in a "tick"
+    style — :meth:`tick` processes everything due at the given time — so
+    it works identically under the discrete-event simulator (which calls
+    it from an alarm process) and in direct/functional use.
+    """
+
+    def __init__(self, store, vexp_capacity: int = 65536) -> None:
+        self._store = store
+        self.vexp = Vexp(capacity=vexp_capacity)
+        self.deletions = 0
+        self.holds_encountered = 0
+        self.night_scans = 0
+
+    # -- write-path hook -------------------------------------------------------
+
+    def on_write(self, sn: int, expires_at: float) -> None:
+        """Register a freshly written record's expiration (SCPU write path)."""
+        self.vexp.insert(expires_at, sn)
+
+    def next_expiry(self) -> Optional[float]:
+        """When the RM should next wake, or None if nothing is scheduled."""
+        head = self.vexp.peek()
+        return head[0] if head else None
+
+    # -- the daemon body ----------------------------------------------------------
+
+    def tick(self, now: float) -> List[int]:
+        """Process all expirations due at *now*; returns deleted SNs.
+
+        Records under a litigation hold are *not* deleted; they re-enter
+        VEXP at their hold timeout (a court release before then goes
+        through lit_release, which also reschedules).
+        """
+        deleted: List[int] = []
+        for _, sn in self.vexp.pop_due(now):
+            outcome = self._store.expire_record(sn, now)
+            if outcome == "deleted":
+                self.deletions += 1
+                deleted.append(sn)
+            elif outcome == "held":
+                self.holds_encountered += 1
+                vrd = self._store.vrdt.get_active(sn)
+                if vrd is not None and vrd.attr.litigation_timeout > now:
+                    self.vexp.insert(vrd.attr.litigation_timeout, sn)
+            # "already" (gone via another path) needs no action.
+        return deleted
+
+    def night_scan(self, now: float) -> int:
+        """Rebuild VEXP from the VRDT during a light-load period.
+
+        Scans every active entry, has the SCPU verify its metasig (an
+        unverified VRDT attr could carry a forged far-future expiry that
+        starves deletion, or a past one that rushes it), and rebuilds the
+        list.  Returns the number of entries verified.
+        """
+        entries: List[Tuple[float, int]] = []
+        verified = 0
+        for sn in self._store.vrdt.active_sns:
+            vrd = self._store.vrdt.get_active(sn)
+            if vrd is None:  # pragma: no cover - race with expiry
+                continue
+            if not self._store.scpu_verify_metasig(vrd):
+                # Tampered attr: skip — reads of this SN will fail client
+                # verification; the monitor must not act on forged times.
+                continue
+            verified += 1
+            when = vrd.attr.expires_at
+            if vrd.attr.litigation_hold:
+                when = max(when, vrd.attr.litigation_timeout)
+            entries.append((when, sn))
+        self.vexp.rebuild(entries)
+        self.night_scans += 1
+        return verified
+
+    # -- discrete-event form ---------------------------------------------------------
+
+    def process(self, sim):
+        """RM as a simulation process: sleep → wake at expiry → delete.
+
+        Yields simulation timeouts; the store interrupts this process
+        when a new record expires earlier than the current alarm (§4.2.2:
+        "the SCPU resets the alarm timer to this new expiration time").
+        """
+        from repro.sim.engine import Interrupt
+
+        while True:
+            head = self.next_expiry()
+            if head is None:
+                try:
+                    yield sim.timeout(3600.0)  # idle heartbeat
+                except Interrupt:
+                    pass
+                continue
+            delay = max(0.0, head - sim.now)
+            try:
+                yield sim.timeout(delay)
+            except Interrupt:
+                continue  # alarm re-armed for an earlier expiry
+            self.tick(sim.now)

@@ -1,0 +1,179 @@
+"""Window management (§4.2.1): O(1) authentication over monotonic SNs.
+
+This is the paper's replacement for Merkle trees.  Because serial numbers
+are issued consecutively and monotonically, the set of *possibly active*
+records is always the window ``[SN_base, SN_current]``; the SCPU signs
+the two boundaries (O(1) per update) instead of maintaining an O(log n)
+authenticated structure.  Out-of-order expiry inside the window is handled
+by per-record deletion proofs, compacted into signed deletion windows when
+3 or more consecutive SNs have expired.
+
+:class:`WindowManager` is the *main-CPU-side* orchestration: it watches
+the VRDT, asks the SCPU (which validates all evidence itself — see
+:meth:`~repro.hardware.scpu.SecureCoprocessor.advance_sn_base`) for base
+advances, window compactions and freshness refreshes, and serves the
+signed artifacts to the read path.  It holds no trust: everything it
+stores lands in the (untrusted) VRDT artifact area.
+
+Freshness (§4.2.1, mechanism (ii)): ``S_s(SN_current)`` carries a
+timestamp; the SCPU refreshes it every ``refresh_interval`` seconds even
+when idle, and clients refuse staler values, so the main CPU cannot hide
+recent records behind an old upper bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.envelope import SignedEnvelope
+from repro.hardware.scpu import SecureCoprocessor
+from repro.storage.vrdt import DeletionWindow, VrdTable
+
+__all__ = ["WindowManager"]
+
+
+class WindowManager:
+    """Maintains the signed window state for one store."""
+
+    def __init__(self, scpu: SecureCoprocessor, vrdt: VrdTable,
+                 refresh_interval: float = 120.0,
+                 base_validity: float = 24 * 3600.0,
+                 compaction_threshold: int = 3) -> None:
+        if refresh_interval <= 0:
+            raise ValueError("refresh interval must be positive")
+        if compaction_threshold < 3:
+            raise ValueError("the paper requires windows of 3 or more expired VRs")
+        self._scpu = scpu
+        self._vrdt = vrdt
+        self.refresh_interval = refresh_interval
+        self.base_validity = base_validity
+        self.compaction_threshold = compaction_threshold
+        self.refresh_count = 0
+        self.compaction_count = 0
+
+    # -- freshness -----------------------------------------------------------
+
+    def refresh_current(self, force: bool = False) -> SignedEnvelope:
+        """Ensure ``S_s(SN_current)`` is fresh; re-sign if due or forced.
+
+        Called after every write (the SN advanced) and by the idle loop
+        every few minutes (so an idle store still presents fresh bounds).
+        """
+        current = self._scpu.current_serial_number
+        envelope = self._vrdt.sn_current_envelope
+        # Deliberately NOT re-signed on every SN change: that would cost a
+        # strong signature per write and halve throughput.  The bound may
+        # lag the true frontier by up to one refresh interval — the
+        # §4.2.1 freshness design accepts exactly this bounded staleness.
+        stale = (
+            envelope is None
+            or self._scpu.now - envelope.timestamp >= self.refresh_interval
+        )
+        if force or stale:
+            envelope = self._scpu.sign_sn_current(current)
+            self._vrdt.sn_current_envelope = envelope
+            self.refresh_count += 1
+        assert envelope is not None
+        return envelope
+
+    def refresh_base(self, force: bool = False) -> SignedEnvelope:
+        """Ensure ``S_s(SN_base)`` exists and has not expired."""
+        envelope = self._vrdt.sn_base_envelope
+        stale = (
+            envelope is None
+            or int(envelope.field("sn_base")) != self._scpu.sn_base
+            or self._scpu.now * 1e6 >= int(envelope.field("expires_at_us")) - self.refresh_interval * 1e6
+        )
+        if force or stale:
+            envelope = self._scpu.sign_sn_base(self.base_validity)
+            self._vrdt.sn_base_envelope = envelope
+        assert envelope is not None
+        return envelope
+
+    # -- base advancement -------------------------------------------------------
+
+    def try_advance_base(self) -> bool:
+        """Advance ``SN_base`` past a fully expired prefix, if any.
+
+        Runs during idle periods.  Returns True when the base moved, in
+        which case the now-redundant deletion proofs and windows below
+        the new base have been expelled from the VRDT (§4.2.1's storage
+        saving).
+        """
+        old_base = self._scpu.sn_base
+        lowest_active = self._vrdt.lowest_active_sn
+        if lowest_active is None:
+            new_base = self._scpu.current_serial_number + 1
+        else:
+            new_base = lowest_active
+        if new_base <= old_base:
+            return False
+        proofs: Dict[int, SignedEnvelope] = {}
+        windows: List[Tuple[SignedEnvelope, SignedEnvelope]] = []
+        for sn in range(old_base, new_base):
+            window = self._vrdt.window_covering(sn)
+            if window is not None:
+                windows.append((window.lower, window.upper))
+                continue
+            proof = self._vrdt.get_deletion_proof(sn)
+            if proof is None:
+                # A hole: some SN below the lowest active one has neither
+                # proof nor window — it must still be awaiting deletion.
+                return False
+            proofs[sn] = proof
+        new_base_env = self._scpu.advance_sn_base(new_base, proofs, windows=windows)
+        self._vrdt.sn_base_envelope = new_base_env
+        # Expel artifacts the window scheme has made redundant.
+        self._vrdt.drop_proofs(iter(list(proofs)))
+        self._vrdt.deletion_windows = [
+            w for w in self._vrdt.deletion_windows if w.high_sn >= new_base
+        ]
+        return True
+
+    # -- deletion-window compaction ------------------------------------------------
+
+    def compact_expired_runs(self, limit: Optional[int] = None) -> int:
+        """Compact contiguous expired runs into signed deletion windows.
+
+        Each compaction trades two SCPU signatures (plus proof
+        verifications) for dropping ≥3 stored deletion proofs — run
+        "during idle periods" per the paper since it costs trusted
+        cycles.  Returns the number of windows created; *limit* bounds
+        the work done in one idle slice.
+        """
+        created = 0
+        for low, high in self._vrdt.contiguous_expired_runs(self.compaction_threshold):
+            if limit is not None and created >= limit:
+                break
+            proofs = {}
+            for sn in range(low, high + 1):
+                proof = self._vrdt.get_deletion_proof(sn)
+                if proof is None:  # pragma: no cover - runs come from proofs
+                    break
+                proofs[sn] = proof
+            else:
+                lower, upper = self._scpu.compact_deletion_window(low, high, proofs)
+                self._vrdt.deletion_windows.append(DeletionWindow(lower, upper))
+                self._vrdt.drop_proofs(iter(range(low, high + 1)))
+                created += 1
+        if created:
+            self.compaction_count += created
+        return created
+
+    # -- read-path classification -----------------------------------------------
+
+    def classify(self, sn: int) -> str:
+        """Which proof case applies to *sn* right now (see proofs module)."""
+        if sn > self._scpu.current_serial_number:
+            return "never-allocated"
+        if sn < self._scpu.sn_base:
+            return "below-base"
+        if self._vrdt.is_active(sn):
+            return "active"
+        if self._vrdt.get_deletion_proof(sn) is not None:
+            return "deletion-proof"
+        if self._vrdt.window_covering(sn) is not None:
+            return "deletion-window"
+        # Inside the window but unaccounted for: the VRDT lost an entry —
+        # clients will catch this as a verification failure.
+        return "missing"

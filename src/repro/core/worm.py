@@ -1,0 +1,522 @@
+"""The Strong WORM store — the paper's record-level WORM layer (§4).
+
+:class:`StrongWormStore` composes every piece of the architecture:
+
+* the **SCPU** (trusted witness, §4.1) — involved in *updates only*;
+* the **host CPU** and **disk** cost models (untrusted, fast);
+* the **block store** and **VRDT** (untrusted state);
+* the **window manager** (O(1) authentication, §4.2.1);
+* the **retention monitor** with its VEXP list (§4.2.2);
+* the **deferred-strengthening queues** (§4.3).
+
+The store itself is *main-CPU code*: it is not trusted, and nothing about
+its in-process bookkeeping provides security.  All assurances flow from
+the SCPU-signed constructs it stores and serves; the
+:class:`~repro.core.client.WormClient` checks them.  The adversary tests
+bypass this class entirely and mutate the underlying state, exactly like
+an insider with physical access.
+
+Every operation meters its virtual cost onto the SCPU / host / disk cost
+models; :class:`WriteReceipt.costs` carries the per-device breakdown so
+the simulation benchmarks can replay contention in virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.client import WormClient
+from repro.core.deferred import HashVerificationQueue, StrengtheningQueue
+from repro.core.errors import (
+    CredentialError,
+    LitigationHoldError,
+    UnknownSerialNumberError,
+    WormError,
+)
+from repro.core.policy import PolicyRegistry
+from repro.core.proofs import (
+    ActiveProof,
+    BaseBoundProof,
+    DeletionProofResponse,
+    DeletionWindowProof,
+    NeverAllocatedProof,
+    ReadResult,
+)
+from repro.core.retention import RetentionMonitor
+from repro.core.shredding import shred
+from repro.core.windows import WindowManager
+from repro.crypto.envelope import Purpose, SignedEnvelope
+from repro.crypto.keys import Certificate, CertificateAuthority, security_lifetime
+from repro.hardware.disk import DiskDevice
+from repro.hardware.host import HostCPU
+from repro.hardware.scpu import SecureCoprocessor, Strength
+from repro.storage.block_store import BlockStore, MemoryBlockStore
+from repro.storage.record import RecordAttributes, RecordDescriptor
+from repro.storage.vrd import VirtualRecordDescriptor
+from repro.storage.vrdt import VrdTable
+
+__all__ = ["StrongWormStore", "WriteReceipt", "Strength"]
+
+#: Strengthening target for HMAC-witnessed records (seconds).  HMACs do
+#: not weaken cryptographically, but they are client-unverifiable, so the
+#: system aims to upgrade them within the same horizon as weak signatures.
+HMAC_STRENGTHEN_TARGET = 3600.0
+
+
+@dataclass(frozen=True)
+class WriteReceipt:
+    """What a write returns: the new VRD and its virtual-cost breakdown."""
+
+    sn: int
+    vrd: VirtualRecordDescriptor
+    strength: str
+    costs: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(self.costs.values())
+
+
+class StrongWormStore:
+    """One WORM store: an SCPU-augmented storage server (§2.2 deployment)."""
+
+    def __init__(self,
+                 scpu: Optional[SecureCoprocessor] = None,
+                 block_store: Optional[BlockStore] = None,
+                 host: Optional[HostCPU] = None,
+                 disk: Optional[DiskDevice] = None,
+                 policies: Optional[PolicyRegistry] = None,
+                 regulator_public_key=None,
+                 window_refresh_interval: float = 120.0,
+                 vexp_capacity: int = 65536,
+                 strengthen_safety_factor: float = 0.5) -> None:
+        self.scpu = scpu if scpu is not None else SecureCoprocessor()
+        self.blocks = block_store if block_store is not None else MemoryBlockStore()
+        self.host = host if host is not None else HostCPU()
+        self.disk = disk if disk is not None else DiskDevice()
+        self.policies = policies if policies is not None else PolicyRegistry()
+        self.regulator_public_key = regulator_public_key
+
+        self.vrdt = VrdTable()
+        self.windows = WindowManager(self.scpu, self.vrdt,
+                                     refresh_interval=window_refresh_interval)
+        self.retention = RetentionMonitor(self, vexp_capacity=vexp_capacity)
+        self.strengthening = StrengtheningQueue(
+            self, safety_factor=strengthen_safety_factor)
+        self.hash_verification = HashVerificationQueue(self)
+
+        self._burst_certificates: List[Certificate] = []
+        self._rm_process = None  # simulation-mode retention process
+
+        # Publish initial window bounds so even an empty store can prove
+        # "never allocated" to clients.
+        self.windows.refresh_current(force=True)
+        self.windows.refresh_base(force=True)
+
+    # ------------------------------------------------------------------ utils
+
+    @property
+    def now(self) -> float:
+        """Store time (the SCPU clock; hosts are roughly synchronized)."""
+        return self.scpu.now
+
+    def _cost_checkpoints(self) -> Tuple[float, float, float]:
+        return (self.scpu.meter.checkpoint(), self.host.meter.checkpoint(),
+                self.disk.meter.checkpoint())
+
+    def _cost_delta(self, marks: Tuple[float, float, float]) -> Dict[str, float]:
+        return {
+            "scpu": self.scpu.meter.delta(marks[0]),
+            "host": self.host.meter.delta(marks[1]),
+            "disk": self.disk.meter.delta(marks[2]),
+        }
+
+    # ------------------------------------------------------------------- write
+
+    def write(self, records: Sequence[bytes],
+              policy: str = "default",
+              retention_seconds: Optional[float] = None,
+              strength: str = Strength.STRONG,
+              defer_data_hash: bool = False,
+              shared_rds: Sequence[RecordDescriptor] = (),
+              mac_label: str = "", dac_owner: str = "",
+              f_flag: int = 0) -> WriteReceipt:
+        """Commit a virtual record to WORM storage (§4.2.2 Write).
+
+        *records* are this VR's physical records in order: each element
+        is either a new payload (``bytes``) or a
+        :class:`~repro.storage.record.RecordDescriptor` referencing an
+        already-stored record to share (the popular-attachment sharing of
+        §4.2 — overlapping VRs, stored once).  *shared_rds* is a
+        convenience that prepends shared descriptors before *records*.
+        ``strength`` selects the witnessing mode of §4.3;
+        ``defer_data_hash`` additionally lets the (untrusted) host
+        compute the data hash during the burst, to be verified by the
+        SCPU at idle time.
+
+        Returns a :class:`WriteReceipt` with the per-device virtual-cost
+        breakdown of exactly this operation.
+        """
+        if isinstance(records, (bytes, bytearray)):
+            raise TypeError("pass a sequence of record payloads, e.g. [data]")
+        if not records and not shared_rds:
+            raise WormError("a virtual record needs at least one data record")
+        marks = self._cost_checkpoints()
+        regulation = self.policies.get(policy)
+        retention = regulation.effective_retention(retention_seconds)
+
+        # 1. Main CPU writes the new payloads to untrusted storage;
+        #    shared descriptors are validated and referenced in place.
+        rdl: List[RecordDescriptor] = []
+        for item in (*shared_rds, *records):
+            if isinstance(item, RecordDescriptor):
+                if item.key not in self.blocks:
+                    raise WormError(
+                        f"shared record {item.key!r} is not in the store")
+                rdl.append(item)
+                continue
+            key = self.blocks.put(item)
+            self.disk.write(len(item), sequential=True)
+            self.host.memcpy_cost(len(item))
+            rdl.append(RecordDescriptor(key=key, length=len(item)))
+
+        # 2. Hash the VR data — on the SCPU (DMA + card SHA) or, in the
+        #    weaker burst mode, on the host with deferred verification.
+        chunks = [self.blocks.get(rd.key) for rd in rdl]
+        if defer_data_hash:
+            data_hash = self.host.hash_record_data(chunks)
+        else:
+            data_hash = self.scpu.hash_record_data(chunks)
+
+        # 3. SCPU allocates the SN and witnesses the update.
+        sn = self.scpu.issue_serial_number()
+        attr = RecordAttributes(
+            created_at=self.now,
+            retention_seconds=retention,
+            policy=regulation.name,
+            shredding_algorithm=regulation.shredding_algorithm,
+            mac_label=mac_label,
+            dac_owner=dac_owner,
+            f_flag=f_flag,
+        )
+        metasig, datasig = self.scpu.witness_write(
+            sn, attr.canonical_bytes(), data_hash, strength=strength)
+
+        # 4. Main CPU materializes the VRD into the VRDT.
+        vrd = VirtualRecordDescriptor(sn=sn, attr=attr, rdl=tuple(rdl),
+                                      metasig=metasig, datasig=datasig,
+                                      data_hash=data_hash)
+        self.vrdt.insert_active(vrd)
+        self.host.table_touch()
+        self.disk.write(256, sequential=True)  # VRDT log append
+
+        # 5. Bookkeeping: retention alarm, deferred queues, freshness.
+        previous_head = self.retention.next_expiry()
+        self.retention.on_write(sn, attr.expires_at)
+        if self._rm_process is not None and (
+                previous_head is None or attr.expires_at < previous_head):
+            self._rm_process.interrupt("earlier-expiry")
+        if strength == Strength.WEAK:
+            self.strengthening.enqueue(
+                sn, self.now, security_lifetime(metasig.key_bits))
+        elif strength == Strength.HMAC:
+            self.strengthening.enqueue(sn, self.now, HMAC_STRENGTHEN_TARGET)
+        if defer_data_hash:
+            self.hash_verification.enqueue(sn, self.now)
+        self.windows.refresh_current()
+
+        return WriteReceipt(sn=sn, vrd=vrd, strength=strength,
+                            costs=self._cost_delta(marks))
+
+    # -------------------------------------------------------------------- read
+
+    def read(self, sn: int) -> ReadResult:
+        """Serve a read with its proof (§4.2.2 Read) — main CPU only.
+
+        The SCPU is never touched: proofs are the *stored* signed
+        artifacts.  If those have gone stale (an idle store without its
+        maintenance loop), clients will reject them — by design.
+        """
+        if sn < 1:
+            raise UnknownSerialNumberError(f"serial numbers start at 1, got {sn}")
+        self.host.table_touch()
+        case = self.windows.classify(sn)
+
+        if case == "active":
+            vrd = self.vrdt.get_active(sn)
+            assert vrd is not None
+            payloads = []
+            for rd in vrd.rdl:
+                payloads.append(self.blocks.get(rd.key))
+                self.disk.read(rd.length)
+            proof = ActiveProof(sn_current=self._stored_sn_current())
+            return ReadResult(sn=sn, status="active", proof=proof, vrd=vrd,
+                              records=tuple(payloads))
+
+        if case == "deletion-proof":
+            proof_env = self.vrdt.get_deletion_proof(sn)
+            assert proof_env is not None
+            self.disk.read(256)
+            return ReadResult(sn=sn, status="deleted",
+                              proof=DeletionProofResponse(proof=proof_env))
+
+        if case == "below-base":
+            return ReadResult(sn=sn, status="deleted",
+                              proof=BaseBoundProof(sn_base=self._stored_sn_base()))
+
+        if case == "deletion-window":
+            window = self.vrdt.window_covering(sn)
+            assert window is not None
+            return ReadResult(sn=sn, status="deleted",
+                              proof=DeletionWindowProof(lower=window.lower,
+                                                        upper=window.upper))
+
+        if case == "never-allocated":
+            return ReadResult(sn=sn, status="never-allocated",
+                              proof=NeverAllocatedProof(
+                                  sn_current=self._stored_sn_current()))
+
+        raise UnknownSerialNumberError(
+            f"SN {sn} is inside the window but has no entry — VRDT corrupted")
+
+    def _stored_sn_current(self) -> SignedEnvelope:
+        envelope = self.vrdt.sn_current_envelope
+        if envelope is None:  # pragma: no cover - initialized in __init__
+            raise WormError("no signed SN_current available")
+        return envelope
+
+    def _stored_sn_base(self) -> SignedEnvelope:
+        envelope = self.vrdt.sn_base_envelope
+        if envelope is None:  # pragma: no cover - initialized in __init__
+            raise WormError("no signed SN_base available")
+        return envelope
+
+    # -------------------------------------------------------- expiry & deletion
+
+    def expire_record(self, sn: int, now: float) -> str:
+        """Delete a retention-expired record (called by the RM, §4.2.2).
+
+        Returns ``"deleted"``, ``"held"`` (litigation hold),
+        ``"premature"`` (not yet expired — the RM re-arms), or
+        ``"already"`` (no longer active).
+        """
+        vrd = self.vrdt.get_active(sn)
+        if vrd is None:
+            return "already"
+        if now < vrd.attr.expires_at:
+            return "premature"
+        if vrd.attr.litigation_hold and now < vrd.attr.litigation_timeout:
+            return "held"
+
+        # Shred payloads that no other active VR still references.
+        still_referenced = {
+            rd.key
+            for other_sn in self.vrdt.active_sns if other_sn != sn
+            for rd in self.vrdt.get_active(other_sn).rdl
+        }
+        for rd in vrd.rdl:
+            if rd.key in still_referenced or rd.key not in self.blocks:
+                continue
+            result = shred(self.blocks, rd.key, rd.length,
+                           vrd.attr.shredding_algorithm)
+            for _ in range(result.passes):
+                self.disk.write(rd.length)
+
+        proof = self.scpu.make_deletion_proof(sn)
+        self.vrdt.mark_expired(sn, proof)
+        self.host.table_touch()
+        self.disk.write(256, sequential=True)
+        return "deleted"
+
+    # ------------------------------------------------------------- litigation
+
+    def _require_credential(self, sn: int, credential: SignedEnvelope) -> None:
+        if self.regulator_public_key is None:
+            raise CredentialError("store has no provisioned regulation authority")
+        ok = self.scpu.verify_regulator_credential(
+            credential, self.regulator_public_key, sn)
+        if not ok:
+            raise CredentialError("litigation credential failed SCPU verification")
+
+    def lit_hold(self, sn: int, credential: SignedEnvelope,
+                 hold_timeout: float) -> VirtualRecordDescriptor:
+        """Place a litigation hold on an active record (§4.2.2 Litigation).
+
+        *credential* is the authority's ``S_reg(SN, current_time)``; the
+        SCPU verifies it before altering attr and re-issuing metasig.
+        The hold blocks deletion until *hold_timeout* even if retention
+        expires first.
+        """
+        vrd = self.vrdt.get_active(sn)
+        if vrd is None:
+            raise UnknownSerialNumberError(f"SN {sn} is not active")
+        self._require_credential(sn, credential)
+        import hashlib
+        cred_hash = hashlib.sha256(
+            credential.envelope.canonical_bytes() + credential.signature).digest()
+        new_attr = vrd.attr.with_hold(hold_timeout, cred_hash)
+        metasig = self.scpu.resign_metadata(sn, new_attr.canonical_bytes())
+        updated = vrd.with_attr(new_attr, metasig)
+        self.vrdt.replace_active(updated)
+        self.host.table_touch()
+        self.disk.write(256, sequential=True)
+        self.retention.vexp.remove(sn)
+        self.retention.on_write(sn, max(new_attr.expires_at, hold_timeout))
+        return updated
+
+    def lit_release(self, sn: int, credential: SignedEnvelope
+                    ) -> VirtualRecordDescriptor:
+        """Release a litigation hold (only with a fresh authority credential)."""
+        vrd = self.vrdt.get_active(sn)
+        if vrd is None:
+            raise UnknownSerialNumberError(f"SN {sn} is not active")
+        if not vrd.attr.litigation_hold:
+            raise LitigationHoldError(f"SN {sn} is not under a litigation hold")
+        self._require_credential(sn, credential)
+        new_attr = vrd.attr.with_release()
+        metasig = self.scpu.resign_metadata(sn, new_attr.canonical_bytes())
+        updated = vrd.with_attr(new_attr, metasig)
+        self.vrdt.replace_active(updated)
+        self.host.table_touch()
+        self.disk.write(256, sequential=True)
+        self.retention.vexp.remove(sn)
+        self.retention.on_write(sn, new_attr.expires_at)
+        return updated
+
+    # ---------------------------------------------- deferred-queue callbacks
+
+    def strengthen_vrd(self, sn: int) -> None:
+        """Upgrade one weak/HMAC-witnessed VRD to strong signatures."""
+        vrd = self.vrdt.get_active(sn)
+        if vrd is None:
+            return
+        metasig = self.scpu.strengthen(vrd.metasig)
+        datasig = self.scpu.strengthen(vrd.datasig)
+        self.vrdt.replace_active(vrd.with_signatures(metasig, datasig))
+        self.host.table_touch()
+        self.disk.write(256, sequential=True)
+
+    def scpu_verify_metasig(self, vrd: VirtualRecordDescriptor) -> bool:
+        """SCPU-side check of a VRDT entry's metasig (night scan)."""
+        signed = vrd.metasig
+        if signed.envelope.purpose != Purpose.METASIG:
+            return False
+        if signed.envelope.fields.get("sn") != vrd.sn:
+            return False
+        if signed.envelope.fields.get("attr") != vrd.attr.canonical_bytes():
+            return False
+        if signed.scheme == "hmac":
+            return self.scpu.verify_own_hmac(signed)
+        publics = self.scpu.public_keys()
+        for key in (publics["s"], publics["burst"]):
+            if signed.key_fingerprint == key.fingerprint():
+                return self.scpu.verify_envelope(signed, key)
+        return False
+
+    def scpu_verify_data_hash(self, vrd: VirtualRecordDescriptor) -> bool:
+        """SCPU re-reads the VR's data and verifies a host-claimed hash."""
+        chunks = []
+        for rd in vrd.rdl:
+            chunks.append(self.blocks.get(rd.key))
+            self.disk.read(rd.length)
+        return self.scpu.verify_deferred_hash(chunks, vrd.data_hash)
+
+    # ----------------------------------------------------------- maintenance
+
+    def maintenance(self, strengthen_budget: Optional[int] = None,
+                    verify_budget: Optional[int] = None,
+                    compact: bool = True) -> Dict[str, int]:
+        """One idle-period maintenance slice (§4.2.1/§4.3 "idle periods").
+
+        Refreshes window signatures, runs due expirations, drains the
+        strengthening and hash-verification queues, advances the base and
+        compacts expired runs.  Returns a summary of work done.
+        """
+        summary = {"expired": 0, "strengthened": 0, "hashes_verified": 0,
+                   "windows_compacted": 0, "base_advanced": 0,
+                   "night_scanned": 0}
+        self.windows.refresh_current()
+        self.windows.refresh_base()
+        summary["expired"] = len(self.retention.tick(self.now))
+        summary["strengthened"] = self.strengthening.drain(
+            self.now, max_items=strengthen_budget)
+        summary["hashes_verified"] = self.hash_verification.drain(
+            max_items=verify_budget)
+        if compact:
+            summary["windows_compacted"] = self.windows.compact_expired_runs()
+            if self.windows.try_advance_base():
+                summary["base_advanced"] = 1
+        if self.retention.vexp.needs_rescan:
+            summary["night_scanned"] = self.retention.night_scan(self.now)
+        return summary
+
+    # ------------------------------------------------------------- migration
+
+    def import_record(self, attr: RecordAttributes,
+                      payloads: Sequence[bytes]) -> WriteReceipt:
+        """Re-witness a verified migrated record under this store's SCPU.
+
+        Used only by :mod:`repro.core.migration`, *after* the destination
+        SCPU has verified the source store's signatures over exactly this
+        attr/data pair.  Unlike :meth:`write`, the original attributes —
+        including ``created_at`` and any litigation hold — are preserved,
+        so the retention clock keeps running across media generations
+        (§1 Compliant Migration).
+        """
+        marks = self._cost_checkpoints()
+        rdl: List[RecordDescriptor] = []
+        for payload in payloads:
+            key = self.blocks.put(payload)
+            self.disk.write(len(payload), sequential=True)
+            self.host.memcpy_cost(len(payload))
+            rdl.append(RecordDescriptor(key=key, length=len(payload)))
+        data_hash = self.scpu.hash_record_data(payloads)
+        sn = self.scpu.issue_serial_number()
+        metasig, datasig = self.scpu.witness_write(
+            sn, attr.canonical_bytes(), data_hash, strength=Strength.STRONG)
+        vrd = VirtualRecordDescriptor(sn=sn, attr=attr, rdl=tuple(rdl),
+                                      metasig=metasig, datasig=datasig,
+                                      data_hash=data_hash)
+        self.vrdt.insert_active(vrd)
+        self.host.table_touch()
+        self.disk.write(256, sequential=True)
+        self.retention.on_write(
+            sn, max(attr.expires_at,
+                    attr.litigation_timeout if attr.litigation_hold else 0.0))
+        self.windows.refresh_current()
+        return WriteReceipt(sn=sn, vrd=vrd, strength=Strength.STRONG,
+                            costs=self._cost_delta(marks))
+
+    # ---------------------------------------------------------- client setup
+
+    def certificates(self, ca: CertificateAuthority) -> List[Certificate]:
+        """All certificates a client needs (s, d, current + past burst keys)."""
+        certs = self.scpu.certify_with(ca)
+        return [certs["s"], certs["d"], certs["burst"], *self._burst_certificates]
+
+    def rotate_burst_key(self, ca: CertificateAuthority) -> Certificate:
+        """Rotate the short-lived key; keeps the old cert for verification."""
+        old = self.scpu.public_keys()["burst"]
+        cert = self.scpu.rotate_burst_key(ca)
+        assert cert is not None
+        self._burst_certificates.append(ca.certify(old, role="burst", now=self.now))
+        return cert
+
+    def make_client(self, ca: CertificateAuthority, clock=None,
+                    freshness_window: float = 300.0,
+                    accept_unverifiable: bool = False) -> WormClient:
+        """Build a verifying client bootstrapped from *ca*."""
+        return WormClient(
+            ca_public_key=ca.root_public_key,
+            certificates=self.certificates(ca),
+            clock=clock if clock is not None else self.scpu.clock,
+            freshness_window=freshness_window,
+            accept_unverifiable=accept_unverifiable,
+        )
+
+    # ------------------------------------------------------- simulation hooks
+
+    def attach_retention_process(self, sim) -> None:
+        """Run the RM as a simulation process with alarm interrupts."""
+        self._rm_process = sim.process(self.retention.process(sim))

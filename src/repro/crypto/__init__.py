@@ -1,0 +1,63 @@
+"""Cryptographic substrate for the Strong WORM reproduction.
+
+Everything the WORM protocol signs or hashes flows through this package:
+
+* :mod:`repro.crypto.numtheory` — primality / modular arithmetic,
+* :mod:`repro.crypto.rsa` — from-scratch RSA (PKCS#1 v1.5-style),
+* :mod:`repro.crypto.hashing` — chained and incremental hashing for VR data,
+* :mod:`repro.crypto.hmac_scheme` — HMAC witnessing for extreme bursts,
+* :mod:`repro.crypto.envelope` — typed signed statements (splice-proof),
+* :mod:`repro.crypto.keys` — signing keys, lifetimes, the regulatory CA,
+* :mod:`repro.crypto.merkle` — the Merkle-tree baseline the paper replaces.
+"""
+
+from repro.crypto.chacha import ChaCha20, chacha20_block, chacha20_xor
+from repro.crypto.envelope import Envelope, Purpose, SignedEnvelope
+from repro.crypto.hashing import (
+    ChainedHasher,
+    IncrementalMultisetHash,
+    chained_hash,
+    digest,
+    hexdigest,
+)
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.keys import (
+    Certificate,
+    CertificateAuthority,
+    SigningKey,
+    security_lifetime,
+)
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.crypto.rsa import (
+    RsaKeyPair,
+    RsaPrivateKey,
+    RsaPublicKey,
+    SignatureError,
+    generate_keypair,
+)
+
+__all__ = [
+    "ChaCha20",
+    "chacha20_block",
+    "chacha20_xor",
+    "Envelope",
+    "Purpose",
+    "SignedEnvelope",
+    "ChainedHasher",
+    "IncrementalMultisetHash",
+    "chained_hash",
+    "digest",
+    "hexdigest",
+    "HmacScheme",
+    "Certificate",
+    "CertificateAuthority",
+    "SigningKey",
+    "security_lifetime",
+    "MerkleProof",
+    "MerkleTree",
+    "RsaKeyPair",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "SignatureError",
+    "generate_keypair",
+]

@@ -1,0 +1,93 @@
+"""ChaCha20 stream cipher (RFC 7539), from scratch.
+
+Used by the encrypted-records extension (:mod:`repro.core.encryption`):
+record payloads are encrypted at rest so that *crypto-shredding* —
+destroying the wrapping key inside the SCPU — renders deleted records
+unrecoverable from the medium even if physical overwrite passes were
+skipped or the medium was copied beforehand.  §3's related work cites
+encrypted file systems; this extension grafts the idea onto the WORM
+model with SCPU-held epoch keys.
+
+Pure Python and therefore slow in wall-clock terms; simulation costs are
+charged via the device calibration like every other primitive (stream
+ciphers run at roughly SHA-like rates on both the card and the host).
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["chacha20_block", "chacha20_xor", "ChaCha20"]
+
+_CONSTANTS = (0x61707865, 0x3320646e, 0x79622d32, 0x6b206574)
+_MASK = 0xFFFFFFFF
+
+
+def _rotl32(value: int, count: int) -> int:
+    value &= _MASK
+    return ((value << count) | (value >> (32 - count))) & _MASK
+
+
+def _quarter_round(state, a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """One 64-byte keystream block (RFC 7539 §2.3)."""
+    if len(key) != 32:
+        raise ValueError("ChaCha20 keys are 32 bytes")
+    if len(nonce) != 12:
+        raise ValueError("ChaCha20 nonces are 12 bytes")
+    if not 0 <= counter < 2**32:
+        raise ValueError("block counter out of range")
+    state = list(_CONSTANTS)
+    state += list(struct.unpack("<8L", key))
+    state.append(counter)
+    state += list(struct.unpack("<3L", nonce))
+    working = list(state)
+    for _ in range(10):  # 20 rounds = 10 double rounds
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    output = [(w + s) & _MASK for w, s in zip(working, state)]
+    return struct.pack("<16L", *output)
+
+
+def chacha20_xor(key: bytes, nonce: bytes, data: bytes,
+                 initial_counter: int = 1) -> bytes:
+    """Encrypt/decrypt *data* (XOR with the keystream; self-inverse)."""
+    out = bytearray(len(data))
+    for block_index in range((len(data) + 63) // 64):
+        keystream = chacha20_block(key, initial_counter + block_index, nonce)
+        offset = block_index * 64
+        chunk = data[offset:offset + 64]
+        for i, byte in enumerate(chunk):
+            out[offset + i] = byte ^ keystream[i]
+    return bytes(out)
+
+
+class ChaCha20:
+    """Object-style wrapper bound to one key."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 32:
+            raise ValueError("ChaCha20 keys are 32 bytes")
+        self._key = key
+
+    def encrypt(self, nonce: bytes, plaintext: bytes) -> bytes:
+        return chacha20_xor(self._key, nonce, plaintext)
+
+    def decrypt(self, nonce: bytes, ciphertext: bytes) -> bytes:
+        return chacha20_xor(self._key, nonce, ciphertext)

@@ -1,0 +1,169 @@
+"""Typed, signed envelopes for every SCPU-issued construct.
+
+The paper's protocol signs several *kinds* of statements with the same
+SCPU keys: VRD metasig and datasig, window bounds (``S_s(SN_base)``,
+``S_s(SN_current)``), deletion-window upper/lower bounds, and deletion
+proofs ``S_d(SN)``.  A classic implementation pitfall is signing raw
+field bytes, which lets a malicious main CPU *splice* a signature issued
+for one purpose into a different protocol slot (e.g., present a signed
+``SN_current`` as a deletion proof).  The paper itself calls this out for
+window bounds ("the upper and lower deletion window bounds will need to
+be correlated ... This correlation prevents the main CPU to combine two
+unrelated window bounds").
+
+Every signature in this reproduction is therefore an :class:`Envelope`: a
+canonical, unambiguous serialization of ``(purpose, fields, timestamp)``.
+Purpose strings are part of the signed bytes, so a signature can never be
+replayed across purposes; timestamps enable freshness checks (§4.2.1
+mechanism (ii)); window IDs live in the fields and correlate bound pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Union
+
+__all__ = ["Envelope", "SignedEnvelope", "Purpose", "FieldValue"]
+
+FieldValue = Union[int, str, bytes]
+
+
+class Purpose:
+    """Namespace of envelope purpose tags (the protocol's statement kinds)."""
+
+    METASIG = "worm.metasig"              # S_s(SN, attr)
+    DATASIG = "worm.datasig"              # S_s(SN, Hash(data))
+    SN_BASE = "worm.window.sn_base"       # S_s(SN_base) with expiry
+    SN_CURRENT = "worm.window.sn_current"  # S_s(SN_current) with timestamp
+    DELETION_PROOF = "worm.deletion"      # S_d(SN)
+    WINDOW_LOWER = "worm.delwindow.lower"  # deletion-window lower bound
+    WINDOW_UPPER = "worm.delwindow.upper"  # deletion-window upper bound
+    LITIGATION_CREDENTIAL = "worm.litigation.credential"  # S_reg(SN, time)
+    MIGRATION_MANIFEST = "worm.migration.manifest"  # signed store snapshot
+    KEY_CERTIFICATE = "worm.key.certificate"  # CA signature over SCPU pubkey
+    ATTESTATION = "worm.attestation"          # signed SCPU state summary
+
+
+def _encode_value(value: FieldValue) -> bytes:
+    """Encode one field value with an unambiguous type tag."""
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("boolean field values are ambiguous; use int 0/1")
+    if isinstance(value, int):
+        raw = str(value).encode("ascii")
+        tag = b"i"
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        tag = b"s"
+    elif isinstance(value, bytes):
+        raw = value
+        tag = b"b"
+    else:
+        raise TypeError(f"unsupported envelope field type: {type(value)!r}")
+    return tag + len(raw).to_bytes(8, "big") + raw
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """An unsigned protocol statement: purpose + named fields + timestamp.
+
+    ``timestamp`` is virtual time (seconds) from the SCPU's internal
+    tamper-protected clock.  Canonical byte encoding sorts fields by name
+    and length-prefixes everything, so there is exactly one byte string
+    per logical statement.
+    """
+
+    purpose: str
+    fields: Mapping[str, FieldValue] = field(default_factory=dict)
+    timestamp: float = 0.0
+
+    def canonical_bytes(self) -> bytes:
+        """Deterministic serialization — the exact bytes that get signed."""
+        parts = [b"SWORM1"]
+        purpose_raw = self.purpose.encode("utf-8")
+        parts.append(len(purpose_raw).to_bytes(4, "big"))
+        parts.append(purpose_raw)
+        # Timestamps are signed at microsecond granularity to avoid float
+        # representation ambiguity across platforms.
+        parts.append(int(round(self.timestamp * 1_000_000)).to_bytes(12, "big", signed=True))
+        parts.append(len(self.fields).to_bytes(4, "big"))
+        for name in sorted(self.fields):
+            name_raw = name.encode("utf-8")
+            parts.append(len(name_raw).to_bytes(4, "big"))
+            parts.append(name_raw)
+            parts.append(_encode_value(self.fields[name]))
+        return b"".join(parts)
+
+
+@dataclass(frozen=True)
+class SignedEnvelope:
+    """An envelope together with a signature and the signing-key metadata.
+
+    ``key_fingerprint`` identifies which SCPU key signed it (``s`` vs
+    ``d`` vs a short-lived burst key); ``key_bits`` records the modulus
+    size so clients and the strengthening scheduler can tell short-lived
+    (512-bit) constructs from durable ones; ``scheme`` is ``"rsa"`` or
+    ``"hmac"`` (HMAC tags are not client-verifiable).
+    """
+
+    envelope: Envelope
+    signature: bytes
+    key_fingerprint: str
+    key_bits: int
+    scheme: str = "rsa"
+    hash_name: str = "sha256"
+
+    @property
+    def purpose(self) -> str:
+        return self.envelope.purpose
+
+    @property
+    def timestamp(self) -> float:
+        return self.envelope.timestamp
+
+    def field(self, name: str) -> FieldValue:
+        """Convenience accessor for a named envelope field."""
+        return self.envelope.fields[name]
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation (bytes hex-encoded) for storage."""
+        encoded_fields = {}
+        for name, value in self.envelope.fields.items():
+            if isinstance(value, bytes):
+                encoded_fields[name] = {"t": "b", "v": value.hex()}
+            elif isinstance(value, int):
+                encoded_fields[name] = {"t": "i", "v": value}
+            else:
+                encoded_fields[name] = {"t": "s", "v": value}
+        return {
+            "purpose": self.envelope.purpose,
+            "timestamp": self.envelope.timestamp,
+            "fields": encoded_fields,
+            "signature": self.signature.hex(),
+            "key_fingerprint": self.key_fingerprint,
+            "key_bits": self.key_bits,
+            "scheme": self.scheme,
+            "hash_name": self.hash_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SignedEnvelope":
+        fields: Dict[str, FieldValue] = {}
+        for name, enc in data["fields"].items():
+            if enc["t"] == "b":
+                fields[name] = bytes.fromhex(enc["v"])
+            elif enc["t"] == "i":
+                fields[name] = int(enc["v"])
+            else:
+                fields[name] = str(enc["v"])
+        return cls(
+            envelope=Envelope(
+                purpose=data["purpose"],
+                fields=fields,
+                timestamp=float(data["timestamp"]),
+            ),
+            signature=bytes.fromhex(data["signature"]),
+            key_fingerprint=data["key_fingerprint"],
+            key_bits=int(data["key_bits"]),
+            scheme=data.get("scheme", "rsa"),
+            hash_name=data.get("hash_name", "sha256"),
+        )

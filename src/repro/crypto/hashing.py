@@ -1,0 +1,154 @@
+"""Hashing utilities used throughout the WORM layer.
+
+The paper's VRD ``datasig`` is an SCPU signature over ``(SN, Hash(data))``
+where ``Hash`` may be a *chained hash* over the virtual record's physical
+data records, or an *incremental* secure hash (Bellare-Micciancio [4],
+Clarke et al. [6]) so records can be appended to a VR without rehashing
+everything.  Both are provided here, plus plain digests with selectable
+algorithms (the evaluation uses SHA-1 to match Table 2's device numbers;
+SHA-256 is the default elsewhere).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "digest",
+    "hexdigest",
+    "chained_hash",
+    "ChainedHasher",
+    "IncrementalMultisetHash",
+    "DEFAULT_HASH",
+]
+
+#: Default hash algorithm for integrity constructs.
+DEFAULT_HASH = "sha256"
+
+
+def digest(data: bytes, algorithm: str = DEFAULT_HASH) -> bytes:
+    """One-shot digest of *data* with the given algorithm."""
+    return hashlib.new(algorithm, data).digest()
+
+
+def hexdigest(data: bytes, algorithm: str = DEFAULT_HASH) -> str:
+    """One-shot hex digest of *data* with the given algorithm."""
+    return hashlib.new(algorithm, data).hexdigest()
+
+
+def chained_hash(chunks: Iterable[bytes], algorithm: str = DEFAULT_HASH) -> bytes:
+    """Hash a sequence of data records as a chain.
+
+    ``h_0 = H(len-prefix(c_0))``; ``h_i = H(h_{i-1} || len-prefix(c_i))``.
+    Length prefixes prevent boundary-shifting collisions: the chunk split
+    is part of what is authenticated, so re-partitioning the same bytes
+    yields a different digest.
+    """
+    state = b""
+    empty = True
+    for chunk in chunks:
+        empty = False
+        prefixed = len(chunk).to_bytes(8, "big") + chunk
+        state = hashlib.new(algorithm, state + prefixed).digest()
+    if empty:
+        # Distinguish "no records" from any real chain value.
+        return hashlib.new(algorithm, b"\x00empty-chain").digest()
+    return state
+
+
+class ChainedHasher:
+    """Streaming form of :func:`chained_hash`.
+
+    Used by the SCPU when data records are DMA-transferred in chunks; the
+    running state is small enough to live in scarce SCPU memory.
+    """
+
+    def __init__(self, algorithm: str = DEFAULT_HASH) -> None:
+        self._algorithm = algorithm
+        self._state = b""
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of chunks absorbed so far."""
+        return self._count
+
+    def update(self, chunk: bytes) -> None:
+        """Absorb one data-record chunk into the chain."""
+        prefixed = len(chunk).to_bytes(8, "big") + chunk
+        self._state = hashlib.new(self._algorithm, self._state + prefixed).digest()
+        self._count += 1
+
+    def digest(self) -> bytes:
+        """Return the chain digest over everything absorbed so far."""
+        if self._count == 0:
+            return hashlib.new(self._algorithm, b"\x00empty-chain").digest()
+        return self._state
+
+
+class IncrementalMultisetHash:
+    """Incremental (multiset) hash in the style of [4, 6].
+
+    Each element contributes ``H(len || element)`` interpreted as an
+    integer; contributions are combined by modular addition, so elements
+    can be added (and removed, for VR maintenance) in any order in O(1)
+    per element.  Collision resistance reduces to that of the underlying
+    hash plus the hardness of finding additive relations in a ~2^256
+    group — the construction from Bellare-Micciancio's AdHash with a
+    large prime modulus.
+    """
+
+    #: 2^259 + 153 — a prime comfortably above 2^256 so single-element
+    #: contributions never wrap.
+    MODULUS = (1 << 259) + 153
+
+    def __init__(self, algorithm: str = DEFAULT_HASH) -> None:
+        self._algorithm = algorithm
+        self._acc = 0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Net number of elements currently in the multiset."""
+        return self._count
+
+    def _contribution(self, element: bytes) -> int:
+        prefixed = len(element).to_bytes(8, "big") + element
+        raw = hashlib.new(self._algorithm, prefixed).digest()
+        return int.from_bytes(raw, "big")
+
+    def add(self, element: bytes) -> None:
+        """Add *element* to the multiset."""
+        self._acc = (self._acc + self._contribution(element)) % self.MODULUS
+        self._count += 1
+
+    def remove(self, element: bytes) -> None:
+        """Remove one occurrence of *element* from the multiset.
+
+        The caller is responsible for only removing elements actually
+        present; the hash itself cannot detect over-removal (it is a
+        group operation), which matches the construction in [6].
+        """
+        self._acc = (self._acc - self._contribution(element)) % self.MODULUS
+        self._count -= 1
+
+    def digest(self) -> bytes:
+        """Return the current multiset digest (fixed 33 bytes)."""
+        return self._acc.to_bytes(33, "big")
+
+    def copy(self) -> "IncrementalMultisetHash":
+        """Return an independent copy with the same state."""
+        clone = IncrementalMultisetHash(self._algorithm)
+        clone._acc = self._acc
+        clone._count = self._count
+        return clone
+
+    @classmethod
+    def of(cls, elements: Sequence[bytes],
+           algorithm: str = DEFAULT_HASH) -> "IncrementalMultisetHash":
+        """Build a multiset hash over *elements* in one call."""
+        h = cls(algorithm)
+        for element in elements:
+            h.add(element)
+        return h

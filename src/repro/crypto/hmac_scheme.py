@@ -1,0 +1,58 @@
+"""Keyed-MAC witnessing, the fastest deferred-integrity option (§4.3).
+
+During extreme burst periods the paper proposes replacing even short-lived
+RSA signatures with HMACs computed under a key known only to the SCPU.
+Clients cannot verify HMACed records (they lack the key) until the SCPU
+later upgrades them to real signatures during idle periods — the paper
+expects this to be "the prevalent design choice" in production.
+
+The :class:`HmacScheme` exposes the same ``sign``/``verify`` surface as the
+RSA keys so the deferred-strengthening machinery can treat both uniformly,
+plus an explicit :attr:`client_verifiable` flag that the client logic uses
+to decide whether a construct is checkable at read time.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import secrets
+
+__all__ = ["HmacScheme"]
+
+
+class HmacScheme:
+    """HMAC-based witnessing under an SCPU-internal key.
+
+    The key never leaves the SCPU in the real system; in this simulation
+    only the SCPU object holds a reference to the scheme, and the
+    adversary model is forbidden from touching SCPU internals.
+    """
+
+    #: HMAC tags are not verifiable by clients — only by the SCPU itself.
+    client_verifiable = False
+
+    def __init__(self, key: bytes | None = None, algorithm: str = "sha256") -> None:
+        if key is not None and len(key) < 16:
+            raise ValueError("HMAC key must be at least 128 bits")
+        self._key = key if key is not None else secrets.token_bytes(32)
+        self._algorithm = algorithm
+
+    @property
+    def algorithm(self) -> str:
+        """Underlying hash algorithm name."""
+        return self._algorithm
+
+    @property
+    def tag_length(self) -> int:
+        """Length in bytes of produced tags."""
+        return hashlib.new(self._algorithm).digest_size
+
+    def sign(self, message: bytes) -> bytes:
+        """Produce an HMAC tag over *message*."""
+        return hmac.new(self._key, message, self._algorithm).digest()
+
+    def verify(self, message: bytes, tag: bytes) -> bool:
+        """Constant-time verification of *tag* over *message*."""
+        expected = self.sign(message)
+        return hmac.compare_digest(expected, tag)

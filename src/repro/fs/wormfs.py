@@ -1,0 +1,359 @@
+"""WORM file system: the paper's future work, implemented (§6).
+
+"In future research it is important to explore traditional file system
+primitives layered on top of block-level WORM."  This module layers a
+versioned, compliance-aware file namespace on the record-level WORM
+store, following the paper's design vision that the record layer "can be
+layered at arbitrary points in a storage stack ... inside a file system
+(records being files, VRDs acting effectively as file descriptors)".
+
+Semantics
+---------
+* **Files are write-once**: writing an existing path creates a new
+  *version*; prior versions remain committed records until their
+  retention expires.  There is no in-place mutation, ever.
+* **Append without copy**: appending reuses the previous version's data
+  records through VR record sharing (§4.2's overlapping VRs) and adds
+  one new record — O(appended bytes), not O(file size).
+* **Tamper-evident name binding**: the namespace index lives on the
+  untrusted host, so an insider could remap names to other records.
+  Every file version therefore embeds a signed *header record* carrying
+  (path, version, length); ``datasig`` covers it, so a client reading
+  ``/a/b`` detects any record served under the wrong name or version.
+* **unlink is namespace-only**: WORM forbids early destruction; unlink
+  hides the path from listings while the records live out their
+  retention (and remain reachable — and auditable — by SN).
+* **Per-directory policies**: subtrees inherit a regulation policy
+  (e.g., everything under ``/patients`` is HIPAA).
+"""
+
+from __future__ import annotations
+
+import json
+import posixpath
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.client import WormClient
+from repro.core.errors import VerificationError, WormError
+from repro.core.worm import StrongWormStore
+from repro.hardware.scpu import Strength
+
+__all__ = ["WormFileSystem", "FileVersion", "VerifiedFile"]
+
+_HEADER_MAGIC = "WORMFS1"
+
+
+class _PathError(WormError):
+    """Raised for malformed or missing paths."""
+
+
+def _normalize(path: str) -> str:
+    """Canonicalize an absolute path; rejects escapes and relatives."""
+    if not path.startswith("/"):
+        raise _PathError(f"paths must be absolute: {path!r}")
+    if ".." in path.split("/"):
+        # In an audit-grade namespace, paths are identifiers: games with
+        # parent references are refused outright rather than normalized.
+        raise _PathError(f"parent references are not allowed: {path!r}")
+    return posixpath.normpath(path)
+
+
+@dataclass(frozen=True)
+class FileVersion:
+    """One committed version of a file: its SN and metadata."""
+
+    path: str
+    version: int
+    sn: int
+    size: int
+    created_at: float
+    policy: str
+
+
+@dataclass(frozen=True)
+class VerifiedFile:
+    """A fully verified read: content plus its provenance."""
+
+    path: str
+    version: int
+    sn: int
+    content: bytes
+    weakly_signed: bool
+
+
+class WormFileSystem:
+    """A versioned compliance file system over one Strong WORM store."""
+
+    def __init__(self, store: StrongWormStore,
+                 default_policy: str = "default") -> None:
+        self._store = store
+        self._default_policy = default_policy
+        # path -> list of FileVersion (version i at index i-1)
+        self._versions: Dict[str, List[FileVersion]] = {}
+        self._unlinked: Dict[str, float] = {}
+        # directory path -> policy name for its subtree
+        self._dir_policies: Dict[str, str] = {}
+
+    # -- policies --------------------------------------------------------
+
+    def set_directory_policy(self, directory: str, policy: str) -> None:
+        """Bind a regulation policy to a directory subtree."""
+        directory = _normalize(directory)
+        self._store.policies.get(policy)  # validate it exists
+        self._dir_policies[directory] = policy
+
+    def policy_for(self, path: str) -> str:
+        """Resolve the policy governing *path*: nearest ancestor wins."""
+        current = _normalize(path)
+        while True:
+            parent = posixpath.dirname(current)
+            if parent in self._dir_policies:
+                return self._dir_policies[parent]
+            if parent == current:  # reached the root
+                return self._dir_policies.get("/", self._default_policy)
+            current = parent
+
+    # -- header records -----------------------------------------------------
+
+    @staticmethod
+    def _header_bytes(path: str, version: int, size: int) -> bytes:
+        return json.dumps({
+            "magic": _HEADER_MAGIC,
+            "path": path,
+            "version": version,
+            "size": size,
+        }, sort_keys=True).encode("utf-8")
+
+    @staticmethod
+    def _parse_header(raw: bytes) -> dict:
+        try:
+            header = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise VerificationError("file header record is not parseable")
+        if header.get("magic") != _HEADER_MAGIC:
+            raise VerificationError("file header magic mismatch")
+        return header
+
+    # -- writes -----------------------------------------------------------------
+
+    def write(self, path: str, content: bytes,
+              retention_seconds: Optional[float] = None,
+              strength: str = Strength.STRONG) -> FileVersion:
+        """Create the file (or its next version) with *content*.
+
+        The version's VR is ``[header, content]`` so the name binding is
+        covered by datasig.
+        """
+        path = _normalize(path)
+        policy = self.policy_for(path)
+        version = len(self._versions.get(path, ())) + 1
+        header = self._header_bytes(path, version, len(content))
+        receipt = self._store.write(
+            [header, content], policy=policy,
+            retention_seconds=retention_seconds, strength=strength)
+        entry = FileVersion(path=path, version=version, sn=receipt.sn,
+                            size=len(content), created_at=self._store.now,
+                            policy=policy)
+        self._versions.setdefault(path, []).append(entry)
+        self._unlinked.pop(path, None)
+        return entry
+
+    def append(self, path: str, content: bytes,
+               retention_seconds: Optional[float] = None,
+               strength: str = Strength.STRONG) -> FileVersion:
+        """Append to a file by sharing its previous records (§4.2 VRs).
+
+        The new version's VR references the previous version's *content*
+        records in place and adds one record for the appended bytes, so
+        the store holds the old bytes exactly once.  Appending to a
+        missing or *unlinked* path starts a fresh file (matching
+        :meth:`write`'s relink semantics) — unlinked history never bleeds
+        into new content.
+        """
+        path = _normalize(path)
+        history = self._versions.get(path)
+        if not history or path in self._unlinked:
+            return self.write(path, content,
+                              retention_seconds=retention_seconds,
+                              strength=strength)
+        previous = history[-1]
+        prev_vrd = self._store.vrdt.get_active(previous.sn)
+        if prev_vrd is None:
+            raise _PathError(f"previous version of {path} has expired")
+        shared = prev_vrd.rdl[1:]  # skip the old header record
+        version = previous.version + 1
+        new_size = previous.size + len(content)
+        header = self._header_bytes(path, version, new_size)
+        policy = self.policy_for(path)
+        # Ordered VR: fresh header, the previous content records shared
+        # in place, then one new record with the appended bytes.  The
+        # chained data hash covers the logical byte order.
+        receipt = self._store.write(
+            [header, *shared, content], policy=policy,
+            retention_seconds=retention_seconds, strength=strength)
+        entry = FileVersion(path=path, version=version, sn=receipt.sn,
+                            size=new_size, created_at=self._store.now,
+                            policy=policy)
+        history.append(entry)
+        self._unlinked.pop(path, None)
+        return entry
+
+    def rename(self, old_path: str, new_path: str,
+               retention_seconds: Optional[float] = None,
+               strength: str = Strength.STRONG) -> FileVersion:
+        """Move a file: a new name binding sharing the same content records.
+
+        WORM renames cannot relabel history: the old path's versions stay
+        where they are (auditable forever); the new path gets version 1
+        with a fresh signed header binding the *new* name to the shared
+        content records — one small header write and one witness pair,
+        not a copy.  The old path is then unlinked from the namespace.
+        """
+        old_path = _normalize(old_path)
+        new_path = _normalize(new_path)
+        if new_path in self._versions and new_path not in self._unlinked:
+            raise _PathError(f"target exists: {new_path}")
+        current = self._resolve(old_path, None)
+        vrd = self._store.vrdt.get_active(current.sn)
+        if vrd is None:
+            raise _PathError(f"{old_path} has expired")
+        content_rds = vrd.rdl[1:]
+        version = len(self._versions.get(new_path, ())) + 1
+        header = self._header_bytes(new_path, version, current.size)
+        policy = self.policy_for(new_path)
+        receipt = self._store.write(
+            [header, *content_rds], policy=policy,
+            retention_seconds=retention_seconds, strength=strength)
+        entry = FileVersion(path=new_path, version=version, sn=receipt.sn,
+                            size=current.size, created_at=self._store.now,
+                            policy=policy)
+        self._versions.setdefault(new_path, []).append(entry)
+        self._unlinked.pop(new_path, None)
+        self.unlink(old_path)
+        return entry
+
+    # -- reads ---------------------------------------------------------------------
+
+    def read(self, path: str, version: Optional[int] = None) -> bytes:
+        """Read a file version's content (unverified fast path)."""
+        entry = self._resolve(path, version)
+        result = self._store.read(entry.sn)
+        if result.status != "active":
+            raise _PathError(f"{path} v{entry.version} is {result.status}")
+        return b"".join(result.records[1:])
+
+    def verified_read(self, client: WormClient, path: str,
+                      version: Optional[int] = None) -> VerifiedFile:
+        """Read and verify: signatures, and the signed name binding."""
+        path = _normalize(path)
+        entry = self._resolve(path, version)
+        result = self._store.read(entry.sn)
+        verified = client.verify_read(result, entry.sn)
+        if verified.status != "active":
+            raise _PathError(f"{path} v{entry.version} is {verified.status}")
+        header = self._parse_header(result.records[0])
+        content = b"".join(result.records[1:])
+        if header["path"] != path:
+            raise VerificationError(
+                f"record served for {path!r} is signed as {header['path']!r} "
+                "(namespace remap detected)")
+        if header["version"] != entry.version:
+            raise VerificationError(
+                f"{path}: version {entry.version} requested but record is "
+                f"signed as version {header['version']} (rollback detected)")
+        if header["size"] != len(content):
+            raise VerificationError(f"{path}: content length mismatch")
+        return VerifiedFile(path=path, version=entry.version, sn=entry.sn,
+                            content=content,
+                            weakly_signed=verified.weakly_signed)
+
+    def _resolve(self, path: str, version: Optional[int]) -> FileVersion:
+        path = _normalize(path)
+        history = self._versions.get(path)
+        if not history:
+            raise _PathError(f"no such file: {path}")
+        if path in self._unlinked and version is None:
+            raise _PathError(f"file is unlinked: {path}")
+        if version is None:
+            return history[-1]
+        if not 1 <= version <= len(history):
+            raise _PathError(f"{path} has no version {version}")
+        return history[version - 1]
+
+    # -- namespace --------------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        path = _normalize(path)
+        return path in self._versions and path not in self._unlinked
+
+    def versions(self, path: str) -> Tuple[FileVersion, ...]:
+        """Full version history (available even after unlink — WORM)."""
+        return tuple(self._versions.get(_normalize(path), ()))
+
+    def stat(self, path: str) -> FileVersion:
+        """Metadata of the current version."""
+        return self._resolve(path, None)
+
+    def listdir(self, directory: str) -> List[str]:
+        """Immediate children (files and sub-directories) of *directory*."""
+        directory = _normalize(directory)
+        prefix = directory if directory.endswith("/") else directory + "/"
+        if directory == "/":
+            prefix = "/"
+        children = set()
+        for path in self._versions:
+            if path in self._unlinked:
+                continue
+            if not path.startswith(prefix):
+                continue
+            rest = path[len(prefix):]
+            children.add(rest.split("/", 1)[0])
+        return sorted(children)
+
+    def unlink(self, path: str) -> None:
+        """Hide *path* from the namespace (records remain until expiry)."""
+        path = _normalize(path)
+        if path not in self._versions:
+            raise _PathError(f"no such file: {path}")
+        if path in self._unlinked:
+            raise _PathError(f"already unlinked: {path}")
+        self._unlinked[path] = self._store.now
+
+    def walk(self) -> List[str]:
+        """Every linked path, sorted."""
+        return sorted(p for p in self._versions if p not in self._unlinked)
+
+    # -- persistence (the namespace index is ordinary untrusted state) -------
+
+    def to_dict(self) -> dict:
+        """Serialize the namespace index (for the CLI's state file)."""
+        return {
+            "default_policy": self._default_policy,
+            "versions": {
+                path: [
+                    {"version": v.version, "sn": v.sn, "size": v.size,
+                     "created_at": v.created_at, "policy": v.policy}
+                    for v in history
+                ]
+                for path, history in self._versions.items()
+            },
+            "unlinked": dict(self._unlinked),
+            "dir_policies": dict(self._dir_policies),
+        }
+
+    @classmethod
+    def from_dict(cls, store: StrongWormStore, data: dict) -> "WormFileSystem":
+        """Rebuild a namespace index over *store* from :meth:`to_dict`."""
+        fs = cls(store, default_policy=data.get("default_policy", "default"))
+        for path, history in data.get("versions", {}).items():
+            fs._versions[path] = [
+                FileVersion(path=path, version=int(v["version"]),
+                            sn=int(v["sn"]), size=int(v["size"]),
+                            created_at=float(v["created_at"]),
+                            policy=v["policy"])
+                for v in history
+            ]
+        fs._unlinked = {p: float(t) for p, t in data.get("unlinked", {}).items()}
+        fs._dir_policies = dict(data.get("dir_policies", {}))
+        return fs

@@ -1,0 +1,62 @@
+"""A Common Cryptographic Architecture (CCA)-style facade over the SCPU.
+
+The IBM 4764 is "compatible with the IBM Common Cryptographic Architecture
+(CCA) API", which exposes cryptographic services as named verbs (§2.2).
+This facade mirrors the small subset the WORM firmware needs, under their
+traditional CCA verb names, so the code reads like what actually runs on
+the card:
+
+* ``CSNBRNG`` — random number generate,
+* ``CSNBOWH`` — one-way hash,
+* ``CSNDDSG`` — digital signature generate,
+* ``CSNDDSV`` — digital signature verify,
+* ``CSNBCTT`` — clock read (non-standard shorthand for the RTC service).
+
+The facade is deliberately thin: it validates arguments, defers to the
+:class:`~repro.hardware.scpu.SecureCoprocessor`, and preserves the tamper
+gate (all verbs fail after zeroization).
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Iterable, Tuple
+
+from repro.crypto.envelope import SignedEnvelope
+from repro.hardware.scpu import SecureCoprocessor, Strength
+
+__all__ = ["CcaFacade"]
+
+
+class CcaFacade:
+    """CCA-verb view of one secure coprocessor."""
+
+    def __init__(self, scpu: SecureCoprocessor) -> None:
+        self._scpu = scpu
+
+    def csnbrng(self, nbytes: int = 32) -> bytes:
+        """Random Number Generate: *nbytes* of enclosure-grade randomness."""
+        self._scpu.tamper.check()
+        if not 1 <= nbytes <= 8192:
+            raise ValueError("CSNBRNG supports 1..8192 bytes per call")
+        self._scpu.meter.charge("rng", 1e-5)
+        return secrets.token_bytes(nbytes)
+
+    def csnbowh(self, chunks: Iterable[bytes]) -> bytes:
+        """One-Way Hash over record data (chained, inside the enclosure)."""
+        return self._scpu.hash_record_data(chunks)
+
+    def csnddsg(self, sn: int, attr_bytes: bytes, data_hash: bytes,
+                strength: str = Strength.STRONG
+                ) -> Tuple[SignedEnvelope, SignedEnvelope]:
+        """Digital Signature Generate: the write-witness pair."""
+        return self._scpu.witness_write(sn, attr_bytes, data_hash, strength=strength)
+
+    def csnddsv(self, signed: SignedEnvelope, public_key) -> bool:
+        """Digital Signature Verify (inside the enclosure)."""
+        return self._scpu.verify_envelope(signed, public_key)
+
+    def csnbctt(self) -> float:
+        """Read the battery-backed tamper-protected clock."""
+        self._scpu.tamper.check()
+        return self._scpu.now

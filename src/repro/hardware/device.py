@@ -1,0 +1,120 @@
+"""Device plumbing: operation metering and timed resource adapters.
+
+The functional layer (crypto, WORM logic) and the timing layer (discrete-
+event simulation) are deliberately decoupled:
+
+* every functional device operation reports its *virtual cost* in seconds
+  (from the Table 2 calibration) into an :class:`OpMeter`;
+* simulation drivers replay those costs onto :class:`TimedDevice` objects
+  — FIFO resources in a :class:`~repro.sim.engine.Simulator` — so
+  queueing and contention determine throughput.
+
+This keeps unit tests of protocol logic free of simulator machinery while
+making benchmark timing a faithful queueing model rather than wall-clock
+noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Tuple
+
+from repro.sim.engine import Simulator
+
+__all__ = ["OpMeter", "OpRecord", "TimedDevice"]
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One metered operation: its name and virtual-time cost in seconds."""
+
+    name: str
+    seconds: float
+
+
+class OpMeter:
+    """Accumulates the virtual cost of operations on one device.
+
+    ``checkpoint()``/``delta()`` let callers measure the cost of a
+    protocol step that spans several device operations (e.g., one WORM
+    write = DMA + hash + two signatures).
+    """
+
+    def __init__(self) -> None:
+        self._records: List[OpRecord] = []
+        self._total = 0.0
+
+    def charge(self, name: str, seconds: float) -> float:
+        """Record an operation; returns *seconds* for call-site chaining."""
+        if seconds < 0:
+            raise ValueError(f"negative cost for {name}: {seconds}")
+        self._records.append(OpRecord(name, seconds))
+        self._total += seconds
+        return seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Total virtual seconds charged since construction."""
+        return self._total
+
+    @property
+    def operation_count(self) -> int:
+        return len(self._records)
+
+    def checkpoint(self) -> float:
+        """Opaque marker for :meth:`delta`."""
+        return self._total
+
+    def delta(self, checkpoint: float) -> float:
+        """Virtual seconds charged since *checkpoint*."""
+        return self._total - checkpoint
+
+    def by_operation(self) -> Dict[str, float]:
+        """Total seconds grouped by operation name."""
+        grouped: Dict[str, float] = {}
+        for record in self._records:
+            grouped[record.name] = grouped.get(record.name, 0.0) + record.seconds
+        return grouped
+
+    def reset(self) -> None:
+        """Clear all records (benchmark warm-up boundaries)."""
+        self._records.clear()
+        self._total = 0.0
+
+
+class TimedDevice:
+    """A device as a FIFO simulation resource.
+
+    ``capacity`` > 1 models a pool (e.g., several SCPUs — the paper notes
+    results "naturally scale if multiple SCPUs are available").
+    """
+
+    def __init__(self, sim: Simulator, name: str, capacity: int = 1) -> None:
+        self.sim = sim
+        self.name = name
+        self.resource = sim.resource(capacity=capacity, name=name)
+
+    @property
+    def capacity(self) -> int:
+        return self.resource.capacity
+
+    def use(self, seconds: float) -> Generator:
+        """Process-generator: hold one device slot for *seconds*.
+
+        Zero-cost operations skip the queue entirely (no device involved).
+        Usage: ``yield from device.use(cost)``.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative service time: {seconds}")
+        if seconds == 0.0:
+            return
+        request = self.resource.request()
+        yield request
+        try:
+            yield self.sim.timeout(seconds)
+        finally:
+            self.resource.release(request)
+
+    def utilization(self, elapsed: float) -> float:
+        """Busy fraction over *elapsed* virtual seconds."""
+        return self.resource.utilization(elapsed)

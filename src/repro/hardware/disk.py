@@ -1,0 +1,34 @@
+"""Disk cost model — the I/O bottleneck comparison of §5.
+
+The paper closes its evaluation noting that "typical high-speed enterprise
+disks feature 3-4ms+ latencies for individual block disk access, twice the
+projected average SCPU overheads", so disk I/O — not the WORM layer — is
+the expected operational bottleneck.  :class:`DiskDevice` charges
+positioning + transfer costs so the benchmark harness can reproduce that
+latency decomposition.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.calibration import ENTERPRISE_DISK, DiskProfile
+from repro.hardware.device import OpMeter
+
+__all__ = ["DiskDevice"]
+
+
+class DiskDevice:
+    """One rotating disk with seek/rotational/transfer cost accounting."""
+
+    def __init__(self, profile: DiskProfile = ENTERPRISE_DISK) -> None:
+        self.profile = profile
+        self.meter = OpMeter()
+
+    def write(self, nbytes: int, sequential: bool = False) -> float:
+        """Charge one write access; returns the virtual cost in seconds."""
+        return self.meter.charge(
+            "disk_write", self.profile.access_seconds(nbytes, sequential=sequential))
+
+    def read(self, nbytes: int, sequential: bool = False) -> float:
+        """Charge one read access; returns the virtual cost in seconds."""
+        return self.meter.charge(
+            "disk_read", self.profile.access_seconds(nbytes, sequential=sequential))

@@ -1,0 +1,214 @@
+"""Multi-SCPU pools — §5: "results naturally scale if multiple SCPUs...".
+
+A busy store can install several coprocessors on the PCI-X bus.  The
+cards share the store's protocol keys (provisioned identically inside
+each enclosure at deployment), so any card's signature verifies under the
+one published certificate set.  What must stay *single-writer* is the
+serial-number counter — SNs have to be system-wide unique, consecutive
+and monotonic for the window scheme to work — so the pool designates
+card 0 as the SN authority (counter bumps are microsecond NVRAM touches,
+never the bottleneck) and round-robins the expensive work (signing,
+hashing, verification) across all cards.
+
+:class:`ScpuPool` exposes the same service surface as a single
+:class:`~repro.hardware.scpu.SecureCoprocessor`, so
+:class:`~repro.core.worm.StrongWormStore` can be constructed over a pool
+unchanged; its aggregate :class:`~repro.hardware.device.OpMeter` views
+let benchmarks attribute cost per card.  For queueing simulations, the
+pool's size maps to ``TimedDevice(capacity=n)``.
+
+A tamper event on *any* card zeroizes that card only; the pool stays
+operational on the survivors (the keys live in every enclosure), and the
+event is visible via :attr:`tampered_cards` for the operator's incident
+response.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.crypto.envelope import SignedEnvelope
+from repro.crypto.keys import Certificate, CertificateAuthority
+from repro.hardware.scpu import ScpuKeyring, SecureCoprocessor, Strength
+from repro.hardware.tamper import TamperedError
+
+__all__ = ["ScpuPool"]
+
+
+class ScpuPool:
+    """N secure coprocessors sharing one keyring and one SN authority."""
+
+    def __init__(self, cards: Sequence[SecureCoprocessor]) -> None:
+        if not cards:
+            raise ValueError("a pool needs at least one card")
+        fingerprints = {
+            card._keys_or_die().s_key.fingerprint for card in cards
+        }
+        if len(fingerprints) != 1:
+            raise ValueError("pool cards must share one provisioned keyring")
+        self._cards = list(cards)
+        self._next = 0
+
+    @classmethod
+    def build(cls, size: int, keyring: Optional[ScpuKeyring] = None,
+              clock: Optional[object] = None, **scpu_kwargs) -> "ScpuPool":
+        """Provision *size* cards with one shared keyring and clock."""
+        if keyring is None:
+            keyring = ScpuKeyring.generate()
+        cards = [SecureCoprocessor(keyring=keyring, clock=clock, **scpu_kwargs)
+                 for _ in range(size)]
+        return cls(cards)
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._cards)
+
+    @property
+    def cards(self) -> Tuple[SecureCoprocessor, ...]:
+        return tuple(self._cards)
+
+    @property
+    def tampered_cards(self) -> List[int]:
+        """Indices of cards whose enclosures have been breached."""
+        return [i for i, card in enumerate(self._cards) if card.tamper.tripped]
+
+    def _authority(self) -> SecureCoprocessor:
+        """The SN-issuing card: the lowest-index live card."""
+        for card in self._cards:
+            if not card.tamper.tripped:
+                return card
+        raise TamperedError("every card in the pool has been destroyed")
+
+    def _worker(self) -> SecureCoprocessor:
+        """Round-robin over live cards for the expensive operations."""
+        for _ in range(len(self._cards)):
+            card = self._cards[self._next % len(self._cards)]
+            self._next += 1
+            if not card.tamper.tripped:
+                return card
+        raise TamperedError("every card in the pool has been destroyed")
+
+    # -- the SecureCoprocessor service surface --------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._authority().now
+
+    @property
+    def clock(self):
+        return self._authority().clock
+
+    @property
+    def profile(self):
+        return self._authority().profile
+
+    @property
+    def hash_block_size(self) -> int:
+        return self._authority().hash_block_size
+
+    @property
+    def tamper(self):
+        """The authority card's tamper responder (pool-level trips are
+        per-card; see :attr:`tampered_cards`)."""
+        return self._authority().tamper
+
+    @property
+    def meter(self):
+        """The authority card's meter — see :meth:`total_cost_seconds` for
+        the pool aggregate."""
+        return self._authority().meter
+
+    def total_cost_seconds(self) -> float:
+        """Aggregate virtual seconds across every card in the pool."""
+        return sum(card.meter.total_seconds for card in self._cards)
+
+    def per_card_cost_seconds(self) -> List[float]:
+        return [card.meter.total_seconds for card in self._cards]
+
+    # serial numbers: single authority
+    def issue_serial_number(self) -> int:
+        return self._authority().issue_serial_number()
+
+    @property
+    def current_serial_number(self) -> int:
+        return self._authority().current_serial_number
+
+    @property
+    def sn_base(self) -> int:
+        return self._authority().sn_base
+
+    def advance_sn_base(self, new_base, proofs, windows=()):
+        return self._authority().advance_sn_base(new_base, proofs, windows)
+
+    # expensive work: round-robin
+    def hash_record_data(self, chunks: Iterable[bytes]) -> bytes:
+        return self._worker().hash_record_data(chunks)
+
+    def verify_deferred_hash(self, chunks: Iterable[bytes], claimed: bytes) -> bool:
+        return self._worker().verify_deferred_hash(chunks, claimed)
+
+    def witness_write(self, sn: int, attr_bytes: bytes, data_hash: bytes,
+                      strength: str = Strength.STRONG):
+        return self._worker().witness_write(sn, attr_bytes, data_hash,
+                                            strength=strength)
+
+    def strengthen(self, signed: SignedEnvelope) -> SignedEnvelope:
+        return self._worker().strengthen(signed)
+
+    def verify_own_hmac(self, signed: SignedEnvelope) -> bool:
+        return self._worker().verify_own_hmac(signed)
+
+    def verify_envelope(self, signed: SignedEnvelope, public_key) -> bool:
+        return self._worker().verify_envelope(signed, public_key)
+
+    def resign_metadata(self, sn: int, attr_bytes: bytes) -> SignedEnvelope:
+        return self._worker().resign_metadata(sn, attr_bytes)
+
+    def make_deletion_proof(self, sn: int) -> SignedEnvelope:
+        return self._worker().make_deletion_proof(sn)
+
+    def compact_deletion_window(self, low_sn: int, high_sn: int, proofs):
+        return self._worker().compact_deletion_window(low_sn, high_sn, proofs)
+
+    def sign_sn_current(self, sn_current: int) -> SignedEnvelope:
+        return self._worker().sign_sn_current(sn_current)
+
+    def sign_sn_base(self, validity_seconds: float = 24 * 3600.0) -> SignedEnvelope:
+        return self._authority().sign_sn_base(validity_seconds)
+
+    def verify_regulator_credential(self, credential, regulator_key, sn,
+                                    max_age_seconds: float = 24 * 3600.0) -> bool:
+        return self._worker().verify_regulator_credential(
+            credential, regulator_key, sn, max_age_seconds=max_age_seconds)
+
+    def sign_migration_manifest(self, manifest_hash: bytes, record_count: int,
+                                sn_base: int, sn_current: int) -> SignedEnvelope:
+        return self._authority().sign_migration_manifest(
+            manifest_hash, record_count, sn_base, sn_current)
+
+    def public_keys(self) -> Dict[str, object]:
+        return self._authority().public_keys()
+
+    def certify_with(self, ca: CertificateAuthority) -> Dict[str, Certificate]:
+        return self._authority().certify_with(ca)
+
+    def rotate_burst_key(self, ca: Optional[CertificateAuthority] = None,
+                         weak_bits: int = 512):
+        """Rotate the shared burst key on every live card in lock-step."""
+        cert = None
+        # All cards share the keyring object, so one rotation suffices —
+        # but each card must retire the old fingerprint locally.
+        keyring = self._authority()._keys_or_die()
+        old_fp = keyring.burst_key.fingerprint
+        cert = self._authority().rotate_burst_key(ca, weak_bits=weak_bits)
+        for card in self._cards:
+            if card.tamper.tripped or card is self._authority():
+                continue
+            if old_fp not in card._retired_burst_fingerprints:
+                card._retired_burst_fingerprints.append(old_fp)
+        return cert
+
+    def _keys_or_die(self):
+        return self._authority()._keys_or_die()

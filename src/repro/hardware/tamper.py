@@ -1,0 +1,63 @@
+"""Tamper-response state machine of the FIPS 140-2 Level 4 enclosure.
+
+The IBM 4764 "destroys internal state (in a process powered by internal
+long-term batteries) and shuts down" when physically attacked (§2.2).
+:class:`TamperResponder` models that: it owns the sensitive-state
+registry, and a tamper event zeroizes everything and latches the device
+into a permanently dead state.  The adversary package calls
+:meth:`trip` to model a physical attack; every subsequent SCPU service
+raises :class:`TamperedError` — exactly the fail-safe the certification
+mandates (an attacked device yields no secrets and no further signatures,
+it does not yield *wrong* ones).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+__all__ = ["TamperedError", "TamperResponder"]
+
+
+class TamperedError(Exception):
+    """Raised by any SCPU service invoked after the enclosure was breached."""
+
+
+class TamperResponder:
+    """Owns zeroizable state and the tripped/armed latch.
+
+    Components register zeroization callbacks; :meth:`trip` runs them all
+    (battery-powered — works even with external power cut) and latches.
+    """
+
+    def __init__(self) -> None:
+        self._zeroizers: List[Callable[[], None]] = []
+        self._tripped = False
+        self._trip_count = 0
+
+    @property
+    def tripped(self) -> bool:
+        """True once the enclosure has been breached."""
+        return self._tripped
+
+    @property
+    def trip_count(self) -> int:
+        """Number of tamper events observed (idempotent trips count once)."""
+        return self._trip_count
+
+    def register_zeroizer(self, callback: Callable[[], None]) -> None:
+        """Register a callback that destroys one piece of sensitive state."""
+        self._zeroizers.append(callback)
+
+    def trip(self) -> None:
+        """A physical attack: zeroize all registered state and latch dead."""
+        if self._tripped:
+            return
+        self._tripped = True
+        self._trip_count += 1
+        for zeroize in self._zeroizers:
+            zeroize()
+
+    def check(self) -> None:
+        """Gate called at the top of every SCPU service entry point."""
+        if self._tripped:
+            raise TamperedError("secure coprocessor has zeroized and shut down")

@@ -1,0 +1,51 @@
+"""Discrete-event simulation substrate (virtual time, workloads, metrics)."""
+
+from repro.sim.clock import ScpuClock, SimulationClock
+from repro.sim.engine import (Event, Interrupt, Process, Resource,
+                              Simulator, all_of, any_of)
+from repro.sim.metrics import (
+    MetricsCollector,
+    RequestSample,
+    format_table,
+    summarize_latencies,
+)
+from repro.sim.workload import (
+    BurstArrivals,
+    DiurnalArrivals,
+    ClosedLoopArrivals,
+    EmailMixSize,
+    FixedSize,
+    LognormalSize,
+    MixedWorkload,
+    PoissonArrivals,
+    RetentionSampler,
+    UniformSize,
+    WorkRequest,
+)
+
+__all__ = [
+    "ScpuClock",
+    "SimulationClock",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Simulator",
+    "all_of",
+    "any_of",
+    "MetricsCollector",
+    "RequestSample",
+    "format_table",
+    "summarize_latencies",
+    "BurstArrivals",
+    "ClosedLoopArrivals",
+    "DiurnalArrivals",
+    "EmailMixSize",
+    "FixedSize",
+    "LognormalSize",
+    "MixedWorkload",
+    "PoissonArrivals",
+    "RetentionSampler",
+    "UniformSize",
+    "WorkRequest",
+]

@@ -1,0 +1,77 @@
+"""Virtual clocks for the discrete-event simulation.
+
+All performance results in this reproduction are measured in *virtual
+time*: devices charge service durations taken from the paper's Table 2
+calibration, so throughput curves depend on the modelled hardware, not on
+the machine running the simulation.
+
+Two clock flavours exist:
+
+* :class:`SimulationClock` — the global simulation clock, advanced only by
+  the event engine;
+* :class:`ScpuClock` — the SCPU's internal tamper-protected clock (§2.2's
+  "note on timestamps").  It reads the simulation clock through a small
+  configurable drift, letting tests exercise the client's freshness-window
+  tolerance ("the client will not accept values older than a few
+  minutes").
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimulationClock", "ScpuClock", "SystemClock"]
+
+
+class SystemClock:
+    """Wall-clock time — used by the CLI's persistent stores.
+
+    Battery-backed SCPU clocks track real time across power cycles; this
+    clock source does the same for the on-disk demo deployment.
+    """
+
+    @property
+    def now(self) -> float:
+        import time
+        return time.time()
+
+
+class SimulationClock:
+    """The master virtual clock.  Only the event engine may advance it."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def _advance_to(self, t: float) -> None:
+        """Advance to absolute time *t* (engine-internal; never backwards)."""
+        if t < self._now:
+            raise ValueError(f"clock cannot move backwards ({t} < {self._now})")
+        self._now = t
+
+
+class ScpuClock:
+    """The SCPU's internal clock: accurate, tamper-protected, maybe drifty.
+
+    ``drift_rate`` expresses seconds of drift per second of real time
+    (e.g. ``1e-6`` is one microsecond per second); FIPS-certified devices
+    keep this tiny, but exposing it lets the test suite check that the
+    freshness window tolerates realistic drift and rejects implausible
+    skews.
+    """
+
+    def __init__(self, source: SimulationClock, drift_rate: float = 0.0,
+                 offset: float = 0.0) -> None:
+        if abs(drift_rate) >= 0.01:
+            raise ValueError("drift_rate beyond 1% is not a clock, it's a fault")
+        self._source = source
+        self._drift_rate = drift_rate
+        self._offset = offset
+
+    @property
+    def now(self) -> float:
+        """SCPU-local time: source time plus accumulated drift and offset."""
+        t = self._source.now
+        return t + self._offset + self._drift_rate * t

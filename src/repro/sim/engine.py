@@ -1,0 +1,361 @@
+"""A small discrete-event simulation engine (generator-based processes).
+
+The throughput evaluation (Figure 1 and the burst/idle experiments) needs
+a queueing simulation: writers arrive, contend for the SCPU (a slow serial
+resource), the host CPU, the PCI-X bus and the disk, and we measure the
+sustained rate in virtual time.  This engine provides the usual
+process-interaction primitives, in the style of SimPy but self-contained:
+
+* :class:`Simulator` — event loop over a binary heap of timestamped events;
+* :class:`Event` — one-shot triggerable with callbacks and a value;
+* ``Simulator.timeout(delay)`` — an event that fires after virtual *delay*;
+* :class:`Process` — wraps a generator; each ``yield event`` suspends the
+  process until the event fires (the event's value is sent back in);
+* :class:`Resource` — a FIFO server pool with ``capacity`` slots, used to
+  model the SCPU (capacity = number of coprocessors), the disk, and the
+  bus.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim):
+...     yield sim.timeout(2.0)
+...     log.append(sim.now)
+>>> _ = sim.process(worker(sim))
+>>> sim.run()
+>>> log
+[2.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.clock import SimulationClock
+
+__all__ = ["Simulator", "Event", "Process", "Resource", "Interrupt",
+           "all_of", "any_of"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Events move through three states: pending → triggered (scheduled on
+    the heap) → processed (callbacks ran).  ``succeed(value)`` triggers
+    immediately at the current simulation time.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self.value: Any = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now, delivering *value* to waiters."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self.value = value
+        self._triggered = True
+        self.sim._schedule(self.sim.now, self)
+        return self
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process itself is an event that fires (with the generator's return
+    value) when the generator finishes, so processes can wait on each
+    other: ``yield sim.process(child(sim))``.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator) -> None:
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off on a zero-delay event so creation order doesn't matter.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point.
+
+        Used by the Retention Monitor: when a record with an earlier
+        expiration arrives, the sleeping monitor is interrupted so it can
+        re-arm its alarm (§4.2.2).  Detaching from the awaited event first
+        prevents a double resume when that event later fires.
+        """
+        if self._triggered:
+            return
+        if self._waiting_on is not None:
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        event = Event(self.sim)
+        event.callbacks.append(lambda ev: self._throw(Interrupt(cause)))
+        event.succeed(None)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self._triggered:
+            return
+        try:
+            next_event = self._generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException:
+            self._finish(None)
+            raise
+        self._wait_on(next_event)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        try:
+            next_event = self._generator.send(event.value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(next_event)
+
+    def _wait_on(self, event: Event) -> None:
+        if not isinstance(event, Event):
+            raise TypeError(f"process yielded a non-event: {event!r}")
+        if event._processed:
+            # Already fired — resume on a fresh zero-delay event carrying
+            # the same value (avoids re-running old callbacks).
+            relay = Event(self.sim)
+            relay.value = event.value
+            relay.callbacks.append(self._resume)
+            relay._triggered = True
+            self.sim._schedule(self.sim.now, relay)
+            self._waiting_on = relay
+            return
+        event.callbacks.append(self._resume)
+        self._waiting_on = event
+
+    def _finish(self, value: Any) -> None:
+        self.value = value
+        self._triggered = True
+        self.sim._schedule(self.sim.now, self)
+
+
+class _ResourceRequest(Event):
+    """Grant event for one slot of a :class:`Resource`."""
+
+    def __init__(self, sim: "Simulator", resource: "Resource") -> None:
+        super().__init__(sim)
+        self.resource = resource
+
+
+class Resource:
+    """A FIFO multi-server resource (e.g., the SCPU pool, the disk).
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req                      # waits until a slot is granted
+        yield sim.timeout(service)     # hold the slot for the service time
+        resource.release(req)
+
+    Statistics: ``total_busy_time`` accumulates slot-seconds of service,
+    letting benchmarks report device utilization.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._queue: List[_ResourceRequest] = []
+        self._in_use = 0
+        self._grant_times: dict = {}
+        self.total_busy_time = 0.0
+        self.total_requests = 0
+
+    @property
+    def in_use(self) -> int:
+        """Slots currently granted."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> _ResourceRequest:
+        """Ask for a slot; the returned event fires when granted."""
+        req = _ResourceRequest(self.sim, self)
+        self.total_requests += 1
+        if self._in_use < self.capacity:
+            self._grant(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def _grant(self, req: _ResourceRequest) -> None:
+        self._in_use += 1
+        self._grant_times[id(req)] = self.sim.now
+        req.succeed(req)
+
+    def release(self, req: _ResourceRequest) -> None:
+        """Return a previously granted slot; wakes the next waiter."""
+        granted_at = self._grant_times.pop(id(req), None)
+        if granted_at is None:
+            raise RuntimeError("releasing a request that was never granted")
+        self.total_busy_time += self.sim.now - granted_at
+        self._in_use -= 1
+        if self._queue:
+            self._grant(self._queue.pop(0))
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of slot-capacity busy over *elapsed* virtual seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.total_busy_time / (elapsed * self.capacity)
+
+
+def all_of(sim: "Simulator", events) -> Event:
+    """An event that fires when *every* input event has fired.
+
+    Its value is the list of the input events' values, in input order.
+    Useful for barrier-style joins: ``yield all_of(sim, [p1, p2, p3])``.
+    """
+    events = list(events)
+    gate = Event(sim)
+    remaining = [len(events)]
+    values = [None] * len(events)
+    if not events:
+        return gate.succeed([])
+
+    def arm(index: int, event: Event) -> None:
+        def on_fire(fired: Event) -> None:
+            values[index] = fired.value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                gate.succeed(list(values))
+        if event._processed:
+            on_fire(event)
+        else:
+            event.callbacks.append(on_fire)
+
+    for index, event in enumerate(events):
+        arm(index, event)
+    return gate
+
+
+def any_of(sim: "Simulator", events) -> Event:
+    """An event that fires with the *first* input event to fire.
+
+    Its value is ``(index, value)`` of the winner.  Ideal for
+    timeout-vs-completion races:
+    ``winner, _ = yield any_of(sim, [work, sim.timeout(deadline)])``.
+    """
+    events = list(events)
+    if not events:
+        raise ValueError("any_of needs at least one event")
+    gate = Event(sim)
+    done = [False]
+
+    def arm(index: int, event: Event) -> None:
+        def on_fire(fired: Event) -> None:
+            if done[0]:
+                return
+            done[0] = True
+            gate.succeed((index, fired.value))
+        if event._processed:
+            on_fire(event)
+        else:
+            event.callbacks.append(on_fire)
+
+    for index, event in enumerate(events):
+        arm(index, event)
+    return gate
+
+
+class Simulator:
+    """The discrete-event loop: a heap of (time, tiebreak, event)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = SimulationClock(start)
+        self._heap: List = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now
+
+    def _schedule(self, at: float, event: Event) -> None:
+        heapq.heappush(self._heap, (at, next(self._counter), event))
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires *delay* virtual seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        event = Event(self)
+        event.value = value
+        event._triggered = True
+        self._schedule(self.now + delay, event)
+        return event
+
+    def event(self) -> Event:
+        """A bare event the caller triggers manually with ``succeed``."""
+        return Event(self)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from *generator*."""
+        return Process(self, generator)
+
+    def resource(self, capacity: int = 1, name: str = "") -> Resource:
+        """Create a FIFO resource bound to this simulator."""
+        return Resource(self, capacity=capacity, name=name)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or virtual time reaches *until*."""
+        while self._heap:
+            at, _, event = self._heap[0]
+            if until is not None and at > until:
+                self.clock._advance_to(until)
+                return
+            heapq.heappop(self._heap)
+            self.clock._advance_to(at)
+            event._processed = True
+            callbacks, event.callbacks = event.callbacks, []
+            for callback in callbacks:
+                callback(event)
+        if until is not None and until > self.now:
+            self.clock._advance_to(until)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,37 @@
+"""A manually advanced clock for functional (non-simulated) use.
+
+Protocol logic (retention checks, freshness windows, signature lifetimes)
+needs a time source even when no discrete-event simulation is running —
+e.g., in unit tests and the example scripts.  :class:`ManualClock` has the
+same ``.now`` surface as :class:`~repro.sim.clock.SimulationClock` but is
+advanced explicitly by the caller.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ManualClock"]
+
+
+class ManualClock:
+    """A clock the caller advances by hand; never moves backwards."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by *seconds*; returns the new time."""
+        if seconds < 0:
+            raise ValueError("clock cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def set(self, t: float) -> None:
+        """Jump to absolute time *t* (must not be in the past)."""
+        if t < self._now:
+            raise ValueError(f"clock cannot move backwards ({t} < {self._now})")
+        self._now = float(t)

@@ -1,0 +1,128 @@
+"""Metrics collection for throughput/latency evaluation.
+
+Benchmarks report records/second (Figure 1's y-axis), latency percentiles
+and device utilization.  :class:`MetricsCollector` accumulates per-request
+samples in virtual time; :class:`SeriesFormatter` renders the paper-style
+tables the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["RequestSample", "MetricsCollector", "summarize_latencies", "format_table"]
+
+
+@dataclass(frozen=True)
+class RequestSample:
+    """One completed request: kind, arrival/start/finish virtual times."""
+
+    kind: str
+    arrival: float
+    start: float
+    finish: float
+    size: int = 0
+
+    @property
+    def latency(self) -> float:
+        """End-to-end sojourn time (queueing + service)."""
+        return self.finish - self.arrival
+
+    @property
+    def service_time(self) -> float:
+        """Time in service, excluding queueing."""
+        return self.finish - self.start
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile on a pre-sorted sequence."""
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return sorted_values[lower]
+    weight = position - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+
+
+def summarize_latencies(latencies: Sequence[float]) -> Dict[str, float]:
+    """Mean / p50 / p95 / p99 / max of a latency sample set."""
+    if not latencies:
+        return {"mean": float("nan"), "p50": float("nan"), "p95": float("nan"),
+                "p99": float("nan"), "max": float("nan")}
+    ordered = sorted(latencies)
+    return {
+        "mean": sum(ordered) / len(ordered),
+        "p50": _percentile(ordered, 0.50),
+        "p95": _percentile(ordered, 0.95),
+        "p99": _percentile(ordered, 0.99),
+        "max": ordered[-1],
+    }
+
+
+class MetricsCollector:
+    """Accumulates request samples and derives rates and percentiles."""
+
+    def __init__(self) -> None:
+        self._samples: List[RequestSample] = []
+
+    def record(self, sample: RequestSample) -> None:
+        """Add one completed-request sample."""
+        self._samples.append(sample)
+
+    @property
+    def samples(self) -> Tuple[RequestSample, ...]:
+        return tuple(self._samples)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        """Number of samples, optionally filtered by request kind."""
+        if kind is None:
+            return len(self._samples)
+        return sum(1 for s in self._samples if s.kind == kind)
+
+    def throughput(self, kind: Optional[str] = None) -> float:
+        """Completed requests per virtual second over the active span.
+
+        The span runs from the first arrival to the last finish; an empty
+        or instantaneous collection reports 0.
+        """
+        relevant = [s for s in self._samples if kind is None or s.kind == kind]
+        if not relevant:
+            return 0.0
+        span_start = min(s.arrival for s in relevant)
+        span_end = max(s.finish for s in relevant)
+        if span_end <= span_start:
+            return 0.0
+        return len(relevant) / (span_end - span_start)
+
+    def latency_summary(self, kind: Optional[str] = None) -> Dict[str, float]:
+        """Latency percentiles, optionally filtered by kind."""
+        latencies = [s.latency for s in self._samples
+                     if kind is None or s.kind == kind]
+        return summarize_latencies(latencies)
+
+    def bytes_written(self) -> int:
+        """Total payload bytes across write samples."""
+        return sum(s.size for s in self._samples if s.kind == "write")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned plain-text table (benchmark harness output)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    divider = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(divider)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Workload persistence: save and replay request traces (JSONL).
+
+Reproducibility plumbing: any arrival process can be captured to a JSONL
+trace file and replayed later (or on another machine, or against a
+different store configuration) byte-for-byte.  Benchmarking against
+*recorded production traces* is the natural upgrade path from the
+synthetic generators — the format here is what such a recorder would
+emit: one JSON object per line, one line per request.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.sim.workload import WorkRequest
+
+__all__ = ["save_trace", "load_trace", "TraceWorkload"]
+
+
+def _to_line(request: WorkRequest) -> str:
+    record = {"kind": request.kind, "arrival": request.arrival}
+    if request.kind == "write":
+        record["size"] = request.size
+        record["retention"] = request.retention
+    else:
+        record["target_sn"] = request.target_sn
+    return json.dumps(record, sort_keys=True)
+
+
+def _from_line(line: str, lineno: int) -> WorkRequest:
+    try:
+        record = json.loads(line)
+    except ValueError as exc:
+        raise ValueError(f"trace line {lineno}: invalid JSON: {exc}") from None
+    kind = record.get("kind")
+    if kind not in ("write", "read"):
+        raise ValueError(f"trace line {lineno}: unknown kind {kind!r}")
+    arrival = float(record.get("arrival", 0.0))
+    if arrival < 0:
+        raise ValueError(f"trace line {lineno}: negative arrival time")
+    if kind == "write":
+        size = int(record.get("size", 0))
+        if size < 0:
+            raise ValueError(f"trace line {lineno}: negative size")
+        return WorkRequest(kind="write", arrival=arrival, size=size,
+                           retention=float(record.get("retention", 0.0)))
+    return WorkRequest(kind="read", arrival=arrival,
+                       target_sn=int(record.get("target_sn", 0)))
+
+
+def save_trace(requests: Iterable[WorkRequest],
+               path: Union[str, Path]) -> int:
+    """Write a request stream to *path* (JSONL); returns the count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for request in requests:
+            handle.write(_to_line(request) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> List[WorkRequest]:
+    """Load a full trace into memory (validated)."""
+    return list(TraceWorkload(path))
+
+
+class TraceWorkload:
+    """An iterable workload backed by a JSONL trace file.
+
+    Iterating streams the file, so multi-gigabyte traces replay without
+    loading into memory; ordering is validated on the fly (arrivals must
+    be non-decreasing, as any honest recorder produces).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        if not self._path.exists():
+            raise FileNotFoundError(self._path)
+
+    def __iter__(self) -> Iterator[WorkRequest]:
+        last_arrival = 0.0
+        with self._path.open("r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                request = _from_line(line, lineno)
+                if request.arrival < last_arrival:
+                    raise ValueError(
+                        f"trace line {lineno}: arrivals not monotone")
+                last_arrival = request.arrival
+                yield request

@@ -1,0 +1,113 @@
+"""Execution tracing for simulations: per-event timelines, exportable.
+
+Benchmarks report aggregates (throughput, percentiles); debugging a
+queueing model needs the raw timeline — when each request hit each
+device, how long it queued, what the device overlap looked like.
+:class:`TraceRecorder` collects typed events in virtual time and renders
+them as dicts (JSON-ready), a Chrome-trace-compatible list, or a quick
+textual Gantt sketch for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One span: *what* ran *where* from *start* to *end* (virtual s)."""
+
+    name: str
+    category: str
+    start: float
+    end: float
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Accumulates spans; inert (and nearly free) when disabled."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: List[TraceEvent] = []
+
+    def record(self, name: str, category: str, start: float, end: float,
+               **metadata) -> None:
+        """Add one completed span."""
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(f"span ends before it starts: {name}")
+        self._events.append(TraceEvent(name=name, category=category,
+                                       start=start, end=end,
+                                       metadata=dict(metadata)))
+
+    @property
+    def events(self) -> Sequence[TraceEvent]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- queries ---------------------------------------------------------
+
+    def by_category(self, category: str) -> List[TraceEvent]:
+        return [e for e in self._events if e.category == category]
+
+    def busy_seconds(self, category: str) -> float:
+        """Total span time in a category (overlaps counted per span)."""
+        return sum(e.duration for e in self.by_category(category))
+
+    def span(self) -> float:
+        """Wall span from the earliest start to the latest end."""
+        if not self._events:
+            return 0.0
+        return (max(e.end for e in self._events)
+                - min(e.start for e in self._events))
+
+    # -- exports ----------------------------------------------------------
+
+    def to_dicts(self) -> List[dict]:
+        return [{"name": e.name, "category": e.category, "start": e.start,
+                 "end": e.end, **e.metadata} for e in self._events]
+
+    def to_chrome_trace(self) -> str:
+        """Chrome ``about:tracing`` / Perfetto-compatible JSON string."""
+        spans = [{
+            "name": event.name,
+            "cat": event.category,
+            "ph": "X",
+            "ts": event.start * 1e6,       # microseconds
+            "dur": event.duration * 1e6,
+            "pid": 0,
+            "tid": abs(hash(event.category)) % 1000,
+            "args": event.metadata,
+        } for event in self._events]
+        return json.dumps(spans)
+
+    def gantt(self, width: int = 64) -> str:
+        """A terminal sketch: one row per category, '#' where busy."""
+        if not self._events:
+            return "(empty trace)"
+        t0 = min(e.start for e in self._events)
+        t1 = max(e.end for e in self._events)
+        scale = (t1 - t0) or 1.0
+        categories = sorted({e.category for e in self._events})
+        lines = [f"trace: {t0:.6f}s .. {t1:.6f}s ({len(self._events)} events)"]
+        for category in categories:
+            cells = [" "] * width
+            for event in self.by_category(category):
+                lo = int((event.start - t0) / scale * (width - 1))
+                hi = int((event.end - t0) / scale * (width - 1))
+                for i in range(lo, hi + 1):
+                    cells[i] = "#"
+            lines.append(f"{category:>10s} |{''.join(cells)}|")
+        return "\n".join(lines)

@@ -1,0 +1,358 @@
+"""Workload generation for the WORM evaluation.
+
+The paper's evaluation (§5) drives the store with record-write streams of
+varying record sizes, at burst rates (absorbed via deferred signatures for
+at most the short-lived constructs' security lifetime) and sustained rates
+(full-strength signing).  Realistic compliance workloads are read-mostly
+with write bursts (e.g., end-of-day trade archiving under SEC 17a-4).
+
+This module provides composable generators of :class:`WorkRequest` streams:
+
+* :class:`PoissonArrivals` — memoryless arrivals at a target rate;
+* :class:`BurstArrivals` — alternating burst/idle phases (on-off process);
+* :class:`ClosedLoopArrivals` — back-to-back offered load (what Figure 1's
+  peak-throughput measurement needs: the store is never idle);
+* record-size distributions (fixed, uniform, lognormal-ish mixture built
+  on ``random.Random`` so runs are seed-reproducible);
+* :class:`MixedWorkload` — read/write mixes over previously written SNs.
+
+All generators are deterministic given their seed, so benchmark tables
+reproduce exactly across runs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "WorkRequest",
+    "FixedSize",
+    "UniformSize",
+    "LognormalSize",
+    "EmailMixSize",
+    "PoissonArrivals",
+    "BurstArrivals",
+    "ClosedLoopArrivals",
+    "DiurnalArrivals",
+    "MixedWorkload",
+    "RetentionSampler",
+]
+
+
+@dataclass(frozen=True)
+class WorkRequest:
+    """One operation offered to the store.
+
+    ``kind`` is ``"write"`` or ``"read"``; ``arrival`` is the virtual time
+    at which the request is offered (ignored by closed-loop drivers);
+    ``size`` is the record payload size in bytes (writes only);
+    ``retention`` the mandated retention period in seconds (writes only);
+    ``target_sn`` the serial number to read (reads only).
+    """
+
+    kind: str
+    arrival: float
+    size: int = 0
+    retention: float = 0.0
+    target_sn: Optional[int] = None
+
+
+# ---------------------------------------------------------------------------
+# Record-size distributions
+# ---------------------------------------------------------------------------
+
+class FixedSize:
+    """Every record has the same size — used for Figure 1's size sweep."""
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError("record size must be non-negative")
+        self.size = size
+
+    def sample(self, rng: random.Random) -> int:
+        return self.size
+
+
+class UniformSize:
+    """Record sizes uniform in ``[low, high]``."""
+
+    def __init__(self, low: int, high: int) -> None:
+        if not 0 <= low <= high:
+            raise ValueError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.low, self.high)
+
+
+class LognormalSize:
+    """Heavy-tailed sizes: most records small, occasional large ones.
+
+    Matches observed document/email size distributions; parameters are the
+    underlying normal's mu/sigma in log-bytes.  Samples are clamped to
+    ``[1, cap]`` so one extreme draw cannot dominate a benchmark run.
+    """
+
+    def __init__(self, mu: float = 8.5, sigma: float = 1.5,
+                 cap: int = 16 * 1024 * 1024) -> None:
+        self.mu = mu
+        self.sigma = sigma
+        self.cap = cap
+
+    def sample(self, rng: random.Random) -> int:
+        value = int(math.exp(rng.gauss(self.mu, self.sigma)))
+        return max(1, min(value, self.cap))
+
+
+class EmailMixSize:
+    """The email-archive mixture motivating VR record sharing (§4.2).
+
+    80% small bodies (~2-16 KB), 18% medium attachments (~64-512 KB),
+    2% large attachments (~1-8 MB) — a plausible compliance-archive blend.
+    """
+
+    _BANDS: Sequence[Tuple[float, int, int]] = (
+        (0.80, 2 * 1024, 16 * 1024),
+        (0.98, 64 * 1024, 512 * 1024),
+        (1.00, 1024 * 1024, 8 * 1024 * 1024),
+    )
+
+    def sample(self, rng: random.Random) -> int:
+        roll = rng.random()
+        for ceiling, low, high in self._BANDS:
+            if roll <= ceiling:
+                return rng.randint(low, high)
+        return rng.randint(*self._BANDS[-1][1:])  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Retention-period sampling
+# ---------------------------------------------------------------------------
+
+class RetentionSampler:
+    """Samples retention periods from a set of regulation profiles.
+
+    ``profiles`` maps a retention period (seconds) to a probability
+    weight.  Mixing several regulations on one store is exactly what
+    makes records expire out of insertion order, which is what the
+    multi-window compaction of §4.2.1 exists to handle.
+    """
+
+    def __init__(self, profiles: Optional[Sequence[Tuple[float, float]]] = None) -> None:
+        if profiles is None:
+            year = 365.0 * 24 * 3600
+            profiles = ((3 * year, 0.3), (6 * year, 0.5), (20 * year, 0.2))
+        total = sum(weight for _, weight in profiles)
+        if total <= 0:
+            raise ValueError("retention profile weights must sum to > 0")
+        self._profiles = [(period, weight / total) for period, weight in profiles]
+
+    def sample(self, rng: random.Random) -> float:
+        roll = rng.random()
+        acc = 0.0
+        for period, weight in self._profiles:
+            acc += weight
+            if roll <= acc:
+                return period
+        return self._profiles[-1][0]
+
+
+# ---------------------------------------------------------------------------
+# Arrival processes
+# ---------------------------------------------------------------------------
+
+class PoissonArrivals:
+    """Memoryless write arrivals at *rate* requests/second."""
+
+    def __init__(self, rate: float, size_dist, count: int,
+                 retention: Optional[RetentionSampler] = None, seed: int = 0) -> None:
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.rate = rate
+        self.size_dist = size_dist
+        self.count = count
+        self.retention = retention or RetentionSampler()
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[WorkRequest]:
+        rng = random.Random(self.seed)
+        t = 0.0
+        for _ in range(self.count):
+            t += rng.expovariate(self.rate)
+            yield WorkRequest(
+                kind="write",
+                arrival=t,
+                size=self.size_dist.sample(rng),
+                retention=self.retention.sample(rng),
+            )
+
+
+class BurstArrivals:
+    """On-off arrivals: bursts at *burst_rate* separated by idle gaps.
+
+    This is the workload that motivates §4.3: during a burst the offered
+    rate exceeds what full-strength SCPU signing sustains, and the idle
+    gaps are when deferred constructs get strengthened.
+    """
+
+    def __init__(self, burst_rate: float, burst_seconds: float,
+                 idle_seconds: float, size_dist, total_count: int,
+                 retention: Optional[RetentionSampler] = None, seed: int = 0) -> None:
+        if burst_rate <= 0 or burst_seconds <= 0 or idle_seconds < 0:
+            raise ValueError("burst parameters must be positive")
+        self.burst_rate = burst_rate
+        self.burst_seconds = burst_seconds
+        self.idle_seconds = idle_seconds
+        self.size_dist = size_dist
+        self.total_count = total_count
+        self.retention = retention or RetentionSampler()
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[WorkRequest]:
+        rng = random.Random(self.seed)
+        t = 0.0
+        burst_end = self.burst_seconds
+        emitted = 0
+        while emitted < self.total_count:
+            t += rng.expovariate(self.burst_rate)
+            if t > burst_end:
+                t = burst_end + self.idle_seconds
+                burst_end = t + self.burst_seconds
+                continue
+            yield WorkRequest(
+                kind="write",
+                arrival=t,
+                size=self.size_dist.sample(rng),
+                retention=self.retention.sample(rng),
+            )
+            emitted += 1
+
+
+class ClosedLoopArrivals:
+    """Back-to-back offered load: every request arrives at t=0.
+
+    With a FIFO device model this measures peak service throughput — the
+    quantity Figure 1 plots (records/second the WORM layer can absorb).
+    """
+
+    def __init__(self, size_dist, count: int,
+                 retention: Optional[RetentionSampler] = None, seed: int = 0) -> None:
+        self.size_dist = size_dist
+        self.count = count
+        self.retention = retention or RetentionSampler()
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[WorkRequest]:
+        rng = random.Random(self.seed)
+        for _ in range(self.count):
+            yield WorkRequest(
+                kind="write",
+                arrival=0.0,
+                size=self.size_dist.sample(rng),
+                retention=self.retention.sample(rng),
+            )
+
+
+class DiurnalArrivals:
+    """A business-day arrival pattern: quiet nights, busy days, EOD burst.
+
+    Models the compliance-archive reality behind §4.3: most of the day
+    the store idles well below strong-signing capacity, then the
+    end-of-day archival job slams it.  Rates (requests/second):
+
+    * 00:00-08:00  ``night_rate``
+    * 08:00-16:00  ``day_rate``
+    * 16:00-16:00+burst  ``burst_rate`` (the EOD archive job)
+    * rest of the evening  ``night_rate``
+    """
+
+    def __init__(self, size_dist, days: int = 1,
+                 night_rate: float = 0.5, day_rate: float = 5.0,
+                 burst_rate: float = 800.0, burst_seconds: float = 60.0,
+                 retention: Optional[RetentionSampler] = None,
+                 seed: int = 0) -> None:
+        if min(night_rate, day_rate, burst_rate) <= 0:
+            raise ValueError("rates must be positive")
+        if days < 1:
+            raise ValueError("need at least one day")
+        self.size_dist = size_dist
+        self.days = days
+        self.night_rate = night_rate
+        self.day_rate = day_rate
+        self.burst_rate = burst_rate
+        self.burst_seconds = burst_seconds
+        self.retention = retention or RetentionSampler()
+        self.seed = seed
+
+    def _phases(self, day_start: float):
+        hour = 3600.0
+        yield (day_start, day_start + 8 * hour, self.night_rate)
+        yield (day_start + 8 * hour, day_start + 16 * hour, self.day_rate)
+        yield (day_start + 16 * hour,
+               day_start + 16 * hour + self.burst_seconds, self.burst_rate)
+        yield (day_start + 16 * hour + self.burst_seconds,
+               day_start + 24 * hour, self.night_rate)
+
+    def __iter__(self) -> Iterator[WorkRequest]:
+        rng = random.Random(self.seed)
+        for day in range(self.days):
+            for start, end, rate in self._phases(day * 24 * 3600.0):
+                t = start
+                while True:
+                    t += rng.expovariate(rate)
+                    if t >= end:
+                        break
+                    yield WorkRequest(
+                        kind="write",
+                        arrival=t,
+                        size=self.size_dist.sample(rng),
+                        retention=self.retention.sample(rng),
+                    )
+
+
+class MixedWorkload:
+    """A read/write mix: reads target uniformly random previously written SNs.
+
+    ``read_fraction`` of requests are reads (the paper expects query loads
+    to be "often mostly read-only", which is why reads bypass the SCPU).
+    Reads arriving before any write has completed are re-rolled as writes.
+    """
+
+    def __init__(self, rate: float, read_fraction: float, size_dist,
+                 count: int, retention: Optional[RetentionSampler] = None,
+                 seed: int = 0) -> None:
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        self.rate = rate
+        self.read_fraction = read_fraction
+        self.size_dist = size_dist
+        self.count = count
+        self.retention = retention or RetentionSampler()
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[WorkRequest]:
+        rng = random.Random(self.seed)
+        t = 0.0
+        writes_so_far = 0
+        for _ in range(self.count):
+            t += rng.expovariate(self.rate)
+            if writes_so_far > 0 and rng.random() < self.read_fraction:
+                # Reads address SNs by index-of-write; the driver maps the
+                # index to the actual SN the store assigned.
+                yield WorkRequest(
+                    kind="read",
+                    arrival=t,
+                    target_sn=rng.randrange(writes_so_far),
+                )
+            else:
+                writes_so_far += 1
+                yield WorkRequest(
+                    kind="write",
+                    arrival=t,
+                    size=self.size_dist.sample(rng),
+                    retention=self.retention.sample(rng),
+                )

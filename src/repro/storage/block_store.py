@@ -1,0 +1,176 @@
+"""Untrusted block storage for record payloads.
+
+This is the conventional rewritable magnetic storage under the WORM layer:
+the main CPU writes record data here and the insider adversary can rewrite
+any of it at will (§2.1 gives Mallory superuser powers and physical disk
+access).  Nothing in this package is trusted; detection of tampering comes
+entirely from SCPU signatures over data hashes.
+
+Two backends share one interface:
+
+* :class:`MemoryBlockStore` — dict-backed, for tests and simulation;
+* :class:`DirectoryBlockStore` — one file per record under a directory,
+  for the runnable examples (data survives process restarts, and secure
+  deletion visibly overwrites file contents before unlinking).
+
+The explicit :meth:`BlockStore.unchecked_overwrite` models the physical
+attack path: it bypasses every WORM check, exactly like an insider pulling
+the disk and editing sectors on another machine.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+__all__ = ["BlockStore", "MemoryBlockStore", "DirectoryBlockStore", "MissingRecordError"]
+
+
+class MissingRecordError(KeyError):
+    """Raised when a record key does not exist in the store."""
+
+
+class BlockStore(ABC):
+    """Interface of the untrusted record payload store."""
+
+    @abstractmethod
+    def put(self, data: bytes) -> str:
+        """Store *data* under a fresh key; returns the key."""
+
+    @abstractmethod
+    def get(self, key: str) -> bytes:
+        """Return the payload under *key* (raises :class:`MissingRecordError`)."""
+
+    @abstractmethod
+    def overwrite(self, key: str, data: bytes) -> None:
+        """Overwrite the payload under an existing *key* (shredding passes)."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove *key* entirely."""
+
+    @abstractmethod
+    def __contains__(self, key: str) -> bool: ...
+
+    @abstractmethod
+    def keys(self) -> Iterator[str]:
+        """Iterate over stored keys."""
+
+    @abstractmethod
+    def size_of(self, key: str) -> int:
+        """Payload length under *key*."""
+
+    # -- the insider's door -------------------------------------------------
+
+    def unchecked_overwrite(self, key: str, data: bytes) -> None:
+        """Rewrite a record the way a physical-access insider would.
+
+        Identical effect to :meth:`overwrite` but named so attack code
+        reads honestly; no WORM bookkeeping notices this happened.
+        """
+        self.overwrite(key, data)
+
+
+class MemoryBlockStore(BlockStore):
+    """Dict-backed store; the default for tests and simulations."""
+
+    def __init__(self) -> None:
+        self._blocks: Dict[str, bytes] = {}
+        self._counter = 0
+
+    def put(self, data: bytes) -> str:
+        self._counter += 1
+        key = f"rec-{self._counter:012d}-{secrets.token_hex(4)}"
+        self._blocks[key] = bytes(data)
+        return key
+
+    def get(self, key: str) -> bytes:
+        try:
+            return self._blocks[key]
+        except KeyError:
+            raise MissingRecordError(key) from None
+
+    def overwrite(self, key: str, data: bytes) -> None:
+        if key not in self._blocks:
+            raise MissingRecordError(key)
+        self._blocks[key] = bytes(data)
+
+    def delete(self, key: str) -> None:
+        if key not in self._blocks:
+            raise MissingRecordError(key)
+        del self._blocks[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._blocks
+
+    def keys(self) -> Iterator[str]:
+        return iter(tuple(self._blocks))
+
+    def size_of(self, key: str) -> int:
+        return len(self.get(key))
+
+
+class DirectoryBlockStore(BlockStore):
+    """One file per record under *root*; used by the example scripts.
+
+    Keys map to flat file names (no nesting), validated so a hostile key
+    cannot escape the directory.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._counter = self._scan_counter()
+
+    def _scan_counter(self) -> int:
+        highest = 0
+        for path in self._root.glob("rec-*"):
+            try:
+                highest = max(highest, int(path.name.split("-")[1]))
+            except (IndexError, ValueError):
+                continue
+        return highest
+
+    def _path(self, key: str) -> Path:
+        if "/" in key or "\\" in key or key.startswith("."):
+            raise ValueError(f"invalid record key: {key!r}")
+        return self._root / key
+
+    def put(self, data: bytes) -> str:
+        self._counter += 1
+        key = f"rec-{self._counter:012d}-{secrets.token_hex(4)}"
+        self._path(key).write_bytes(data)
+        return key
+
+    def get(self, key: str) -> bytes:
+        path = self._path(key)
+        if not path.exists():
+            raise MissingRecordError(key)
+        return path.read_bytes()
+
+    def overwrite(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        if not path.exists():
+            raise MissingRecordError(key)
+        path.write_bytes(data)
+
+    def delete(self, key: str) -> None:
+        path = self._path(key)
+        if not path.exists():
+            raise MissingRecordError(key)
+        path.unlink()
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        return (p.name for p in sorted(self._root.glob("rec-*")))
+
+    def size_of(self, key: str) -> int:
+        path = self._path(key)
+        if not path.exists():
+            raise MissingRecordError(key)
+        return path.stat().st_size

@@ -1,0 +1,181 @@
+"""Append-only log-structured block store.
+
+The disk cost model charges write-path accesses as *sequential*
+(:mod:`repro.core.worm` appends records and VRDT slots); this backend is
+the layout that makes that true on real media: one log file, records
+appended with framed headers, an in-memory index rebuilt by scanning the
+log on open.  This is also how actual WORM appliances place data — an
+append-only log is the natural physical shape of write-once semantics.
+
+Deletion (shredding) in a log poses a subtlety: you cannot unlink a
+record from the middle of a file.  Overwrite passes therefore happen
+*in place* at the record's offset (the frame header survives, flagged
+dead, so the log remains scannable), and :meth:`compact` rewrites the
+log without dead records when reclaimed space matters — the WORM layer's
+deletion *proofs* are what make the disappearance legitimate.
+
+Frame layout (all big-endian):
+
+    magic(4) | key_len(2) | key(utf-8) | payload_len(8) | flags(1) | payload
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+from typing import Dict, Iterator, Tuple
+
+from repro.storage.block_store import BlockStore, MissingRecordError
+
+__all__ = ["AppendLogBlockStore"]
+
+_MAGIC = b"WLG1"
+_HEAD = struct.Struct(">4sH")       # magic, key length
+_BODY = struct.Struct(">QB")        # payload length, flags
+_ALIVE = 0x01
+_DEAD = 0x00
+
+
+class AppendLogBlockStore(BlockStore):
+    """All records in one append-only log file."""
+
+    def __init__(self, log_path: os.PathLike) -> None:
+        self._path = Path(log_path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        if not self._path.exists():
+            self._path.write_bytes(b"")
+        # key -> (payload offset, length, flag offset)
+        self._index: Dict[str, Tuple[int, int, int]] = {}
+        self._counter = 0
+        self._dead_bytes = 0
+        self._scan()
+
+    # -- log scanning --------------------------------------------------------
+
+    def _scan(self) -> None:
+        """Rebuild the index from the log (recovery on open)."""
+        self._index.clear()
+        raw = self._path.read_bytes()
+        offset = 0
+        while offset < len(raw):
+            if len(raw) - offset < _HEAD.size:
+                break  # trailing partial write: ignore (torn final frame)
+            magic, key_len = _HEAD.unpack_from(raw, offset)
+            if magic != _MAGIC:
+                raise ValueError(
+                    f"log corrupt at offset {offset}: bad frame magic")
+            key_start = offset + _HEAD.size
+            key = raw[key_start:key_start + key_len].decode("utf-8")
+            body_start = key_start + key_len
+            if len(raw) - body_start < _BODY.size:
+                break
+            payload_len, flags = _BODY.unpack_from(raw, body_start)
+            payload_start = body_start + _BODY.size
+            if len(raw) - payload_start < payload_len:
+                break
+            if flags & _ALIVE:
+                self._index[key] = (payload_start, payload_len,
+                                    body_start + 8)
+            else:
+                self._dead_bytes += payload_len
+            try:
+                self._counter = max(self._counter, int(key.split("-")[1]))
+            except (IndexError, ValueError):
+                pass
+            offset = payload_start + payload_len
+
+    # -- BlockStore interface ----------------------------------------------------
+
+    def put(self, data: bytes) -> str:
+        import secrets
+        self._counter += 1
+        key = f"rec-{self._counter:012d}-{secrets.token_hex(4)}"
+        key_raw = key.encode("utf-8")
+        frame = (_HEAD.pack(_MAGIC, len(key_raw)) + key_raw
+                 + _BODY.pack(len(data), _ALIVE) + data)
+        with self._path.open("ab") as handle:
+            offset = handle.tell()
+            handle.write(frame)
+        payload_start = offset + _HEAD.size + len(key_raw) + _BODY.size
+        self._index[key] = (payload_start, len(data),
+                            offset + _HEAD.size + len(key_raw) + 8)
+        return key
+
+    def get(self, key: str) -> bytes:
+        entry = self._index.get(key)
+        if entry is None:
+            raise MissingRecordError(key)
+        payload_start, length, _ = entry
+        with self._path.open("rb") as handle:
+            handle.seek(payload_start)
+            return handle.read(length)
+
+    def overwrite(self, key: str, data: bytes) -> None:
+        """In-place overwrite at the record's log offset (shred passes).
+
+        Log-structured stores normally never overwrite; secure deletion
+        is the exception — the pattern passes must land on the physical
+        sectors the payload occupied.  Length must match exactly.
+        """
+        entry = self._index.get(key)
+        if entry is None:
+            raise MissingRecordError(key)
+        payload_start, length, _ = entry
+        if len(data) != length:
+            raise ValueError("log overwrite must preserve payload length")
+        with self._path.open("r+b") as handle:
+            handle.seek(payload_start)
+            handle.write(data)
+
+    def delete(self, key: str) -> None:
+        """Mark the frame dead (space reclaimed by :meth:`compact`)."""
+        entry = self._index.pop(key, None)
+        if entry is None:
+            raise MissingRecordError(key)
+        _, length, flag_offset = entry
+        with self._path.open("r+b") as handle:
+            handle.seek(flag_offset)
+            handle.write(bytes([_DEAD]))
+        self._dead_bytes += length
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def keys(self) -> Iterator[str]:
+        return iter(sorted(self._index))
+
+    def size_of(self, key: str) -> int:
+        entry = self._index.get(key)
+        if entry is None:
+            raise MissingRecordError(key)
+        return entry[1]
+
+    # -- maintenance ---------------------------------------------------------------
+
+    @property
+    def dead_bytes(self) -> int:
+        """Payload bytes held by dead frames (compaction candidates)."""
+        return self._dead_bytes
+
+    def log_bytes(self) -> int:
+        return self._path.stat().st_size
+
+    def compact(self) -> int:
+        """Rewrite the log without dead frames; returns bytes reclaimed.
+
+        Live payloads are copied to a fresh log which atomically replaces
+        the old one; the index is rebuilt against the new offsets.
+        """
+        before = self.log_bytes()
+        tmp_path = self._path.with_suffix(".compact")
+        live = [(key, self.get(key)) for key in self.keys()]
+        with tmp_path.open("wb") as handle:
+            for key, payload in live:
+                key_raw = key.encode("utf-8")
+                handle.write(_HEAD.pack(_MAGIC, len(key_raw)) + key_raw
+                             + _BODY.pack(len(payload), _ALIVE) + payload)
+        os.replace(tmp_path, self._path)
+        self._dead_bytes = 0
+        self._scan()
+        return before - self.log_bytes()

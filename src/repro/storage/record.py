@@ -1,0 +1,154 @@
+"""Data records, record descriptors, and WORM attributes (Table 1).
+
+The paper keeps the record layer deliberately generic: "data records are
+application specific and can be files, inodes, database tuples", and a
+*virtual record* (VR) groups records under one retention policy, with
+overlap allowed so a popular email attachment is stored once but
+referenced from many VRs.
+
+* :class:`RecordDescriptor` (RD) — names one physical record in the
+  untrusted block store;
+* :class:`RecordAttributes` — the VRD ``attr`` field: creation time,
+  retention period, regulation policy, shredding algorithm, litigation
+  hold, f_flag, and MAC/DAC labels, exactly the fields Table 1 lists;
+* canonical byte encoding so metasig covers the precise attribute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+__all__ = ["RecordDescriptor", "RecordAttributes"]
+
+
+@dataclass(frozen=True)
+class RecordDescriptor:
+    """A physical data record descriptor (RD).
+
+    ``key`` addresses the record in the block store; ``length`` is its
+    payload size.  The VRD's record descriptor list (RDL) is a tuple of
+    these.
+    """
+
+    key: str
+    length: int
+
+    def canonical_bytes(self) -> bytes:
+        key_raw = self.key.encode("utf-8")
+        return (len(key_raw).to_bytes(4, "big") + key_raw
+                + self.length.to_bytes(8, "big"))
+
+
+@dataclass(frozen=True)
+class RecordAttributes:
+    """The WORM-related ``attr`` field of a VRD (Table 1).
+
+    All times are in seconds of SCPU (virtual) time.  ``litigation_hold``
+    set with a future ``litigation_timeout`` blocks deletion regardless of
+    retention expiry (§4.2.2 Litigation); ``f_flag`` is the
+    implementation-specific file flag Table 1 mentions; ``mac_label`` /
+    ``dac_owner`` carry mandatory/discretionary access-control metadata
+    (opaque to the WORM layer, but covered by metasig so an insider cannot
+    silently relabel records).
+    """
+
+    created_at: float
+    retention_seconds: float
+    policy: str = "default"
+    shredding_algorithm: str = "zero-fill"
+    litigation_hold: bool = False
+    litigation_timeout: float = 0.0
+    litigation_credential_hash: bytes = b""
+    f_flag: int = 0
+    mac_label: str = ""
+    dac_owner: str = ""
+
+    def __post_init__(self) -> None:
+        if self.retention_seconds < 0:
+            raise ValueError("retention period cannot be negative")
+        if self.created_at < 0:
+            raise ValueError("creation time cannot be negative")
+
+    @property
+    def expires_at(self) -> float:
+        """Earliest time the record may be deleted under its policy."""
+        return self.created_at + self.retention_seconds
+
+    def deletable_at(self, now: float) -> bool:
+        """True when retention has passed and no litigation hold is active.
+
+        A hold with a timeout in the past no longer binds (the court's
+        hold window lapsed without renewal).
+        """
+        if now < self.expires_at:
+            return False
+        if self.litigation_hold and now < self.litigation_timeout:
+            return False
+        return True
+
+    def with_hold(self, timeout: float, credential_hash: bytes) -> "RecordAttributes":
+        """Return a copy with a litigation hold applied (lit_hold)."""
+        return replace(
+            self,
+            litigation_hold=True,
+            litigation_timeout=timeout,
+            litigation_credential_hash=credential_hash,
+        )
+
+    def with_release(self) -> "RecordAttributes":
+        """Return a copy with the litigation hold cleared (lit_release)."""
+        return replace(
+            self,
+            litigation_hold=False,
+            litigation_timeout=0.0,
+            litigation_credential_hash=b"",
+        )
+
+    def canonical_bytes(self) -> bytes:
+        """Deterministic encoding — the exact bytes metasig signs over."""
+        parts = [
+            b"ATTR1",
+            int(round(self.created_at * 1e6)).to_bytes(12, "big", signed=True),
+            int(round(self.retention_seconds * 1e6)).to_bytes(12, "big", signed=True),
+        ]
+        for text in (self.policy, self.shredding_algorithm, self.mac_label,
+                     self.dac_owner):
+            raw = text.encode("utf-8")
+            parts.append(len(raw).to_bytes(4, "big"))
+            parts.append(raw)
+        parts.append(b"\x01" if self.litigation_hold else b"\x00")
+        parts.append(int(round(self.litigation_timeout * 1e6)).to_bytes(12, "big", signed=True))
+        parts.append(len(self.litigation_credential_hash).to_bytes(4, "big"))
+        parts.append(self.litigation_credential_hash)
+        parts.append(self.f_flag.to_bytes(4, "big"))
+        return b"".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "created_at": self.created_at,
+            "retention_seconds": self.retention_seconds,
+            "policy": self.policy,
+            "shredding_algorithm": self.shredding_algorithm,
+            "litigation_hold": self.litigation_hold,
+            "litigation_timeout": self.litigation_timeout,
+            "litigation_credential_hash": self.litigation_credential_hash.hex(),
+            "f_flag": self.f_flag,
+            "mac_label": self.mac_label,
+            "dac_owner": self.dac_owner,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RecordAttributes":
+        return cls(
+            created_at=float(data["created_at"]),
+            retention_seconds=float(data["retention_seconds"]),
+            policy=data["policy"],
+            shredding_algorithm=data["shredding_algorithm"],
+            litigation_hold=bool(data["litigation_hold"]),
+            litigation_timeout=float(data["litigation_timeout"]),
+            litigation_credential_hash=bytes.fromhex(data["litigation_credential_hash"]),
+            f_flag=int(data["f_flag"]),
+            mac_label=data["mac_label"],
+            dac_owner=data["dac_owner"],
+        )

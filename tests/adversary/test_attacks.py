@@ -1,0 +1,35 @@
+"""The attack suite as tests: Theorems 1 and 2, attack by attack."""
+
+import pytest
+
+from repro.adversary.attacks import ATTACKS
+from repro.adversary.games import run_suite
+
+
+@pytest.mark.parametrize("attack", ATTACKS, ids=lambda a: a.__name__)
+def test_attack_outcome_matches_paper_claim(attack, env):
+    outcome = attack(env)
+    assert outcome.as_expected, (
+        f"{outcome.name}: detected={outcome.detected}, "
+        f"expected={outcome.expected_detected} — {outcome.detail}")
+
+
+class TestSuiteAggregates:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return run_suite()
+
+    def test_theorems_hold(self, suite):
+        assert suite.theorems_hold
+
+    def test_every_theorem1_attack_detected(self, suite):
+        for outcome in suite.by_theorem(1):
+            assert outcome.detected, outcome.name
+
+    def test_only_designed_exposure_survives(self, suite):
+        undetected = [o.name for o in suite.outcomes if not o.detected]
+        assert undetected == ["hide-within-freshness-window"]
+
+    def test_suite_covers_both_theorems(self, suite):
+        assert len(suite.by_theorem(1)) >= 7
+        assert len(suite.by_theorem(2)) >= 7

@@ -1,0 +1,68 @@
+"""Tests for the soft-WORM baseline — including its designed failure."""
+
+import pytest
+
+from repro.baselines.soft_worm import SoftWormStore
+from repro.core.errors import RetentionViolationError, WormError
+from repro.sim.manual_clock import ManualClock
+
+
+@pytest.fixture
+def soft():
+    return SoftWormStore(clock=ManualClock())
+
+
+class TestHonestApi:
+    def test_write_read(self, soft):
+        rid = soft.write(b"record", retention_seconds=100.0)
+        result = soft.read(rid)
+        assert result.data == b"record"
+        assert result.checksum_ok
+
+    def test_overwrite_refused(self, soft):
+        rid = soft.write(b"record", retention_seconds=100.0)
+        with pytest.raises(WormError):
+            soft.overwrite(rid, b"new")
+
+    def test_early_delete_refused(self, soft):
+        rid = soft.write(b"record", retention_seconds=100.0)
+        with pytest.raises(RetentionViolationError):
+            soft.delete(rid)
+
+    def test_delete_after_retention_allowed(self, soft):
+        rid = soft.write(b"record", retention_seconds=100.0)
+        soft._clock.advance(101.0)
+        soft.delete(rid)
+        assert rid not in soft
+
+    def test_unknown_record(self, soft):
+        with pytest.raises(KeyError):
+            soft.read(99)
+
+
+class TestInsiderReality:
+    """§3: the attacks soft-WORM cannot detect — by construction."""
+
+    def test_insider_rewrite_goes_undetected(self, soft):
+        rid = soft.write(b"incriminating", retention_seconds=1e6)
+        soft.insider_rewrite(rid, b"exculpatory!!")
+        result = soft.read(rid)
+        # The product's own verification says everything is fine.
+        assert result.checksum_ok
+        assert result.data == b"exculpatory!!"
+
+    def test_sloppy_insider_caught_by_checksum(self, soft):
+        # Only an insider who forgets the checksum area is detected —
+        # the threat model's point is that competent ones never are.
+        rid = soft.write(b"incriminating", retention_seconds=1e6)
+        soft.insider_rewrite(rid, b"exculpatory!!", fix_checksum=False)
+        assert not soft.read(rid).checksum_ok
+
+    def test_insider_purge_leaves_no_trace(self, soft):
+        rid = soft.write(b"evidence", retention_seconds=1e6)
+        soft.insider_purge(rid)
+        # No record, no checksum, no retention entry — and crucially, no
+        # way for an auditor to prove the record ever existed.
+        assert rid not in soft
+        with pytest.raises(KeyError):
+            soft.read(rid)

@@ -1,0 +1,132 @@
+"""Tests for the block-level WORM device."""
+
+import pytest
+
+from repro.blockdev import BlockWriteError, WormBlockDevice
+from repro.core.errors import VerificationError, WormError
+
+
+@pytest.fixture
+def dev(store):
+    return WormBlockDevice(store, block_size=256, capacity_blocks=64,
+                           retention_seconds=1e9)
+
+
+class TestGeometry:
+    def test_capacity(self, dev):
+        assert dev.capacity_bytes == 64 * 256
+        assert dev.blocks_written == 0
+
+    def test_lba_bounds(self, dev):
+        with pytest.raises(WormError):
+            dev.read_block(64)
+        with pytest.raises(WormError):
+            dev.write_block(-1, b"x")
+
+    def test_tiny_block_size_rejected(self, store):
+        with pytest.raises(ValueError):
+            WormBlockDevice(store, block_size=32)
+
+
+class TestWriteOnce:
+    def test_write_read_roundtrip(self, dev):
+        dev.write_block(5, b"sensor frame 0001")
+        data = dev.read_block(5)
+        assert data.startswith(b"sensor frame 0001")
+        assert len(data) == 256  # zero-padded to the block size
+
+    def test_unwritten_reads_zeros(self, dev):
+        assert dev.read_block(10) == b"\x00" * 256
+
+    def test_rewrite_refused(self, dev):
+        dev.write_block(3, b"first")
+        with pytest.raises(BlockWriteError):
+            dev.write_block(3, b"second")
+        assert dev.read_block(3).startswith(b"first")
+
+    def test_oversized_write_refused(self, dev):
+        with pytest.raises(WormError):
+            dev.write_block(0, b"x" * 257)
+
+    def test_written_lbas_tracked(self, dev):
+        dev.write_block(9, b"a")
+        dev.write_block(2, b"b")
+        assert list(dev.written_lbas()) == [2, 9]
+        assert dev.is_written(9)
+        assert not dev.is_written(1)
+        assert dev.sn_of(9) is not None
+        assert dev.sn_of(1) is None
+
+
+class TestRanges:
+    def test_range_roundtrip(self, dev):
+        payload = bytes(range(256)) * 3  # 3 blocks exactly
+        sns = dev.write_range(4, payload)
+        assert len(sns) == 3
+        assert dev.read_range(4, 3) == payload
+
+    def test_partial_last_block_padded(self, dev):
+        dev.write_range(0, b"z" * 300)  # 1 full block + 44 bytes
+        data = dev.read_range(0, 2)
+        assert data[:300] == b"z" * 300
+        assert data[300:] == b"\x00" * 212
+
+
+class TestTamperEvidence:
+    def test_remap_detected(self, dev, store, client):
+        """Insider swaps the LBA map so block B serves block A's record."""
+        dev.write_block(1, b"block one")
+        dev.write_block(2, b"block two")
+        dev._lba_map[2] = dev._lba_map[1]
+        with pytest.raises(VerificationError, match="remap"):
+            dev.read_block(2)
+
+    def test_payload_tamper_detected_by_verified_read(self, dev, store, client):
+        dev.write_block(7, b"flight data")
+        sn = dev.sn_of(7)
+        vrd = store.vrdt.get_active(sn)
+        raw = store.blocks.get(vrd.rdl[0].key)
+        store.blocks.unchecked_overwrite(
+            vrd.rdl[0].key, raw[:-4] + b"!!!!")
+        with pytest.raises(VerificationError):
+            dev.read_block_verified(client, 7)
+
+    def test_verified_read_clean_path(self, dev, client):
+        dev.write_block(8, b"clean")
+        assert dev.read_block_verified(client, 8).startswith(b"clean")
+
+    def test_missing_framing_detected(self, dev, store):
+        """A record committed outside the device can't pose as a block."""
+        receipt = store.write([b"not a framed block" + b"\x00" * 238],
+                              retention_seconds=1e9)
+        from repro.blockdev.device import _BlockEntry
+        dev._lba_map[12] = _BlockEntry(sn=receipt.sn, written_at=0.0)
+        with pytest.raises(VerificationError, match="framing"):
+            dev.read_block(12)
+
+
+class TestRetention:
+    def test_discard_after_expiry(self, store):
+        dev = WormBlockDevice(store, block_size=128, capacity_blocks=16,
+                              retention_seconds=10.0)
+        dev.write_block(0, b"ephemeral")
+        store.scpu.clock.advance(20.0)
+        store.retention.tick(store.now)
+        assert dev.discard_expired() == 1
+        # The slot reads as zeros and is rewritable again.
+        assert dev.read_block(0) == b"\x00" * 128
+        dev.write_block(0, b"new generation")
+        assert dev.read_block(0).startswith(b"new generation")
+
+    def test_expired_but_undiscarded_reads_zeros(self, store):
+        dev = WormBlockDevice(store, block_size=128, capacity_blocks=16,
+                              retention_seconds=10.0)
+        dev.write_block(0, b"gone soon")
+        store.scpu.clock.advance(20.0)
+        store.retention.tick(store.now)
+        assert dev.read_block(0) == b"\x00" * 128
+
+    def test_discard_noop_while_active(self, dev):
+        dev.write_block(0, b"still retained")
+        assert dev.discard_expired() == 0
+        assert dev.is_written(0)

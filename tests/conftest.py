@@ -1,0 +1,55 @@
+"""Shared fixtures: fast keyrings, stores, clients, and a CA.
+
+Key generation dominates test start-up, so 512-bit keys are used
+throughout (the smallest size whose code path is identical to the paper's
+1024/512 production parameters).  Each store gets a *fresh* keyring —
+attacks and burst-key rotation mutate key state, and cross-test key
+sharing would make "unknown key" assertions meaningless.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import demo_keyring
+from repro.adversary.attacks import AttackEnvironment
+from repro.core.worm import StrongWormStore
+from repro.crypto.keys import CertificateAuthority, SigningKey
+from repro.hardware.scpu import SecureCoprocessor
+
+
+@pytest.fixture(scope="session")
+def ca() -> CertificateAuthority:
+    """One regulatory CA for the whole session (its key never mutates)."""
+    return CertificateAuthority(bits=512)
+
+
+@pytest.fixture(scope="session")
+def regulator_key() -> SigningKey:
+    """The litigation authority's signing key."""
+    return SigningKey.generate(512, role="regulator")
+
+
+@pytest.fixture
+def scpu() -> SecureCoprocessor:
+    """A fresh SCPU with fast keys and a manually advanced clock."""
+    return SecureCoprocessor(keyring=demo_keyring())
+
+
+@pytest.fixture
+def store(scpu, regulator_key) -> StrongWormStore:
+    """A fresh store provisioned with the session's regulation authority."""
+    return StrongWormStore(scpu=scpu,
+                           regulator_public_key=regulator_key.public)
+
+
+@pytest.fixture
+def client(store, ca):
+    """A verifying client bootstrapped from the session CA."""
+    return store.make_client(ca)
+
+
+@pytest.fixture
+def env(store, client) -> AttackEnvironment:
+    """An adversary playground: store + client."""
+    return AttackEnvironment(store=store, client=client)

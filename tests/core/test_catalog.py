@@ -1,0 +1,113 @@
+"""Tests for the record catalog (attribute/time queries)."""
+
+import pytest
+
+from repro.core.catalog import RecordCatalog
+
+
+@pytest.fixture
+def catalog(store):
+    return RecordCatalog(store)
+
+
+def _seed(store):
+    """A little archive spanning policies and times."""
+    receipts = {}
+    receipts["sox-early"] = store.write([b"a"], policy="sox")
+    store.scpu.clock.advance(100.0)
+    receipts["hipaa-mid"] = store.write([b"b"], policy="hipaa")
+    store.scpu.clock.advance(100.0)
+    receipts["sox-late"] = store.write([b"c"], policy="sox")
+    receipts["short"] = store.write([b"d"], retention_seconds=50.0)
+    return receipts
+
+
+class TestIndexing:
+    def test_index_all(self, store, catalog):
+        _seed(store)
+        assert catalog.index_all() == 4
+        assert catalog.size == 4
+        assert catalog.index_all() == 0  # idempotent
+
+    def test_index_unknown_sn(self, catalog):
+        assert not catalog.index_record(99)
+
+    def test_prune_expired(self, store, catalog):
+        receipts = _seed(store)
+        catalog.index_all()
+        store.scpu.clock.advance(100.0)
+        store.retention.tick(store.now)  # "short" dies
+        assert catalog.prune_expired() == 1
+        assert receipts["short"].sn not in catalog.query()
+
+
+class TestQueries:
+    def test_by_policy(self, store, catalog):
+        receipts = _seed(store)
+        catalog.index_all()
+        assert catalog.by_policy("sox") == (receipts["sox-early"].sn,
+                                            receipts["sox-late"].sn)
+        assert catalog.by_policy("hipaa") == (receipts["hipaa-mid"].sn,)
+        assert catalog.by_policy("nonexistent") == ()
+
+    def test_created_between(self, store, catalog):
+        receipts = _seed(store)
+        catalog.index_all()
+        mid_window = catalog.created_between(50.0, 150.0)
+        assert mid_window == (receipts["hipaa-mid"].sn,)
+        everything = catalog.created_between(0.0, 1e9)
+        assert len(everything) == 4
+
+    def test_expiring_between(self, store, catalog):
+        receipts = _seed(store)
+        catalog.index_all()
+        soon = catalog.expiring_between(0.0, store.now + 1000.0)
+        assert soon == (receipts["short"].sn,)
+
+    def test_conjunctive_query(self, store, catalog):
+        receipts = _seed(store)
+        catalog.index_all()
+        hits = catalog.query(policy="sox", created_after=50.0)
+        assert hits == (receipts["sox-late"].sn,)
+        assert catalog.query() == tuple(
+            sorted(r.sn for r in receipts.values()))
+
+    def test_litigation_hold_query(self, store, catalog, regulator_key):
+        from repro.crypto.envelope import Envelope, Purpose
+        receipts = _seed(store)
+        catalog.index_all()
+        target = receipts["hipaa-mid"].sn
+        cred = regulator_key.sign_envelope(Envelope(
+            purpose=Purpose.LITIGATION_CREDENTIAL,
+            fields={"sn": target}, timestamp=store.now))
+        store.lit_hold(target, cred, hold_timeout=store.now + 1e6)
+        assert catalog.under_litigation_hold() == (target,)
+
+
+class TestVerifiedRebuild:
+    def test_rebuild_counts_and_completeness(self, store, catalog, client):
+        receipts = _seed(store)
+        count, violations = catalog.rebuild_verified(client)
+        assert count == 4
+        assert violations == []
+        assert catalog.query() == tuple(
+            sorted(r.sn for r in receipts.values()))
+
+    def test_rebuild_flags_tampered_records(self, store, catalog, client):
+        receipts = _seed(store)
+        victim = receipts["sox-late"]
+        store.blocks.unchecked_overwrite(victim.vrd.rdl[0].key, b"forged")
+        count, violations = catalog.rebuild_verified(client)
+        assert violations == [victim.sn]
+        assert count == 3
+        assert victim.sn not in catalog.query()
+
+    def test_rebuild_defeats_poisoned_index(self, store, catalog, client):
+        """An insider empties the index to hide a record from queries; a
+        verified rebuild restores completeness from the SN sweep."""
+        receipts = _seed(store)
+        catalog.index_all()
+        catalog._by_policy["sox"].discard(receipts["sox-early"].sn)  # poison
+        assert receipts["sox-early"].sn not in catalog.by_policy("sox")
+        catalog.rebuild_verified(client)
+        assert receipts["sox-early"].sn in catalog.by_policy("sox")

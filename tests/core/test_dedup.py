@@ -1,0 +1,83 @@
+"""Tests for content-addressed deduplication."""
+
+import pytest
+
+from repro.core.dedup import DedupIndex
+
+
+@pytest.fixture
+def index(store):
+    return DedupIndex(store)
+
+
+class TestDeduplication:
+    def test_first_deposit_is_a_miss(self, index):
+        outcome = index.deposit([b"attachment-bytes"], policy="sec17a-4")
+        assert outcome.new_payload_bytes == 16
+        assert outcome.shared_payload_bytes == 0
+        assert index.stats() == {"hits": 0, "misses": 1, "unique_payloads": 1}
+
+    def test_duplicate_shared_not_copied(self, index, store):
+        first = index.deposit([b"popular attachment"], policy="sec17a-4")
+        keys_before = set(store.blocks.keys())
+        second = index.deposit([b"popular attachment"], policy="sec17a-4")
+        assert second.bytes_saved == 18
+        assert set(store.blocks.keys()) == keys_before  # nothing new stored
+        # Both VRs reference the same physical record.
+        assert (first.receipt.vrd.rdl[0].key
+                == second.receipt.vrd.rdl[0].key)
+
+    def test_mixed_vr_shares_and_stores(self, index, client, store):
+        index.deposit([b"shared blob"], policy="sec17a-4")
+        outcome = index.deposit([b"unique body", b"shared blob"],
+                                policy="sec17a-4")
+        assert outcome.new_payload_bytes == len(b"unique body")
+        assert outcome.shared_payload_bytes == len(b"shared blob")
+        verified = client.verify_read(store.read(outcome.receipt.sn),
+                                      outcome.receipt.sn)
+        assert verified.data == b"unique bodyshared blob"
+
+    def test_deduped_reads_verify(self, index, client, store):
+        a = index.deposit([b"same"], policy="sox")
+        b = index.deposit([b"same"], policy="sox")
+        for receipt in (a.receipt, b.receipt):
+            verified = client.verify_read(store.read(receipt.sn), receipt.sn)
+            assert verified.data == b"same"
+
+    def test_poisoned_index_entry_harmless(self, index, store, client):
+        """An insider rewrites the canonical copy; dedup must not serve it."""
+        index.deposit([b"target payload"], policy="ferpa")
+        # Rewrite the canonical bytes under the indexed key.
+        digest = DedupIndex._digest(b"target payload")
+        rd = index._by_digest[digest]
+        store.blocks.unchecked_overwrite(rd.key, b"poisoned bytes")
+        # A new deposit of the original content must NOT reuse the entry.
+        outcome = index.deposit([b"target payload"], policy="ferpa")
+        assert outcome.new_payload_bytes == len(b"target payload")
+        verified = client.verify_read(store.read(outcome.receipt.sn),
+                                      outcome.receipt.sn)
+        assert verified.data == b"target payload"
+
+    def test_expired_entries_not_resurrected(self, index, store):
+        index.deposit([b"short-lived"], retention_seconds=5.0)
+        store.scpu.clock.advance(10.0)
+        store.retention.tick(store.now)
+        outcome = index.deposit([b"short-lived"], retention_seconds=5.0)
+        assert outcome.new_payload_bytes == len(b"short-lived")
+
+    def test_forget_expired_prunes(self, index, store):
+        index.deposit([b"a"], retention_seconds=5.0)
+        index.deposit([b"b"], policy="ferpa")
+        store.scpu.clock.advance(10.0)
+        store.retention.tick(store.now)
+        assert index.forget_expired() == 1
+        assert index.unique_payloads == 1
+
+    def test_shared_payload_survives_one_referents_expiry(self, index, store):
+        keeper = index.deposit([b"shared"], policy="ferpa")
+        brief = index.deposit([b"shared"], retention_seconds=5.0)
+        store.scpu.clock.advance(10.0)
+        store.retention.tick(store.now)
+        key = keeper.receipt.vrd.rdl[0].key
+        assert key in store.blocks
+        assert store.blocks.get(key) == b"shared"

@@ -1,0 +1,140 @@
+"""Unit tests for deferred-strength queues (§4.3)."""
+
+import pytest
+
+from repro.core.deferred import StrengtheningQueue
+from repro.hardware.scpu import Strength
+
+
+class TestStrengtheningQueue:
+    def test_enqueue_orders_by_deadline(self, store):
+        a = store.write([b"a"], strength=Strength.WEAK)
+        store.scpu.clock.advance(100.0)
+        b = store.write([b"b"], strength=Strength.WEAK)
+        # a was issued first → earlier deadline → strengthened first.
+        assert store.strengthening.strengthen_next(store.now) == a.sn
+        assert store.strengthening.strengthen_next(store.now) == b.sn
+
+    def test_strengthen_upgrades_signatures(self, store, ca):
+        receipt = store.write([b"weak"], strength=Strength.WEAK)
+        assert receipt.vrd.metasig.key_bits == 512
+        weak_fp = receipt.vrd.metasig.key_fingerprint
+        store.strengthening.strengthen_next(store.now)
+        upgraded = store.vrdt.get_active(receipt.sn)
+        assert upgraded.metasig.key_fingerprint != weak_fp
+        assert (upgraded.metasig.key_fingerprint
+                == store.scpu.public_keys()["s"].fingerprint())
+
+    def test_strong_writes_not_enqueued(self, store):
+        store.write([b"strong"], strength=Strength.STRONG)
+        assert len(store.strengthening) == 0
+
+    def test_deleted_records_skipped(self, store):
+        receipt = store.write([b"doomed"], strength=Strength.WEAK,
+                              retention_seconds=5.0)
+        store.scpu.clock.advance(10.0)
+        store.retention.tick(store.now)
+        assert store.strengthening.strengthen_next(store.now) is None
+        assert store.strengthening.strengthened_count == 0
+
+    def test_lifetime_violation_counted(self, store):
+        store.write([b"forgotten"], strength=Strength.WEAK)
+        lifetime = 60 * 60.0  # 512-bit
+        store.scpu.clock.advance(lifetime + 100.0)
+        store.strengthening.strengthen_next(store.now)
+        assert store.strengthening.lifetime_violations == 1
+
+    def test_no_violation_within_lifetime(self, store):
+        store.write([b"timely"], strength=Strength.WEAK)
+        store.scpu.clock.advance(60.0)
+        store.strengthening.strengthen_next(store.now)
+        assert store.strengthening.lifetime_violations == 0
+
+    def test_overdue_count(self, store):
+        store.write([b"a"], strength=Strength.WEAK)
+        assert store.strengthening.overdue_count(store.now) == 0
+        store.scpu.clock.advance(31 * 60.0)  # past deadline (half lifetime)
+        assert store.strengthening.overdue_count(store.now) == 1
+
+    def test_drain_with_budget(self, store):
+        for _ in range(5):
+            store.write([b"w"], strength=Strength.WEAK)
+        assert store.strengthening.drain(store.now, max_items=2) == 2
+        assert len(store.strengthening) == 3
+        assert store.strengthening.drain(store.now) == 3
+
+    def test_next_deadline_empty(self, store):
+        assert store.strengthening.next_deadline() is None
+
+    def test_invalid_safety_factor(self, store):
+        with pytest.raises(ValueError):
+            StrengtheningQueue(store, safety_factor=0.0)
+        with pytest.raises(ValueError):
+            StrengtheningQueue(store, safety_factor=1.5)
+
+    def test_hold_during_queue_wait_does_not_break_strengthening(
+            self, store, regulator_key):
+        """Regression: lit_hold re-issues metasig with the strong key while
+        the record still sits in the strengthening queue; the later
+        strengthening pass must treat the already-strong metasig as done
+        and still upgrade the weak datasig."""
+        from repro.crypto.envelope import Envelope, Purpose
+        receipt = store.write([b"held burst record"], strength=Strength.WEAK,
+                              retention_seconds=1e6)
+        cred = regulator_key.sign_envelope(Envelope(
+            purpose=Purpose.LITIGATION_CREDENTIAL,
+            fields={"sn": receipt.sn}, timestamp=store.now))
+        store.lit_hold(receipt.sn, cred, hold_timeout=store.now + 1e6)
+        assert store.strengthening.strengthen_next(store.now) == receipt.sn
+        upgraded = store.vrdt.get_active(receipt.sn)
+        strong_fp = store.scpu.public_keys()["s"].fingerprint()
+        assert upgraded.metasig.key_fingerprint == strong_fp
+        assert upgraded.datasig.key_fingerprint == strong_fp
+        assert upgraded.attr.litigation_hold  # the hold survived
+
+    def test_hmac_writes_enqueued(self, store):
+        store.write([b"h"], strength=Strength.HMAC)
+        assert len(store.strengthening) == 1
+        sn = store.strengthening.strengthen_next(store.now)
+        upgraded = store.vrdt.get_active(sn)
+        assert upgraded.metasig.scheme == "rsa"
+
+
+class TestHashVerificationQueue:
+    def test_honest_hash_verifies(self, store):
+        store.write([b"honest data"], defer_data_hash=True)
+        assert len(store.hash_verification) == 1
+        assert store.hash_verification.verify_next() is True
+        assert store.hash_verification.mismatches == []
+
+    def test_host_lie_detected_at_idle_time(self, store):
+        receipt = store.write([b"burst data"], defer_data_hash=True)
+        # The insider swaps the payload during the burst, before the SCPU
+        # gets around to verifying the host-provided hash.
+        rd = receipt.vrd.rdl[0]
+        store.blocks.unchecked_overwrite(rd.key, b"swapped!!!")
+        assert store.hash_verification.verify_next() is False
+        assert store.hash_verification.mismatches == [receipt.sn]
+
+    def test_deleted_records_skipped(self, store):
+        store.write([b"gone soon"], defer_data_hash=True, retention_seconds=5.0)
+        store.scpu.clock.advance(10.0)
+        store.retention.tick(store.now)
+        assert store.hash_verification.verify_next() is None
+
+    def test_exposure_window_age(self, store):
+        store.write([b"pending"], defer_data_hash=True)
+        store.scpu.clock.advance(42.0)
+        assert store.hash_verification.oldest_pending_age(store.now) == 42.0
+        store.hash_verification.drain()
+        assert store.hash_verification.oldest_pending_age(store.now) == 0.0
+
+    def test_drain_budget(self, store):
+        for _ in range(4):
+            store.write([b"d"], defer_data_hash=True)
+        assert store.hash_verification.drain(max_items=3) == 3
+        assert len(store.hash_verification) == 1
+
+    def test_scpu_hash_mode_not_enqueued(self, store):
+        store.write([b"direct"], defer_data_hash=False)
+        assert len(store.hash_verification) == 0

@@ -1,0 +1,206 @@
+"""Tests for encrypted records and crypto-shredding."""
+
+import pytest
+
+from repro.core.encryption import EncryptedWormStore
+from repro.core.errors import WormError
+from repro.hardware.scpu import Strength, WrappedKey
+
+
+@pytest.fixture
+def estore(store):
+    return EncryptedWormStore(store)
+
+
+class TestEncryptedRoundtrip:
+    def test_write_read(self, estore, client):
+        receipt = estore.write(b"confidential memo", policy="sox")
+        read = estore.read_verified(client, receipt.sn)
+        assert read.plaintext == b"confidential memo"
+
+    def test_ciphertext_on_disk_differs(self, estore, store):
+        receipt = estore.write(b"confidential memo", policy="sox")
+        on_disk = store.blocks.get(receipt.vrd.rdl[0].key)
+        assert on_disk != b"confidential memo"
+        assert b"memo" not in on_disk
+
+    def test_distinct_deks_per_record(self, estore, store):
+        a = estore.write(b"same plaintext", policy="sox")
+        b = estore.write(b"same plaintext", policy="sox")
+        ct_a = store.blocks.get(a.vrd.rdl[0].key)
+        ct_b = store.blocks.get(b.vrd.rdl[0].key)
+        assert ct_a != ct_b  # fresh DEK each time
+
+    def test_integrity_still_verified(self, estore, store, client):
+        from repro.core.errors import VerificationError
+        receipt = estore.write(b"data", policy="sox")
+        store.blocks.unchecked_overwrite(receipt.vrd.rdl[0].key, b"garbage!")
+        with pytest.raises(VerificationError):
+            estore.read_verified(client, receipt.sn)
+
+    def test_weak_strength_passes_through(self, estore, client):
+        receipt = estore.write(b"burst", strength=Strength.WEAK,
+                               retention_seconds=1e6)
+        read = estore.read_verified(client, receipt.sn)
+        assert read.weakly_signed
+
+
+class TestKeyWrapping:
+    def test_wrap_unwrap_roundtrip(self, scpu):
+        dek = b"\x42" * 32
+        wrapped = scpu.wrap_key(dek)
+        assert scpu.unwrap_key(wrapped) == dek
+        assert wrapped.ciphertext != dek
+
+    def test_wrapped_key_tamper_detected(self, scpu):
+        import dataclasses
+        wrapped = scpu.wrap_key(b"\x42" * 32)
+        bad = dataclasses.replace(
+            wrapped, ciphertext=bytes(32)[:-1] + b"\x01")
+        with pytest.raises(ValueError, match="authentication"):
+            scpu.unwrap_key(bad)
+
+    def test_dek_length_enforced(self, scpu):
+        with pytest.raises(ValueError):
+            scpu.wrap_key(b"short")
+
+    def test_serialization_roundtrip(self, scpu):
+        wrapped = scpu.wrap_key(b"\x42" * 32)
+        restored = WrappedKey.from_dict(wrapped.to_dict())
+        assert scpu.unwrap_key(restored) == b"\x42" * 32
+
+    def test_zeroize_destroys_epoch_key(self, scpu):
+        from repro.hardware.tamper import TamperedError
+        wrapped = scpu.wrap_key(b"\x42" * 32)
+        scpu.tamper.trip()
+        with pytest.raises(TamperedError):
+            scpu.unwrap_key(wrapped)
+
+
+class TestEncryptedMigration:
+    def _dest(self):
+        from repro import demo_keyring
+        from repro.core.worm import StrongWormStore
+        from repro.hardware.scpu import SecureCoprocessor
+        return EncryptedWormStore(StrongWormStore(
+            scpu=SecureCoprocessor(keyring=demo_keyring())))
+
+    def test_full_encrypted_migration(self, estore, ca):
+        receipts = [estore.write(f"secret {i}".encode(), policy="sox")
+                    for i in range(3)]
+        dest = self._dest()
+        report = estore.migrate_to(dest, ca)
+        assert report.clean and report.migrated == 3
+        client = dest.store.make_client(ca)
+        for receipt in receipts:
+            new_sn = report.sn_mapping[receipt.sn]
+            read = dest.read_verified(client, new_sn)
+            assert read.plaintext == f"secret {receipts.index(receipt)}".encode()
+
+    def test_migrated_deks_survive_dest_epoch_rotation(self, estore, ca):
+        receipt = estore.write(b"durable secret", policy="sox")
+        dest = self._dest()
+        report = estore.migrate_to(dest, ca)
+        dest.shred_epoch()  # the dest rotates — migrated DEKs must follow
+        client = dest.store.make_client(ca)
+        read = dest.read_verified(client, report.sn_mapping[receipt.sn])
+        assert read.plaintext == b"durable secret"
+
+    def test_source_refuses_uncertified_destination(self, estore, ca):
+        """Mallory's fake 'destination enclave' gets nothing."""
+        from repro.crypto.keys import CertificateAuthority, SigningKey
+        estore.write(b"coveted", policy="sox")
+        mallory_key = SigningKey.generate(512, role="kx")
+        rogue_ca = CertificateAuthority(bits=512)
+        rogue_cert = rogue_ca.certify(mallory_key.public, role="kx",
+                                      now=estore.store.now)
+        with pytest.raises(ValueError, match="CA verification"):
+            estore.store.scpu.export_deks(
+                estore.wrapped_table() and {
+                    sn: WrappedKey.from_dict(w)
+                    for sn, w in estore.wrapped_table().items()},
+                mallory_key.public, rogue_cert, ca.root_public_key)
+
+    def test_tampered_bundle_rejected(self, estore, ca):
+        estore.write(b"payload", policy="sox")
+        dest = self._dest()
+        dest_public, dest_cert = dest.store.scpu.key_transport_public(ca)
+        wrapped = {sn: WrappedKey.from_dict(w)
+                   for sn, w in estore.wrapped_table().items()}
+        bundle = estore.store.scpu.export_deks(
+            wrapped, dest_public, dest_cert, ca.root_public_key)
+        bundle["ciphertext"] = bundle["ciphertext"][:-2] + "00"
+        with pytest.raises(ValueError, match="authentication"):
+            dest.store.scpu.import_deks(bundle)
+
+    def test_wrong_role_certificate_rejected(self, estore, ca):
+        """A genuine CA cert for the wrong role ('s') must not release DEKs."""
+        dest = self._dest()
+        estore.write(b"x", policy="sox")
+        s_pub = dest.store.scpu.public_keys()["s"]
+        s_cert = ca.certify(s_pub, role="s", now=estore.store.now)
+        wrapped = {sn: WrappedKey.from_dict(w)
+                   for sn, w in estore.wrapped_table().items()}
+        with pytest.raises(ValueError, match="kx certificate"):
+            estore.store.scpu.export_deks(wrapped, s_pub, s_cert,
+                                          ca.root_public_key)
+
+
+class TestCryptoShredding:
+    def test_rotation_destroys_stale_epoch_keys(self, scpu):
+        doomed = scpu.wrap_key(b"\x01" * 32)
+        survivor = scpu.wrap_key(b"\x02" * 32)
+        rewrapped = scpu.rotate_epoch([survivor])
+        # The survivor unwraps under the new epoch.
+        assert scpu.unwrap_key(rewrapped[0]) == b"\x02" * 32
+        # The hoarded old wrap is now useless.
+        with pytest.raises(ValueError, match="destroyed"):
+            scpu.unwrap_key(doomed)
+
+    def test_expired_record_unreadable_after_shred(self, estore, store, client):
+        receipt = estore.write(b"to be shredded", retention_seconds=10.0)
+        keeper = estore.write(b"keeper", policy="ferpa")
+        store.scpu.clock.advance(20.0)
+        summary = estore.maintenance()
+        assert summary["deks_destroyed"] == 1
+        # The surviving record still round-trips...
+        assert estore.read_verified(client, keeper.sn).plaintext == b"keeper"
+        # ...the shredded one is gone at the WORM layer...
+        with pytest.raises(WormError):
+            estore.read_verified(client, receipt.sn)
+        # ...and even a hoarded ciphertext+wrapped-DEK copy is dead.
+        assert store.scpu.current_epoch == 2
+
+    def test_hoarded_copies_unrecoverable(self, estore, store, client):
+        """The full insider scenario the extension exists for."""
+        receipt = estore.write(b"incriminating", retention_seconds=10.0)
+        # Mallory hoards everything before deletion:
+        hoarded_ct = store.blocks.get(receipt.vrd.rdl[0].key)
+        hoarded_wrap = estore._wrapped[receipt.sn]
+        store.scpu.clock.advance(20.0)
+        estore.maintenance()
+        # The medium copy is shredded; her hoarded wrap cannot unwrap.
+        with pytest.raises(ValueError, match="destroyed"):
+            store.scpu.unwrap_key(hoarded_wrap)
+        assert hoarded_ct != b"incriminating"  # and the ct alone is noise
+
+    def test_rotation_counts(self, estore, store):
+        estore.write(b"a", policy="ferpa")
+        assert estore.shred_epoch() == 0  # nothing expired: pure rotation
+        assert estore.rotations == 1
+        assert store.scpu.current_epoch == 2
+
+    def test_repeated_rotations_keep_survivors_readable(self, estore, client):
+        receipt = estore.write(b"long-lived", policy="ferpa")
+        for _ in range(3):
+            estore.shred_epoch()
+        assert estore.read_verified(client,
+                                    receipt.sn).plaintext == b"long-lived"
+
+    def test_wrapped_table_persistence(self, estore, client):
+        receipt = estore.write(b"persisted", policy="ferpa")
+        table = estore.wrapped_table()
+        estore._wrapped = {}
+        estore.restore_wrapped_table(table)
+        assert estore.read_verified(client,
+                                    receipt.sn).plaintext == b"persisted"

@@ -1,0 +1,70 @@
+"""Unit tests for regulation policies."""
+
+import pytest
+
+from repro.core.errors import RetentionViolationError
+from repro.core.policy import (
+    STANDARD_POLICIES,
+    YEAR_SECONDS,
+    PolicyRegistry,
+    RegulationPolicy,
+)
+
+
+class TestRegulationPolicy:
+    def test_standard_policies_present(self):
+        for name in ("sec17a-4", "hipaa", "sox", "ferpa", "dod5015",
+                     "fda-cfr11", "glba", "default"):
+            assert name in STANDARD_POLICIES
+
+    def test_sec17a4_six_years(self):
+        assert STANDARD_POLICIES["sec17a-4"].retention_seconds == 6 * YEAR_SECONDS
+
+    def test_default_retention_used_when_unspecified(self):
+        policy = STANDARD_POLICIES["sox"]
+        assert policy.effective_retention(None) == 7 * YEAR_SECONDS
+
+    def test_longer_retention_allowed(self):
+        policy = STANDARD_POLICIES["sox"]
+        assert policy.effective_retention(10 * YEAR_SECONDS) == 10 * YEAR_SECONDS
+
+    def test_shorter_retention_refused(self):
+        policy = STANDARD_POLICIES["sox"]
+        with pytest.raises(RetentionViolationError):
+            policy.effective_retention(1 * YEAR_SECONDS)
+
+    def test_unregulated_policy_accepts_anything(self):
+        policy = STANDARD_POLICIES["default"]
+        assert policy.effective_retention(5.0) == 5.0
+
+    def test_negative_retention_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            RegulationPolicy(name="bad", citation="", retention_seconds=-1.0)
+
+    def test_secure_deletion_policies_name_shredders(self):
+        from repro.core.shredding import SHREDDING_ALGORITHMS
+        for policy in STANDARD_POLICIES.values():
+            assert policy.shredding_algorithm in SHREDDING_ALGORITHMS
+
+
+class TestPolicyRegistry:
+    def test_lookup(self):
+        registry = PolicyRegistry()
+        assert registry.get("hipaa").name == "hipaa"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            PolicyRegistry().get("gdpr")
+
+    def test_register_custom(self):
+        registry = PolicyRegistry()
+        custom = RegulationPolicy(name="site-policy", citation="internal",
+                                  retention_seconds=30.0)
+        registry.register(custom)
+        assert "site-policy" in registry
+        assert registry.get("site-policy") is custom
+
+    def test_iteration_and_names(self):
+        registry = PolicyRegistry()
+        assert set(registry.names()) == set(STANDARD_POLICIES)
+        assert len(list(registry)) == len(STANDARD_POLICIES)

@@ -1,0 +1,65 @@
+"""Unit tests for read-proof objects (the case-analysis data model)."""
+
+import pytest
+
+from repro.core.proofs import (
+    ActiveProof,
+    BaseBoundProof,
+    DeletionProofResponse,
+    DeletionWindowProof,
+    NeverAllocatedProof,
+    ProofKind,
+    ReadResult,
+)
+
+
+class TestProofKinds:
+    def test_kinds_are_distinct(self):
+        kinds = {ProofKind.ACTIVE, ProofKind.DELETION_PROOF,
+                 ProofKind.BELOW_BASE, ProofKind.DELETION_WINDOW,
+                 ProofKind.NEVER_ALLOCATED}
+        assert len(kinds) == 5
+
+    def test_every_proof_class_carries_its_kind(self, store):
+        receipt = store.write([b"x"], retention_seconds=1e9)
+        env = store.vrdt.sn_current_envelope
+        assert ActiveProof(sn_current=env).kind == ProofKind.ACTIVE
+        assert NeverAllocatedProof(sn_current=env).kind == \
+            ProofKind.NEVER_ALLOCATED
+        base = store.vrdt.sn_base_envelope
+        assert BaseBoundProof(sn_base=base).kind == ProofKind.BELOW_BASE
+
+
+class TestReadResult:
+    def test_data_concatenates_records(self, store):
+        receipt = store.write([b"ab", b"cd"], retention_seconds=1e9)
+        result = store.read(receipt.sn)
+        assert result.data == b"abcd"
+        assert result.records == (b"ab", b"cd")
+
+    def test_deleted_result_has_no_data(self, store):
+        receipt = store.write([b"x"], retention_seconds=5.0)
+        store.scpu.clock.advance(10.0)
+        store.retention.tick(store.now)
+        result = store.read(receipt.sn)
+        assert result.status == "deleted"
+        assert result.vrd is None
+        assert result.data == b""
+
+    def test_results_are_immutable(self, store):
+        receipt = store.write([b"x"], retention_seconds=1e9)
+        result = store.read(receipt.sn)
+        with pytest.raises(AttributeError):
+            result.status = "deleted"
+
+    def test_every_store_answer_carries_a_known_proof_type(self, store):
+        """The store never emits a proof object the client can't classify."""
+        known = (ActiveProof, DeletionProofResponse, BaseBoundProof,
+                 DeletionWindowProof, NeverAllocatedProof)
+        store.write([b"keep"], retention_seconds=1e9)
+        store.write([b"die"], retention_seconds=5.0)
+        store.scpu.clock.advance(10.0)
+        store.maintenance()
+        for sn in range(1, store.scpu.current_serial_number + 2):
+            result = store.read(sn)
+            assert isinstance(result.proof, known), type(result.proof)

@@ -1,0 +1,173 @@
+"""Unit tests for VEXP and the Retention Monitor (§4.2.2)."""
+
+import pytest
+
+from repro.core.retention import Vexp
+
+
+class TestVexp:
+    def test_sorted_pop_due(self):
+        vexp = Vexp()
+        vexp.insert(30.0, 3)
+        vexp.insert(10.0, 1)
+        vexp.insert(20.0, 2)
+        assert vexp.pop_due(15.0) == [(10.0, 1)]
+        assert vexp.pop_due(100.0) == [(20.0, 2), (30.0, 3)]
+        assert len(vexp) == 0
+
+    def test_peek_is_nondestructive(self):
+        vexp = Vexp()
+        vexp.insert(5.0, 1)
+        assert vexp.peek() == (5.0, 1)
+        assert len(vexp) == 1
+
+    def test_remove_by_sn(self):
+        vexp = Vexp()
+        vexp.insert(1.0, 1)
+        vexp.insert(2.0, 2)
+        vexp.remove(1)
+        assert vexp.peek() == (2.0, 2)
+
+    def test_capacity_evicts_latest_for_earlier(self):
+        vexp = Vexp(capacity=2)
+        vexp.insert(10.0, 1)
+        vexp.insert(20.0, 2)
+        assert vexp.insert(5.0, 3)        # earlier: admitted, evicts 20.0
+        assert vexp.needs_rescan
+        assert vexp.evictions == 1
+        assert [sn for _, sn in vexp.pop_due(100.0)] == [3, 1]
+
+    def test_capacity_drops_later_entries(self):
+        vexp = Vexp(capacity=2)
+        vexp.insert(10.0, 1)
+        vexp.insert(20.0, 2)
+        assert not vexp.insert(30.0, 3)   # later than everything: dropped
+        assert vexp.needs_rescan
+        assert len(vexp) == 2
+
+    def test_rebuild_clears_rescan_when_fitting(self):
+        vexp = Vexp(capacity=10)
+        vexp.insert(1.0, 1)
+        vexp._needs_rescan = True
+        vexp.rebuild([(5.0, 5), (2.0, 2)])
+        assert not vexp.needs_rescan
+        assert vexp.peek() == (2.0, 2)
+
+    def test_rebuild_truncates_to_capacity(self):
+        vexp = Vexp(capacity=2)
+        vexp.rebuild([(3.0, 3), (1.0, 1), (2.0, 2)])
+        assert len(vexp) == 2
+        assert vexp.needs_rescan
+        assert vexp.peek() == (1.0, 1)  # earliest kept
+
+    def test_memory_accounting(self):
+        vexp = Vexp()
+        vexp.insert(1.0, 1)
+        vexp.insert(2.0, 2)
+        assert vexp.secure_memory_bytes() == 32
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Vexp(capacity=0)
+
+
+class TestRetentionMonitor:
+    def test_tick_deletes_due_records(self, store):
+        receipt = store.write([b"short-lived"], retention_seconds=10.0)
+        store.scpu.clock.advance(11.0)
+        deleted = store.retention.tick(store.now)
+        assert deleted == [receipt.sn]
+        assert store.retention.deletions == 1
+        assert store.vrdt.get_deletion_proof(receipt.sn) is not None
+
+    def test_tick_before_expiry_is_noop(self, store):
+        store.write([b"fresh"], retention_seconds=100.0)
+        store.scpu.clock.advance(50.0)
+        assert store.retention.tick(store.now) == []
+
+    def test_next_expiry_tracks_earliest(self, store):
+        store.write([b"later"], retention_seconds=500.0)
+        store.write([b"sooner"], retention_seconds=100.0)
+        assert store.retention.next_expiry() == pytest.approx(store.now + 100.0)
+
+    def test_hold_blocks_and_reschedules(self, store, regulator_key):
+        from repro.crypto.envelope import Envelope, Purpose
+        receipt = store.write([b"litigated"], retention_seconds=10.0)
+        credential = regulator_key.sign_envelope(Envelope(
+            purpose=Purpose.LITIGATION_CREDENTIAL,
+            fields={"sn": receipt.sn}, timestamp=store.now))
+        store.lit_hold(receipt.sn, credential, hold_timeout=store.now + 500.0)
+
+        store.scpu.clock.advance(20.0)
+        assert store.retention.tick(store.now) == []
+        assert store.retention.holds_encountered in (0, 1)
+        assert store.vrdt.is_active(receipt.sn)
+
+        # After the hold lapses the record finally expires.
+        store.scpu.clock.advance(600.0)
+        assert store.retention.tick(store.now) == [receipt.sn]
+
+    def test_night_scan_rebuilds_vexp(self, store):
+        receipts = [store.write([b"x"], retention_seconds=1000.0 + i)
+                    for i in range(5)]
+        store.retention.vexp.rebuild([])  # simulate lost entries
+        assert store.retention.next_expiry() is None
+        verified = store.retention.night_scan(store.now)
+        assert verified == 5
+        assert store.retention.next_expiry() == pytest.approx(
+            receipts[0].vrd.attr.expires_at)
+
+    def test_night_scan_skips_tampered_entries(self, store):
+        import dataclasses
+        good = store.write([b"good"], retention_seconds=1000.0)
+        bad = store.write([b"bad"], retention_seconds=1000.0)
+        vrd = store.vrdt.get_active(bad.sn)
+        forged_attr = dataclasses.replace(vrd.attr, retention_seconds=1.0)
+        store.vrdt.replace_active(dataclasses.replace(vrd, attr=forged_attr))
+        verified = store.retention.night_scan(store.now)
+        assert verified == 1  # only the untampered entry
+        entries = {sn for _, sn in store.retention.vexp.pop_due(1e12)}
+        assert good.sn in entries
+        assert bad.sn not in entries
+
+    def test_capacity_pressure_triggers_rescan_flag(self, scpu, regulator_key):
+        from repro.core.worm import StrongWormStore
+        small = StrongWormStore(scpu=scpu, vexp_capacity=3,
+                                regulator_public_key=regulator_key.public)
+        for i in range(6):
+            small.write([b"x"], retention_seconds=1000.0 + i)
+        assert small.retention.vexp.needs_rescan
+        # A maintenance slice repairs it via night scan.
+        summary = small.maintenance()
+        assert summary["night_scanned"] == 6
+
+    def test_monitor_process_in_simulation(self):
+        from repro import demo_keyring
+        from repro.hardware.scpu import SecureCoprocessor
+        from repro.core.worm import StrongWormStore
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        scpu = SecureCoprocessor(keyring=demo_keyring(), clock=sim.clock)
+        store = StrongWormStore(scpu=scpu)
+        store.attach_retention_process(sim)
+        receipt = store.write([b"auto-expired"], retention_seconds=50.0)
+        sim.run(until=200.0)
+        assert not store.vrdt.is_active(receipt.sn)
+        assert store.vrdt.get_deletion_proof(receipt.sn) is not None
+
+    def test_monitor_alarm_reset_for_earlier_expiry(self):
+        from repro import demo_keyring
+        from repro.hardware.scpu import SecureCoprocessor
+        from repro.core.worm import StrongWormStore
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        scpu = SecureCoprocessor(keyring=demo_keyring(), clock=sim.clock)
+        store = StrongWormStore(scpu=scpu)
+        store.attach_retention_process(sim)
+        store.write([b"late"], retention_seconds=1000.0)
+        early = store.write([b"early"], retention_seconds=20.0)
+        sim.run(until=100.0)
+        # The monitor re-armed for the earlier expiry (§4.2.2).
+        assert not store.vrdt.is_active(early.sn)

@@ -1,0 +1,88 @@
+"""Unit tests for secure-deletion shredding."""
+
+import pytest
+
+from repro.core.shredding import SHREDDING_ALGORITHMS, Shredder, shred
+from repro.storage.block_store import MemoryBlockStore, MissingRecordError
+
+
+class RecordingStore(MemoryBlockStore):
+    """Captures every overwrite so tests can inspect the pass patterns."""
+
+    def __init__(self):
+        super().__init__()
+        self.overwrites = []
+
+    def overwrite(self, key, data):
+        self.overwrites.append(bytes(data))
+        super().overwrite(key, data)
+
+
+class TestShredders:
+    def test_zero_fill_single_pass(self):
+        store = RecordingStore()
+        key = store.put(b"secret" * 10)
+        result = shred(store, key, 60, "zero-fill")
+        assert result.passes == 1
+        assert store.overwrites == [b"\x00" * 60]
+        assert key not in store
+
+    def test_dod_three_pass_patterns(self):
+        store = RecordingStore()
+        key = store.put(b"x" * 32)
+        result = shred(store, key, 32, "dod-5220-3pass")
+        assert result.passes == 3
+        assert store.overwrites[0] == b"\x55" * 32
+        assert store.overwrites[1] == b"\xaa" * 32
+        assert len(store.overwrites[2]) == 32  # random pass
+        assert store.overwrites[2] not in (b"\x55" * 32, b"\xaa" * 32)
+
+    def test_random_7pass(self):
+        store = RecordingStore()
+        key = store.put(b"y" * 16)
+        result = shred(store, key, 16, "random-7pass")
+        assert result.passes == 7
+        assert len(set(store.overwrites)) == 7  # fresh randomness each pass
+        assert result.bytes_overwritten == 7 * 16
+
+    def test_unlink_only_no_overwrites(self):
+        store = RecordingStore()
+        key = store.put(b"encrypted blob")
+        result = shred(store, key, 14, "unlink-only")
+        assert result.passes == 0
+        assert store.overwrites == []
+        assert key not in store
+
+    def test_unknown_algorithm_refused(self):
+        store = MemoryBlockStore()
+        key = store.put(b"data")
+        with pytest.raises(KeyError):
+            shred(store, key, 4, "definitely-not-real")
+        assert key in store  # nothing happened
+
+    def test_zero_length_record(self):
+        store = RecordingStore()
+        key = store.put(b"")
+        result = shred(store, key, 0, "dod-5220-3pass")
+        assert result.passes == 3
+        assert key not in store
+
+    def test_missing_key_raises(self):
+        with pytest.raises(MissingRecordError):
+            shred(MemoryBlockStore(), "rec-nope", 10, "zero-fill")
+
+    def test_no_payload_traces_after_shred(self):
+        store = MemoryBlockStore()
+        secret = b"THE-SMOKING-GUN"
+        key = store.put(secret)
+        shred(store, key, len(secret), "zero-fill")
+        # Nothing in the store contains the secret anymore.
+        for remaining in store.keys():
+            assert secret not in store.get(remaining)
+
+    def test_pattern_pass_repeats_to_length(self):
+        custom = Shredder(name="custom", passes=(b"\xde\xad",))
+        store = RecordingStore()
+        key = store.put(b"z" * 5)
+        custom.run(store, key, 5)
+        assert store.overwrites == [b"\xde\xad\xde\xad\xde"]

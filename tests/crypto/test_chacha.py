@@ -1,0 +1,77 @@
+"""Unit tests for the from-scratch ChaCha20 (RFC 7539 vectors included)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.chacha import ChaCha20, chacha20_block, chacha20_xor
+
+
+class TestRfc7539Vectors:
+    def test_block_function_vector(self):
+        """RFC 7539 §2.3.2."""
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000090000004a00000000")
+        block = chacha20_block(key, 1, nonce)
+        assert block == bytes.fromhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e")
+
+    def test_encryption_vector(self):
+        """RFC 7539 §2.4.2."""
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000000000004a00000000")
+        plaintext = (b"Ladies and Gentlemen of the class of '99: If I could "
+                     b"offer you only one tip for the future, sunscreen would "
+                     b"be it.")
+        ciphertext = chacha20_xor(key, nonce, plaintext, initial_counter=1)
+        assert ciphertext.startswith(bytes.fromhex("6e2e359a2568f980"))
+        assert chacha20_xor(key, nonce, ciphertext,
+                            initial_counter=1) == plaintext
+
+
+class TestProperties:
+    def test_self_inverse(self):
+        key = b"k" * 32
+        nonce = b"n" * 12
+        data = b"some plaintext of awkward length!"
+        assert chacha20_xor(key, nonce, chacha20_xor(key, nonce, data)) == data
+
+    def test_different_keys_differ(self):
+        nonce = b"n" * 12
+        a = chacha20_xor(b"a" * 32, nonce, b"data")
+        b = chacha20_xor(b"b" * 32, nonce, b"data")
+        assert a != b
+
+    def test_different_nonces_differ(self):
+        key = b"k" * 32
+        a = chacha20_xor(key, b"a" * 12, b"data")
+        b = chacha20_xor(key, b"b" * 12, b"data")
+        assert a != b
+
+    def test_empty_input(self):
+        assert chacha20_xor(b"k" * 32, b"n" * 12, b"") == b""
+
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            chacha20_block(b"short", 1, b"n" * 12)
+
+    def test_nonce_length_enforced(self):
+        with pytest.raises(ValueError):
+            chacha20_block(b"k" * 32, 1, b"short")
+
+    def test_counter_range_enforced(self):
+        with pytest.raises(ValueError):
+            chacha20_block(b"k" * 32, 2**32, b"n" * 12)
+
+    def test_wrapper_class(self):
+        cipher = ChaCha20(b"k" * 32)
+        ct = cipher.encrypt(b"n" * 12, b"hello")
+        assert cipher.decrypt(b"n" * 12, ct) == b"hello"
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_arbitrary(self, data):
+        key = b"\x07" * 32
+        nonce = b"\x0b" * 12
+        assert chacha20_xor(key, nonce, chacha20_xor(key, nonce, data)) == data

@@ -1,0 +1,109 @@
+"""Unit tests for typed signed envelopes (splice resistance)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.envelope import Envelope, Purpose, SignedEnvelope
+
+
+class TestCanonicalBytes:
+    def test_deterministic(self):
+        env = Envelope(purpose="p", fields={"a": 1, "b": "x"}, timestamp=1.5)
+        assert env.canonical_bytes() == env.canonical_bytes()
+
+    def test_field_order_irrelevant(self):
+        a = Envelope(purpose="p", fields={"a": 1, "b": 2})
+        b = Envelope(purpose="p", fields={"b": 2, "a": 1})
+        assert a.canonical_bytes() == b.canonical_bytes()
+
+    def test_purpose_is_bound(self):
+        a = Envelope(purpose=Purpose.METASIG, fields={"sn": 1})
+        b = Envelope(purpose=Purpose.DELETION_PROOF, fields={"sn": 1})
+        assert a.canonical_bytes() != b.canonical_bytes()
+
+    def test_timestamp_is_bound(self):
+        a = Envelope(purpose="p", timestamp=10.0)
+        b = Envelope(purpose="p", timestamp=10.000001)
+        assert a.canonical_bytes() != b.canonical_bytes()
+
+    def test_sub_microsecond_timestamps_collapse(self):
+        # Signed at microsecond granularity — representation-stable.
+        a = Envelope(purpose="p", timestamp=10.0000001)
+        b = Envelope(purpose="p", timestamp=10.0000004)
+        assert a.canonical_bytes() == b.canonical_bytes()
+
+    def test_type_tags_distinguish_int_from_str(self):
+        a = Envelope(purpose="p", fields={"v": 1})
+        b = Envelope(purpose="p", fields={"v": "1"})
+        assert a.canonical_bytes() != b.canonical_bytes()
+
+    def test_type_tags_distinguish_str_from_bytes(self):
+        a = Envelope(purpose="p", fields={"v": "abc"})
+        b = Envelope(purpose="p", fields={"v": b"abc"})
+        assert a.canonical_bytes() != b.canonical_bytes()
+
+    def test_bool_fields_rejected(self):
+        env = Envelope(purpose="p", fields={"flag": True})
+        with pytest.raises(TypeError):
+            env.canonical_bytes()
+
+    def test_unsupported_type_rejected(self):
+        env = Envelope(purpose="p", fields={"v": 1.5})
+        with pytest.raises(TypeError):
+            env.canonical_bytes()
+
+    def test_field_name_value_boundary_unambiguous(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        a = Envelope(purpose="p", fields={"ab": "c"})
+        b = Envelope(purpose="p", fields={"a": "bc"})
+        assert a.canonical_bytes() != b.canonical_bytes()
+
+    @given(st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.one_of(st.integers(), st.text(max_size=16), st.binary(max_size=16)),
+        max_size=5))
+    @settings(max_examples=50)
+    def test_canonical_bytes_total_function(self, fields):
+        env = Envelope(purpose="p", fields=fields, timestamp=1.0)
+        raw = env.canonical_bytes()
+        assert isinstance(raw, bytes) and raw.startswith(b"SWORM1")
+
+
+class TestSignedEnvelopeSerialization:
+    def _sample(self):
+        env = Envelope(
+            purpose=Purpose.DATASIG,
+            fields={"sn": 42, "data_hash": b"\x01\x02", "note": "x"},
+            timestamp=12.5,
+        )
+        return SignedEnvelope(envelope=env, signature=b"\xaa\xbb",
+                              key_fingerprint="f00d", key_bits=512,
+                              scheme="rsa", hash_name="sha256")
+
+    def test_roundtrip_preserves_canonical_bytes(self):
+        signed = self._sample()
+        restored = SignedEnvelope.from_dict(signed.to_dict())
+        assert (restored.envelope.canonical_bytes()
+                == signed.envelope.canonical_bytes())
+        assert restored.signature == signed.signature
+        assert restored.key_bits == 512
+        assert restored.hash_name == "sha256"
+
+    def test_field_accessor(self):
+        signed = self._sample()
+        assert signed.field("sn") == 42
+        assert signed.field("data_hash") == b"\x01\x02"
+
+    def test_purpose_and_timestamp_properties(self):
+        signed = self._sample()
+        assert signed.purpose == Purpose.DATASIG
+        assert signed.timestamp == 12.5
+
+    def test_legacy_dict_defaults(self):
+        data = self._sample().to_dict()
+        del data["hash_name"]
+        del data["scheme"]
+        restored = SignedEnvelope.from_dict(data)
+        assert restored.hash_name == "sha256"
+        assert restored.scheme == "rsa"

@@ -1,0 +1,116 @@
+"""Unit tests for chained and incremental hashing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import (
+    ChainedHasher,
+    IncrementalMultisetHash,
+    chained_hash,
+    digest,
+    hexdigest,
+)
+
+
+class TestDigest:
+    def test_known_sha256(self):
+        assert hexdigest(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855")
+
+    def test_digest_and_hexdigest_agree(self):
+        assert digest(b"abc").hex() == hexdigest(b"abc")
+
+    def test_algorithm_selectable(self):
+        assert len(digest(b"abc", "sha1")) == 20
+        assert len(digest(b"abc", "sha256")) == 32
+
+
+class TestChainedHash:
+    def test_deterministic(self):
+        chunks = [b"one", b"two", b"three"]
+        assert chained_hash(chunks) == chained_hash(chunks)
+
+    def test_order_sensitive(self):
+        assert chained_hash([b"a", b"b"]) != chained_hash([b"b", b"a"])
+
+    def test_boundary_shifts_change_digest(self):
+        # Same bytes, different chunking — must differ (length prefixes).
+        assert chained_hash([b"ab", b"c"]) != chained_hash([b"a", b"bc"])
+        assert chained_hash([b"abc"]) != chained_hash([b"ab", b"c"])
+
+    def test_empty_sequence_distinct_from_empty_chunk(self):
+        assert chained_hash([]) != chained_hash([b""])
+
+    def test_streaming_matches_oneshot(self):
+        chunks = [b"alpha", b"", b"gamma" * 100]
+        hasher = ChainedHasher()
+        for chunk in chunks:
+            hasher.update(chunk)
+        assert hasher.digest() == chained_hash(chunks)
+        assert hasher.count == 3
+
+    def test_streaming_empty(self):
+        assert ChainedHasher().digest() == chained_hash([])
+
+    @given(st.lists(st.binary(max_size=64), max_size=8))
+    @settings(max_examples=50)
+    def test_streaming_always_matches_oneshot(self, chunks):
+        hasher = ChainedHasher()
+        for chunk in chunks:
+            hasher.update(chunk)
+        assert hasher.digest() == chained_hash(chunks)
+
+
+class TestIncrementalMultisetHash:
+    def test_order_independent(self):
+        a = IncrementalMultisetHash.of([b"x", b"y", b"z"])
+        b = IncrementalMultisetHash.of([b"z", b"x", b"y"])
+        assert a.digest() == b.digest()
+
+    def test_multiset_not_set(self):
+        once = IncrementalMultisetHash.of([b"x"])
+        twice = IncrementalMultisetHash.of([b"x", b"x"])
+        assert once.digest() != twice.digest()
+
+    def test_remove_inverts_add(self):
+        h = IncrementalMultisetHash.of([b"a", b"b"])
+        before = h.digest()
+        h.add(b"c")
+        h.remove(b"c")
+        assert h.digest() == before
+        assert h.count == 2
+
+    def test_empty_hash_is_zero_count(self):
+        h = IncrementalMultisetHash()
+        assert h.count == 0
+        assert h.digest() == (0).to_bytes(33, "big")
+
+    def test_copy_is_independent(self):
+        h = IncrementalMultisetHash.of([b"a"])
+        clone = h.copy()
+        clone.add(b"b")
+        assert h.digest() != clone.digest()
+        assert h.count == 1 and clone.count == 2
+
+    def test_length_prefix_prevents_concat_confusion(self):
+        a = IncrementalMultisetHash.of([b"ab"])
+        b = IncrementalMultisetHash.of([b"a", b"b"])
+        assert a.digest() != b.digest()
+
+    @given(st.lists(st.binary(min_size=1, max_size=16), max_size=10))
+    @settings(max_examples=50)
+    def test_any_permutation_agrees(self, elements):
+        import random
+        shuffled = list(elements)
+        random.Random(42).shuffle(shuffled)
+        assert (IncrementalMultisetHash.of(elements).digest()
+                == IncrementalMultisetHash.of(shuffled).digest())
+
+    @given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=8))
+    @settings(max_examples=50)
+    def test_remove_all_returns_to_empty(self, elements):
+        h = IncrementalMultisetHash.of(elements)
+        for element in elements:
+            h.remove(element)
+        assert h.digest() == IncrementalMultisetHash().digest()

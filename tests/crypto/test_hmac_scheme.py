@@ -1,0 +1,43 @@
+"""Unit tests for HMAC witnessing."""
+
+import pytest
+
+from repro.crypto.hmac_scheme import HmacScheme
+
+
+class TestHmacScheme:
+    def test_roundtrip(self):
+        scheme = HmacScheme(key=b"k" * 32)
+        tag = scheme.sign(b"burst record")
+        assert scheme.verify(b"burst record", tag)
+
+    def test_wrong_message_rejected(self):
+        scheme = HmacScheme(key=b"k" * 32)
+        tag = scheme.sign(b"original")
+        assert not scheme.verify(b"altered", tag)
+
+    def test_wrong_key_rejected(self):
+        a = HmacScheme(key=b"a" * 32)
+        b = HmacScheme(key=b"b" * 32)
+        tag = a.sign(b"msg")
+        assert not b.verify(b"msg", tag)
+
+    def test_random_keys_differ(self):
+        a, b = HmacScheme(), HmacScheme()
+        assert a.sign(b"msg") != b.sign(b"msg")
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            HmacScheme(key=b"short")
+
+    def test_not_client_verifiable(self):
+        assert HmacScheme.client_verifiable is False
+
+    def test_tag_length_matches_algorithm(self):
+        assert HmacScheme(key=b"k" * 32).tag_length == 32
+        assert HmacScheme(key=b"k" * 32, algorithm="sha1").tag_length == 20
+
+    def test_truncated_tag_rejected(self):
+        scheme = HmacScheme(key=b"k" * 32)
+        tag = scheme.sign(b"msg")
+        assert not scheme.verify(b"msg", tag[:-1])

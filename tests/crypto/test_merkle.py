@@ -1,0 +1,133 @@
+"""Unit tests for the Merkle-tree baseline structure."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import MerkleProof, MerkleTree
+
+
+class TestStructure:
+    def test_empty_tree_has_stable_root(self):
+        assert MerkleTree().root() == MerkleTree().root()
+        assert MerkleTree().size == 0
+
+    def test_single_leaf(self):
+        t = MerkleTree([b"only"])
+        assert t.size == 1
+        proof = t.prove(0)
+        assert len(proof) == 0
+        assert t.verify(b"only", proof, t.root())
+
+    def test_append_changes_root(self):
+        t = MerkleTree([b"a"])
+        r1 = t.root()
+        t.append(b"b")
+        assert t.root() != r1
+
+    def test_same_leaves_same_root(self):
+        leaves = [bytes([i]) for i in range(13)]
+        assert MerkleTree(leaves).root() == MerkleTree(leaves).root()
+
+    def test_leaf_order_matters(self):
+        assert (MerkleTree([b"a", b"b"]).root()
+                != MerkleTree([b"b", b"a"]).root())
+
+    def test_leaf_interior_domain_separation(self):
+        # A 2-leaf tree's root must differ from a 1-leaf tree whose leaf
+        # is the concatenation of the children (classic CVE pattern).
+        two = MerkleTree([b"a", b"b"])
+        fake_leaf = two._levels[0][0] + two._levels[0][1]
+        one = MerkleTree([fake_leaf])
+        assert one.root() != two.root()
+
+
+class TestProofs:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 7, 8, 9, 16, 33])
+    def test_all_leaves_provable(self, size):
+        leaves = [f"leaf-{i}".encode() for i in range(size)]
+        t = MerkleTree(leaves)
+        root = t.root()
+        for i, leaf in enumerate(leaves):
+            proof = t.prove(i)
+            assert t.verify(leaf, proof, root)
+            assert MerkleTree.verify_static(leaf, proof, root)
+
+    def test_wrong_leaf_rejected(self):
+        t = MerkleTree([b"a", b"b", b"c"])
+        assert not t.verify(b"x", t.prove(1), t.root())
+
+    def test_wrong_index_proof_rejected(self):
+        t = MerkleTree([b"a", b"b", b"c", b"d"])
+        assert not t.verify(b"a", t.prove(1), t.root())
+
+    def test_stale_root_rejected(self):
+        t = MerkleTree([b"a", b"b"])
+        old_root = t.root()
+        t.append(b"c")
+        assert not t.verify(b"c", t.prove(2), old_root)
+
+    def test_out_of_range_proof_raises(self):
+        t = MerkleTree([b"a"])
+        with pytest.raises(IndexError):
+            t.prove(1)
+
+    def test_proof_size_logarithmic(self):
+        t = MerkleTree([bytes([i % 251]) for i in range(1024)])
+        proof = t.prove(512)
+        assert len(proof) == 10  # log2(1024)
+
+
+class TestUpdates:
+    def test_update_changes_root_and_proofs_still_work(self):
+        leaves = [f"v{i}".encode() for i in range(10)]
+        t = MerkleTree(leaves)
+        t.update(3, b"patched")
+        assert t.verify(b"patched", t.prove(3), t.root())
+        assert t.verify(b"v4", t.prove(4), t.root())
+        assert not t.verify(b"v3", t.prove(3), t.root())
+
+    def test_update_out_of_range(self):
+        t = MerkleTree([b"a"])
+        with pytest.raises(IndexError):
+            t.update(5, b"x")
+
+    def test_update_cost_is_logarithmic(self):
+        t = MerkleTree([bytes([i % 251]) for i in range(2048)])
+        before = t.hash_evaluations
+        t.update(1000, b"new")
+        path_cost = t.hash_evaluations - before
+        assert path_cost <= math.ceil(math.log2(2048)) + 2
+
+    def test_append_equivalent_to_rebuild(self):
+        leaves = [f"x{i}".encode() for i in range(37)]
+        incremental = MerkleTree()
+        for leaf in leaves:
+            incremental.append(leaf)
+        assert incremental.root() == MerkleTree(leaves).root()
+
+
+class TestPropertyBased:
+    @given(st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_every_leaf_verifies_after_random_build(self, leaves):
+        t = MerkleTree(leaves)
+        root = t.root()
+        for i, leaf in enumerate(leaves):
+            assert MerkleTree.verify_static(leaf, t.prove(i), root)
+
+    @given(st.lists(st.binary(min_size=1, max_size=16), min_size=2, max_size=20),
+           st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_updates_keep_all_proofs_valid(self, leaves, data):
+        t = MerkleTree(leaves)
+        index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+        replacement = data.draw(st.binary(min_size=1, max_size=16))
+        t.update(index, replacement)
+        current = list(leaves)
+        current[index] = replacement
+        root = t.root()
+        for i, leaf in enumerate(current):
+            assert MerkleTree.verify_static(leaf, t.prove(i), root)

@@ -1,0 +1,117 @@
+"""Unit tests for the number-theory substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.numtheory import (
+    SMALL_PRIMES,
+    egcd,
+    generate_prime,
+    is_probable_prime,
+    modinv,
+    random_odd_int,
+)
+
+
+class TestEgcd:
+    def test_coprime_pair(self):
+        g, x, y = egcd(17, 31)
+        assert g == 1
+        assert 17 * x + 31 * y == 1
+
+    def test_common_factor(self):
+        g, x, y = egcd(12, 18)
+        assert g == 6
+        assert 12 * x + 18 * y == 6
+
+    def test_zero_operand(self):
+        g, x, y = egcd(0, 7)
+        assert g == 7
+        assert 0 * x + 7 * y == 7
+
+    @given(st.integers(min_value=1, max_value=10**12),
+           st.integers(min_value=1, max_value=10**12))
+    def test_bezout_identity_holds(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        assert a % g == 0 and b % g == 0
+
+
+class TestModinv:
+    def test_known_inverse(self):
+        assert modinv(3, 11) == 4  # 3*4 = 12 ≡ 1 (mod 11)
+
+    def test_inverse_of_one(self):
+        assert modinv(1, 97) == 1
+
+    def test_no_inverse_raises(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    def test_negative_input_normalized(self):
+        inv = modinv(-3, 11)
+        assert (-3 * inv) % 11 == 1
+
+    @given(st.integers(min_value=2, max_value=10**9))
+    def test_inverse_property_modulo_prime(self, a):
+        p = 1_000_000_007  # prime
+        if a % p == 0:
+            return
+        inv = modinv(a, p)
+        assert (a * inv) % p == 1
+
+
+class TestPrimality:
+    def test_small_primes_accepted(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 1009):
+            assert is_probable_prime(p)
+
+    def test_small_composites_rejected(self):
+        for n in (0, 1, 4, 6, 9, 15, 1001):
+            assert not is_probable_prime(n)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes to many bases; Miller-Rabin must catch them.
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041):
+            assert not is_probable_prime(n)
+
+    def test_large_known_prime(self):
+        # 2^89 - 1 is a Mersenne prime.
+        assert is_probable_prime(2**89 - 1)
+
+    def test_large_known_composite(self):
+        # 2^83 - 1 = 167 * ... is composite.
+        assert not is_probable_prime(2**83 - 1)
+
+    def test_product_of_two_primes_rejected(self):
+        p = generate_prime(64)
+        q = generate_prime(64)
+        assert not is_probable_prime(p * q)
+
+
+class TestGeneration:
+    def test_generated_prime_has_exact_bits(self):
+        for bits in (32, 64, 128, 256):
+            p = generate_prime(bits)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_random_odd_int_is_odd_and_sized(self):
+        for _ in range(20):
+            n = random_odd_int(64)
+            assert n % 2 == 1
+            assert n.bit_length() == 64
+            # Top two bits forced so products have full size.
+            assert (n >> 62) == 0b11
+
+    def test_random_odd_int_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            random_odd_int(2)
+
+    def test_small_primes_table_is_sound(self):
+        assert SMALL_PRIMES[0] == 2
+        assert SMALL_PRIMES[-1] < 2048
+        # Spot-check: table contains exactly the primes below 50.
+        below_50 = tuple(p for p in SMALL_PRIMES if p < 50)
+        assert below_50 == (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)

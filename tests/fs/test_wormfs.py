@@ -1,0 +1,218 @@
+"""Tests for the WORM file system layer."""
+
+import pytest
+
+from repro.core.errors import VerificationError, WormError
+from repro.fs import WormFileSystem
+from repro.hardware.scpu import Strength
+
+
+@pytest.fixture
+def fs(store):
+    return WormFileSystem(store)
+
+
+class TestPaths:
+    def test_relative_paths_rejected(self, fs):
+        with pytest.raises(WormError):
+            fs.write("relative.txt", b"x")
+
+    def test_escaping_paths_rejected(self, fs):
+        with pytest.raises(WormError):
+            fs.write("/../etc/passwd", b"x")
+
+    def test_paths_normalized(self, fs):
+        fs.write("/a//./c.txt", b"x")
+        assert fs.exists("/a/c.txt")
+
+    def test_parent_references_rejected_anywhere(self, fs):
+        with pytest.raises(WormError):
+            fs.write("/a/../c.txt", b"x")
+
+
+class TestWriteRead:
+    def test_roundtrip(self, fs):
+        fs.write("/docs/report.pdf", b"pdf bytes")
+        assert fs.read("/docs/report.pdf") == b"pdf bytes"
+
+    def test_empty_file(self, fs):
+        fs.write("/empty", b"")
+        assert fs.read("/empty") == b""
+
+    def test_missing_file(self, fs):
+        with pytest.raises(WormError, match="no such file"):
+            fs.read("/nope")
+
+    def test_versioning_on_rewrite(self, fs):
+        fs.write("/f", b"v1 contents")
+        fs.write("/f", b"v2 contents")
+        assert fs.read("/f") == b"v2 contents"
+        assert fs.read("/f", version=1) == b"v1 contents"
+        assert len(fs.versions("/f")) == 2
+
+    def test_version_out_of_range(self, fs):
+        fs.write("/f", b"x")
+        with pytest.raises(WormError, match="no version"):
+            fs.read("/f", version=2)
+
+    def test_stat(self, fs):
+        fs.write("/f", b"abc")
+        entry = fs.stat("/f")
+        assert entry.size == 3
+        assert entry.version == 1
+        assert entry.sn >= 1
+
+
+class TestAppend:
+    def test_append_concatenates(self, fs):
+        fs.write("/log", b"line1\n")
+        fs.append("/log", b"line2\n")
+        fs.append("/log", b"line3\n")
+        assert fs.read("/log") == b"line1\nline2\nline3\n"
+        assert fs.stat("/log").version == 3
+
+    def test_append_creates_missing_file(self, fs):
+        fs.append("/new", b"first")
+        assert fs.read("/new") == b"first"
+
+    def test_append_shares_records_not_copies(self, fs, store):
+        fs.write("/big", b"A" * 10_000)
+        keys_before = set(store.blocks.keys())
+        fs.append("/big", b"B")
+        new_keys = set(store.blocks.keys()) - keys_before
+        # Only a header and the 1-byte append were written — the 10KB
+        # body was shared, not copied.
+        new_bytes = sum(store.blocks.size_of(k) for k in new_keys)
+        assert new_bytes < 200
+
+    def test_old_version_still_reads_after_append(self, fs):
+        fs.write("/f", b"base")
+        fs.append("/f", b"+more")
+        assert fs.read("/f", version=1) == b"base"
+
+
+class TestVerifiedReads:
+    def test_verified_read(self, fs, client):
+        fs.write("/ledger", b"entries")
+        verified = fs.verified_read(client, "/ledger")
+        assert verified.content == b"entries"
+        assert not verified.weakly_signed
+
+    def test_namespace_remap_detected(self, fs, store, client):
+        """The insider points one path's index entry at another file."""
+        fs.write("/innocuous", b"nothing here")
+        fs.write("/evidence", b"the smoking gun")
+        innocuous = fs._versions["/innocuous"][0]
+        import dataclasses
+        remapped = dataclasses.replace(innocuous, sn=fs._versions["/evidence"][0].sn)
+        fs._versions["/innocuous"][0] = remapped
+        with pytest.raises(VerificationError, match="namespace remap"):
+            fs.verified_read(client, "/innocuous")
+
+    def test_version_rollback_detected(self, fs, client):
+        """The insider rewinds the index to serve v1 as the latest."""
+        fs.write("/contract", b"original terms")
+        fs.write("/contract", b"amended terms")
+        v1, v2 = fs._versions["/contract"]
+        import dataclasses
+        fs._versions["/contract"] = [
+            v1, dataclasses.replace(v1, version=2)]
+        with pytest.raises(VerificationError, match="rollback"):
+            fs.verified_read(client, "/contract")
+
+    def test_tampered_content_detected(self, fs, store, client):
+        entry = fs.write("/f", b"real content")
+        vrd = store.vrdt.get_active(entry.sn)
+        store.blocks.unchecked_overwrite(vrd.rdl[1].key, b"fake content")
+        with pytest.raises(VerificationError):
+            fs.verified_read(client, "/f")
+
+    def test_weak_write_flagged(self, fs, client):
+        fs.write("/burst", b"x", strength=Strength.WEAK)
+        assert fs.verified_read(client, "/burst").weakly_signed
+
+
+class TestNamespace:
+    def test_listdir_root(self, fs):
+        fs.write("/a.txt", b"1")
+        fs.write("/dir/b.txt", b"2")
+        fs.write("/dir/sub/c.txt", b"3")
+        assert fs.listdir("/") == ["a.txt", "dir"]
+        assert fs.listdir("/dir") == ["b.txt", "sub"]
+
+    def test_walk(self, fs):
+        fs.write("/x", b"1")
+        fs.write("/y/z", b"2")
+        assert fs.walk() == ["/x", "/y/z"]
+
+    def test_unlink_hides_but_preserves_history(self, fs):
+        fs.write("/secret", b"data")
+        fs.unlink("/secret")
+        assert not fs.exists("/secret")
+        assert fs.listdir("/") == []
+        # WORM: history (and the records) survive.
+        assert len(fs.versions("/secret")) == 1
+        with pytest.raises(WormError, match="unlinked"):
+            fs.read("/secret")
+        # Explicit version access still works (auditors need it).
+        assert fs.read("/secret", version=1) == b"data"
+
+    def test_unlink_missing(self, fs):
+        with pytest.raises(WormError):
+            fs.unlink("/ghost")
+
+    def test_double_unlink(self, fs):
+        fs.write("/f", b"x")
+        fs.unlink("/f")
+        with pytest.raises(WormError, match="already"):
+            fs.unlink("/f")
+
+    def test_rewrite_after_unlink_relinks(self, fs):
+        fs.write("/f", b"v1")
+        fs.unlink("/f")
+        fs.write("/f", b"v2")
+        assert fs.exists("/f")
+        assert fs.read("/f") == b"v2"
+        assert len(fs.versions("/f")) == 2
+
+
+class TestPolicies:
+    def test_subtree_policy_inheritance(self, fs):
+        fs.set_directory_policy("/patients", "hipaa")
+        fs.set_directory_policy("/", "sox")
+        assert fs.policy_for("/patients/alice/chart") == "hipaa"
+        assert fs.policy_for("/ledger/2026") == "sox"
+
+    def test_nearest_ancestor_wins(self, fs):
+        fs.set_directory_policy("/a", "sox")
+        fs.set_directory_policy("/a/b", "hipaa")
+        assert fs.policy_for("/a/b/file") == "hipaa"
+        assert fs.policy_for("/a/file") == "sox"
+
+    def test_unknown_policy_rejected(self, fs):
+        with pytest.raises(KeyError):
+            fs.set_directory_policy("/x", "not-a-regulation")
+
+    def test_policy_applied_to_writes(self, fs, store):
+        fs.set_directory_policy("/audit", "sox")
+        entry = fs.write("/audit/trail", b"x")
+        vrd = store.vrdt.get_active(entry.sn)
+        assert vrd.attr.policy == "sox"
+
+    def test_policy_floor_enforced_through_fs(self, fs):
+        from repro.core.errors import RetentionViolationError
+        fs.set_directory_policy("/audit", "sox")
+        with pytest.raises(RetentionViolationError):
+            fs.write("/audit/trail", b"x", retention_seconds=60.0)
+
+
+class TestRetentionInteraction:
+    def test_expired_version_unreadable_but_provable(self, fs, store, client):
+        entry = fs.write("/temp", b"short-lived", retention_seconds=10.0)
+        store.scpu.clock.advance(20.0)
+        store.maintenance()
+        with pytest.raises(WormError, match="deleted"):
+            fs.read("/temp")
+        # The deletion is still provable at the record layer.
+        verified = client.verify_read(store.read(entry.sn), entry.sn)
+        assert verified.status == "deleted"

@@ -1,0 +1,143 @@
+"""Property-based tests for the WORM file system: model-checked namespace.
+
+A stateful machine drives random write/append/unlink/rename sequences
+against both the real WormFileSystem and a trivial in-memory model; after
+every step the namespace listing and every readable file's content must
+agree, and every version ever created must remain readable by explicit
+version number (the WORM property at the fs layer).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import StrongWormStore, demo_keyring
+from repro.fs import WormFileSystem
+from repro.hardware.scpu import SecureCoprocessor
+
+_SHARED: dict = {}
+
+
+def _keyring():
+    if "keyring" not in _SHARED:
+        _SHARED["keyring"] = demo_keyring()
+    return dataclasses.replace(_SHARED["keyring"])
+
+
+_PATHS = st.sampled_from(["/a", "/b", "/dir/c", "/dir/d", "/deep/e/f"])
+_CONTENT = st.binary(min_size=0, max_size=64)
+
+
+class FsModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        store = StrongWormStore(scpu=SecureCoprocessor(keyring=_keyring()))
+        self.fs = WormFileSystem(store)
+        self.model: dict = {}            # path -> current content
+        self.history: dict = {}          # (path, version) -> content
+
+    @rule(path=_PATHS, content=_CONTENT)
+    def write(self, path, content):
+        entry = self.fs.write(path, content, retention_seconds=1e9)
+        self.model[path] = content
+        self.history[(path, entry.version)] = content
+
+    @rule(path=_PATHS, content=_CONTENT)
+    def append(self, path, content):
+        entry = self.fs.append(path, content, retention_seconds=1e9)
+        combined = self.model.get(path, b"") + content
+        self.model[path] = combined
+        self.history[(path, entry.version)] = combined
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def unlink(self, data):
+        path = data.draw(st.sampled_from(sorted(self.model)))
+        self.fs.unlink(path)
+        del self.model[path]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), suffix=st.integers(min_value=0, max_value=99))
+    def rename(self, data, suffix):
+        old = data.draw(st.sampled_from(sorted(self.model)))
+        new = f"/renamed/{suffix}"
+        if new in self.model:
+            return
+        entry = self.fs.rename(old, new)
+        self.model[new] = self.model.pop(old)
+        self.history[(new, entry.version)] = self.model[new]
+
+    @invariant()
+    def listings_agree(self):
+        assert set(self.fs.walk()) == set(self.model)
+
+    @invariant()
+    def current_contents_agree(self):
+        for path, content in self.model.items():
+            assert self.fs.read(path) == content
+
+    @invariant()
+    def all_history_remains_readable(self):
+        for (path, version), content in self.history.items():
+            assert self.fs.read(path, version=version) == content
+
+
+FsModel.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=10, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+TestFsModel = FsModel.TestCase
+
+
+class TestRename:
+    def test_rename_moves_binding(self, store, client):
+        fs = WormFileSystem(store)
+        fs.write("/old", b"content")
+        fs.rename("/old", "/new")
+        assert not fs.exists("/old")
+        verified = fs.verified_read(client, "/new")
+        assert verified.content == b"content"
+
+    def test_rename_shares_content_records(self, store):
+        fs = WormFileSystem(store)
+        fs.write("/big", b"B" * 8192)
+        bytes_before = sum(store.blocks.size_of(k)
+                           for k in store.blocks.keys())
+        fs.rename("/big", "/moved")
+        bytes_after = sum(store.blocks.size_of(k)
+                          for k in store.blocks.keys())
+        assert bytes_after - bytes_before < 200  # header only, no copy
+
+    def test_rename_onto_existing_refused(self, store):
+        from repro.core.errors import WormError
+        fs = WormFileSystem(store)
+        fs.write("/a", b"1")
+        fs.write("/b", b"2")
+        with pytest.raises(WormError, match="exists"):
+            fs.rename("/a", "/b")
+
+    def test_old_history_survives_rename(self, store):
+        fs = WormFileSystem(store)
+        fs.write("/doc", b"v1")
+        fs.write("/doc", b"v2")
+        fs.rename("/doc", "/doc-final")
+        # Auditors can still read the pre-rename versions by number.
+        assert fs.read("/doc", version=1) == b"v1"
+        assert fs.read("/doc", version=2) == b"v2"
+
+    def test_renamed_file_verifies_under_new_name(self, store, client):
+        fs = WormFileSystem(store)
+        fs.write("/from", b"payload")
+        fs.rename("/from", "/to")
+        verified = fs.verified_read(client, "/to")
+        assert verified.path == "/to"
+        assert verified.version == 1

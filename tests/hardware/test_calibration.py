@@ -1,0 +1,109 @@
+"""Unit tests for the Table 2 calibration cost model."""
+
+import pytest
+
+from repro.hardware.calibration import (
+    ENTERPRISE_DISK,
+    HOST_P4_3_4GHZ,
+    SCPU_IBM_4764,
+)
+
+_MB = 1024.0 * 1024.0
+
+
+class TestRsaAnchors:
+    def test_scpu_table2_rates_exact(self):
+        assert SCPU_IBM_4764.rsa_sign_rate(512) == pytest.approx(4200.0)
+        assert SCPU_IBM_4764.rsa_sign_rate(1024) == pytest.approx(848.0)
+        assert SCPU_IBM_4764.rsa_sign_rate(2048) == pytest.approx(393.0)
+
+    def test_host_table2_rates_exact(self):
+        assert HOST_P4_3_4GHZ.rsa_sign_rate(512) == pytest.approx(1315.0)
+        assert HOST_P4_3_4GHZ.rsa_sign_rate(1024) == pytest.approx(261.0)
+        assert HOST_P4_3_4GHZ.rsa_sign_rate(2048) == pytest.approx(43.0)
+
+    def test_scpu_faster_than_host_at_every_size(self):
+        # The card has a hardware modular-exponentiation engine.
+        for bits in (512, 768, 1024, 1536, 2048):
+            assert (SCPU_IBM_4764.rsa_sign_seconds(bits)
+                    < HOST_P4_3_4GHZ.rsa_sign_seconds(bits))
+
+    def test_interpolation_monotone(self):
+        times = [SCPU_IBM_4764.rsa_sign_seconds(b)
+                 for b in (512, 640, 768, 896, 1024, 1536, 2048)]
+        assert times == sorted(times)
+
+    def test_cubic_extrapolation_above_anchors(self):
+        t2048 = SCPU_IBM_4764.rsa_sign_seconds(2048)
+        t4096 = SCPU_IBM_4764.rsa_sign_seconds(4096)
+        assert t4096 == pytest.approx(t2048 * 8.0)
+
+    def test_cubic_extrapolation_below_anchors(self):
+        t512 = SCPU_IBM_4764.rsa_sign_seconds(512)
+        t256 = SCPU_IBM_4764.rsa_sign_seconds(256)
+        assert t256 == pytest.approx(t512 / 8.0)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            SCPU_IBM_4764.rsa_sign_seconds(0)
+
+    def test_verify_much_faster_than_sign(self):
+        for bits in (512, 1024, 2048):
+            sign = SCPU_IBM_4764.rsa_sign_seconds(bits)
+            verify = SCPU_IBM_4764.rsa_verify_seconds(bits)
+            assert verify < sign / 10
+
+
+class TestShaModel:
+    def test_anchor_rates(self):
+        assert SCPU_IBM_4764.sha_rate_mb_s(1024) == pytest.approx(1.42)
+        assert SCPU_IBM_4764.sha_rate_mb_s(64 * 1024) == pytest.approx(18.6)
+
+    def test_clamped_outside_anchors(self):
+        assert SCPU_IBM_4764.sha_rate_mb_s(64) == pytest.approx(1.42)
+        assert SCPU_IBM_4764.sha_rate_mb_s(1024 * 1024) == pytest.approx(18.6)
+
+    def test_interpolated_between_anchors(self):
+        mid = SCPU_IBM_4764.sha_rate_mb_s(8 * 1024)
+        assert 1.42 < mid < 18.6
+
+    def test_sha_seconds_scales_linearly(self):
+        one = SCPU_IBM_4764.sha_seconds(_MB)
+        two = SCPU_IBM_4764.sha_seconds(2 * _MB)
+        assert two == pytest.approx(2 * one)
+
+    def test_zero_bytes_pays_setup_floor(self):
+        assert SCPU_IBM_4764.sha_seconds(0) > 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            SCPU_IBM_4764.sha_seconds(-1)
+
+    def test_host_sha_an_order_of_magnitude_faster(self):
+        # 80-120 MB/s vs 1.42-18.6 MB/s — the §1 heat-dissipation gap.
+        ratio = (HOST_P4_3_4GHZ.sha_rate_mb_s(64 * 1024)
+                 / SCPU_IBM_4764.sha_rate_mb_s(64 * 1024))
+        assert ratio > 5
+
+
+class TestTransferAndDisk:
+    def test_dma_rate_midpoint(self):
+        # 75-90 MB/s end-to-end → 82.5 MB/s.
+        assert SCPU_IBM_4764.dma_seconds(82.5 * _MB) == pytest.approx(1.0)
+
+    def test_host_memcpy_speed(self):
+        assert HOST_P4_3_4GHZ.dma_seconds(1024 * _MB) == pytest.approx(1.0)
+
+    def test_disk_random_access_latency_matches_paper(self):
+        # §5: "3-4ms+ latencies for individual block disk access".
+        latency = ENTERPRISE_DISK.access_seconds(4096)
+        assert 0.003 <= latency <= 0.008
+
+    def test_disk_sequential_skips_positioning(self):
+        random = ENTERPRISE_DISK.access_seconds(4096)
+        sequential = ENTERPRISE_DISK.access_seconds(4096, sequential=True)
+        assert sequential < random / 10
+
+    def test_disk_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ENTERPRISE_DISK.access_seconds(-1)

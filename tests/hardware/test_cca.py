@@ -1,0 +1,49 @@
+"""Unit tests for the CCA verb facade."""
+
+import pytest
+
+from repro import demo_keyring
+from repro.hardware.cca import CcaFacade
+from repro.hardware.scpu import SecureCoprocessor, Strength
+from repro.hardware.tamper import TamperedError
+
+
+@pytest.fixture
+def cca():
+    return CcaFacade(SecureCoprocessor(keyring=demo_keyring()))
+
+
+class TestCcaFacade:
+    def test_rng_returns_requested_bytes(self, cca):
+        assert len(cca.csnbrng(16)) == 16
+        assert cca.csnbrng(16) != cca.csnbrng(16)
+
+    def test_rng_limits(self, cca):
+        with pytest.raises(ValueError):
+            cca.csnbrng(0)
+        with pytest.raises(ValueError):
+            cca.csnbrng(10000)
+
+    def test_hash_matches_scpu(self, cca):
+        assert cca.csnbowh([b"a", b"b"]) == cca._scpu.hash_record_data([b"a", b"b"])
+
+    def test_sign_and_verify_roundtrip(self, cca):
+        sn = cca._scpu.issue_serial_number()
+        h = cca.csnbowh([b"payload"])
+        metasig, datasig = cca.csnddsg(sn, b"attrs", h, strength=Strength.STRONG)
+        s_pub = cca._scpu.public_keys()["s"]
+        assert cca.csnddsv(metasig, s_pub)
+        assert cca.csnddsv(datasig, s_pub)
+
+    def test_clock_read(self, cca):
+        cca._scpu.clock.advance(42.0)
+        assert cca.csnbctt() == pytest.approx(42.0)
+
+    def test_all_verbs_gated_by_tamper(self, cca):
+        cca._scpu.tamper.trip()
+        with pytest.raises(TamperedError):
+            cca.csnbrng()
+        with pytest.raises(TamperedError):
+            cca.csnbowh([b"x"])
+        with pytest.raises(TamperedError):
+            cca.csnbctt()

@@ -1,0 +1,108 @@
+"""Unit tests for operation metering and timed device adapters."""
+
+import pytest
+
+from repro.hardware.device import OpMeter, TimedDevice
+from repro.sim.engine import Simulator
+
+
+class TestOpMeter:
+    def test_charge_accumulates(self):
+        meter = OpMeter()
+        meter.charge("a", 1.0)
+        meter.charge("b", 2.5)
+        assert meter.total_seconds == pytest.approx(3.5)
+        assert meter.operation_count == 2
+
+    def test_checkpoint_delta(self):
+        meter = OpMeter()
+        meter.charge("a", 1.0)
+        mark = meter.checkpoint()
+        meter.charge("b", 0.25)
+        assert meter.delta(mark) == pytest.approx(0.25)
+
+    def test_by_operation_groups(self):
+        meter = OpMeter()
+        meter.charge("sig", 1.0)
+        meter.charge("sig", 1.0)
+        meter.charge("sha", 0.5)
+        grouped = meter.by_operation()
+        assert grouped["sig"] == pytest.approx(2.0)
+        assert grouped["sha"] == pytest.approx(0.5)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            OpMeter().charge("bad", -1.0)
+
+    def test_reset(self):
+        meter = OpMeter()
+        meter.charge("a", 1.0)
+        meter.reset()
+        assert meter.total_seconds == 0.0
+        assert meter.operation_count == 0
+
+
+class TestTimedDevice:
+    def test_serializes_on_capacity_one(self):
+        sim = Simulator()
+        device = TimedDevice(sim, "scpu", capacity=1)
+        finish_times = []
+
+        def user():
+            yield from device.use(2.0)
+            finish_times.append(sim.now)
+
+        for _ in range(3):
+            sim.process(user())
+        sim.run()
+        assert finish_times == [2.0, 4.0, 6.0]
+
+    def test_parallel_with_capacity(self):
+        sim = Simulator()
+        device = TimedDevice(sim, "scpu", capacity=3)
+        finish_times = []
+
+        def user():
+            yield from device.use(2.0)
+            finish_times.append(sim.now)
+
+        for _ in range(3):
+            sim.process(user())
+        sim.run()
+        assert finish_times == [2.0, 2.0, 2.0]
+
+    def test_zero_cost_bypasses_queue(self):
+        sim = Simulator()
+        device = TimedDevice(sim, "disk", capacity=1)
+        order = []
+
+        def blocker():
+            yield from device.use(10.0)
+            order.append("blocker")
+
+        def free_rider():
+            yield sim.timeout(1.0)
+            yield from device.use(0.0)  # must not wait for the blocker
+            order.append("rider")
+
+        sim.process(blocker())
+        sim.process(free_rider())
+        sim.run()
+        assert order == ["rider", "blocker"]
+
+    def test_negative_cost_rejected(self):
+        sim = Simulator()
+        device = TimedDevice(sim, "x")
+        with pytest.raises(ValueError):
+            list(device.use(-1.0))
+
+    def test_utilization(self):
+        sim = Simulator()
+        device = TimedDevice(sim, "scpu", capacity=1)
+
+        def user():
+            yield from device.use(3.0)
+
+        sim.process(user())
+        sim.run(until=6.0)
+        assert device.utilization(6.0) == pytest.approx(0.5)

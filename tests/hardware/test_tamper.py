@@ -1,0 +1,35 @@
+"""Unit tests for the tamper-response state machine."""
+
+import pytest
+
+from repro.hardware.tamper import TamperedError, TamperResponder
+
+
+class TestTamperResponder:
+    def test_initially_armed(self):
+        responder = TamperResponder()
+        assert not responder.tripped
+        responder.check()  # no raise
+
+    def test_trip_runs_zeroizers(self):
+        responder = TamperResponder()
+        wiped = []
+        responder.register_zeroizer(lambda: wiped.append("keys"))
+        responder.register_zeroizer(lambda: wiped.append("counters"))
+        responder.trip()
+        assert wiped == ["keys", "counters"]
+
+    def test_trip_is_idempotent(self):
+        responder = TamperResponder()
+        count = []
+        responder.register_zeroizer(lambda: count.append(1))
+        responder.trip()
+        responder.trip()
+        assert len(count) == 1
+        assert responder.trip_count == 1
+
+    def test_check_raises_after_trip(self):
+        responder = TamperResponder()
+        responder.trip()
+        with pytest.raises(TamperedError):
+            responder.check()

@@ -1,0 +1,126 @@
+"""Integration tests for the throughput simulation driver."""
+
+import pytest
+
+from repro import demo_keyring
+from repro.hardware.scpu import ScpuKeyring, Strength
+from repro.crypto.hmac_scheme import HmacScheme
+from repro.crypto.keys import SigningKey
+from repro.sim.driver import (
+    SimulationConfig,
+    make_sim_store,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.sim.workload import ClosedLoopArrivals, FixedSize, MixedWorkload
+
+
+@pytest.fixture(scope="module")
+def paper_keyring():
+    """1024-bit durable keys + 512-bit burst key (the paper's parameters)."""
+    return ScpuKeyring(
+        s_key=SigningKey.generate(1024, "s"),
+        d_key=SigningKey.generate(1024, "d"),
+        burst_key=SigningKey.generate(512, "burst"),
+        hmac=HmacScheme(),
+    )
+
+
+def _throughput(keyring, size=1024, count=80, config=None, **write_kwargs):
+    simstore = make_sim_store(config=config, keyring=keyring)
+    metrics = run_closed_loop(
+        simstore, ClosedLoopArrivals(FixedSize(size), count),
+        config=config, write_kwargs=write_kwargs)
+    return metrics.throughput("write"), simstore
+
+
+class TestClosedLoop:
+    def test_strong_mode_matches_paper_band(self, paper_keyring):
+        # §5: without deferring, 450-500 records/s sustained.  Two
+        # 1024-bit signatures at 848/s cap the rate at 424/s; allow the
+        # band around that.
+        rate, _ = _throughput(paper_keyring, strength=Strength.STRONG,
+                              defer_data_hash=True)
+        assert 350 < rate < 520
+
+    def test_deferred_mode_matches_paper_band(self, paper_keyring):
+        # §5: 2000-2500 records/s with deferred 512-bit signatures.
+        rate, _ = _throughput(paper_keyring, strength=Strength.WEAK,
+                              defer_data_hash=True)
+        assert 1800 < rate < 2600
+
+    def test_hmac_mode_fastest(self, paper_keyring):
+        weak, _ = _throughput(paper_keyring, strength=Strength.WEAK,
+                              defer_data_hash=True)
+        hmac, _ = _throughput(paper_keyring, strength=Strength.HMAC,
+                              defer_data_hash=True)
+        assert hmac > weak
+
+    def test_throughput_declines_with_record_size_when_scpu_hashes(
+            self, paper_keyring):
+        small, _ = _throughput(paper_keyring, size=1024,
+                               strength=Strength.WEAK)
+        large, _ = _throughput(paper_keyring, size=256 * 1024,
+                               strength=Strength.WEAK)
+        assert large < small / 4
+
+    def test_scpu_is_the_bottleneck(self, paper_keyring):
+        rate, simstore = _throughput(paper_keyring, strength=Strength.STRONG,
+                                     defer_data_hash=True)
+        util = simstore.utilization(simstore.sim.now)
+        assert util["scpu"] > 0.9
+        assert util["host"] < 0.5
+
+    def test_two_scpus_roughly_double_throughput(self, paper_keyring):
+        one, _ = _throughput(paper_keyring, strength=Strength.STRONG,
+                             defer_data_hash=True,
+                             config=SimulationConfig(scpu_count=1))
+        two, _ = _throughput(paper_keyring, strength=Strength.STRONG,
+                             defer_data_hash=True,
+                             config=SimulationConfig(scpu_count=2))
+        assert 1.7 < two / one < 2.3
+
+
+class TestOpenLoop:
+    def test_reads_do_not_touch_the_scpu(self):
+        keyring = demo_keyring()
+        simstore = make_sim_store(keyring=keyring)
+        workload = MixedWorkload(rate=50.0, read_fraction=0.5,
+                                 size_dist=FixedSize(512), count=60, seed=1)
+        scpu_meter_mark = simstore.store.scpu.meter.checkpoint()
+        metrics = run_open_loop(simstore, workload)
+        assert metrics.count("read") > 0
+        # Reads never touch the SCPU: every virtual second it accumulated
+        # during the run is attributable to the writes alone.
+        scpu_spent = simstore.store.scpu.meter.delta(scpu_meter_mark)
+        per_write = scpu_spent / max(1, metrics.count("write"))
+        writes_only = make_sim_store(keyring=keyring)
+        mark2 = writes_only.store.scpu.meter.checkpoint()
+        writes_only.store.write([b"\x00" * 512])
+        expected_per_write = writes_only.store.scpu.meter.delta(mark2)
+        assert per_write == pytest.approx(expected_per_write, rel=0.25)
+
+    def test_underloaded_system_has_low_latency(self):
+        keyring = demo_keyring()
+        simstore = make_sim_store(keyring=keyring)
+        workload = MixedWorkload(rate=10.0, read_fraction=0.0,
+                                 size_dist=FixedSize(512), count=40, seed=2)
+        metrics = run_open_loop(simstore, workload)
+        summary = metrics.latency_summary("write")
+        # At 10 req/s against a ~1000/s-capable store, no queueing.
+        assert summary["p99"] < 0.05
+
+    def test_strengthening_drains_in_idle_gaps(self):
+        keyring = demo_keyring()
+        simstore = make_sim_store(keyring=keyring)
+        config = SimulationConfig(strengthen_when_idle=True,
+                                  maintenance_interval=5.0)
+        workload = MixedWorkload(rate=20.0, read_fraction=0.0,
+                                 size_dist=FixedSize(256), count=50, seed=3)
+        run_open_loop(simstore, workload, config=config, horizon=3600.0,
+                      write_kwargs={"strength": Strength.WEAK})
+        # All weak writes upgraded once the burst ended.
+        store = simstore.store
+        assert store.strengthening.strengthened_count == 50
+        assert len(store.strengthening) == 0
+        assert store.strengthening.lifetime_violations == 0

@@ -1,0 +1,382 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.clock import ScpuClock, SimulationClock
+from repro.sim.engine import Interrupt, Simulator
+from repro.sim.manual_clock import ManualClock
+
+
+class TestClocks:
+    def test_simulation_clock_forward_only(self):
+        clock = SimulationClock()
+        clock._advance_to(5.0)
+        with pytest.raises(ValueError):
+            clock._advance_to(4.0)
+
+    def test_manual_clock(self):
+        clock = ManualClock(10.0)
+        assert clock.advance(5.0) == 15.0
+        clock.set(20.0)
+        with pytest.raises(ValueError):
+            clock.set(19.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_scpu_clock_drift(self):
+        source = SimulationClock()
+        drifty = ScpuClock(source, drift_rate=1e-3)
+        source._advance_to(1000.0)
+        assert drifty.now == pytest.approx(1001.0)
+
+    def test_scpu_clock_rejects_absurd_drift(self):
+        with pytest.raises(ValueError):
+            ScpuClock(SimulationClock(), drift_rate=0.5)
+
+
+class TestTimeouts:
+    def test_timeouts_fire_in_order(self):
+        sim = Simulator()
+        fired = []
+
+        def proc(delay, tag):
+            yield sim.timeout(delay)
+            fired.append((tag, sim.now))
+
+        sim.process(proc(3.0, "c"))
+        sim.process(proc(1.0, "a"))
+        sim.process(proc(2.0, "b"))
+        sim.run()
+        assert fired == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        fired = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            fired.append(tag)
+
+        for tag in "abc":
+            sim.process(proc(tag))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_run_until_stops_clock_exactly(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(100.0)
+
+        sim.process(proc())
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+        sim.run()  # finish the rest
+        assert sim.now == 100.0
+
+    def test_run_until_advances_idle_clock(self):
+        sim = Simulator()
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+
+    def test_timeout_value_passed_to_process(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            value = yield sim.timeout(1.0, value="payload")
+            got.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["payload"]
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        sim = Simulator()
+        results = []
+
+        def child():
+            yield sim.timeout(2.0)
+            return 42
+
+        def parent():
+            value = yield sim.process(child())
+            results.append((value, sim.now))
+
+        sim.process(parent())
+        sim.run()
+        assert results == [(42, 2.0)]
+
+    def test_waiting_on_already_finished_process(self):
+        sim = Simulator()
+        results = []
+
+        def child():
+            yield sim.timeout(1.0)
+            return "done"
+
+        def parent(child_proc):
+            yield sim.timeout(5.0)
+            value = yield child_proc
+            results.append((value, sim.now))
+
+        child_proc = sim.process(child())
+        sim.process(parent(child_proc))
+        sim.run()
+        assert results == [("done", 5.0)]
+
+    def test_interrupt_wakes_sleeper(self):
+        sim = Simulator()
+        events = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+                events.append("slept-through")
+            except Interrupt as exc:
+                events.append(f"interrupted:{exc.cause}@{sim.now}")
+
+        def interrupter(target):
+            yield sim.timeout(3.0)
+            target.interrupt("alarm-reset")
+
+        target = sim.process(sleeper())
+        sim.process(interrupter(target))
+        sim.run()
+        assert events == ["interrupted:alarm-reset@3.0"]
+
+    def test_interrupted_process_does_not_double_resume(self):
+        sim = Simulator()
+        wakes = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt:
+                pass
+            yield sim.timeout(50.0)
+            wakes.append(sim.now)
+
+        def interrupter(target):
+            yield sim.timeout(2.0)
+            target.interrupt()
+
+        target = sim.process(sleeper())
+        sim.process(interrupter(target))
+        sim.run()
+        # Woken at t=2, sleeps 50 more: exactly one wake at t=52 — the
+        # original t=10 timeout must NOT resume it a second time.
+        assert wakes == [52.0]
+
+    def test_interrupt_after_completion_is_noop(self):
+        sim = Simulator()
+
+        def quick():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(quick())
+        sim.run()
+        proc.interrupt()  # no error
+        sim.run()
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield "not an event"
+
+        sim.process(bad())
+        with pytest.raises(TypeError):
+            sim.run()
+
+
+class TestCombinators:
+    def test_all_of_waits_for_everything(self):
+        from repro.sim.engine import all_of
+        sim = Simulator()
+        got = []
+
+        def waiter():
+            values = yield all_of(sim, [sim.timeout(1.0, value="a"),
+                                        sim.timeout(3.0, value="b"),
+                                        sim.timeout(2.0, value="c")])
+            got.append((sim.now, values))
+
+        sim.process(waiter())
+        sim.run()
+        assert got == [(3.0, ["a", "b", "c"])]
+
+    def test_all_of_empty_fires_immediately(self):
+        from repro.sim.engine import all_of
+        sim = Simulator()
+        got = []
+
+        def waiter():
+            values = yield all_of(sim, [])
+            got.append((sim.now, values))
+
+        sim.process(waiter())
+        sim.run()
+        assert got == [(0.0, [])]
+
+    def test_any_of_first_wins(self):
+        from repro.sim.engine import any_of
+        sim = Simulator()
+        got = []
+
+        def waiter():
+            winner = yield any_of(sim, [sim.timeout(5.0, value="slow"),
+                                        sim.timeout(1.0, value="fast")])
+            got.append((sim.now, winner))
+
+        sim.process(waiter())
+        sim.run()
+        assert got == [(1.0, (1, "fast"))]
+
+    def test_any_of_as_timeout_race(self):
+        from repro.sim.engine import any_of
+        sim = Simulator()
+        outcome = []
+
+        def slow_work():
+            yield sim.timeout(100.0)
+            return "done"
+
+        def supervisor():
+            work = sim.process(slow_work())
+            index, value = yield any_of(sim, [work, sim.timeout(10.0)])
+            outcome.append("timed-out" if index == 1 else value)
+
+        sim.process(supervisor())
+        sim.run()
+        assert outcome == ["timed-out"]
+
+    def test_any_of_rejects_empty(self):
+        from repro.sim.engine import any_of
+        with pytest.raises(ValueError):
+            any_of(Simulator(), [])
+
+    def test_all_of_with_already_fired_events(self):
+        from repro.sim.engine import all_of
+        sim = Simulator()
+        early = sim.timeout(1.0, value="early")
+        got = []
+
+        def late_joiner():
+            yield sim.timeout(5.0)
+            values = yield all_of(sim, [early, sim.timeout(1.0, value="x")])
+            got.append((sim.now, values))
+
+        sim.process(late_joiner())
+        sim.run()
+        assert got == [(6.0, ["early", "x"])]
+
+
+class TestResources:
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        resource = sim.resource(capacity=1)
+        grants = []
+
+        def user(tag, hold):
+            req = resource.request()
+            yield req
+            grants.append((tag, sim.now))
+            yield sim.timeout(hold)
+            resource.release(req)
+
+        sim.process(user("first", 5.0))
+        sim.process(user("second", 1.0))
+        sim.process(user("third", 1.0))
+        sim.run()
+        assert grants == [("first", 0.0), ("second", 5.0), ("third", 6.0)]
+
+    def test_capacity_two_runs_pairs(self):
+        sim = Simulator()
+        resource = sim.resource(capacity=2)
+        done = []
+
+        def user():
+            req = resource.request()
+            yield req
+            yield sim.timeout(4.0)
+            resource.release(req)
+            done.append(sim.now)
+
+        for _ in range(4):
+            sim.process(user())
+        sim.run()
+        assert done == [4.0, 4.0, 8.0, 8.0]
+
+    def test_queue_length_and_in_use(self):
+        sim = Simulator()
+        resource = sim.resource(capacity=1)
+        observed = []
+
+        def holder():
+            req = resource.request()
+            yield req
+            yield sim.timeout(10.0)
+            resource.release(req)
+
+        def watcher():
+            yield sim.timeout(1.0)
+            observed.append((resource.in_use, resource.queue_length))
+
+        sim.process(holder())
+        sim.process(holder())
+        sim.process(holder())
+        sim.process(watcher())
+        sim.run()
+        assert observed == [(1, 2)]
+
+    def test_double_release_rejected(self):
+        sim = Simulator()
+        resource = sim.resource(capacity=1)
+        errors = []
+
+        def user():
+            req = resource.request()
+            yield req
+            resource.release(req)
+            try:
+                resource.release(req)
+            except RuntimeError:
+                errors.append("caught")
+
+        sim.process(user())
+        sim.run()
+        assert errors == ["caught"]
+
+    def test_busy_time_accounting(self):
+        sim = Simulator()
+        resource = sim.resource(capacity=1)
+
+        def user():
+            req = resource.request()
+            yield req
+            yield sim.timeout(3.0)
+            resource.release(req)
+
+        sim.process(user())
+        sim.run(until=10.0)
+        assert resource.total_busy_time == pytest.approx(3.0)
+        assert resource.utilization(10.0) == pytest.approx(0.3)
+
+    def test_zero_capacity_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.resource(capacity=0)
+
+    def test_peek_next_event_time(self):
+        sim = Simulator()
+        assert sim.peek() is None
+        sim.timeout(7.0)
+        assert sim.peek() == 7.0

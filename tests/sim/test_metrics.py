@@ -1,0 +1,98 @@
+"""Unit tests for metrics collection and table formatting."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import (
+    MetricsCollector,
+    RequestSample,
+    format_table,
+    summarize_latencies,
+)
+
+
+def _sample(kind="write", arrival=0.0, start=None, finish=1.0, size=0):
+    return RequestSample(kind=kind, arrival=arrival,
+                         start=start if start is not None else arrival,
+                         finish=finish, size=size)
+
+
+class TestRequestSample:
+    def test_latency_and_service(self):
+        sample = RequestSample(kind="write", arrival=1.0, start=3.0, finish=7.0)
+        assert sample.latency == 6.0
+        assert sample.service_time == 4.0
+
+
+class TestSummaries:
+    def test_empty_is_nan(self):
+        summary = summarize_latencies([])
+        assert math.isnan(summary["mean"])
+
+    def test_single_value(self):
+        summary = summarize_latencies([5.0])
+        assert summary["p50"] == 5.0
+        assert summary["max"] == 5.0
+
+    def test_percentiles_interpolate(self):
+        summary = summarize_latencies([0.0, 10.0])
+        assert summary["p50"] == pytest.approx(5.0)
+        assert summary["mean"] == pytest.approx(5.0)
+
+    def test_p99_near_max(self):
+        values = list(range(100))
+        summary = summarize_latencies([float(v) for v in values])
+        assert summary["p99"] == pytest.approx(98.01)
+        assert summary["max"] == 99.0
+
+
+class TestMetricsCollector:
+    def test_throughput_over_span(self):
+        collector = MetricsCollector()
+        for i in range(10):
+            collector.record(_sample(arrival=float(i), finish=float(i) + 0.5))
+        # Span = 0 → 9.5; 10 requests.
+        assert collector.throughput() == pytest.approx(10 / 9.5)
+
+    def test_throughput_filtered_by_kind(self):
+        collector = MetricsCollector()
+        collector.record(_sample(kind="write", arrival=0.0, finish=1.0))
+        collector.record(_sample(kind="read", arrival=0.0, finish=2.0))
+        assert collector.count("write") == 1
+        assert collector.count() == 2
+        assert collector.throughput("write") == pytest.approx(1.0)
+
+    def test_empty_collector(self):
+        collector = MetricsCollector()
+        assert collector.throughput() == 0.0
+        assert collector.count() == 0
+
+    def test_bytes_written(self):
+        collector = MetricsCollector()
+        collector.record(_sample(kind="write", size=100))
+        collector.record(_sample(kind="read", size=999))
+        collector.record(_sample(kind="write", size=50))
+        assert collector.bytes_written() == 150
+
+    def test_latency_summary_by_kind(self):
+        collector = MetricsCollector()
+        collector.record(_sample(kind="write", arrival=0.0, finish=4.0))
+        collector.record(_sample(kind="read", arrival=0.0, finish=1.0))
+        assert collector.latency_summary("write")["mean"] == pytest.approx(4.0)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["mode", "rate"],
+                            [["strong", 424], ["weak", 2100]],
+                            title="Figure 1")
+        lines = text.splitlines()
+        assert lines[0] == "Figure 1"
+        assert "mode" in lines[1] and "rate" in lines[1]
+        assert all("|" in line for line in lines[1:] if "-+-" not in line)
+
+    def test_column_widths_fit_longest(self):
+        text = format_table(["x"], [["very-long-cell-value"]])
+        header, divider, row = text.splitlines()
+        assert len(header) == len(row)

@@ -1,0 +1,80 @@
+"""Tests for workload trace persistence and replay."""
+
+import pytest
+
+from repro.sim.trace_workload import TraceWorkload, load_trace, save_trace
+from repro.sim.workload import FixedSize, MixedWorkload, PoissonArrivals
+
+
+class TestRoundtrip:
+    def test_save_load_identity(self, tmp_path):
+        original = list(PoissonArrivals(50.0, FixedSize(512), count=100,
+                                        seed=4))
+        path = tmp_path / "trace.jsonl"
+        assert save_trace(original, path) == 100
+        replayed = load_trace(path)
+        assert replayed == original
+
+    def test_mixed_kinds_roundtrip(self, tmp_path):
+        original = list(MixedWorkload(rate=20.0, read_fraction=0.5,
+                                      size_dist=FixedSize(64), count=60,
+                                      seed=8))
+        path = tmp_path / "mixed.jsonl"
+        save_trace(original, path)
+        replayed = load_trace(path)
+        assert [r.kind for r in replayed] == [r.kind for r in original]
+        assert replayed == original
+
+    def test_streaming_iteration(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        save_trace(PoissonArrivals(10.0, FixedSize(1), count=20, seed=0), path)
+        workload = TraceWorkload(path)
+        assert len(list(workload)) == 20
+        assert len(list(workload)) == 20  # re-iterable
+
+    def test_replay_through_driver(self, tmp_path):
+        from repro import demo_keyring
+        from repro.sim.driver import make_sim_store, run_open_loop
+
+        path = tmp_path / "drive.jsonl"
+        save_trace(PoissonArrivals(100.0, FixedSize(256), count=25, seed=1),
+                   path)
+        simstore = make_sim_store(keyring=demo_keyring())
+        metrics = run_open_loop(simstore, TraceWorkload(path))
+        assert metrics.count("write") == 25
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            TraceWorkload(tmp_path / "nope.jsonl")
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "write", "arrival": 1.0}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            load_trace(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "erase", "arrival": 1.0}\n')
+        with pytest.raises(ValueError, match="unknown kind"):
+            load_trace(path)
+
+    def test_non_monotone_arrivals(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "write", "arrival": 5.0, "size": 1}\n'
+                        '{"kind": "write", "arrival": 1.0, "size": 1}\n')
+        with pytest.raises(ValueError, match="monotone"):
+            load_trace(path)
+
+    def test_negative_values_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "write", "arrival": -1.0, "size": 1}\n')
+        with pytest.raises(ValueError, match="negative"):
+            load_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('\n{"kind": "write", "arrival": 1.0, "size": 2}\n\n')
+        assert len(load_trace(path)) == 1

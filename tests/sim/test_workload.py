@@ -1,0 +1,193 @@
+"""Unit tests for workload generation."""
+
+import pytest
+
+from repro.sim.workload import (
+    BurstArrivals,
+    ClosedLoopArrivals,
+    EmailMixSize,
+    FixedSize,
+    LognormalSize,
+    MixedWorkload,
+    PoissonArrivals,
+    RetentionSampler,
+    UniformSize,
+)
+
+import random
+
+
+class TestSizeDistributions:
+    def test_fixed(self):
+        rng = random.Random(0)
+        dist = FixedSize(1024)
+        assert all(dist.sample(rng) == 1024 for _ in range(10))
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedSize(-1)
+
+    def test_uniform_in_range(self):
+        rng = random.Random(0)
+        dist = UniformSize(100, 200)
+        samples = [dist.sample(rng) for _ in range(200)]
+        assert all(100 <= s <= 200 for s in samples)
+        assert min(samples) < 130 and max(samples) > 170  # actually spreads
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformSize(200, 100)
+
+    def test_lognormal_capped_and_positive(self):
+        rng = random.Random(0)
+        dist = LognormalSize(cap=10_000)
+        samples = [dist.sample(rng) for _ in range(500)]
+        assert all(1 <= s <= 10_000 for s in samples)
+
+    def test_lognormal_heavy_tail(self):
+        rng = random.Random(1)
+        dist = LognormalSize()
+        samples = sorted(dist.sample(rng) for _ in range(2000))
+        median = samples[1000]
+        p99 = samples[1980]
+        assert p99 > 10 * median
+
+    def test_email_mix_bands(self):
+        rng = random.Random(2)
+        samples = [EmailMixSize().sample(rng) for _ in range(2000)]
+        small = sum(1 for s in samples if s <= 16 * 1024)
+        large = sum(1 for s in samples if s >= 1024 * 1024)
+        assert 0.7 < small / len(samples) < 0.9   # ~80% small bodies
+        assert large / len(samples) < 0.05        # ~2% large attachments
+
+
+class TestRetentionSampler:
+    def test_default_profiles_are_years(self):
+        rng = random.Random(0)
+        year = 365.0 * 24 * 3600
+        samples = {RetentionSampler().sample(rng) for _ in range(200)}
+        assert samples <= {3 * year, 6 * year, 20 * year}
+        assert len(samples) == 3
+
+    def test_custom_weights(self):
+        rng = random.Random(0)
+        sampler = RetentionSampler(profiles=((10.0, 1.0),))
+        assert all(sampler.sample(rng) == 10.0 for _ in range(20))
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            RetentionSampler(profiles=((10.0, 0.0),))
+
+
+class TestArrivalProcesses:
+    def test_poisson_deterministic_given_seed(self):
+        a = list(PoissonArrivals(10.0, FixedSize(1), count=50, seed=7))
+        b = list(PoissonArrivals(10.0, FixedSize(1), count=50, seed=7))
+        assert [r.arrival for r in a] == [r.arrival for r in b]
+
+    def test_poisson_rate_approximately_holds(self):
+        requests = list(PoissonArrivals(100.0, FixedSize(1), count=2000, seed=3))
+        span = requests[-1].arrival
+        assert 80 < len(requests) / span < 125
+
+    def test_poisson_arrivals_increasing(self):
+        requests = list(PoissonArrivals(5.0, FixedSize(1), count=100, seed=1))
+        arrivals = [r.arrival for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_poisson_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0, FixedSize(1), count=1)
+
+    def test_burst_arrivals_have_idle_gaps(self):
+        workload = BurstArrivals(burst_rate=1000.0, burst_seconds=1.0,
+                                 idle_seconds=10.0, size_dist=FixedSize(1),
+                                 total_count=3000, seed=5)
+        arrivals = [r.arrival for r in workload]
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert max(gaps) >= 10.0       # an idle gap appears
+        assert sorted(arrivals) == arrivals
+
+    def test_burst_emits_exact_count(self):
+        workload = BurstArrivals(burst_rate=100.0, burst_seconds=1.0,
+                                 idle_seconds=1.0, size_dist=FixedSize(1),
+                                 total_count=500, seed=5)
+        assert len(list(workload)) == 500
+
+    def test_closed_loop_all_at_zero(self):
+        requests = list(ClosedLoopArrivals(FixedSize(64), count=10, seed=0))
+        assert len(requests) == 10
+        assert all(r.arrival == 0.0 for r in requests)
+        assert all(r.kind == "write" for r in requests)
+
+    def test_mixed_workload_fractions(self):
+        workload = MixedWorkload(rate=100.0, read_fraction=0.8,
+                                 size_dist=FixedSize(1), count=2000, seed=9)
+        requests = list(workload)
+        reads = [r for r in requests if r.kind == "read"]
+        assert 0.7 < len(reads) / len(requests) < 0.9
+
+    def test_mixed_workload_reads_target_written_indexes(self):
+        workload = MixedWorkload(rate=10.0, read_fraction=0.5,
+                                 size_dist=FixedSize(1), count=500, seed=4)
+        writes_seen = 0
+        for request in workload:
+            if request.kind == "read":
+                assert 0 <= request.target_sn < writes_seen
+            else:
+                writes_seen += 1
+
+    def test_mixed_workload_first_request_is_write(self):
+        workload = MixedWorkload(rate=10.0, read_fraction=0.99,
+                                 size_dist=FixedSize(1), count=10, seed=0)
+        assert next(iter(workload)).kind == "write"
+
+    def test_mixed_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            MixedWorkload(10.0, 1.5, FixedSize(1), count=1)
+
+
+class TestDiurnalArrivals:
+    def _workload(self, **kw):
+        from repro.sim.workload import DiurnalArrivals
+        defaults = dict(size_dist=FixedSize(128), days=1, night_rate=0.002,
+                        day_rate=0.05, burst_rate=500.0, burst_seconds=10.0,
+                        seed=3)
+        defaults.update(kw)
+        return DiurnalArrivals(**defaults)
+
+    def test_arrivals_monotone_and_within_horizon(self):
+        arrivals = [r.arrival for r in self._workload()]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] < 24 * 3600.0
+
+    def test_burst_concentration(self):
+        hour = 3600.0
+        requests = list(self._workload())
+        in_burst = [r for r in requests
+                    if 16 * hour <= r.arrival < 16 * hour + 10.0]
+        # The 10-second EOD burst carries the bulk of the day's writes.
+        assert len(in_burst) > 0.5 * len(requests)
+
+    def test_night_is_quiet(self):
+        hour = 3600.0
+        requests = list(self._workload())
+        at_night = [r for r in requests if r.arrival < 8 * hour]
+        by_day = [r for r in requests if 8 * hour <= r.arrival < 16 * hour]
+        assert len(at_night) < len(by_day) / 5
+
+    def test_multiple_days(self):
+        requests = list(self._workload(days=3))
+        day_of = {int(r.arrival // (24 * 3600.0)) for r in requests}
+        assert day_of == {0, 1, 2}
+
+    def test_deterministic_given_seed(self):
+        a = [r.arrival for r in self._workload()]
+        b = [r.arrival for r in self._workload()]
+        assert a == b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            self._workload(day_rate=0.0)
+        with pytest.raises(ValueError):
+            self._workload(days=0)

@@ -1,0 +1,96 @@
+"""Unit tests for the untrusted block stores (memory and directory)."""
+
+import pytest
+
+from repro.storage.block_store import (
+    DirectoryBlockStore,
+    MemoryBlockStore,
+    MissingRecordError,
+)
+
+
+@pytest.fixture(params=["memory", "directory"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryBlockStore()
+    return DirectoryBlockStore(tmp_path / "blocks")
+
+
+class TestBlockStoreContract:
+    def test_put_get_roundtrip(self, store):
+        key = store.put(b"payload")
+        assert store.get(key) == b"payload"
+        assert key in store
+        assert store.size_of(key) == 7
+
+    def test_keys_are_unique(self, store):
+        keys = {store.put(b"x") for _ in range(50)}
+        assert len(keys) == 50
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(MissingRecordError):
+            store.get("rec-000000000000-deadbeef")
+
+    def test_overwrite(self, store):
+        key = store.put(b"original")
+        store.overwrite(key, b"shredded")
+        assert store.get(key) == b"shredded"
+
+    def test_overwrite_missing_raises(self, store):
+        with pytest.raises(MissingRecordError):
+            store.overwrite("rec-000000000000-deadbeef", b"x")
+
+    def test_delete(self, store):
+        key = store.put(b"gone")
+        store.delete(key)
+        assert key not in store
+        with pytest.raises(MissingRecordError):
+            store.get(key)
+
+    def test_delete_missing_raises(self, store):
+        with pytest.raises(MissingRecordError):
+            store.delete("rec-000000000000-deadbeef")
+
+    def test_keys_iteration(self, store):
+        expected = {store.put(bytes([i])) for i in range(5)}
+        assert set(store.keys()) == expected
+
+    def test_empty_payload(self, store):
+        key = store.put(b"")
+        assert store.get(key) == b""
+        assert store.size_of(key) == 0
+
+    def test_unchecked_overwrite_is_silent(self, store):
+        key = store.put(b"history")
+        store.unchecked_overwrite(key, b"rewrite")
+        assert store.get(key) == b"rewrite"
+
+
+class TestDirectoryStoreSpecifics:
+    def test_survives_reopen(self, tmp_path):
+        root = tmp_path / "persist"
+        store = DirectoryBlockStore(root)
+        key = store.put(b"durable")
+        reopened = DirectoryBlockStore(root)
+        assert reopened.get(key) == b"durable"
+
+    def test_counter_resumes_without_collisions(self, tmp_path):
+        root = tmp_path / "resume"
+        first = DirectoryBlockStore(root)
+        old_keys = {first.put(b"a") for _ in range(3)}
+        reopened = DirectoryBlockStore(root)
+        new_key = reopened.put(b"b")
+        assert new_key not in old_keys
+
+    def test_path_traversal_rejected(self, tmp_path):
+        store = DirectoryBlockStore(tmp_path / "jail")
+        for hostile in ("../escape", "a/b", ".hidden", "..\\win"):
+            with pytest.raises(ValueError):
+                store.get(hostile)
+
+    def test_deleted_file_removed_from_disk(self, tmp_path):
+        root = tmp_path / "gone"
+        store = DirectoryBlockStore(root)
+        key = store.put(b"temporary")
+        store.delete(key)
+        assert not (root / key).exists()

@@ -1,0 +1,135 @@
+"""Tests for the append-only log-structured block store."""
+
+import pytest
+
+from repro.storage.block_store import MissingRecordError
+from repro.storage.log_store import AppendLogBlockStore
+
+
+@pytest.fixture
+def log_store(tmp_path):
+    return AppendLogBlockStore(tmp_path / "store.log")
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self, log_store):
+        key = log_store.put(b"payload bytes")
+        assert log_store.get(key) == b"payload bytes"
+        assert key in log_store
+        assert log_store.size_of(key) == 13
+
+    def test_multiple_records_appended(self, log_store):
+        keys = [log_store.put(bytes([i]) * (i + 1)) for i in range(10)]
+        for i, key in enumerate(keys):
+            assert log_store.get(key) == bytes([i]) * (i + 1)
+
+    def test_missing_key(self, log_store):
+        with pytest.raises(MissingRecordError):
+            log_store.get("rec-nope")
+
+    def test_empty_payload(self, log_store):
+        key = log_store.put(b"")
+        assert log_store.get(key) == b""
+
+
+class TestRecovery:
+    def test_index_rebuilt_on_reopen(self, tmp_path):
+        path = tmp_path / "persist.log"
+        store = AppendLogBlockStore(path)
+        keys = [store.put(f"record {i}".encode()) for i in range(5)]
+        store.delete(keys[2])
+        reopened = AppendLogBlockStore(path)
+        assert set(reopened.keys()) == set(keys) - {keys[2]}
+        assert reopened.get(keys[0]) == b"record 0"
+        with pytest.raises(MissingRecordError):
+            reopened.get(keys[2])
+
+    def test_counter_resumes_without_collisions(self, tmp_path):
+        path = tmp_path / "resume.log"
+        store = AppendLogBlockStore(path)
+        old = {store.put(b"x") for _ in range(3)}
+        reopened = AppendLogBlockStore(path)
+        assert reopened.put(b"y") not in old
+
+    def test_torn_final_frame_tolerated(self, tmp_path):
+        path = tmp_path / "torn.log"
+        store = AppendLogBlockStore(path)
+        key = store.put(b"complete record")
+        with path.open("ab") as handle:
+            handle.write(b"WLG1\x00")  # a truncated header: a crash mid-write
+        reopened = AppendLogBlockStore(path)
+        assert reopened.get(key) == b"complete record"
+
+    def test_corrupt_interior_frame_raises(self, tmp_path):
+        path = tmp_path / "bad.log"
+        store = AppendLogBlockStore(path)
+        store.put(b"record")
+        raw = bytearray(path.read_bytes())
+        raw[0] = 0x00  # smash the first frame's magic
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="magic"):
+            AppendLogBlockStore(path)
+
+
+class TestDeletionAndCompaction:
+    def test_delete_marks_dead(self, log_store):
+        key = log_store.put(b"doomed")
+        log_store.delete(key)
+        assert key not in log_store
+        assert log_store.dead_bytes == 6
+
+    def test_shred_overwrite_in_place(self, tmp_path):
+        path = tmp_path / "shred.log"
+        store = AppendLogBlockStore(path)
+        key = store.put(b"SECRETSECRET")
+        store.overwrite(key, b"\x00" * 12)
+        assert b"SECRETSECRET" not in path.read_bytes()
+        assert store.get(key) == b"\x00" * 12
+
+    def test_overwrite_length_must_match(self, log_store):
+        key = log_store.put(b"12345")
+        with pytest.raises(ValueError):
+            log_store.overwrite(key, b"too long for the slot")
+
+    def test_compact_reclaims_space(self, log_store):
+        keep = log_store.put(b"K" * 100)
+        for _ in range(5):
+            key = log_store.put(b"D" * 1000)
+            log_store.delete(key)
+        before = log_store.log_bytes()
+        reclaimed = log_store.compact()
+        assert reclaimed >= 5000
+        assert log_store.log_bytes() < before
+        assert log_store.get(keep) == b"K" * 100
+        assert log_store.dead_bytes == 0
+
+    def test_compacted_log_still_reopens(self, tmp_path):
+        path = tmp_path / "c.log"
+        store = AppendLogBlockStore(path)
+        keep = store.put(b"survivor")
+        dead = store.put(b"casualty")
+        store.delete(dead)
+        store.compact()
+        reopened = AppendLogBlockStore(path)
+        assert reopened.get(keep) == b"survivor"
+
+
+class TestAsWormBacking:
+    def test_full_worm_store_over_log(self, tmp_path, ca):
+        """The log store backs a complete WORM lifecycle on disk."""
+        from repro import StrongWormStore, demo_keyring
+        from repro.hardware import SecureCoprocessor
+        log = AppendLogBlockStore(tmp_path / "worm.log")
+        store = StrongWormStore(
+            scpu=SecureCoprocessor(keyring=demo_keyring()), block_store=log)
+        client = store.make_client(ca)
+        keeper = store.write([b"retained"], policy="sox")
+        brief = store.write([b"SHREDME!"], retention_seconds=5.0)
+        store.scpu.clock.advance(10.0)
+        store.maintenance()
+        # The shredded payload left no trace in the raw log bytes.
+        assert b"SHREDME!" not in (tmp_path / "worm.log").read_bytes()
+        verified = client.verify_read(store.read(keeper.sn), keeper.sn)
+        assert verified.data == b"retained"
+        assert client.verify_read(store.read(brief.sn),
+                                  brief.sn).status == "deleted"

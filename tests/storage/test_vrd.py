@@ -1,0 +1,72 @@
+"""Unit tests for Virtual Record Descriptors."""
+
+import pytest
+
+from repro import demo_keyring
+from repro.hardware.scpu import SecureCoprocessor, Strength
+from repro.storage.record import RecordAttributes, RecordDescriptor
+from repro.storage.vrd import VirtualRecordDescriptor
+
+
+@pytest.fixture(scope="module")
+def scpu():
+    return SecureCoprocessor(keyring=demo_keyring())
+
+
+def make_vrd(scpu, strength=Strength.STRONG, records=(b"one", b"two")):
+    sn = scpu.issue_serial_number()
+    attr = RecordAttributes(created_at=scpu.now, retention_seconds=60.0)
+    data_hash = scpu.hash_record_data(records)
+    metasig, datasig = scpu.witness_write(sn, attr.canonical_bytes(),
+                                          data_hash, strength=strength)
+    rdl = tuple(RecordDescriptor(key=f"rec-{sn}-{i}", length=len(r))
+                for i, r in enumerate(records))
+    return VirtualRecordDescriptor(sn=sn, attr=attr, rdl=rdl,
+                                   metasig=metasig, datasig=datasig,
+                                   data_hash=data_hash)
+
+
+class TestVrd:
+    def test_structure(self, scpu):
+        vrd = make_vrd(scpu)
+        assert vrd.record_count == 2
+        assert vrd.total_bytes == 6
+        assert vrd.is_client_verifiable
+
+    def test_sn_must_be_positive(self, scpu):
+        vrd = make_vrd(scpu)
+        import dataclasses
+        with pytest.raises(ValueError):
+            dataclasses.replace(vrd, sn=0)
+
+    def test_hmac_vrd_not_client_verifiable(self, scpu):
+        vrd = make_vrd(scpu, strength=Strength.HMAC)
+        assert not vrd.is_client_verifiable
+
+    def test_with_signatures_upgrades(self, scpu):
+        vrd = make_vrd(scpu, strength=Strength.WEAK)
+        metasig = scpu.strengthen(vrd.metasig)
+        datasig = scpu.strengthen(vrd.datasig)
+        upgraded = vrd.with_signatures(metasig, datasig)
+        assert upgraded.sn == vrd.sn
+        assert upgraded.metasig is metasig
+        assert vrd.metasig is not metasig  # original untouched
+
+    def test_with_attr_replaces_attr_and_metasig(self, scpu):
+        vrd = make_vrd(scpu)
+        new_attr = vrd.attr.with_hold(timeout=1e6, credential_hash=b"c")
+        new_metasig = scpu.resign_metadata(vrd.sn, new_attr.canonical_bytes())
+        updated = vrd.with_attr(new_attr, new_metasig)
+        assert updated.attr.litigation_hold
+        assert updated.datasig is vrd.datasig
+
+    def test_serialization_roundtrip(self, scpu):
+        vrd = make_vrd(scpu)
+        restored = VirtualRecordDescriptor.from_dict(vrd.to_dict())
+        assert restored.sn == vrd.sn
+        assert restored.attr == vrd.attr
+        assert restored.rdl == vrd.rdl
+        assert restored.data_hash == vrd.data_hash
+        assert (restored.metasig.envelope.canonical_bytes()
+                == vrd.metasig.envelope.canonical_bytes())
+        assert restored.datasig.signature == vrd.datasig.signature

@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example must run clean, start to finish.
+
+The examples are documentation that executes; a refactor that breaks one
+breaks the README's promises.  Each runs in a subprocess with a timeout
+(the Figure 1 example in --quick mode).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+_CASES = [
+    ("quickstart.py", [], b"never-allocated"),
+    ("sec17a4_broker_archive.py", [], b"lifetime violations: 0"),
+    ("hipaa_hospital_records.py", [], b"no PHI traces remain"),
+    ("insider_attack_demo.py", [], b"Theorems 1 and 2 hold: True"),
+    ("compliant_migration.py", [], b"REJECTED source SN"),
+    ("crypto_shredding_demo.py", [], b"refused by the SCPU"),
+    ("embedded_flight_recorder.py", [], b"remap detected"),
+    ("replicated_archive.py", [], b"verified read still succeeds"),
+    ("throughput_figure1.py", ["--quick"], b"paper bands"),
+]
+
+
+@pytest.mark.parametrize("script,args,marker",
+                         _CASES, ids=[c[0] for c in _CASES])
+def test_example_runs_clean(script, args, marker):
+    path = _EXAMPLES_DIR / script
+    assert path.exists(), f"missing example: {script}"
+    result = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True, timeout=420)
+    assert result.returncode == 0, result.stderr.decode()[-800:]
+    assert marker in result.stdout, (
+        f"{script} output missing marker {marker!r}:\n"
+        + result.stdout.decode()[-800:])
+    assert b"Traceback" not in result.stderr
+    assert b"FAILURE" not in result.stdout
