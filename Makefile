@@ -1,0 +1,15 @@
+.PHONY: check test lint bench
+
+# Lint (if ruff is installed) + tier-1 tests. The pre-merge gate.
+check:
+	sh scripts/check.sh
+
+test:
+	PYTHONPATH=src python -m pytest -x -q
+
+lint:
+	python -m ruff check src tests benchmarks examples
+
+# Full virtual-time evaluation suite (slow: paper-sized 1024-bit keys).
+bench:
+	cd benchmarks && PYTHONPATH=../src python -m pytest -q

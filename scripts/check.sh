@@ -1,0 +1,23 @@
+#!/bin/sh
+# Lint (when ruff is available) + the tier-1 test suite.
+#
+# Usage: scripts/check.sh          (or: make check)
+#
+# ruff ships in the `dev` extra (pip install -e '.[dev]'); environments
+# without it skip the lint step with a notice rather than failing, so
+# `make check` works in the minimal container too.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if python -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1
+then
+    echo "==> ruff check"
+    python -m ruff check src tests benchmarks examples
+else
+    echo "==> ruff not installed; skipping lint (pip install -e '.[dev]')"
+fi
+
+echo "==> tier-1 tests"
+PYTHONPATH=src python -m pytest -x -q

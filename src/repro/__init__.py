@@ -31,8 +31,12 @@ from repro.core import (
     AuditReport,
     PolicyRegistry,
     ReadResult,
+    RecordLocator,
     RegulationPolicy,
+    ShardedWormStore,
+    ShardedWriteReceipt,
     StoreAuditor,
+    StoreConfig,
     StrongWormStore,
     VerifiedRead,
     WormClient,
@@ -42,7 +46,17 @@ from repro.core import (
 )
 from repro.fs import WormFileSystem
 from repro.core.errors import (
+    CredentialError,
     FreshnessError,
+    LitigationHoldError,
+    MigrationError,
+    MissingRecordError,
+    RetentionViolationError,
+    SecureMemoryError,
+    ShardRoutingError,
+    SignatureError,
+    TamperedError,
+    UnknownSerialNumberError,
     VerificationError,
     WormError,
 )
@@ -57,14 +71,28 @@ __all__ = [
     "WormFileSystem",
     "PolicyRegistry",
     "ReadResult",
+    "RecordLocator",
     "RegulationPolicy",
+    "ShardedWormStore",
+    "ShardedWriteReceipt",
+    "StoreConfig",
     "StrongWormStore",
     "VerifiedRead",
     "WormClient",
     "WriteReceipt",
     "export_package",
     "import_package",
+    "CredentialError",
     "FreshnessError",
+    "LitigationHoldError",
+    "MigrationError",
+    "MissingRecordError",
+    "RetentionViolationError",
+    "SecureMemoryError",
+    "ShardRoutingError",
+    "SignatureError",
+    "TamperedError",
+    "UnknownSerialNumberError",
     "VerificationError",
     "WormError",
     "CertificateAuthority",

@@ -10,6 +10,7 @@ Turns the library into a usable tool::
     python -m repro.cli status /var/worm
     python -m repro.cli maintain /var/worm
     python -m repro.cli audit /var/worm
+    python -m repro.cli shard-bench --shards 4 --batch 8
 
 SIMULATION CAVEAT: the real system's trust anchor is key material sealed
 inside a tamper-responding coprocessor.  This CLI necessarily persists
@@ -311,6 +312,61 @@ def cmd_attest(args) -> int:
     return 0
 
 
+def cmd_shard_bench(args) -> int:
+    """Virtual-time scaling benchmark of the sharded group-commit front-end.
+
+    Builds in-memory sharded stores (no directory needed), drives a
+    closed-loop write workload through the queueing simulator, and prints
+    throughput for 1..N shards plus the group-commit gain at N shards.
+    Deterministic virtual-time results — the same table the
+    ``benchmarks/test_sharded_scaling.py`` suite asserts on.
+    """
+    from repro import demo_keyring
+    from repro.sim.driver import (SimulationConfig, make_sharded_sim_store,
+                                  run_sharded_closed_loop)
+    from repro.sim.workload import ClosedLoopArrivals, FixedSize
+
+    if args.shards < 1 or args.records < 1 or args.batch < 1:
+        print("shard-bench: --shards, --records and --batch must be >= 1",
+              file=sys.stderr)
+        return 2
+
+    config = SimulationConfig(workers=args.workers, host_count=8,
+                              disk_count=16)
+
+    def rate(shards: int, batch: int) -> float:
+        simstore = make_sharded_sim_store(shards, config=config,
+                                          keyring=demo_keyring())
+        metrics = run_sharded_closed_loop(
+            simstore, ClosedLoopArrivals(FixedSize(args.record_size),
+                                         args.records),
+            config=config, batch_size=batch)
+        return metrics.throughput("write")
+
+    counts, rates = [], []
+    n = 1
+    while n <= args.shards:
+        counts.append(n)
+        rates.append(rate(n, 1))
+        n *= 2
+    if counts[-1] != args.shards:
+        counts.append(args.shards)
+        rates.append(rate(args.shards, 1))
+    batched = rate(args.shards, args.batch)
+
+    rows = [[str(c), f"{r:.0f}", f"{r / rates[0]:.2f}x"]
+            for c, r in zip(counts, rates)]
+    rows.append([f"{args.shards} (batch={args.batch})", f"{batched:.0f}",
+                 f"{batched / rates[0]:.2f}x"])
+    print(format_table(
+        ["shards", "writes/s", "vs 1 shard"], rows,
+        title=f"Sharded write throughput — {args.record_size}B records, "
+              f"virtual time"))
+    print(f"\ngroup-commit gain at {args.shards} shards: "
+          f"{batched / rates[-1]:.2f}x over per-record writes")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.core.report import generate_report
     root, store, fs, ca = _open(args.directory)
@@ -392,6 +448,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="full compliance report (exit 2 on FAIL)")
     p.add_argument("directory")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("shard-bench",
+                       help="virtual-time sharded-scaling benchmark "
+                            "(in-memory; no store directory needed)")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--batch", type=int, default=8,
+                   help="group-commit batch size for the batched run")
+    p.add_argument("--records", type=int, default=240,
+                   help="records per measured run")
+    p.add_argument("--record-size", type=int, default=1024)
+    p.add_argument("--workers", type=int, default=64,
+                   help="closed-loop client concurrency")
+    p.set_defaults(func=cmd_shard_bench)
 
     p = sub.add_parser("attest",
                        help="signed SCPU state snapshot; chain with --previous")

@@ -3,6 +3,7 @@
 from repro.core.audit import AuditFinding, AuditReport, StoreAuditor
 from repro.core.catalog import RecordCatalog
 from repro.core.client import VerifiedRead, WormClient
+from repro.core.config import StoreConfig
 from repro.core.deferred import (
     HashVerificationQueue,
     PendingStrengthening,
@@ -15,8 +16,12 @@ from repro.core.errors import (
     FreshnessError,
     LitigationHoldError,
     MigrationError,
+    MissingRecordError,
     RetentionViolationError,
     SecureMemoryError,
+    ShardRoutingError,
+    SignatureError,
+    TamperedError,
     UnknownSerialNumberError,
     VerificationError,
     WormError,
@@ -49,6 +54,11 @@ from repro.core.replication import (
 )
 from repro.core.report import ComplianceReport, generate_report
 from repro.core.retention import RetentionMonitor, Vexp
+from repro.core.sharded import (
+    RecordLocator,
+    ShardedWormStore,
+    ShardedWriteReceipt,
+)
 from repro.core.shredding import SHREDDING_ALGORITHMS, ShredResult, Shredder, shred
 from repro.core.windows import WindowManager
 from repro.core.worm import StrongWormStore, WriteReceipt
@@ -76,11 +86,19 @@ __all__ = [
     "FreshnessError",
     "LitigationHoldError",
     "MigrationError",
+    "MissingRecordError",
     "RetentionViolationError",
     "SecureMemoryError",
+    "ShardRoutingError",
+    "SignatureError",
+    "TamperedError",
     "UnknownSerialNumberError",
     "VerificationError",
     "WormError",
+    "StoreConfig",
+    "RecordLocator",
+    "ShardedWormStore",
+    "ShardedWriteReceipt",
     "MigrationPackage",
     "MigrationReport",
     "export_package",

@@ -1,0 +1,88 @@
+"""Consolidated store configuration.
+
+:class:`StrongWormStore` historically grew nine keyword knobs — device
+substitutions, policy table, regulator key, and three tuning scalars.
+:class:`StoreConfig` consolidates them into one frozen, reusable value
+object that both :class:`~repro.core.worm.StrongWormStore` and the
+sharded front-end (:class:`~repro.core.sharded.ShardedWormStore`) accept
+as ``config=...``; the legacy per-knob keyword arguments keep working.
+
+A config is a *template*: the sharded front-end instantiates one
+:class:`~repro.core.worm.StrongWormStore` per shard from the same
+config, so the device fields (``scpu``, ``block_store``, ``host``,
+``disk``) must be left ``None`` there — each shard provisions its own.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["StoreConfig"]
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Every construction-time knob of a Strong WORM store, in one place.
+
+    Device/object knobs (default ``None`` = provision a fresh default):
+
+    * ``scpu`` — the :class:`~repro.hardware.device.ScpuLike` trust
+      anchor (a single card or an :class:`~repro.hardware.pool.ScpuPool`);
+    * ``block_store`` — untrusted payload storage;
+    * ``host`` / ``disk`` — untrusted cost models;
+    * ``policies`` — the :class:`~repro.core.policy.PolicyRegistry`;
+    * ``regulator_public_key`` — litigation authority for lit_hold.
+
+    Tuning scalars (paper defaults):
+
+    * ``window_refresh_interval`` — seconds between S_s(SN_current)
+      refreshes (§4.2.1 freshness mechanism);
+    * ``vexp_capacity`` — SCPU-resident expiration-list slots (§4.2.2);
+    * ``strengthen_safety_factor`` — fraction of a weak construct's
+      security lifetime after which it must be strengthened (§4.3).
+
+    Sharded front-end knobs (ignored by a bare ``StrongWormStore``):
+
+    * ``shard_count`` — number of shards :meth:`ShardedWormStore.build`
+      provisions when not given explicit stores;
+    * ``group_commit_size`` — pending records per shard that trigger an
+      automatic group-commit flush (1 disables auto-batching).
+    """
+
+    scpu: Optional[Any] = None
+    block_store: Optional[Any] = None
+    host: Optional[Any] = None
+    disk: Optional[Any] = None
+    policies: Optional[Any] = None
+    regulator_public_key: Optional[Any] = None
+    window_refresh_interval: float = 120.0
+    vexp_capacity: int = 65536
+    strengthen_safety_factor: float = 0.5
+    shard_count: int = 1
+    group_commit_size: int = 8
+
+    def replace(self, **changes: Any) -> "StoreConfig":
+        """A copy with *changes* applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)
+
+    def with_overrides(self, **overrides: Any) -> "StoreConfig":
+        """A copy with the non-``None`` *overrides* applied.
+
+        This is the legacy-kwarg merge rule: an explicitly passed keyword
+        beats the config field, an omitted one (``None``) leaves the
+        config untouched.  Scalar knobs use a ``None`` sentinel at the
+        call sites for exactly this reason.
+        """
+        changes = {k: v for k, v in overrides.items() if v is not None}
+        return dataclasses.replace(self, **changes) if changes else self
+
+    def per_shard(self) -> "StoreConfig":
+        """The template a sharded front-end hands each shard.
+
+        Shared mutable devices must not leak across shards: every shard
+        gets its own SCPU/blocks/host/disk, so those fields are reset.
+        """
+        return dataclasses.replace(self, scpu=None, block_store=None,
+                                   host=None, disk=None, shard_count=1)

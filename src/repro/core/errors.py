@@ -1,4 +1,17 @@
-"""Exception hierarchy of the WORM layer."""
+"""Exception hierarchy of the WORM layer.
+
+Every public exception the package raises is rooted at
+:class:`WormError`, so callers can catch the whole family with one
+clause.  Three historically module-local exceptions are defined here and
+re-exported from their original homes for back-compat:
+
+* :class:`SignatureError` (née ``repro.crypto.rsa.SignatureError``),
+* :class:`TamperedError` (née ``repro.hardware.tamper.TamperedError``),
+* :class:`MissingRecordError` (née
+  ``repro.storage.block_store.MissingRecordError``; it keeps
+  :class:`KeyError` as a secondary base so existing ``except KeyError``
+  call sites continue to work).
+"""
 
 from __future__ import annotations
 
@@ -12,6 +25,10 @@ __all__ = [
     "CredentialError",
     "MigrationError",
     "SecureMemoryError",
+    "SignatureError",
+    "TamperedError",
+    "MissingRecordError",
+    "ShardRoutingError",
 ]
 
 
@@ -53,3 +70,19 @@ class MigrationError(WormError):
 
 class SecureMemoryError(WormError):
     """An SCPU-resident structure exceeded the secure memory budget."""
+
+
+class SignatureError(WormError):
+    """Raised when signing or verification cannot proceed."""
+
+
+class TamperedError(WormError):
+    """Raised by any SCPU service invoked after the enclosure was breached."""
+
+
+class MissingRecordError(WormError, KeyError):
+    """Raised when a record key does not exist in the store."""
+
+
+class ShardRoutingError(WormError):
+    """A record locator names a shard the front-end does not have."""

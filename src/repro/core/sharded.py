@@ -1,0 +1,474 @@
+"""Sharded group-commit front-end: many stores, one surface (§4.3 + §5).
+
+The paper's throughput analysis (§4.3, Figure 1) shows that SCPU work
+per record — not disk — bounds write throughput, and §5 answers with
+hardware parallelism: "results naturally scale if multiple SCPUs are
+available."  :class:`ShardedWormStore` is that scaling layer grown to
+production shape: it partitions writes across N independent
+:class:`~repro.core.worm.StrongWormStore` shards (each backed by its own
+:class:`~repro.hardware.device.ScpuLike` trust anchor — a dedicated
+card, or one drawn from an :class:`~repro.hardware.pool.ScpuPool`) and
+adds a **group-commit batching pipeline**: incoming records accumulate
+into per-shard batches and flush as single multi-record ``write()``
+calls, so the per-update SCPU witnessing cost (two signatures) is
+amortized across the batch exactly as §4.3's deferred-strength bursts
+amortize signature strength.
+
+Identity across shards
+----------------------
+Each shard keeps its own SCPU serial-number space, so a record is named
+by a :class:`RecordLocator` ``(shard_id, sn, record_index)`` — the
+stable locator every :class:`ShardedWriteReceipt` carries and every read
+routes by.  ``record_index`` selects the record inside a group-committed
+multi-record VR (0 for unbatched writes).
+
+Verification is unchanged — and that is the point.  A client bootstrapped
+by :meth:`ShardedWormStore.make_client` holds the union of the shards'
+certified keys; a read of ``locator`` is served by shard ``shard_id``
+with that shard's ordinary proofs and is verified with the ordinary
+:meth:`~repro.core.client.WormClient.verify_read`.  Per-shard
+verification stays O(1) under partitioning: no cross-shard structure
+exists for an insider to splice, and tampering inside one shard is
+detected by that shard's proofs without touching its siblings.
+
+The front-end itself is *untrusted main-CPU code*, like the stores it
+wraps: nothing about its routing tables provides security, and a lost
+locator map costs availability, never integrity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.client import WormClient
+from repro.core.config import StoreConfig
+from repro.core.errors import ShardRoutingError, WormError
+from repro.core.proofs import ReadResult
+from repro.core.worm import StrongWormStore, WriteReceipt
+from repro.crypto.keys import Certificate, CertificateAuthority
+from repro.hardware.pool import ScpuPool
+from repro.hardware.scpu import ScpuKeyring, SecureCoprocessor
+from repro.sim.manual_clock import ManualClock
+from repro.storage.vrd import VirtualRecordDescriptor
+
+__all__ = ["RecordLocator", "ShardedWriteReceipt", "ShardedWormStore"]
+
+#: Locator value accepted anywhere the front-end routes by record: a
+#: :class:`RecordLocator`, a receipt, a packed string (``"2:41:0"``), or
+#: a raw ``(shard_id, sn)`` / ``(shard_id, sn, record_index)`` tuple.
+LocatorLike = Union["RecordLocator", "ShardedWriteReceipt", str,
+                    Tuple[int, int], Tuple[int, int, int]]
+
+
+@dataclass(frozen=True)
+class RecordLocator:
+    """Stable name of one record in a sharded store.
+
+    ``shard_id`` routes; ``sn`` is the shard-local serial number of the
+    VR; ``record_index`` selects the record inside a group-committed
+    multi-record VR.  The string form (``"2:41:0"``) survives being
+    written down, which is what compliance departments do with receipts.
+    """
+
+    shard_id: int
+    sn: int
+    record_index: int = 0
+
+    def pack(self) -> str:
+        return f"{self.shard_id}:{self.sn}:{self.record_index}"
+
+    @classmethod
+    def unpack(cls, text: str) -> "RecordLocator":
+        parts = text.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(f"malformed record locator: {text!r}")
+        index = int(parts[2]) if len(parts) == 3 else 0
+        return cls(shard_id=int(parts[0]), sn=int(parts[1]),
+                   record_index=index)
+
+
+@dataclass(frozen=True)
+class ShardedWriteReceipt:
+    """What a sharded write returns: routing plus the cost breakdown.
+
+    ``costs`` is the per-device virtual-cost breakdown attributable to
+    *this record*: for an unbatched write it is the underlying
+    :class:`~repro.core.worm.WriteReceipt.costs` verbatim; for a
+    group-committed record it is the flush's breakdown divided evenly
+    over the ``batch_size`` records that shared the SCPU witnessing —
+    the amortization §4.3 is about, made visible per record.
+    """
+
+    shard_id: int
+    sn: int
+    vrd: VirtualRecordDescriptor
+    strength: str
+    costs: Dict[str, float] = field(default_factory=dict)
+    record_index: int = 0
+    batch_size: int = 1
+
+    @property
+    def locator(self) -> RecordLocator:
+        return RecordLocator(shard_id=self.shard_id, sn=self.sn,
+                             record_index=self.record_index)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(self.costs.values())
+
+
+def _group_key(kwargs: Dict) -> Tuple:
+    """Hashable identity of a write-parameter set (batch compatibility)."""
+    return tuple(sorted(kwargs.items()))
+
+
+@dataclass
+class _PendingGroup:
+    """Records awaiting one group-commit flush on one shard."""
+
+    kwargs: Dict
+    payloads: List[bytes] = field(default_factory=list)
+
+
+class ShardedWormStore:
+    """N Strong WORM shards behind one store surface, with group commit.
+
+    Construct over existing stores (``ShardedWormStore(stores)``) or let
+    :meth:`build` provision ``shard_count`` shards from one
+    :class:`~repro.core.config.StoreConfig`.  The single-store surface —
+    ``write`` / ``read`` / ``expire_record`` / ``maintenance`` /
+    ``make_client`` — carries over; ``submit``/``flush`` and
+    :meth:`write_batch` expose the group-commit pipeline.
+    """
+
+    def __init__(self, stores: Sequence[StrongWormStore],
+                 config: Optional[StoreConfig] = None) -> None:
+        if not stores:
+            raise ValueError("a sharded store needs at least one shard")
+        self._stores: List[StrongWormStore] = list(stores)
+        self.config = config if config is not None else StoreConfig(
+            shard_count=len(self._stores))
+        self._next_shard = 0
+        self._maintenance_cursor = 0
+        # pending[shard_id] holds per-parameter-set groups, oldest first.
+        self._pending: List[Dict[Tuple, _PendingGroup]] = [
+            {} for _ in self._stores]
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def build(cls, shard_count: Optional[int] = None,
+              config: Optional[StoreConfig] = None,
+              keyring: Optional[ScpuKeyring] = None,
+              clock: Optional[object] = None,
+              pool: Optional[ScpuPool] = None,
+              **scpu_kwargs) -> "ShardedWormStore":
+        """Provision a sharded store from scratch.
+
+        Each shard gets its own :class:`SecureCoprocessor` — all sharing
+        one *keyring* (so one certificate set verifies every shard, as
+        with :class:`~repro.hardware.pool.ScpuPool` cards) and one
+        *clock* (so retention and freshness share a timeline).  Pass an
+        existing *pool* to draw one card per shard from it instead;
+        the pool's size then fixes the shard count.
+        """
+        config = config if config is not None else StoreConfig()
+        if shard_count is None:
+            shard_count = pool.size if pool is not None else config.shard_count
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if pool is not None:
+            if pool.size < shard_count:
+                raise ValueError(
+                    f"pool has {pool.size} cards; {shard_count} shards asked")
+            scpus: Sequence[object] = pool.cards[:shard_count]
+        else:
+            if keyring is None:
+                keyring = ScpuKeyring.generate()
+            if clock is None:
+                clock = ManualClock()
+            scpus = [SecureCoprocessor(keyring=keyring, clock=clock,
+                                       **scpu_kwargs)
+                     for _ in range(shard_count)]
+        template = config.per_shard()
+        stores = [StrongWormStore(config=template.replace(scpu=scpu))
+                  for scpu in scpus]
+        return cls(stores, config=config.replace(shard_count=shard_count))
+
+    # ---------------------------------------------------------------- topology
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._stores)
+
+    @property
+    def shards(self) -> Tuple[StrongWormStore, ...]:
+        return tuple(self._stores)
+
+    @property
+    def now(self) -> float:
+        return self._stores[0].now
+
+    def shard(self, shard_id: int) -> StrongWormStore:
+        if not 0 <= shard_id < len(self._stores):
+            raise ShardRoutingError(
+                f"shard {shard_id} does not exist "
+                f"(store has {len(self._stores)} shards)")
+        return self._stores[shard_id]
+
+    def _resolve(self, locator: LocatorLike) -> RecordLocator:
+        if isinstance(locator, RecordLocator):
+            resolved = locator
+        elif isinstance(locator, ShardedWriteReceipt):
+            resolved = locator.locator
+        elif isinstance(locator, str):
+            resolved = RecordLocator.unpack(locator)
+        elif isinstance(locator, tuple) and len(locator) in (2, 3):
+            resolved = RecordLocator(*locator)
+        else:
+            raise ShardRoutingError(
+                f"cannot route by {locator!r}; pass a RecordLocator, "
+                "a receipt, a (shard_id, sn) tuple, or a packed string")
+        self.shard(resolved.shard_id)  # raises on out-of-range shards
+        return resolved
+
+    def _pick_shard(self) -> int:
+        shard_id = self._next_shard % len(self._stores)
+        self._next_shard += 1
+        return shard_id
+
+    # ------------------------------------------------------------------ writes
+
+    def write(self, records: Sequence[bytes],
+              **write_kwargs) -> ShardedWriteReceipt:
+        """Commit one virtual record immediately (no batching).
+
+        Same contract as :meth:`StrongWormStore.write` — *records* are
+        the physical records of one VR — plus routing: the VR lands on
+        the next shard in round-robin order, and the receipt carries the
+        ``(shard_id, sn)`` locator.
+        """
+        shard_id = self._pick_shard()
+        receipt = self._stores[shard_id].write(records, **write_kwargs)
+        return self._wrap(shard_id, receipt, record_index=0, batch_size=1,
+                          costs=receipt.costs)
+
+    def submit(self, payload: bytes,
+               **write_kwargs) -> Optional[List[ShardedWriteReceipt]]:
+        """Queue one record for the next group commit.
+
+        The record is assigned a shard round-robin and parked with other
+        pending records that share its write parameters.  When a shard's
+        pending group reaches ``config.group_commit_size`` it flushes
+        automatically and the flushed receipts are returned; otherwise
+        returns ``None`` (call :meth:`flush` to force the commit).
+        """
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TypeError("submit() takes one record payload (bytes)")
+        shard_id = self._pick_shard()
+        key = _group_key(write_kwargs)
+        group = self._pending[shard_id].setdefault(
+            key, _PendingGroup(kwargs=dict(write_kwargs)))
+        group.payloads.append(bytes(payload))
+        if len(group.payloads) >= max(1, self.config.group_commit_size):
+            del self._pending[shard_id][key]
+            return self._commit_group(shard_id, group)
+        return None
+
+    @property
+    def pending_count(self) -> int:
+        """Records submitted but not yet group-committed."""
+        return sum(len(group.payloads)
+                   for shard in self._pending for group in shard.values())
+
+    def flush(self) -> List[ShardedWriteReceipt]:
+        """Group-commit every pending record; returns all new receipts."""
+        receipts: List[ShardedWriteReceipt] = []
+        for shard_id, groups in enumerate(self._pending):
+            pending, self._pending[shard_id] = groups, {}
+            for group in pending.values():
+                receipts.extend(self._commit_group(shard_id, group))
+        return receipts
+
+    def write_batch(self, payloads: Sequence[bytes],
+                    **write_kwargs) -> List[ShardedWriteReceipt]:
+        """Group-commit *payloads* across the shards in one call.
+
+        Each payload is one logical record.  Payloads are dealt to
+        shards round-robin and each shard commits its share as a single
+        multi-record ``write()`` — one SN, one metasig/datasig pair —
+        so SCPU witnessing cost is paid once per shard, not once per
+        record.  Receipts come back in input order.
+        """
+        if isinstance(payloads, (bytes, bytearray)):
+            raise TypeError("pass a sequence of record payloads")
+        slots: List[List[bytes]] = [[] for _ in self._stores]
+        order: List[Tuple[int, int]] = []  # (shard_id, index-in-shard-batch)
+        for payload in payloads:
+            shard_id = self._pick_shard()
+            order.append((shard_id, len(slots[shard_id])))
+            slots[shard_id].append(payload)
+        per_shard: Dict[int, List[ShardedWriteReceipt]] = {}
+        for shard_id, batch in enumerate(slots):
+            if batch:
+                per_shard[shard_id] = self._commit_group(
+                    shard_id, _PendingGroup(kwargs=dict(write_kwargs),
+                                            payloads=batch))
+        return [per_shard[shard_id][index] for shard_id, index in order]
+
+    def _commit_group(self, shard_id: int,
+                      group: _PendingGroup) -> List[ShardedWriteReceipt]:
+        """One group commit: a single multi-record write on one shard."""
+        receipt = self._stores[shard_id].write(group.payloads, **group.kwargs)
+        size = len(group.payloads)
+        share = {device: cost / size for device, cost in receipt.costs.items()}
+        return [self._wrap(shard_id, receipt, record_index=index,
+                           batch_size=size, costs=dict(share))
+                for index in range(size)]
+
+    def _wrap(self, shard_id: int, receipt: WriteReceipt, record_index: int,
+              batch_size: int, costs: Dict[str, float]) -> ShardedWriteReceipt:
+        return ShardedWriteReceipt(
+            shard_id=shard_id, sn=receipt.sn, vrd=receipt.vrd,
+            strength=receipt.strength, costs=costs,
+            record_index=record_index, batch_size=batch_size)
+
+    # ------------------------------------------------------------------- reads
+
+    def read(self, locator: LocatorLike) -> ReadResult:
+        """Serve a read (with proof) from the owning shard.
+
+        The result is the shard's ordinary :class:`ReadResult`; verify it
+        with ``client.verify_read(result, locator.sn)`` exactly as for a
+        single store.
+        """
+        resolved = self._resolve(locator)
+        return self._stores[resolved.shard_id].read(resolved.sn)
+
+    def read_record(self, locator: LocatorLike) -> bytes:
+        """The one payload *locator* names (unverified convenience).
+
+        Group-committed VRs hold several records; this routes the read
+        and picks ``record_index``.  Auditors should prefer
+        :meth:`read` + client verification.
+        """
+        resolved = self._resolve(locator)
+        result = self._stores[resolved.shard_id].read(resolved.sn)
+        if result.status != "active":
+            raise WormError(
+                f"record {resolved.pack()} is not active ({result.status})")
+        if resolved.record_index >= len(result.records):
+            raise ShardRoutingError(
+                f"locator {resolved.pack()} indexes past the VR's "
+                f"{len(result.records)} records")
+        return result.records[resolved.record_index]
+
+    # ------------------------------------------------------- expiry & lifecycle
+
+    def expire_record(self, locator: LocatorLike, now: float) -> str:
+        """Delete a retention-expired VR on its owning shard."""
+        resolved = self._resolve(locator)
+        return self._stores[resolved.shard_id].expire_record(resolved.sn, now)
+
+    def maintenance(self, strengthen_budget: Optional[int] = None,
+                    verify_budget: Optional[int] = None,
+                    compact: bool = True) -> Dict[str, int]:
+        """One maintenance slice across all shards, merged summary.
+
+        Budgets are *shared*: a budget of B is split over the shards,
+        with the remainder going to the shards right after the rotating
+        round-robin cursor — so over successive slices every shard gets
+        the same share of idle-period SCPU time (§4.2.1's "idle periods"
+        are a per-card resource).
+        """
+        n = len(self._stores)
+        start = self._maintenance_cursor % n
+        self._maintenance_cursor += 1
+        summary: Dict[str, int] = {}
+        for offset in range(n):
+            shard_id = (start + offset) % n
+            shard_summary = self._stores[shard_id].maintenance(
+                strengthen_budget=self._budget_share(
+                    strengthen_budget, offset, n),
+                verify_budget=self._budget_share(verify_budget, offset, n),
+                compact=compact)
+            for key, value in shard_summary.items():
+                summary[key] = summary.get(key, 0) + value
+        return summary
+
+    @staticmethod
+    def _budget_share(budget: Optional[int], offset: int,
+                      shards: int) -> Optional[int]:
+        if budget is None:
+            return None
+        share, remainder = divmod(budget, shards)
+        return share + (1 if offset < remainder else 0)
+
+    def advance_clocks(self, seconds: float) -> None:
+        """Advance every shard's (manual) clock; shared clocks tick once."""
+        seen: List[int] = []
+        for store in self._stores:
+            clock = store.scpu.clock
+            if id(clock) in seen:
+                continue
+            seen.append(id(clock))
+            clock.advance(seconds)
+
+    # ------------------------------------------------------------ client setup
+
+    def certificates(self, ca: CertificateAuthority) -> List[Certificate]:
+        """The union of every shard's certificates, deduplicated.
+
+        Shards built from one keyring share fingerprints, so this is
+        usually exactly one certificate set; independently keyed shards
+        contribute their own, and the client trusts the union.
+        """
+        certs: List[Certificate] = []
+        seen: set = set()
+        for store in self._stores:
+            for cert in store.certificates(ca):
+                key = (cert.fingerprint, cert.role)
+                if key not in seen:
+                    seen.add(key)
+                    certs.append(cert)
+        return certs
+
+    def make_client(self, ca: CertificateAuthority, clock=None,
+                    freshness_window: float = 300.0,
+                    accept_unverifiable: bool = False) -> WormClient:
+        """One verifying client that can check reads from any shard."""
+        return WormClient(
+            ca_public_key=ca.root_public_key,
+            certificates=self.certificates(ca),
+            clock=clock if clock is not None else self._stores[0].scpu.clock,
+            freshness_window=freshness_window,
+            accept_unverifiable=accept_unverifiable,
+        )
+
+    # ------------------------------------------------------- cost attribution
+
+    def cost_summary(self) -> Dict[str, float]:
+        """Aggregate virtual seconds per device class across all shards."""
+        summary = {"scpu": 0.0, "host": 0.0, "disk": 0.0}
+        for store in self._stores:
+            summary["scpu"] += store.scpu.meter.total_seconds
+            summary["host"] += store.host.meter.total_seconds
+            summary["disk"] += store.disk.meter.total_seconds
+        return summary
+
+    def per_shard_cost_seconds(self) -> List[Dict[str, float]]:
+        """Per-shard virtual-cost breakdown (load-balance inspection)."""
+        return [{
+            "scpu": store.scpu.meter.total_seconds,
+            "host": store.host.meter.total_seconds,
+            "disk": store.disk.meter.total_seconds,
+        } for store in self._stores]
+
+    # -------------------------------------------------------------- iteration
+
+    def __iter__(self) -> Iterator[StrongWormStore]:
+        return iter(self._stores)
+
+    def __len__(self) -> int:
+        return len(self._stores)

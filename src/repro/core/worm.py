@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.client import WormClient
+from repro.core.config import StoreConfig
 from repro.core.deferred import HashVerificationQueue, StrengtheningQueue
 from repro.core.errors import (
     CredentialError,
@@ -48,6 +49,7 @@ from repro.core.shredding import shred
 from repro.core.windows import WindowManager
 from repro.crypto.envelope import Purpose, SignedEnvelope
 from repro.crypto.keys import Certificate, CertificateAuthority, security_lifetime
+from repro.hardware.device import ScpuLike
 from repro.hardware.disk import DiskDevice
 from repro.hardware.host import HostCPU
 from repro.hardware.scpu import SecureCoprocessor, Strength
@@ -82,28 +84,46 @@ class StrongWormStore:
     """One WORM store: an SCPU-augmented storage server (§2.2 deployment)."""
 
     def __init__(self,
-                 scpu: Optional[SecureCoprocessor] = None,
+                 scpu: Optional[ScpuLike] = None,
                  block_store: Optional[BlockStore] = None,
                  host: Optional[HostCPU] = None,
                  disk: Optional[DiskDevice] = None,
                  policies: Optional[PolicyRegistry] = None,
                  regulator_public_key=None,
-                 window_refresh_interval: float = 120.0,
-                 vexp_capacity: int = 65536,
-                 strengthen_safety_factor: float = 0.5) -> None:
-        self.scpu = scpu if scpu is not None else SecureCoprocessor()
-        self.blocks = block_store if block_store is not None else MemoryBlockStore()
-        self.host = host if host is not None else HostCPU()
-        self.disk = disk if disk is not None else DiskDevice()
-        self.policies = policies if policies is not None else PolicyRegistry()
-        self.regulator_public_key = regulator_public_key
+                 window_refresh_interval: Optional[float] = None,
+                 vexp_capacity: Optional[int] = None,
+                 strengthen_safety_factor: Optional[float] = None,
+                 config: Optional[StoreConfig] = None) -> None:
+        """Build a store from a :class:`StoreConfig` and/or legacy kwargs.
+
+        Prefer ``StrongWormStore(config=StoreConfig(...))``.  The
+        individual keyword arguments predate :class:`StoreConfig` and are
+        kept for back-compat (deprecated for new code); when both are
+        given, an explicitly passed keyword overrides the config field.
+        """
+        config = config if config is not None else StoreConfig()
+        config = config.with_overrides(
+            scpu=scpu, block_store=block_store, host=host, disk=disk,
+            policies=policies, regulator_public_key=regulator_public_key,
+            window_refresh_interval=window_refresh_interval,
+            vexp_capacity=vexp_capacity,
+            strengthen_safety_factor=strengthen_safety_factor)
+        self.config = config
+        self.scpu = config.scpu if config.scpu is not None else SecureCoprocessor()
+        self.blocks = (config.block_store if config.block_store is not None
+                       else MemoryBlockStore())
+        self.host = config.host if config.host is not None else HostCPU()
+        self.disk = config.disk if config.disk is not None else DiskDevice()
+        self.policies = (config.policies if config.policies is not None
+                         else PolicyRegistry())
+        self.regulator_public_key = config.regulator_public_key
 
         self.vrdt = VrdTable()
         self.windows = WindowManager(self.scpu, self.vrdt,
-                                     refresh_interval=window_refresh_interval)
-        self.retention = RetentionMonitor(self, vexp_capacity=vexp_capacity)
+                                     refresh_interval=config.window_refresh_interval)
+        self.retention = RetentionMonitor(self, vexp_capacity=config.vexp_capacity)
         self.strengthening = StrengtheningQueue(
-            self, safety_factor=strengthen_safety_factor)
+            self, safety_factor=config.strengthen_safety_factor)
         self.hash_verification = HashVerificationQueue(self)
 
         self._burst_certificates: List[Certificate] = []

@@ -28,6 +28,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.core.errors import SignatureError
 from repro.crypto.numtheory import generate_prime, modinv
 
 __all__ = [
@@ -48,10 +49,6 @@ _DIGEST_INFO_PREFIX = {
     "sha1": bytes.fromhex("3021300906052b0e03021a05000414"),
     "sha256": bytes.fromhex("3031300d060960864801650304020105000420"),
 }
-
-
-class SignatureError(Exception):
-    """Raised when signing or verification cannot proceed."""
 
 
 def _int_to_bytes(value: int, length: int) -> bytes:

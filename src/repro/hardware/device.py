@@ -17,11 +17,25 @@ noise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.sim.engine import Simulator
 
-__all__ = ["OpMeter", "OpRecord", "TimedDevice"]
+if TYPE_CHECKING:  # annotation-only: keeps this module dependency-light
+    from repro.crypto.envelope import SignedEnvelope
+    from repro.crypto.keys import Certificate, CertificateAuthority
+
+__all__ = ["OpMeter", "OpRecord", "ScpuLike", "TimedDevice"]
 
 
 @dataclass(frozen=True)
@@ -80,6 +94,107 @@ class OpMeter:
         """Clear all records (benchmark warm-up boundaries)."""
         self._records.clear()
         self._total = 0.0
+
+
+@runtime_checkable
+class ScpuLike(Protocol):
+    """The SCPU service surface the WORM layer programs against.
+
+    Both a single :class:`~repro.hardware.scpu.SecureCoprocessor` and an
+    :class:`~repro.hardware.pool.ScpuPool` satisfy this protocol, so a
+    :class:`~repro.core.worm.StrongWormStore` (and therefore every layer
+    above it) is constructed over "an SCPU" without caring whether that
+    is one card or several sharing a keyring.  The protocol is the
+    paper's trust-boundary interface: everything here runs inside (or is
+    mediated by) the tamper-responding enclosure.
+
+    ``@runtime_checkable`` only checks member *presence* on
+    ``isinstance``; it is documentation plus a static-typing contract,
+    not a behavioral guarantee.
+    """
+
+    # -- clock, calibration, metering --------------------------------------
+    @property
+    def now(self) -> float: ...
+
+    @property
+    def clock(self) -> object: ...
+
+    @property
+    def profile(self) -> object: ...
+
+    @property
+    def hash_block_size(self) -> int: ...
+
+    @property
+    def tamper(self) -> object: ...
+
+    @property
+    def meter(self) -> "OpMeter": ...
+
+    # -- serial-number authority -------------------------------------------
+    def issue_serial_number(self) -> int: ...
+
+    @property
+    def current_serial_number(self) -> int: ...
+
+    @property
+    def sn_base(self) -> int: ...
+
+    def advance_sn_base(self, new_base: int,
+                        proofs: Dict[int, "SignedEnvelope"],
+                        windows: Iterable[Tuple["SignedEnvelope",
+                                                "SignedEnvelope"]] = ()
+                        ) -> "SignedEnvelope": ...
+
+    # -- witnessing and signing ---------------------------------------------
+    def hash_record_data(self, chunks: Iterable[bytes]) -> bytes: ...
+
+    def verify_deferred_hash(self, chunks: Iterable[bytes],
+                             claimed: bytes) -> bool: ...
+
+    def witness_write(self, sn: int, attr_bytes: bytes, data_hash: bytes,
+                      strength: str = ...
+                      ) -> Tuple["SignedEnvelope", "SignedEnvelope"]: ...
+
+    def strengthen(self, signed: "SignedEnvelope") -> "SignedEnvelope": ...
+
+    def verify_own_hmac(self, signed: "SignedEnvelope") -> bool: ...
+
+    def verify_envelope(self, signed: "SignedEnvelope",
+                        public_key: object) -> bool: ...
+
+    def resign_metadata(self, sn: int,
+                        attr_bytes: bytes) -> "SignedEnvelope": ...
+
+    def make_deletion_proof(self, sn: int) -> "SignedEnvelope": ...
+
+    def compact_deletion_window(
+            self, low_sn: int, high_sn: int,
+            proofs: Dict[int, "SignedEnvelope"]
+    ) -> Tuple["SignedEnvelope", "SignedEnvelope"]: ...
+
+    def sign_sn_current(self, sn_current: int) -> "SignedEnvelope": ...
+
+    def sign_sn_base(self,
+                     validity_seconds: float = ...) -> "SignedEnvelope": ...
+
+    def verify_regulator_credential(self, credential: "SignedEnvelope",
+                                    regulator_key: object, sn: int,
+                                    max_age_seconds: float = ...) -> bool: ...
+
+    def sign_migration_manifest(self, manifest_hash: bytes, record_count: int,
+                                sn_base: int,
+                                sn_current: int) -> "SignedEnvelope": ...
+
+    # -- key management / client trust bootstrap -----------------------------
+    def public_keys(self) -> Dict[str, object]: ...
+
+    def certify_with(self, ca: "CertificateAuthority"
+                     ) -> Dict[str, "Certificate"]: ...
+
+    def rotate_burst_key(self, ca: Optional["CertificateAuthority"] = None,
+                         weak_bits: int = ...) -> Optional["Certificate"]: ...
 
 
 class TimedDevice:

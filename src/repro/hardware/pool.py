@@ -10,12 +10,19 @@ card 0 as the SN authority (counter bumps are microsecond NVRAM touches,
 never the bottleneck) and round-robins the expensive work (signing,
 hashing, verification) across all cards.
 
-:class:`ScpuPool` exposes the same service surface as a single
-:class:`~repro.hardware.scpu.SecureCoprocessor`, so
+:class:`ScpuPool` implements the :class:`~repro.hardware.device.ScpuLike`
+protocol — the same service surface as a single
+:class:`~repro.hardware.scpu.SecureCoprocessor` — so
 :class:`~repro.core.worm.StrongWormStore` can be constructed over a pool
 unchanged; its aggregate :class:`~repro.hardware.device.OpMeter` views
 let benchmarks attribute cost per card.  For queueing simulations, the
 pool's size maps to ``TimedDevice(capacity=n)``.
+
+The forwarding facade is *generated* (see ``_forward``) rather than
+hand-written per method: one table says which protocol methods go to the
+SN authority and which round-robin to a worker card.  No ``__getattr__``
+is involved — every forwarder is a real attribute, so the surface stays
+explicit, introspectable, and exactly as wide as :class:`ScpuLike`.
 
 A tamper event on *any* card zeroizes that card only; the pool stays
 operational on the survivors (the keys live in every enclosure), and the
@@ -25,14 +32,46 @@ response.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.crypto.envelope import SignedEnvelope
-from repro.crypto.keys import Certificate, CertificateAuthority
-from repro.hardware.scpu import ScpuKeyring, SecureCoprocessor, Strength
+from repro.hardware.scpu import ScpuKeyring, SecureCoprocessor
 from repro.hardware.tamper import TamperedError
 
 __all__ = ["ScpuPool"]
+
+#: Protocol methods served by the single SN-authority card (NVRAM state
+#: and durable-key operations that must stay single-writer / consistent).
+_AUTHORITY_METHODS = (
+    "issue_serial_number",
+    "advance_sn_base",
+    "sign_sn_base",
+    "sign_migration_manifest",
+    "public_keys",
+    "certify_with",
+    "_keys_or_die",
+)
+
+#: Protocol methods round-robined across live cards (the expensive
+#: signing / hashing / verification work the pool exists to parallelize).
+_WORKER_METHODS = (
+    "hash_record_data",
+    "verify_deferred_hash",
+    "witness_write",
+    "strengthen",
+    "verify_own_hmac",
+    "verify_envelope",
+    "resign_metadata",
+    "make_deletion_proof",
+    "compact_deletion_window",
+    "sign_sn_current",
+    "verify_regulator_credential",
+)
+
+#: Read-only attributes forwarded to the authority card.
+_AUTHORITY_PROPERTIES = (
+    "now", "clock", "profile", "hash_block_size", "tamper", "meter",
+    "current_serial_number", "sn_base",
+)
 
 
 class ScpuPool:
@@ -90,35 +129,7 @@ class ScpuPool:
                 return card
         raise TamperedError("every card in the pool has been destroyed")
 
-    # -- the SecureCoprocessor service surface --------------------------------
-
-    @property
-    def now(self) -> float:
-        return self._authority().now
-
-    @property
-    def clock(self):
-        return self._authority().clock
-
-    @property
-    def profile(self):
-        return self._authority().profile
-
-    @property
-    def hash_block_size(self) -> int:
-        return self._authority().hash_block_size
-
-    @property
-    def tamper(self):
-        """The authority card's tamper responder (pool-level trips are
-        per-card; see :attr:`tampered_cards`)."""
-        return self._authority().tamper
-
-    @property
-    def meter(self):
-        """The authority card's meter — see :meth:`total_cost_seconds` for
-        the pool aggregate."""
-        return self._authority().meter
+    # -- pool-wide cost attribution -------------------------------------------
 
     def total_cost_seconds(self) -> float:
         """Aggregate virtual seconds across every card in the pool."""
@@ -127,77 +138,10 @@ class ScpuPool:
     def per_card_cost_seconds(self) -> List[float]:
         return [card.meter.total_seconds for card in self._cards]
 
-    # serial numbers: single authority
-    def issue_serial_number(self) -> int:
-        return self._authority().issue_serial_number()
+    # -- keyring rotation (lock-step across cards) -----------------------------
 
-    @property
-    def current_serial_number(self) -> int:
-        return self._authority().current_serial_number
-
-    @property
-    def sn_base(self) -> int:
-        return self._authority().sn_base
-
-    def advance_sn_base(self, new_base, proofs, windows=()):
-        return self._authority().advance_sn_base(new_base, proofs, windows)
-
-    # expensive work: round-robin
-    def hash_record_data(self, chunks: Iterable[bytes]) -> bytes:
-        return self._worker().hash_record_data(chunks)
-
-    def verify_deferred_hash(self, chunks: Iterable[bytes], claimed: bytes) -> bool:
-        return self._worker().verify_deferred_hash(chunks, claimed)
-
-    def witness_write(self, sn: int, attr_bytes: bytes, data_hash: bytes,
-                      strength: str = Strength.STRONG):
-        return self._worker().witness_write(sn, attr_bytes, data_hash,
-                                            strength=strength)
-
-    def strengthen(self, signed: SignedEnvelope) -> SignedEnvelope:
-        return self._worker().strengthen(signed)
-
-    def verify_own_hmac(self, signed: SignedEnvelope) -> bool:
-        return self._worker().verify_own_hmac(signed)
-
-    def verify_envelope(self, signed: SignedEnvelope, public_key) -> bool:
-        return self._worker().verify_envelope(signed, public_key)
-
-    def resign_metadata(self, sn: int, attr_bytes: bytes) -> SignedEnvelope:
-        return self._worker().resign_metadata(sn, attr_bytes)
-
-    def make_deletion_proof(self, sn: int) -> SignedEnvelope:
-        return self._worker().make_deletion_proof(sn)
-
-    def compact_deletion_window(self, low_sn: int, high_sn: int, proofs):
-        return self._worker().compact_deletion_window(low_sn, high_sn, proofs)
-
-    def sign_sn_current(self, sn_current: int) -> SignedEnvelope:
-        return self._worker().sign_sn_current(sn_current)
-
-    def sign_sn_base(self, validity_seconds: float = 24 * 3600.0) -> SignedEnvelope:
-        return self._authority().sign_sn_base(validity_seconds)
-
-    def verify_regulator_credential(self, credential, regulator_key, sn,
-                                    max_age_seconds: float = 24 * 3600.0) -> bool:
-        return self._worker().verify_regulator_credential(
-            credential, regulator_key, sn, max_age_seconds=max_age_seconds)
-
-    def sign_migration_manifest(self, manifest_hash: bytes, record_count: int,
-                                sn_base: int, sn_current: int) -> SignedEnvelope:
-        return self._authority().sign_migration_manifest(
-            manifest_hash, record_count, sn_base, sn_current)
-
-    def public_keys(self) -> Dict[str, object]:
-        return self._authority().public_keys()
-
-    def certify_with(self, ca: CertificateAuthority) -> Dict[str, Certificate]:
-        return self._authority().certify_with(ca)
-
-    def rotate_burst_key(self, ca: Optional[CertificateAuthority] = None,
-                         weak_bits: int = 512):
+    def rotate_burst_key(self, ca=None, weak_bits: int = 512):
         """Rotate the shared burst key on every live card in lock-step."""
-        cert = None
         # All cards share the keyring object, so one rotation suffices —
         # but each card must retire the old fingerprint locally.
         keyring = self._authority()._keys_or_die()
@@ -210,5 +154,35 @@ class ScpuPool:
                 card._retired_burst_fingerprints.append(old_fp)
         return cert
 
-    def _keys_or_die(self):
-        return self._authority()._keys_or_die()
+
+def _forward(names: Sequence[str], picker: str, doc: str) -> None:
+    """Install explicit forwarders for *names* dispatching via *picker*."""
+    for name in names:
+        def forwarder(self, *args, _name=name, _picker=picker, **kwargs):
+            card = getattr(self, _picker)()
+            return getattr(card, _name)(*args, **kwargs)
+        forwarder.__name__ = name
+        forwarder.__qualname__ = f"ScpuPool.{name}"
+        forwarder.__doc__ = (getattr(SecureCoprocessor, name).__doc__
+                             or doc.format(name=name))
+        setattr(ScpuPool, name, forwarder)
+
+
+def _forward_properties(names: Sequence[str]) -> None:
+    for name in names:
+        def getter(self, _name=name):
+            return getattr(self._authority(), _name)
+        getter.__name__ = name
+        getter.__qualname__ = f"ScpuPool.{name}"
+        doc = None
+        attr = getattr(SecureCoprocessor, name, None)
+        if isinstance(attr, property) and attr.fget is not None:
+            doc = attr.fget.__doc__
+        setattr(ScpuPool, name, property(getter, doc=doc))
+
+
+_forward(_AUTHORITY_METHODS, "_authority",
+         "Forwarded to the pool's SN-authority card ({name}).")
+_forward(_WORKER_METHODS, "_worker",
+         "Round-robined to a live worker card ({name}).")
+_forward_properties(_AUTHORITY_PROPERTIES)

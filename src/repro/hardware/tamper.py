@@ -15,11 +15,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from repro.core.errors import TamperedError
+
 __all__ = ["TamperedError", "TamperResponder"]
-
-
-class TamperedError(Exception):
-    """Raised by any SCPU service invoked after the enclosure was breached."""
 
 
 class TamperResponder:

@@ -21,15 +21,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.core.config import StoreConfig
+from repro.core.sharded import ShardedWormStore
 from repro.core.worm import StrongWormStore
 from repro.hardware.device import TimedDevice
 from repro.hardware.scpu import ScpuKeyring, SecureCoprocessor
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, all_of
 from repro.sim.metrics import MetricsCollector, RequestSample
 from repro.sim.workload import WorkRequest
 
-__all__ = ["SimulatedStore", "SimulationConfig", "make_sim_store",
-           "run_closed_loop", "run_open_loop"]
+__all__ = ["SimulatedStore", "SimulationConfig", "ShardedSimStore",
+           "make_sim_store", "make_sharded_sim_store",
+           "run_closed_loop", "run_open_loop", "run_sharded_closed_loop"]
 
 
 @dataclass
@@ -100,6 +103,120 @@ def make_sim_store(config: Optional[SimulationConfig] = None,
         disk_dev=TimedDevice(sim, "disk", capacity=config.disk_count),
         trace=trace,
     )
+
+
+@dataclass
+class ShardedSimStore:
+    """A sharded front-end wired into one simulator.
+
+    Every shard owns a full device triple (its SCPU card plus its own
+    host/disk lanes — shards are independent stores, §2.2's deployment
+    replicated N times), all advancing on one virtual clock.  Costs from
+    a shard's operations replay on *that shard's* devices, so cross-shard
+    parallelism falls out of the queueing model instead of being assumed.
+    """
+
+    sim: Simulator
+    store: ShardedWormStore
+    devices: List[Dict[str, TimedDevice]]  # per shard: scpu/host/disk
+
+    def replay(self, shard_id: int, costs: Dict[str, float],
+               label: str = "op"):
+        """Process-generator: replay one cost breakdown on one shard."""
+        triple = self.devices[shard_id]
+        for name in ("host", "disk", "scpu"):
+            cost = costs.get(name, 0.0)
+            if cost:
+                yield from triple[name].use(cost)
+
+    def utilization(self, elapsed: float) -> List[Dict[str, float]]:
+        return [{name: dev.utilization(elapsed)
+                 for name, dev in triple.items()}
+                for triple in self.devices]
+
+
+def make_sharded_sim_store(shard_count: int,
+                           config: Optional[SimulationConfig] = None,
+                           keyring: Optional[ScpuKeyring] = None,
+                           store_config: Optional[StoreConfig] = None
+                           ) -> ShardedSimStore:
+    """Build a simulator + sharded store sharing one virtual clock.
+
+    ``config.scpu_count`` is the per-shard card count (usually 1 — the
+    point of sharding is one card per shard); host/disk pool sizes are
+    per shard as well.
+    """
+    config = config if config is not None else SimulationConfig()
+    store_config = (store_config if store_config is not None
+                    else StoreConfig())
+    sim = Simulator()
+    if keyring is None:
+        from repro import demo_keyring
+        keyring = demo_keyring()
+    store = ShardedWormStore.build(
+        shard_count=shard_count, config=store_config,
+        keyring=keyring, clock=sim.clock)
+    devices = [{
+        "scpu": TimedDevice(sim, f"scpu{i}", capacity=config.scpu_count),
+        "host": TimedDevice(sim, f"host{i}", capacity=config.host_count),
+        "disk": TimedDevice(sim, f"disk{i}", capacity=config.disk_count),
+    } for i in range(shard_count)]
+    return ShardedSimStore(sim=sim, store=store, devices=devices)
+
+
+def run_sharded_closed_loop(shardstore: ShardedSimStore,
+                            requests: Iterable[WorkRequest],
+                            config: Optional[SimulationConfig] = None,
+                            write_kwargs: Optional[Dict] = None,
+                            batch_size: int = 1) -> MetricsCollector:
+    """Peak throughput of a sharded store, with optional group commit.
+
+    Each worker claims *batch_size* pending write requests, commits them
+    through :meth:`ShardedWormStore.write_batch` (one multi-record write
+    per shard touched), and replays every touched shard's costs on that
+    shard's devices *concurrently* — the flush really is parallel
+    hardware work.  ``batch_size=1`` degenerates to per-record writes
+    routed round-robin, the baseline the group-commit benchmark beats.
+    """
+    config = config if config is not None else SimulationConfig()
+    write_kwargs = write_kwargs if write_kwargs is not None else {}
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    metrics = MetricsCollector()
+    sim = shardstore.sim
+    queue = list(requests)
+    queue.reverse()  # pop() from the end in original order
+
+    def worker():
+        while queue:
+            batch = [queue.pop()
+                     for _ in range(min(batch_size, len(queue)))]
+            arrival = sim.now
+            receipts = shardstore.store.write_batch(
+                [b"\xa5" * request.size for request in batch],
+                retention_seconds=max(
+                    max(r.retention for r in batch), 1.0),
+                **write_kwargs)
+            # One flush per shard touched: replay them in parallel.
+            flush_costs: Dict[int, Dict[str, float]] = {}
+            for receipt in receipts:
+                shard_costs = flush_costs.setdefault(receipt.shard_id, {})
+                for device, cost in receipt.costs.items():
+                    shard_costs[device] = shard_costs.get(device, 0.0) + cost
+            replays = [sim.process(shardstore.replay(shard_id, costs,
+                                                     label="write"))
+                       for shard_id, costs in flush_costs.items()]
+            if replays:
+                yield all_of(sim, replays)
+            for request, receipt in zip(batch, receipts):
+                metrics.record(RequestSample(
+                    kind="write", arrival=arrival, start=arrival,
+                    finish=sim.now, size=request.size))
+
+    for _ in range(config.workers):
+        sim.process(worker())
+    sim.run()
+    return metrics
 
 
 def _execute(simstore: SimulatedStore, request: WorkRequest,

@@ -12,7 +12,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["RequestSample", "MetricsCollector", "summarize_latencies", "format_table"]
+__all__ = ["RequestSample", "MetricsCollector", "summarize_latencies",
+           "format_table"]
 
 
 @dataclass(frozen=True)
@@ -110,6 +111,25 @@ class MetricsCollector:
     def bytes_written(self) -> int:
         """Total payload bytes across write samples."""
         return sum(s.size for s in self._samples if s.kind == "write")
+
+    def extend(self, other: "MetricsCollector") -> None:
+        """Absorb every sample from *other* (shard aggregation)."""
+        self._samples.extend(other._samples)
+
+    @classmethod
+    def merge(cls, collectors: Sequence["MetricsCollector"]
+              ) -> "MetricsCollector":
+        """One collector holding every sample of *collectors*.
+
+        This is how a sharded front-end reports: per-shard collectors
+        merge into a single summary whose throughput spans the union of
+        the shards' active spans — the number a capacity planner wants,
+        since the shards really do run concurrently in virtual time.
+        """
+        merged = cls()
+        for collector in collectors:
+            merged.extend(collector)
+        return merged
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],

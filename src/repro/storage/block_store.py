@@ -26,11 +26,9 @@ from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Dict, Iterator, Optional
 
+from repro.core.errors import MissingRecordError
+
 __all__ = ["BlockStore", "MemoryBlockStore", "DirectoryBlockStore", "MissingRecordError"]
-
-
-class MissingRecordError(KeyError):
-    """Raised when a record key does not exist in the store."""
 
 
 class BlockStore(ABC):

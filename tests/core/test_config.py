@@ -1,0 +1,95 @@
+"""Tests for the consolidated :class:`StoreConfig` value object."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import demo_keyring
+from repro.core.config import StoreConfig
+from repro.core.policy import PolicyRegistry
+from repro.core.worm import StrongWormStore
+from repro.hardware.scpu import SecureCoprocessor
+from repro.storage.block_store import MemoryBlockStore
+
+
+class TestValueObject:
+    def test_frozen(self):
+        config = StoreConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.vexp_capacity = 1
+
+    def test_replace_returns_updated_copy(self):
+        config = StoreConfig()
+        bigger = config.replace(vexp_capacity=128)
+        assert bigger.vexp_capacity == 128
+        assert config.vexp_capacity == 65536  # original untouched
+
+    def test_with_overrides_skips_none(self):
+        config = StoreConfig(window_refresh_interval=60.0)
+        merged = config.with_overrides(window_refresh_interval=None,
+                                       vexp_capacity=32)
+        assert merged.window_refresh_interval == 60.0
+        assert merged.vexp_capacity == 32
+
+    def test_with_overrides_without_changes_is_identity(self):
+        config = StoreConfig()
+        assert config.with_overrides(scpu=None) is config
+
+    def test_per_shard_resets_devices(self):
+        scpu = object()
+        config = StoreConfig(scpu=scpu, block_store=object(),
+                             host=object(), disk=object(),
+                             shard_count=4, vexp_capacity=99)
+        template = config.per_shard()
+        assert template.scpu is None
+        assert template.block_store is None
+        assert template.host is None
+        assert template.disk is None
+        assert template.shard_count == 1
+        assert template.vexp_capacity == 99  # tuning carries over
+
+
+class TestStoreConstruction:
+    def test_store_accepts_config(self, regulator_key):
+        scpu = SecureCoprocessor(keyring=demo_keyring())
+        blocks = MemoryBlockStore()
+        store = StrongWormStore(config=StoreConfig(
+            scpu=scpu, block_store=blocks,
+            regulator_public_key=regulator_key.public,
+            window_refresh_interval=45.0, vexp_capacity=16))
+        assert store.scpu is scpu
+        assert store.blocks is blocks
+        assert store.config.window_refresh_interval == 45.0
+        assert store.config.vexp_capacity == 16
+
+    def test_legacy_kwargs_still_work(self):
+        scpu = SecureCoprocessor(keyring=demo_keyring())
+        store = StrongWormStore(scpu=scpu, window_refresh_interval=45.0)
+        assert store.scpu is scpu
+        assert store.config.window_refresh_interval == 45.0
+
+    def test_explicit_kwarg_beats_config_field(self):
+        fast = SecureCoprocessor(keyring=demo_keyring())
+        slow = SecureCoprocessor(keyring=demo_keyring())
+        store = StrongWormStore(
+            scpu=fast,
+            config=StoreConfig(scpu=slow, window_refresh_interval=90.0))
+        assert store.scpu is fast                          # kwarg won
+        assert store.config.window_refresh_interval == 90.0  # config kept
+
+    def test_config_and_kwargs_build_equivalent_stores(self, regulator_key):
+        policies = PolicyRegistry()
+        keyring = demo_keyring()
+        via_kwargs = StrongWormStore(
+            scpu=SecureCoprocessor(keyring=keyring), policies=policies,
+            regulator_public_key=regulator_key.public, vexp_capacity=8)
+        via_config = StrongWormStore(config=StoreConfig(
+            scpu=SecureCoprocessor(keyring=keyring), policies=policies,
+            regulator_public_key=regulator_key.public, vexp_capacity=8))
+        a = via_kwargs.write([b"same record"], policy="sox")
+        b = via_config.write([b"same record"], policy="sox")
+        assert a.sn == b.sn
+        assert a.strength == b.strength
+        assert set(a.costs) == set(b.costs)

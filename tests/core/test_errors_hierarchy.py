@@ -1,0 +1,79 @@
+"""The public error taxonomy: one root, every name importable from repro.
+
+Clients catch ``repro.WormError`` to handle any compliance-store failure;
+the historical per-module exceptions (``SignatureError``,
+``TamperedError``, ``MissingRecordError``) are re-rooted under it and
+re-exported from their old homes for back-compat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core import errors
+
+_PUBLIC_ERRORS = [
+    "CredentialError",
+    "FreshnessError",
+    "LitigationHoldError",
+    "MigrationError",
+    "MissingRecordError",
+    "RetentionViolationError",
+    "SecureMemoryError",
+    "ShardRoutingError",
+    "SignatureError",
+    "TamperedError",
+    "UnknownSerialNumberError",
+    "VerificationError",
+    "WormError",
+]
+
+
+def test_hierarchy_list_matches_errors_module():
+    assert sorted(_PUBLIC_ERRORS) == sorted(errors.__all__)
+
+
+@pytest.mark.parametrize("name", _PUBLIC_ERRORS)
+def test_reachable_from_top_level(name):
+    exc = getattr(repro, name)
+    assert exc is getattr(errors, name)
+    assert name in repro.__all__
+
+
+@pytest.mark.parametrize("name", _PUBLIC_ERRORS)
+def test_rooted_under_worm_error(name):
+    assert issubclass(getattr(repro, name), repro.WormError)
+
+
+def test_freshness_is_a_verification_failure():
+    assert issubclass(repro.FreshnessError, repro.VerificationError)
+
+
+def test_missing_record_keeps_key_error_compat():
+    # Pre-consolidation callers catch KeyError around block-store lookups.
+    assert issubclass(repro.MissingRecordError, KeyError)
+    with pytest.raises(KeyError):
+        raise repro.MissingRecordError("blk-0")
+    with pytest.raises(repro.WormError):
+        raise repro.MissingRecordError("blk-0")
+
+
+def test_legacy_module_aliases_are_the_same_objects():
+    from repro.crypto.rsa import SignatureError
+    from repro.hardware.tamper import TamperedError
+    from repro.storage.block_store import MissingRecordError
+
+    assert SignatureError is repro.SignatureError
+    assert TamperedError is repro.TamperedError
+    assert MissingRecordError is repro.MissingRecordError
+
+
+def test_catching_the_root_catches_everything():
+    caught = []
+    for name in _PUBLIC_ERRORS:
+        try:
+            raise getattr(repro, name)("boom")
+        except repro.WormError:
+            caught.append(name)
+    assert caught == _PUBLIC_ERRORS

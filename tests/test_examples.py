@@ -24,6 +24,7 @@ _CASES = [
     ("crypto_shredding_demo.py", [], b"refused by the SCPU"),
     ("embedded_flight_recorder.py", [], b"remap detected"),
     ("replicated_archive.py", [], b"verified read still succeeds"),
+    ("sharded_ingest.py", [], b"records per witnessing signature"),
     ("throughput_figure1.py", ["--quick"], b"paper bands"),
 ]
 
