@@ -1,4 +1,4 @@
-.PHONY: check test lint bench
+.PHONY: check test lint bench chaos
 
 # Lint (if ruff is installed) + tier-1 tests. The pre-merge gate.
 check:
@@ -6,6 +6,10 @@ check:
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
+
+# Fault-injection / degraded-mode suite (deterministic chaos tests).
+chaos:
+	PYTHONPATH=src python -m pytest -x -q -m chaos
 
 lint:
 	python -m ruff check src tests benchmarks examples

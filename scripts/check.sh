@@ -21,3 +21,6 @@ fi
 
 echo "==> tier-1 tests"
 PYTHONPATH=src python -m pytest -x -q
+
+echo "==> chaos suite"
+PYTHONPATH=src python -m pytest -x -q -m chaos

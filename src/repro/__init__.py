@@ -46,20 +46,29 @@ from repro.core import (
 )
 from repro.fs import WormFileSystem
 from repro.core.errors import (
+    CrashError,
     CredentialError,
+    DegradedError,
     FreshnessError,
+    JournalError,
     LitigationHoldError,
     MigrationError,
     MissingRecordError,
     RetentionViolationError,
+    ScpuUnavailableError,
     SecureMemoryError,
     ShardRoutingError,
     SignatureError,
+    StorageUnavailableError,
     TamperedError,
+    TransientFaultError,
     UnknownSerialNumberError,
     VerificationError,
     WormError,
 )
+from repro.core.health import CircuitBreaker
+from repro.core.retry import RetryPolicy
+from repro.storage.journal import FileIntentJournal, MemoryIntentJournal
 from repro.crypto import CertificateAuthority, SigningKey
 from repro.hardware import ScpuKeyring, SecureCoprocessor, Strength
 
@@ -82,19 +91,29 @@ __all__ = [
     "WriteReceipt",
     "export_package",
     "import_package",
+    "CrashError",
     "CredentialError",
+    "DegradedError",
     "FreshnessError",
+    "JournalError",
     "LitigationHoldError",
     "MigrationError",
     "MissingRecordError",
     "RetentionViolationError",
+    "ScpuUnavailableError",
     "SecureMemoryError",
     "ShardRoutingError",
     "SignatureError",
+    "StorageUnavailableError",
     "TamperedError",
+    "TransientFaultError",
     "UnknownSerialNumberError",
     "VerificationError",
     "WormError",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "FileIntentJournal",
+    "MemoryIntentJournal",
     "CertificateAuthority",
     "SigningKey",
     "ScpuKeyring",

@@ -367,6 +367,90 @@ def cmd_shard_bench(args) -> int:
     return 0
 
 
+def cmd_faults_demo(args) -> int:
+    """Replay a canned fault plan against a sharded store (in-memory).
+
+    Four failure domains ingest records through the best-effort
+    group-commit path while one card trips tamper response mid-run and
+    every card drops a fraction of its requests.  Afterwards every
+    accepted record is read back and client-verified; the health/retry
+    report is printed.  Exit 0 when zero accepted records were lost,
+    2 otherwise — the degraded-mode availability claim, checkable from
+    a shell.
+    """
+    from repro import demo_keyring
+    from repro.core.config import StoreConfig
+    from repro.faults import FaultPlan
+    from repro.sim.driver import (SimulationConfig, make_sharded_sim_store,
+                                  run_sharded_chaos_loop)
+    from repro.sim.workload import WorkRequest
+    from repro.storage.journal import MemoryIntentJournal
+
+    shards = args.shards
+    if shards < 2:
+        print("faults-demo: --shards must be >= 2 (one dies)",
+              file=sys.stderr)
+        return 2
+    plans = [FaultPlan(seed=args.seed + i, transient_rate=args.fault_rate)
+             for i in range(shards)]
+    plans[1].tamper(after_ops=args.tamper_after)
+    simstore = make_sharded_sim_store(
+        shards,
+        config=SimulationConfig(workers=16),
+        keyring=demo_keyring(),
+        store_config=StoreConfig(shard_count=shards, group_commit_size=4),
+        fault_plans=plans,
+        journal=MemoryIntentJournal())
+    requests = [WorkRequest(kind="write", arrival=0.0, size=args.record_size,
+                            retention=3600.0)
+                for _ in range(args.records)]
+    result = run_sharded_chaos_loop(simstore, requests)
+
+    store = simstore.store
+    ca = CertificateAuthority(bits=512)
+    client = store.make_client(ca)
+    lost = 0
+    for receipt in result.receipts:
+        try:
+            read = store.read(receipt.locator)
+            verified = client.verify_read(read, receipt.sn)
+            if verified.status != "active":
+                lost += 1
+        except Exception:
+            lost += 1
+
+    health = result.health
+    rows = []
+    for shard in health["shards"]:
+        rows.append([
+            str(shard["shard_id"]), shard["state"],
+            "yes" if shard["tamper_tripped"] else "no",
+            str(shard["retry"]["retries"]),
+            str(shard["pending_records"]),
+        ])
+    print(format_table(
+        ["shard", "state", "tamper", "retries", "pending"], rows,
+        title=f"Fault replay — {shards} shards, {args.records} records, "
+              f"{args.fault_rate:.0%} transient faults, "
+              f"shard 1 zeroized after {args.tamper_after} ops"))
+    counters = result.metrics.counters
+    print(f"\naccepted:   {result.accepted} records "
+          f"({counters.get('records.unflushed', 0)} still pending)")
+    print(f"verified:   {result.accepted - lost} readable+verifiable, "
+          f"{lost} lost")
+    print(f"faults:     {counters.get('faults.transient', 0)} transient, "
+          f"{counters.get('faults.tamper', 0)} tamper")
+    print(f"retries:    {counters.get('retry.retries', 0)} "
+          f"({counters.get('retry.exhausted', 0)} exhausted)")
+    print(f"failovers:  {counters.get('failovers', 0)}")
+    print(f"degraded:   shards {health['degraded_shards']}")
+    if lost:
+        print("RECORD LOSS DETECTED", file=sys.stderr)
+        return 2
+    print("no accepted record lost")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.core.report import generate_report
     root, store, fs, ca = _open(args.directory)
@@ -461,6 +545,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=64,
                    help="closed-loop client concurrency")
     p.set_defaults(func=cmd_shard_bench)
+
+    p = sub.add_parser("faults-demo",
+                       help="replay a canned fault plan; exit 2 on record "
+                            "loss (in-memory; no store directory needed)")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--records", type=int, default=120)
+    p.add_argument("--record-size", type=int, default=512)
+    p.add_argument("--fault-rate", type=float, default=0.08,
+                   help="per-op transient fault probability per shard")
+    p.add_argument("--tamper-after", type=int, default=12,
+                   help="SCPU ops before shard 1's card zeroizes")
+    p.add_argument("--seed", type=int, default=40,
+                   help="base RNG seed for the per-shard fault plans")
+    p.set_defaults(func=cmd_faults_demo)
 
     p = sub.add_parser("attest",
                        help="signed SCPU state snapshot; chain with --previous")

@@ -12,20 +12,27 @@ from repro.core.deferred import (
 from repro.core.dedup import DedupIndex, DepositOutcome
 from repro.core.encryption import EncryptedRead, EncryptedWormStore
 from repro.core.errors import (
+    CrashError,
     CredentialError,
+    DegradedError,
     FreshnessError,
+    JournalError,
     LitigationHoldError,
     MigrationError,
     MissingRecordError,
     RetentionViolationError,
+    ScpuUnavailableError,
     SecureMemoryError,
     ShardRoutingError,
     SignatureError,
+    StorageUnavailableError,
     TamperedError,
+    TransientFaultError,
     UnknownSerialNumberError,
     VerificationError,
     WormError,
 )
+from repro.core.health import BreakerState, CircuitBreaker, HealthSnapshot
 from repro.core.migration import (
     MigrationPackage,
     MigrationReport,
@@ -54,6 +61,12 @@ from repro.core.replication import (
 )
 from repro.core.report import ComplianceReport, generate_report
 from repro.core.retention import RetentionMonitor, Vexp
+from repro.core.retry import (
+    RetryExecutor,
+    RetryingScpu,
+    RetryPolicy,
+    RetryStats,
+)
 from repro.core.sharded import (
     RecordLocator,
     ShardedWormStore,
@@ -82,19 +95,32 @@ __all__ = [
     "HashVerificationQueue",
     "PendingStrengthening",
     "StrengtheningQueue",
+    "CrashError",
     "CredentialError",
+    "DegradedError",
     "FreshnessError",
+    "JournalError",
     "LitigationHoldError",
     "MigrationError",
     "MissingRecordError",
     "RetentionViolationError",
+    "ScpuUnavailableError",
     "SecureMemoryError",
     "ShardRoutingError",
     "SignatureError",
+    "StorageUnavailableError",
     "TamperedError",
+    "TransientFaultError",
     "UnknownSerialNumberError",
     "VerificationError",
     "WormError",
+    "BreakerState",
+    "CircuitBreaker",
+    "HealthSnapshot",
+    "RetryExecutor",
+    "RetryingScpu",
+    "RetryPolicy",
+    "RetryStats",
     "StoreConfig",
     "RecordLocator",
     "ShardedWormStore",

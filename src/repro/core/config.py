@@ -43,12 +43,26 @@ class StoreConfig:
     * ``strengthen_safety_factor`` — fraction of a weak construct's
       security lifetime after which it must be strengthened (§4.3).
 
+    Robustness knobs (fault handling — see ``repro.faults``):
+
+    * ``retry_policy`` — a :class:`~repro.core.retry.RetryPolicy` for
+      transient SCPU/storage faults at the store's trust-boundary call
+      sites (``None`` = the default policy; pass
+      ``RetryPolicy(max_attempts=1)`` to disable retrying);
+    * ``breaker_failure_threshold`` — consecutive transient commit
+      failures before a shard's circuit breaker opens;
+    * ``breaker_cooldown_seconds`` — how long an open breaker routes
+      writes away before probing the shard again.
+
     Sharded front-end knobs (ignored by a bare ``StrongWormStore``):
 
     * ``shard_count`` — number of shards :meth:`ShardedWormStore.build`
       provisions when not given explicit stores;
     * ``group_commit_size`` — pending records per shard that trigger an
-      automatic group-commit flush (1 disables auto-batching).
+      automatic group-commit flush (1 disables auto-batching);
+    * ``journal`` — an :class:`~repro.storage.journal.IntentJournal`
+      making submitted-but-unflushed records crash-durable (``None`` =
+      no journal; the front-end replays it on construction).
     """
 
     scpu: Optional[Any] = None
@@ -60,8 +74,12 @@ class StoreConfig:
     window_refresh_interval: float = 120.0
     vexp_capacity: int = 65536
     strengthen_safety_factor: float = 0.5
+    retry_policy: Optional[Any] = None
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_seconds: float = 30.0
     shard_count: int = 1
     group_commit_size: int = 8
+    journal: Optional[Any] = None
 
     def replace(self, **changes: Any) -> "StoreConfig":
         """A copy with *changes* applied (frozen-dataclass update)."""
@@ -83,6 +101,10 @@ class StoreConfig:
 
         Shared mutable devices must not leak across shards: every shard
         gets its own SCPU/blocks/host/disk, so those fields are reset.
+        The intent journal belongs to the front-end (it spans shards),
+        so it is reset as well; the retry policy is a value object and
+        carries over to every shard.
         """
         return dataclasses.replace(self, scpu=None, block_store=None,
-                                   host=None, disk=None, shard_count=1)
+                                   host=None, disk=None, shard_count=1,
+                                   journal=None)

@@ -99,17 +99,45 @@ class StrengtheningQueue:
         chain remains internally valid — but it is *counted* as a
         lifetime violation, which the security benchmarks assert to be
         zero under correctly provisioned systems.
+
+        If strengthening itself fails — the SCPU dropped the request, or
+        tripped tamper response mid-burst — the entry is **restored to
+        the queue** before the error propagates: a weak construct must
+        never silently leave the backlog without its strong signature
+        (that would launder a 512-bit/HMAC witness into apparent full
+        strength).  The surviving backlog is inspectable via
+        :meth:`report`.
         """
         while self._heap:
-            _, _, pending = heapq.heappop(self._heap)
+            item = heapq.heappop(self._heap)
+            pending = item[2]
             if not self._store.vrdt.is_active(pending.sn):
                 continue
             if now > pending.hard_expiry:
                 self.lifetime_violations += 1
-            self._store.strengthen_vrd(pending.sn)
+            try:
+                self._store.strengthen_vrd(pending.sn)
+            except BaseException:
+                heapq.heappush(self._heap, item)
+                raise
             self.strengthened_count += 1
             return pending.sn
         return None
+
+    def report(self, now: float) -> dict:
+        """The strengthening backlog, for health reports and escalation.
+
+        After a tamper trip this is the authoritative list of what never
+        got its strong signature — reported, not lost.
+        """
+        return {
+            "backlog": len(self._heap),
+            "overdue": self.overdue_count(now),
+            "next_deadline": self.next_deadline(),
+            "pending_sns": sorted(p.sn for _, _, p in self._heap),
+            "strengthened": self.strengthened_count,
+            "lifetime_violations": self.lifetime_violations,
+        }
 
     def drain(self, now: float, max_items: Optional[int] = None) -> int:
         """Strengthen up to *max_items* entries (all, when None)."""
@@ -153,14 +181,20 @@ class HashVerificationQueue:
     def verify_next(self) -> Optional[bool]:
         """Verify the oldest pending hash; returns the outcome (None if idle)."""
         while self._pending:
-            _, sn = self._pending.pop(0)
-            vrd = self._store.vrdt.get_active(sn)
+            entry = self._pending.pop(0)
+            vrd = self._store.vrdt.get_active(entry[1])
             if vrd is None:
                 continue  # deleted meanwhile; nothing left to protect
-            ok = self._store.scpu_verify_data_hash(vrd)
+            try:
+                ok = self._store.scpu_verify_data_hash(vrd)
+            except BaseException:
+                # Same no-laundering rule as strengthening: an unverified
+                # host hash stays in the backlog if the SCPU call fails.
+                self._pending.insert(0, entry)
+                raise
             self.verified_count += 1
             if not ok:
-                self.mismatches.append(sn)
+                self.mismatches.append(entry[1])
             return ok
         return None
 

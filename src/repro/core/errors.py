@@ -29,6 +29,12 @@ __all__ = [
     "TamperedError",
     "MissingRecordError",
     "ShardRoutingError",
+    "TransientFaultError",
+    "ScpuUnavailableError",
+    "StorageUnavailableError",
+    "DegradedError",
+    "CrashError",
+    "JournalError",
 ]
 
 
@@ -86,3 +92,48 @@ class MissingRecordError(WormError, KeyError):
 
 class ShardRoutingError(WormError):
     """A record locator names a shard the front-end does not have."""
+
+
+class TransientFaultError(WormError):
+    """Base class of retryable device faults.
+
+    A transient fault means the device refused or dropped *this* request
+    but is expected to recover: retry with backoff.  Contrast with
+    :class:`TamperedError`, which is permanent — the card zeroized itself
+    and will never serve again.
+    """
+
+
+class ScpuUnavailableError(TransientFaultError):
+    """The SCPU dropped a request (bus glitch, firmware hiccup, reset).
+
+    Also raised by the retry layer once a transient fault has exhausted
+    its retry budget, so callers see one exception type for "the card did
+    not answer" regardless of how many times we asked.
+    """
+
+
+class StorageUnavailableError(TransientFaultError):
+    """The untrusted block store dropped an I/O request transiently."""
+
+
+class DegradedError(WormError):
+    """An operation was refused because its failure domain is degraded.
+
+    Raised when a caller insists on a *specific* shard whose SCPU has
+    zeroized (the shard is read-only) — never by the best-effort write
+    path, which routes around degraded shards instead.
+    """
+
+
+class CrashError(WormError):
+    """An injected process crash (fault harness only).
+
+    Simulates the host dying at a chosen point — e.g. between group
+    commit and journal acknowledgement.  Production code never raises
+    this; chaos tests catch it and then model a restart.
+    """
+
+
+class JournalError(WormError):
+    """The durable intent journal is unreadable or inconsistent."""

@@ -1,0 +1,132 @@
+"""Failure-domain health tracking: circuit breakers and degraded mode.
+
+Each SCPU card (and therefore each shard of a
+:class:`~repro.core.sharded.ShardedWormStore`) is an independent failure
+domain.  :class:`CircuitBreaker` tracks one domain through the classic
+three transient states plus one terminal state:
+
+* ``closed`` — healthy, writes flow;
+* ``open`` — too many consecutive transient failures; writes are routed
+  elsewhere until a cooldown elapses;
+* ``half-open`` — cooldown elapsed; the next write is a probe (success
+  closes the breaker, failure re-opens it);
+* ``degraded`` — **terminal**: the card tripped tamper response and
+  zeroized.  The paper's fail-safe means there is no way back — the
+  domain serves reads forever (proofs are *stored* artifacts, §4.2.2)
+  but will never witness another write.
+
+The breaker is untrusted main-CPU bookkeeping, like the routing tables:
+losing it costs availability decisions, never integrity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["BreakerState", "CircuitBreaker", "HealthSnapshot"]
+
+
+class BreakerState:
+    """Names of the breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+    DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class HealthSnapshot:
+    """One domain's health at a point in time (for reports)."""
+
+    state: str
+    consecutive_failures: int
+    transient_failures: int
+    permanent: bool
+    successes: int
+    cooldown_remaining: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "transient_failures": self.transient_failures,
+            "permanent": self.permanent,
+            "successes": self.successes,
+            "cooldown_remaining": self.cooldown_remaining,
+        }
+
+
+class CircuitBreaker:
+    """Health latch of one failure domain, driven by virtual time."""
+
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown_seconds: float = 30.0) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._consecutive = 0
+        self._transient_total = 0
+        self._successes = 0
+        self._degraded = False
+        self._open_until = float("-inf")
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True once the domain failed permanently (tamper/zeroization)."""
+        return self._degraded
+
+    def state(self, now: float) -> str:
+        if self._degraded:
+            return BreakerState.DEGRADED
+        if self._consecutive >= self.failure_threshold:
+            return (BreakerState.HALF_OPEN if now >= self._open_until
+                    else BreakerState.OPEN)
+        return BreakerState.CLOSED
+
+    def allows_writes(self, now: float) -> bool:
+        """Should new work be routed to this domain right now?
+
+        Closed and half-open domains take writes (half-open is the
+        probe); open and degraded domains do not.
+        """
+        return self.state(now) in (BreakerState.CLOSED,
+                                   BreakerState.HALF_OPEN)
+
+    # -- transitions ----------------------------------------------------------
+
+    def record_success(self) -> None:
+        self._successes += 1
+        self._consecutive = 0
+
+    def record_transient_failure(self, now: float) -> None:
+        if self._degraded:
+            return
+        self._transient_total += 1
+        self._consecutive += 1
+        if self._consecutive >= self.failure_threshold:
+            self._open_until = now + self.cooldown_seconds
+
+    def record_permanent_failure(self) -> None:
+        """Tamper trip: the domain is gone for good."""
+        self._degraded = True
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self, now: float) -> HealthSnapshot:
+        return HealthSnapshot(
+            state=self.state(now),
+            consecutive_failures=self._consecutive,
+            transient_failures=self._transient_total,
+            permanent=self._degraded,
+            successes=self._successes,
+            cooldown_remaining=max(0.0, self._open_until - now)
+            if self._consecutive >= self.failure_threshold
+            and not self._degraded else 0.0,
+        )

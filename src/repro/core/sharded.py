@@ -31,25 +31,51 @@ verification stays O(1) under partitioning: no cross-shard structure
 exists for an insider to splice, and tampering inside one shard is
 detected by that shard's proofs without touching its siblings.
 
+Failure domains & degraded mode
+-------------------------------
+Each shard's SCPU is an independent failure domain, tracked by a
+:class:`~repro.core.health.CircuitBreaker`.  Transient faults open the
+breaker (writes route around the shard until a cooldown); a tamper trip
+— the paper's zeroization — is terminal: the shard becomes
+**read-only-degraded**, serving every stored proof forever but never
+witnessing another write.  Committing work fails over to healthy shards
+(the keys live in every enclosure when shards share a keyring, so
+receipts stay verifiable), and only when *every* card is gone does the
+front-end fail loud with :class:`TamperedError`.  An optional
+:class:`~repro.storage.journal.IntentJournal` makes the group-commit
+pending queue crash-durable: journalled-but-unflushed records are
+re-queued on construction.
+
 The front-end itself is *untrusted main-CPU code*, like the stores it
-wraps: nothing about its routing tables provides security, and a lost
-locator map costs availability, never integrity.
+wraps: nothing about its routing tables, breakers, or journal provides
+security, and a lost locator map costs availability, never integrity.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, TypeVar, Union)
 
 from repro.core.client import WormClient
 from repro.core.config import StoreConfig
-from repro.core.errors import ShardRoutingError, WormError
+from repro.core.errors import (
+    CrashError,
+    DegradedError,
+    ShardRoutingError,
+    TamperedError,
+    TransientFaultError,
+    WormError,
+)
+from repro.core.health import CircuitBreaker
 from repro.core.proofs import ReadResult
+from repro.core.retry import RetryStats
 from repro.core.worm import StrongWormStore, WriteReceipt
 from repro.crypto.keys import Certificate, CertificateAuthority
 from repro.hardware.pool import ScpuPool
 from repro.hardware.scpu import ScpuKeyring, SecureCoprocessor
 from repro.sim.manual_clock import ManualClock
+from repro.storage.journal import IntentJournal
 from repro.storage.vrd import VirtualRecordDescriptor
 
 __all__ = ["RecordLocator", "ShardedWriteReceipt", "ShardedWormStore"]
@@ -59,6 +85,8 @@ __all__ = ["RecordLocator", "ShardedWriteReceipt", "ShardedWormStore"]
 #: a raw ``(shard_id, sn)`` / ``(shard_id, sn, record_index)`` tuple.
 LocatorLike = Union["RecordLocator", "ShardedWriteReceipt", str,
                     Tuple[int, int], Tuple[int, int, int]]
+
+_T = TypeVar("_T")
 
 
 @dataclass(frozen=True)
@@ -125,10 +153,25 @@ def _group_key(kwargs: Dict) -> Tuple:
 
 @dataclass
 class _PendingGroup:
-    """Records awaiting one group-commit flush on one shard."""
+    """Records awaiting one group-commit flush on one shard.
+
+    ``entry_ids`` parallels ``payloads``: the intent-journal id of each
+    record (``None`` when no journal is attached), acknowledged when the
+    group commits.
+    """
 
     kwargs: Dict
     payloads: List[bytes] = field(default_factory=list)
+    entry_ids: List[Optional[int]] = field(default_factory=list)
+
+    def add(self, payload: bytes, entry_id: Optional[int]) -> None:
+        self.payloads.append(bytes(payload))
+        self.entry_ids.append(entry_id)
+
+    def restore_front(self, other: "_PendingGroup") -> None:
+        """Put *other*'s records back ahead of this group's (oldest first)."""
+        self.payloads[:0] = other.payloads
+        self.entry_ids[:0] = other.entry_ids
 
 
 class ShardedWormStore:
@@ -143,7 +186,8 @@ class ShardedWormStore:
     """
 
     def __init__(self, stores: Sequence[StrongWormStore],
-                 config: Optional[StoreConfig] = None) -> None:
+                 config: Optional[StoreConfig] = None,
+                 journal: Optional[IntentJournal] = None) -> None:
         if not stores:
             raise ValueError("a sharded store needs at least one shard")
         self._stores: List[StrongWormStore] = list(stores)
@@ -154,6 +198,20 @@ class ShardedWormStore:
         # pending[shard_id] holds per-parameter-set groups, oldest first.
         self._pending: List[Dict[Tuple, _PendingGroup]] = [
             {} for _ in self._stores]
+        # One circuit breaker per shard: the failure-domain health latch.
+        self._breakers: List[CircuitBreaker] = [
+            CircuitBreaker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown_seconds=self.config.breaker_cooldown_seconds)
+            for _ in self._stores]
+        self._failover_count = 0
+        self._journal = journal if journal is not None else self.config.journal
+        if self._journal is not None:
+            # Crash recovery: re-queue every journalled-but-unflushed
+            # record.  Replay only queues — the caller decides when to
+            # flush, exactly as the crashed process would have.
+            for entry in self._journal.replay():
+                self._enqueue(entry.payload, entry.kwargs, entry.entry_id)
 
     # ------------------------------------------------------------ construction
 
@@ -163,6 +221,7 @@ class ShardedWormStore:
               keyring: Optional[ScpuKeyring] = None,
               clock: Optional[object] = None,
               pool: Optional[ScpuPool] = None,
+              journal: Optional[IntentJournal] = None,
               **scpu_kwargs) -> "ShardedWormStore":
         """Provision a sharded store from scratch.
 
@@ -171,9 +230,13 @@ class ShardedWormStore:
         with :class:`~repro.hardware.pool.ScpuPool` cards) and one
         *clock* (so retention and freshness share a timeline).  Pass an
         existing *pool* to draw one card per shard from it instead;
-        the pool's size then fixes the shard count.
+        the pool's size then fixes the shard count.  A *journal* (or
+        ``config.journal``) makes the pending queue crash-durable and is
+        replayed before the store accepts new work.
         """
         config = config if config is not None else StoreConfig()
+        if journal is not None:
+            config = config.replace(journal=journal)
         if shard_count is None:
             shard_count = pool.size if pool is not None else config.shard_count
         if shard_count < 1:
@@ -234,9 +297,87 @@ class ShardedWormStore:
         return resolved
 
     def _pick_shard(self) -> int:
-        shard_id = self._next_shard % len(self._stores)
-        self._next_shard += 1
-        return shard_id
+        """Next write-eligible shard, round-robin over healthy domains.
+
+        Open-breaker shards are skipped until their cooldown elapses;
+        degraded (zeroized) shards are skipped forever.  When no shard
+        currently allows writes but some are merely open, the next
+        non-degraded shard is used anyway (a forced probe — better one
+        risky attempt than refusing an ingest).  When every card is
+        gone, fail loud.
+        """
+        n = len(self._stores)
+        now = self.now
+        for _ in range(n):
+            shard_id = self._next_shard % n
+            self._next_shard += 1
+            if self._breakers[shard_id].allows_writes(now):
+                return shard_id
+        for _ in range(n):
+            shard_id = self._next_shard % n
+            self._next_shard += 1
+            if not self._breakers[shard_id].degraded:
+                return shard_id
+        raise TamperedError(
+            "every shard's SCPU has been destroyed; the store is read-only")
+
+    def _next_candidate(self, exclude: Sequence[int]) -> Optional[int]:
+        """Failover target: a writable shard not yet tried, else any
+        non-degraded one (forced probe), else None."""
+        now = self.now
+        candidates = [i for i in range(len(self._stores)) if i not in exclude]
+        for shard_id in candidates:
+            if self._breakers[shard_id].allows_writes(now):
+                return shard_id
+        for shard_id in candidates:
+            if not self._breakers[shard_id].degraded:
+                return shard_id
+        return None
+
+    def _with_failover(self, shard_id: int,
+                       commit: Callable[[int], "_T"]) -> "_T":
+        """Run *commit* against *shard_id*, failing over across shards.
+
+        Transient faults (retry budget already exhausted inside the
+        shard store) count against the shard's breaker; a tamper trip
+        marks it degraded for good.  Either way the work moves to the
+        next candidate shard.  When every shard has been tried: if all
+        are degraded the store is dead — :class:`TamperedError` — else
+        the last failure propagates for the caller to restore state.
+        """
+        tried: List[int] = []
+        current = shard_id
+        last_exc: Optional[WormError] = None
+        while True:
+            breaker = self._breakers[current]
+            if breaker.degraded:
+                if last_exc is None:
+                    last_exc = DegradedError(
+                        f"shard {current} is read-only (SCPU zeroized)")
+            else:
+                try:
+                    result = commit(current)
+                except TamperedError as exc:
+                    breaker.record_permanent_failure()
+                    last_exc = exc
+                except TransientFaultError as exc:
+                    breaker.record_transient_failure(self.now)
+                    last_exc = exc
+                else:
+                    breaker.record_success()
+                    if current != shard_id:
+                        self._failover_count += 1
+                    return result
+            tried.append(current)
+            nxt = self._next_candidate(tried)
+            if nxt is None:
+                if all(b.degraded for b in self._breakers):
+                    raise TamperedError(
+                        "every shard's SCPU has been destroyed; "
+                        "the store is read-only") from last_exc
+                assert last_exc is not None
+                raise last_exc
+            current = nxt
 
     # ------------------------------------------------------------------ writes
 
@@ -246,34 +387,75 @@ class ShardedWormStore:
 
         Same contract as :meth:`StrongWormStore.write` — *records* are
         the physical records of one VR — plus routing: the VR lands on
-        the next shard in round-robin order, and the receipt carries the
+        the next healthy shard in round-robin order (failing over if
+        that shard dies mid-write), and the receipt carries the
         ``(shard_id, sn)`` locator.
         """
         shard_id = self._pick_shard()
-        receipt = self._stores[shard_id].write(records, **write_kwargs)
-        return self._wrap(shard_id, receipt, record_index=0, batch_size=1,
-                          costs=receipt.costs)
+
+        def commit(target: int) -> ShardedWriteReceipt:
+            receipt = self._stores[target].write(records, **write_kwargs)
+            return self._wrap(target, receipt, record_index=0, batch_size=1,
+                              costs=receipt.costs)
+
+        return self._with_failover(shard_id, commit)
+
+    def _enqueue(self, payload: bytes, kwargs: Dict,
+                 entry_id: Optional[int]) -> Tuple[int, Tuple, _PendingGroup]:
+        shard_id = self._pick_shard()
+        key = _group_key(kwargs)
+        group = self._pending[shard_id].setdefault(
+            key, _PendingGroup(kwargs=dict(kwargs)))
+        group.add(payload, entry_id)
+        return shard_id, key, group
+
+    def _restore_group(self, shard_id: int, key: Tuple,
+                       group: _PendingGroup) -> None:
+        """Put an uncommitted group back in the pending queue (no loss)."""
+        existing = self._pending[shard_id].get(key)
+        if existing is None:
+            self._pending[shard_id][key] = group
+        else:
+            existing.restore_front(group)
 
     def submit(self, payload: bytes,
                **write_kwargs) -> Optional[List[ShardedWriteReceipt]]:
-        """Queue one record for the next group commit.
+        """Queue one record for the next group commit (best-effort path).
 
-        The record is assigned a shard round-robin and parked with other
-        pending records that share its write parameters.  When a shard's
-        pending group reaches ``config.group_commit_size`` it flushes
-        automatically and the flushed receipts are returned; otherwise
+        The record is journalled (when an intent journal is attached),
+        assigned a shard round-robin, and parked with other pending
+        records that share its write parameters.  When a shard's pending
+        group reaches ``config.group_commit_size`` it flushes
+        automatically — failing over to healthy shards if its own SCPU
+        has died — and the flushed receipts are returned; otherwise
         returns ``None`` (call :meth:`flush` to force the commit).
+
+        This path never raises :class:`DegradedError`: if the commit
+        cannot land anywhere *right now* (every candidate transiently
+        failing), the records simply stay queued — and journalled — for
+        the next flush.  Only total loss of the trust anchors (every
+        card zeroized) raises, with :class:`TamperedError`.
         """
         if not isinstance(payload, (bytes, bytearray)):
             raise TypeError("submit() takes one record payload (bytes)")
-        shard_id = self._pick_shard()
-        key = _group_key(write_kwargs)
-        group = self._pending[shard_id].setdefault(
-            key, _PendingGroup(kwargs=dict(write_kwargs)))
-        group.payloads.append(bytes(payload))
+        entry_id = (self._journal.append(bytes(payload), dict(write_kwargs))
+                    if self._journal is not None else None)
+        shard_id, key, group = self._enqueue(bytes(payload), write_kwargs,
+                                             entry_id)
         if len(group.payloads) >= max(1, self.config.group_commit_size):
             del self._pending[shard_id][key]
-            return self._commit_group(shard_id, group)
+            try:
+                return self._commit_with_failover(shard_id, group)
+            except (TamperedError, CrashError):
+                # Total trust-anchor loss, or the (injected) death of
+                # this very process: both outrank best-effort.
+                self._restore_group(shard_id, key, group)
+                raise
+            except WormError:
+                # Best-effort: keep the records queued (and journalled)
+                # for the next flush rather than bouncing the ingest.
+                self._restore_group(shard_id, key, group)
+                return None
         return None
 
     @property
@@ -283,12 +465,37 @@ class ShardedWormStore:
                    for shard in self._pending for group in shard.values())
 
     def flush(self) -> List[ShardedWriteReceipt]:
-        """Group-commit every pending record; returns all new receipts."""
+        """Group-commit every pending record; returns all new receipts.
+
+        Commits one group at a time: a group that cannot land anywhere
+        is restored to the pending queue (no record is ever dropped) and
+        the flush *continues* with the remaining groups and shards, so
+        one sick failure domain cannot hold the others' records hostage.
+        The first failure is re-raised at the end, after everything
+        committable has committed; receipts of the groups that *did*
+        commit ride on the exception as ``partial_receipts``.
+        """
         receipts: List[ShardedWriteReceipt] = []
-        for shard_id, groups in enumerate(self._pending):
-            pending, self._pending[shard_id] = groups, {}
-            for group in pending.values():
-                receipts.extend(self._commit_group(shard_id, group))
+        first_error: Optional[WormError] = None
+        for shard_id in range(len(self._stores)):
+            groups = self._pending[shard_id]
+            for key in list(groups.keys()):
+                group = groups.pop(key)
+                try:
+                    receipts.extend(
+                        self._commit_with_failover(shard_id, group))
+                except CrashError as exc:
+                    # The (injected) process death: stop immediately.
+                    self._restore_group(shard_id, key, group)
+                    exc.partial_receipts = receipts
+                    raise
+                except WormError as exc:
+                    self._restore_group(shard_id, key, group)
+                    if first_error is None:
+                        first_error = exc
+        if first_error is not None:
+            first_error.partial_receipts = receipts
+            raise first_error
         return receipts
 
     def write_batch(self, payloads: Sequence[bytes],
@@ -312,10 +519,21 @@ class ShardedWormStore:
         per_shard: Dict[int, List[ShardedWriteReceipt]] = {}
         for shard_id, batch in enumerate(slots):
             if batch:
-                per_shard[shard_id] = self._commit_group(
+                per_shard[shard_id] = self._commit_with_failover(
                     shard_id, _PendingGroup(kwargs=dict(write_kwargs),
                                             payloads=batch))
         return [per_shard[shard_id][index] for shard_id, index in order]
+
+    def _commit_with_failover(
+            self, shard_id: int,
+            group: _PendingGroup) -> List[ShardedWriteReceipt]:
+        """Commit *group*, moving it to a healthy shard if needed."""
+        receipts = self._with_failover(
+            shard_id, lambda target: self._commit_group(target, group))
+        if self._journal is not None:
+            self._journal.mark_committed(
+                [i for i in group.entry_ids if i is not None])
+        return receipts
 
     def _commit_group(self, shard_id: int,
                       group: _PendingGroup) -> List[ShardedWriteReceipt]:
@@ -388,6 +606,10 @@ class ShardedWormStore:
         summary: Dict[str, int] = {}
         for offset in range(n):
             shard_id = (start + offset) % n
+            if self._breakers[shard_id].degraded:
+                # A zeroized card can't strengthen or re-witness anything;
+                # its stored proofs stand as-is (§4.2.2).
+                continue
             shard_summary = self._stores[shard_id].maintenance(
                 strengthen_budget=self._budget_share(
                     strengthen_budget, offset, n),
@@ -415,6 +637,70 @@ class ShardedWormStore:
             seen.append(id(clock))
             clock.advance(seconds)
 
+    # ------------------------------------------------------------------ health
+
+    @property
+    def degraded_shards(self) -> Tuple[int, ...]:
+        """Shard ids whose SCPU has zeroized (read-only forever)."""
+        return tuple(i for i, b in enumerate(self._breakers) if b.degraded)
+
+    @property
+    def writable_shards(self) -> Tuple[int, ...]:
+        """Shard ids currently accepting writes (closed/half-open)."""
+        now = self.now
+        return tuple(i for i, b in enumerate(self._breakers)
+                     if b.allows_writes(now))
+
+    @property
+    def failover_count(self) -> int:
+        """Commits that landed on a different shard than first routed."""
+        return self._failover_count
+
+    def breaker(self, shard_id: int) -> CircuitBreaker:
+        """The circuit breaker tracking *shard_id*'s failure domain."""
+        self.shard(shard_id)  # raises on out-of-range shards
+        return self._breakers[shard_id]
+
+    def health_report(self) -> Dict[str, object]:
+        """Point-in-time health of every failure domain.
+
+        Untrusted operational telemetry: per-shard breaker snapshots,
+        tamper status, pending queue depths, and the merged retry-loop
+        statistics of all shards.  Safe to call with any number of
+        shards degraded — dead cards are reported, not exercised.
+        """
+        now = self.now
+        shards: List[Dict[str, object]] = []
+        total_retry = RetryStats()
+        for shard_id, store in enumerate(self._stores):
+            breaker = self._breakers[shard_id]
+            try:
+                tripped = bool(store.scpu.tamper.tripped)
+            except WormError:
+                # A pool whose every card died raises on .tamper access;
+                # that *is* a trip for reporting purposes.
+                tripped = True
+            total_retry.merge(store.retry.stats)
+            shards.append({
+                "shard_id": shard_id,
+                "tamper_tripped": tripped,
+                "pending_records": sum(
+                    len(g.payloads)
+                    for g in self._pending[shard_id].values()),
+                "retry": store.retry.stats.as_dict(),
+                **breaker.snapshot(now).as_dict(),
+            })
+        return {
+            "shards": shards,
+            "writable_shards": list(self.writable_shards),
+            "degraded_shards": list(self.degraded_shards),
+            "failovers": self._failover_count,
+            "pending_records": self.pending_count,
+            "journal_pending": (self._journal.pending_count()
+                                if self._journal is not None else 0),
+            "retry_total": total_retry.as_dict(),
+        }
+
     # ------------------------------------------------------------ client setup
 
     def certificates(self, ca: CertificateAuthority) -> List[Certificate]:
@@ -426,12 +712,27 @@ class ShardedWormStore:
         """
         certs: List[Certificate] = []
         seen: set = set()
-        for store in self._stores:
-            for cert in store.certificates(ca):
+        for shard_id, store in enumerate(self._stores):
+            if self._breakers[shard_id].degraded:
+                # Certification exercises the SCPU; a zeroized card can't
+                # sign.  With a shared keyring its siblings cover it.
+                continue
+            try:
+                shard_certs = store.certificates(ca)
+            except TamperedError:
+                # The card died outside any commit path (e.g. during
+                # maintenance), so the breaker hasn't heard yet.
+                self._breakers[shard_id].record_permanent_failure()
+                continue
+            for cert in shard_certs:
                 key = (cert.fingerprint, cert.role)
                 if key not in seen:
                     seen.add(key)
                     certs.append(cert)
+        if not certs and self._stores:
+            raise TamperedError(
+                "every shard's SCPU has been destroyed; "
+                "no certificates can be issued")
         return certs
 
     def make_client(self, ca: CertificateAuthority, clock=None,

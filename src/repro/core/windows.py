@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.errors import TamperedError
 from repro.crypto.envelope import SignedEnvelope
 from repro.hardware.scpu import SecureCoprocessor
 from repro.storage.vrdt import DeletionWindow, VrdTable
@@ -50,6 +51,12 @@ class WindowManager:
         self.compaction_threshold = compaction_threshold
         self.refresh_count = 0
         self.compaction_count = 0
+        # Main-CPU mirror of the last-observed window bounds, so the
+        # read path keeps classifying after the card zeroizes (proofs
+        # are *stored* artifacts, §4.2.2 — a dead SCPU stops writes and
+        # refreshes, never reads).  Untrusted, like everything here.
+        self._last_current = 0
+        self._last_base = 1
 
     # -- freshness -----------------------------------------------------------
 
@@ -59,7 +66,7 @@ class WindowManager:
         Called after every write (the SN advanced) and by the idle loop
         every few minutes (so an idle store still presents fresh bounds).
         """
-        current = self._scpu.current_serial_number
+        current = self.observed_current()
         envelope = self._vrdt.sn_current_envelope
         # Deliberately NOT re-signed on every SN change: that would cost a
         # strong signature per write and halve throughput.  The bound may
@@ -81,7 +88,7 @@ class WindowManager:
         envelope = self._vrdt.sn_base_envelope
         stale = (
             envelope is None
-            or int(envelope.field("sn_base")) != self._scpu.sn_base
+            or int(envelope.field("sn_base")) != self.observed_base()
             or self._scpu.now * 1e6 >= int(envelope.field("expires_at_us")) - self.refresh_interval * 1e6
         )
         if force or stale:
@@ -162,11 +169,28 @@ class WindowManager:
 
     # -- read-path classification -----------------------------------------------
 
+    def observed_current(self) -> int:
+        """``SN_current`` as last seen — live when the card is alive,
+        the frozen final value after zeroization."""
+        try:
+            self._last_current = self._scpu.current_serial_number
+        except TamperedError:
+            pass
+        return self._last_current
+
+    def observed_base(self) -> int:
+        """``SN_base`` as last seen (same degraded-read contract)."""
+        try:
+            self._last_base = self._scpu.sn_base
+        except TamperedError:
+            pass
+        return self._last_base
+
     def classify(self, sn: int) -> str:
         """Which proof case applies to *sn* right now (see proofs module)."""
-        if sn > self._scpu.current_serial_number:
+        if sn > self.observed_current():
             return "never-allocated"
-        if sn < self._scpu.sn_base:
+        if sn < self.observed_base():
             return "below-base"
         if self._vrdt.is_active(sn):
             return "active"

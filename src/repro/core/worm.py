@@ -45,6 +45,7 @@ from repro.core.proofs import (
     ReadResult,
 )
 from repro.core.retention import RetentionMonitor
+from repro.core.retry import RetryExecutor, RetryingScpu, RetryPolicy, RetryStats
 from repro.core.shredding import shred
 from repro.core.windows import WindowManager
 from repro.crypto.envelope import Purpose, SignedEnvelope
@@ -118,8 +119,19 @@ class StrongWormStore:
                          else PolicyRegistry())
         self.regulator_public_key = config.regulator_public_key
 
+        # Transient SCPU faults (a dropped bus request, a firmware
+        # hiccup) are retried with capped backoff; tamper trips are
+        # permanent and escalate immediately.  ``self.scpu`` stays the
+        # raw device the caller handed us; every internal trust-boundary
+        # call goes through the retrying view instead.
+        self.retry = RetryExecutor(
+            config.retry_policy if config.retry_policy is not None
+            else RetryPolicy(),
+            clock=self.scpu.clock)
+        self._scpu_rt = RetryingScpu(self.scpu, self.retry)
+
         self.vrdt = VrdTable()
-        self.windows = WindowManager(self.scpu, self.vrdt,
+        self.windows = WindowManager(self._scpu_rt, self.vrdt,
                                      refresh_interval=config.window_refresh_interval)
         self.retention = RetentionMonitor(self, vexp_capacity=config.vexp_capacity)
         self.strengthening = StrengtheningQueue(
@@ -196,21 +208,23 @@ class StrongWormStore:
                         f"shared record {item.key!r} is not in the store")
                 rdl.append(item)
                 continue
-            key = self.blocks.put(item)
+            key = self.retry.call("block_store.put", self.blocks.put,
+                                  item)
             self.disk.write(len(item), sequential=True)
             self.host.memcpy_cost(len(item))
             rdl.append(RecordDescriptor(key=key, length=len(item)))
 
         # 2. Hash the VR data — on the SCPU (DMA + card SHA) or, in the
         #    weaker burst mode, on the host with deferred verification.
-        chunks = [self.blocks.get(rd.key) for rd in rdl]
+        chunks = [self.retry.call("block_store.get", self.blocks.get,
+                                  rd.key) for rd in rdl]
         if defer_data_hash:
             data_hash = self.host.hash_record_data(chunks)
         else:
-            data_hash = self.scpu.hash_record_data(chunks)
+            data_hash = self._scpu_rt.hash_record_data(chunks)
 
         # 3. SCPU allocates the SN and witnesses the update.
-        sn = self.scpu.issue_serial_number()
+        sn = self._scpu_rt.issue_serial_number()
         attr = RecordAttributes(
             created_at=self.now,
             retention_seconds=retention,
@@ -220,7 +234,7 @@ class StrongWormStore:
             dac_owner=dac_owner,
             f_flag=f_flag,
         )
-        metasig, datasig = self.scpu.witness_write(
+        metasig, datasig = self._scpu_rt.witness_write(
             sn, attr.canonical_bytes(), data_hash, strength=strength)
 
         # 4. Main CPU materializes the VRD into the VRDT.
@@ -268,7 +282,8 @@ class StrongWormStore:
             assert vrd is not None
             payloads = []
             for rd in vrd.rdl:
-                payloads.append(self.blocks.get(rd.key))
+                payloads.append(self.retry.call(
+                    "block_store.get", self.blocks.get, rd.key))
                 self.disk.read(rd.length)
             proof = ActiveProof(sn_current=self._stored_sn_current())
             return ReadResult(sn=sn, status="active", proof=proof, vrd=vrd,
@@ -343,7 +358,7 @@ class StrongWormStore:
             for _ in range(result.passes):
                 self.disk.write(rd.length)
 
-        proof = self.scpu.make_deletion_proof(sn)
+        proof = self._scpu_rt.make_deletion_proof(sn)
         self.vrdt.mark_expired(sn, proof)
         self.host.table_touch()
         self.disk.write(256, sequential=True)
@@ -354,7 +369,7 @@ class StrongWormStore:
     def _require_credential(self, sn: int, credential: SignedEnvelope) -> None:
         if self.regulator_public_key is None:
             raise CredentialError("store has no provisioned regulation authority")
-        ok = self.scpu.verify_regulator_credential(
+        ok = self._scpu_rt.verify_regulator_credential(
             credential, self.regulator_public_key, sn)
         if not ok:
             raise CredentialError("litigation credential failed SCPU verification")
@@ -376,7 +391,7 @@ class StrongWormStore:
         cred_hash = hashlib.sha256(
             credential.envelope.canonical_bytes() + credential.signature).digest()
         new_attr = vrd.attr.with_hold(hold_timeout, cred_hash)
-        metasig = self.scpu.resign_metadata(sn, new_attr.canonical_bytes())
+        metasig = self._scpu_rt.resign_metadata(sn, new_attr.canonical_bytes())
         updated = vrd.with_attr(new_attr, metasig)
         self.vrdt.replace_active(updated)
         self.host.table_touch()
@@ -395,7 +410,7 @@ class StrongWormStore:
             raise LitigationHoldError(f"SN {sn} is not under a litigation hold")
         self._require_credential(sn, credential)
         new_attr = vrd.attr.with_release()
-        metasig = self.scpu.resign_metadata(sn, new_attr.canonical_bytes())
+        metasig = self._scpu_rt.resign_metadata(sn, new_attr.canonical_bytes())
         updated = vrd.with_attr(new_attr, metasig)
         self.vrdt.replace_active(updated)
         self.host.table_touch()
@@ -411,8 +426,8 @@ class StrongWormStore:
         vrd = self.vrdt.get_active(sn)
         if vrd is None:
             return
-        metasig = self.scpu.strengthen(vrd.metasig)
-        datasig = self.scpu.strengthen(vrd.datasig)
+        metasig = self._scpu_rt.strengthen(vrd.metasig)
+        datasig = self._scpu_rt.strengthen(vrd.datasig)
         self.vrdt.replace_active(vrd.with_signatures(metasig, datasig))
         self.host.table_touch()
         self.disk.write(256, sequential=True)
@@ -427,20 +442,21 @@ class StrongWormStore:
         if signed.envelope.fields.get("attr") != vrd.attr.canonical_bytes():
             return False
         if signed.scheme == "hmac":
-            return self.scpu.verify_own_hmac(signed)
-        publics = self.scpu.public_keys()
+            return self._scpu_rt.verify_own_hmac(signed)
+        publics = self._scpu_rt.public_keys()
         for key in (publics["s"], publics["burst"]):
             if signed.key_fingerprint == key.fingerprint():
-                return self.scpu.verify_envelope(signed, key)
+                return self._scpu_rt.verify_envelope(signed, key)
         return False
 
     def scpu_verify_data_hash(self, vrd: VirtualRecordDescriptor) -> bool:
         """SCPU re-reads the VR's data and verifies a host-claimed hash."""
         chunks = []
         for rd in vrd.rdl:
-            chunks.append(self.blocks.get(rd.key))
+            chunks.append(self.retry.call("block_store.get",
+                                          self.blocks.get, rd.key))
             self.disk.read(rd.length)
-        return self.scpu.verify_deferred_hash(chunks, vrd.data_hash)
+        return self._scpu_rt.verify_deferred_hash(chunks, vrd.data_hash)
 
     # ----------------------------------------------------------- maintenance
 
@@ -487,13 +503,14 @@ class StrongWormStore:
         marks = self._cost_checkpoints()
         rdl: List[RecordDescriptor] = []
         for payload in payloads:
-            key = self.blocks.put(payload)
+            key = self.retry.call("block_store.put", self.blocks.put,
+                                  payload)
             self.disk.write(len(payload), sequential=True)
             self.host.memcpy_cost(len(payload))
             rdl.append(RecordDescriptor(key=key, length=len(payload)))
-        data_hash = self.scpu.hash_record_data(payloads)
-        sn = self.scpu.issue_serial_number()
-        metasig, datasig = self.scpu.witness_write(
+        data_hash = self._scpu_rt.hash_record_data(payloads)
+        sn = self._scpu_rt.issue_serial_number()
+        metasig, datasig = self._scpu_rt.witness_write(
             sn, attr.canonical_bytes(), data_hash, strength=Strength.STRONG)
         vrd = VirtualRecordDescriptor(sn=sn, attr=attr, rdl=tuple(rdl),
                                       metasig=metasig, datasig=datasig,
@@ -512,7 +529,7 @@ class StrongWormStore:
 
     def certificates(self, ca: CertificateAuthority) -> List[Certificate]:
         """All certificates a client needs (s, d, current + past burst keys)."""
-        certs = self.scpu.certify_with(ca)
+        certs = self._scpu_rt.certify_with(ca)
         return [certs["s"], certs["d"], certs["burst"], *self._burst_certificates]
 
     def rotate_burst_key(self, ca: CertificateAuthority) -> Certificate:

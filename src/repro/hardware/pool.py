@@ -143,12 +143,16 @@ class ScpuPool:
     def rotate_burst_key(self, ca=None, weak_bits: int = 512):
         """Rotate the shared burst key on every live card in lock-step."""
         # All cards share the keyring object, so one rotation suffices —
-        # but each card must retire the old fingerprint locally.
-        keyring = self._authority()._keys_or_die()
+        # but each card must retire the old fingerprint locally.  Resolve
+        # the authority once: each _authority() call re-scans for a live
+        # card, and a mid-rotation trip could otherwise split the steps
+        # across two different cards.
+        authority = self._authority()
+        keyring = authority._keys_or_die()
         old_fp = keyring.burst_key.fingerprint
-        cert = self._authority().rotate_burst_key(ca, weak_bits=weak_bits)
+        cert = authority.rotate_burst_key(ca, weak_bits=weak_bits)
         for card in self._cards:
-            if card.tamper.tripped or card is self._authority():
+            if card.tamper.tripped or card is authority:
                 continue
             if old_fp not in card._retired_burst_fingerprints:
                 card._retired_burst_fingerprints.append(old_fp)

@@ -19,20 +19,24 @@ central design point.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.config import StoreConfig
-from repro.core.sharded import ShardedWormStore
+from repro.core.errors import TamperedError, WormError
+from repro.core.sharded import ShardedWormStore, ShardedWriteReceipt
 from repro.core.worm import StrongWormStore
+from repro.faults import FaultPlan, FaultyScpu
 from repro.hardware.device import TimedDevice
 from repro.hardware.scpu import ScpuKeyring, SecureCoprocessor
 from repro.sim.engine import Simulator, all_of
 from repro.sim.metrics import MetricsCollector, RequestSample
 from repro.sim.workload import WorkRequest
+from repro.storage.journal import IntentJournal
 
 __all__ = ["SimulatedStore", "SimulationConfig", "ShardedSimStore",
-           "make_sim_store", "make_sharded_sim_store",
-           "run_closed_loop", "run_open_loop", "run_sharded_closed_loop"]
+           "ChaosResult", "make_sim_store", "make_sharded_sim_store",
+           "run_closed_loop", "run_open_loop", "run_sharded_closed_loop",
+           "run_sharded_chaos_loop"]
 
 
 @dataclass
@@ -119,6 +123,7 @@ class ShardedSimStore:
     sim: Simulator
     store: ShardedWormStore
     devices: List[Dict[str, TimedDevice]]  # per shard: scpu/host/disk
+    fault_plans: List[Optional[FaultPlan]] = field(default_factory=list)
 
     def replay(self, shard_id: int, costs: Dict[str, float],
                label: str = "op"):
@@ -138,13 +143,23 @@ class ShardedSimStore:
 def make_sharded_sim_store(shard_count: int,
                            config: Optional[SimulationConfig] = None,
                            keyring: Optional[ScpuKeyring] = None,
-                           store_config: Optional[StoreConfig] = None
+                           store_config: Optional[StoreConfig] = None,
+                           fault_plans: Optional[
+                               Sequence[Optional[FaultPlan]]] = None,
+                           journal: Optional[IntentJournal] = None
                            ) -> ShardedSimStore:
     """Build a simulator + sharded store sharing one virtual clock.
 
     ``config.scpu_count`` is the per-shard card count (usually 1 — the
     point of sharding is one card per shard); host/disk pool sizes are
     per shard as well.
+
+    *fault_plans*, when given, holds one optional
+    :class:`~repro.faults.FaultPlan` per shard: that shard's SCPU is
+    wrapped in a :class:`~repro.faults.FaultyScpu` driven by the plan,
+    so chaos runs inject deterministic faults into specific failure
+    domains.  A *journal* makes the group-commit pending queue
+    crash-durable, exactly as on the real store.
     """
     config = config if config is not None else SimulationConfig()
     store_config = (store_config if store_config is not None
@@ -153,15 +168,37 @@ def make_sharded_sim_store(shard_count: int,
     if keyring is None:
         from repro import demo_keyring
         keyring = demo_keyring()
-    store = ShardedWormStore.build(
-        shard_count=shard_count, config=store_config,
-        keyring=keyring, clock=sim.clock)
+    plans: List[Optional[FaultPlan]] = (
+        list(fault_plans) if fault_plans is not None else [])
+    if plans and len(plans) != shard_count:
+        raise ValueError(
+            f"fault_plans has {len(plans)} entries for {shard_count} shards")
+    if plans:
+        # Wrap each shard's card before its store ever sees it, so every
+        # trust-boundary call of that shard runs under its plan.
+        template = store_config.per_shard()
+        stores = []
+        for plan in plans:
+            scpu: object = SecureCoprocessor(keyring=keyring,
+                                             clock=sim.clock)
+            if plan is not None:
+                scpu = FaultyScpu(scpu, plan)
+            stores.append(StrongWormStore(
+                config=template.replace(scpu=scpu)))
+        store = ShardedWormStore(
+            stores, config=store_config.replace(shard_count=shard_count),
+            journal=journal)
+    else:
+        store = ShardedWormStore.build(
+            shard_count=shard_count, config=store_config,
+            keyring=keyring, clock=sim.clock, journal=journal)
     devices = [{
         "scpu": TimedDevice(sim, f"scpu{i}", capacity=config.scpu_count),
         "host": TimedDevice(sim, f"host{i}", capacity=config.host_count),
         "disk": TimedDevice(sim, f"disk{i}", capacity=config.disk_count),
     } for i in range(shard_count)]
-    return ShardedSimStore(sim=sim, store=store, devices=devices)
+    return ShardedSimStore(sim=sim, store=store, devices=devices,
+                           fault_plans=plans)
 
 
 def run_sharded_closed_loop(shardstore: ShardedSimStore,
@@ -217,6 +254,125 @@ def run_sharded_closed_loop(shardstore: ShardedSimStore,
         sim.process(worker())
     sim.run()
     return metrics
+
+
+@dataclass
+class ChaosResult:
+    """What a chaos run produced: receipts, metrics, and final health.
+
+    ``receipts`` is the complete set of commit receipts — the loss
+    invariant a chaos test asserts is that every one of them reads back
+    and verifies.  ``health`` is the store's final
+    :meth:`~repro.core.sharded.ShardedWormStore.health_report`.
+    """
+
+    metrics: MetricsCollector
+    receipts: List[ShardedWriteReceipt]
+    health: Dict[str, object]
+
+    @property
+    def accepted(self) -> int:
+        """Records the store acknowledged (committed, receipt issued)."""
+        return len(self.receipts)
+
+
+def run_sharded_chaos_loop(shardstore: ShardedSimStore,
+                           requests: Iterable[WorkRequest],
+                           config: Optional[SimulationConfig] = None,
+                           write_kwargs: Optional[Dict] = None,
+                           drain_attempts: int = 20) -> ChaosResult:
+    """Closed-loop ingest through ``submit``/``flush`` under fault plans.
+
+    Workers push every request through the best-effort
+    :meth:`~repro.core.sharded.ShardedWormStore.submit` path; group
+    commits replay their costs on the committing shards' devices.  After
+    the simulation drains, leftover pending records are flushed (up to
+    *drain_attempts* rounds — transient faults may bounce a flush) and
+    the store's retry/failover/fault counters are folded into the
+    metrics, so a chaos test asserts loss and health from one object.
+
+    Ingest stops early only when the store raises
+    :class:`~repro.core.errors.TamperedError` — every card gone — which
+    the result records under the ``chaos.store_dead`` counter.
+    """
+    config = config if config is not None else SimulationConfig()
+    write_kwargs = write_kwargs if write_kwargs is not None else {}
+    metrics = MetricsCollector()
+    receipts: List[ShardedWriteReceipt] = []
+    sim = shardstore.sim
+    store = shardstore.store
+    queue = list(requests)
+    queue.reverse()  # pop() from the end in original order
+
+    def replay_flush(flushed: List[ShardedWriteReceipt], arrival: float):
+        flush_costs: Dict[int, Dict[str, float]] = {}
+        for receipt in flushed:
+            shard_costs = flush_costs.setdefault(receipt.shard_id, {})
+            for device, cost in receipt.costs.items():
+                shard_costs[device] = shard_costs.get(device, 0.0) + cost
+        replays = [sim.process(shardstore.replay(shard_id, costs,
+                                                 label="write"))
+                   for shard_id, costs in flush_costs.items()]
+        if replays:
+            yield all_of(sim, replays)
+        for receipt in flushed:
+            metrics.record(RequestSample(
+                kind="write", arrival=arrival, start=arrival,
+                finish=sim.now))
+
+    def worker():
+        while queue:
+            request = queue.pop()
+            arrival = sim.now
+            payload = b"\xa5" * request.size
+            try:
+                flushed = store.submit(
+                    payload,
+                    retention_seconds=max(request.retention, 1.0),
+                    **write_kwargs)
+            except TamperedError:
+                metrics.increment("chaos.store_dead")
+                queue.clear()
+                return
+            if flushed:
+                receipts.extend(flushed)
+                yield from replay_flush(flushed, arrival)
+
+    for _ in range(config.workers):
+        sim.process(worker())
+    sim.run()
+
+    # Drain what the group-commit threshold never triggered.  A flush
+    # restores uncommittable groups and re-raises, so loop a bounded
+    # number of rounds — transient faults clear, tamper does not.
+    for _ in range(max(1, drain_attempts)):
+        if store.pending_count == 0:
+            break
+        try:
+            receipts.extend(store.flush())
+        except TamperedError as exc:
+            receipts.extend(getattr(exc, "partial_receipts", []))
+            metrics.increment("chaos.store_dead")
+            break
+        except WormError as exc:
+            receipts.extend(getattr(exc, "partial_receipts", []))
+            metrics.increment("chaos.drain_retries")
+
+    health = store.health_report()
+    retry_total = health["retry_total"]
+    metrics.increment("retry.calls", retry_total["calls"])
+    metrics.increment("retry.retries", retry_total["retries"])
+    metrics.increment("retry.exhausted", retry_total["exhausted"])
+    metrics.increment("failovers", health["failovers"])
+    metrics.increment("shards.degraded", len(health["degraded_shards"]))
+    metrics.increment("records.accepted", len(receipts))
+    metrics.increment("records.unflushed", store.pending_count)
+    for plan in shardstore.fault_plans:
+        if plan is None:
+            continue
+        for kind, count in plan.injected.items():
+            metrics.increment(f"faults.{kind}", count)
+    return ChaosResult(metrics=metrics, receipts=receipts, health=health)
 
 
 def _execute(simstore: SimulatedStore, request: WorkRequest,

@@ -68,14 +68,29 @@ def summarize_latencies(latencies: Sequence[float]) -> Dict[str, float]:
 
 
 class MetricsCollector:
-    """Accumulates request samples and derives rates and percentiles."""
+    """Accumulates request samples and derives rates and percentiles.
+
+    Besides per-request samples, the collector carries named **counters**
+    (``increment``/``counter``) for events that have no latency of their
+    own — injected faults, retries, failovers — so chaos runs report
+    through the same object the benchmarks already print from.
+    """
 
     def __init__(self) -> None:
         self._samples: List[RequestSample] = []
+        self.counters: Dict[str, int] = {}
 
     def record(self, sample: RequestSample) -> None:
         """Add one completed-request sample."""
         self._samples.append(sample)
+
+    def increment(self, name: str, n: int = 1) -> None:
+        """Bump the named event counter by *n*."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def counter(self, name: str) -> int:
+        """Current value of the named counter (0 when never bumped)."""
+        return self.counters.get(name, 0)
 
     @property
     def samples(self) -> Tuple[RequestSample, ...]:
@@ -113,8 +128,10 @@ class MetricsCollector:
         return sum(s.size for s in self._samples if s.kind == "write")
 
     def extend(self, other: "MetricsCollector") -> None:
-        """Absorb every sample from *other* (shard aggregation)."""
+        """Absorb every sample and counter from *other* (shard aggregation)."""
         self._samples.extend(other._samples)
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
 
     @classmethod
     def merge(cls, collectors: Sequence["MetricsCollector"]

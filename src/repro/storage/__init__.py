@@ -6,6 +6,12 @@ from repro.storage.block_store import (
     MemoryBlockStore,
     MissingRecordError,
 )
+from repro.storage.journal import (
+    FileIntentJournal,
+    IntentJournal,
+    JournalEntry,
+    MemoryIntentJournal,
+)
 from repro.storage.log_store import AppendLogBlockStore
 from repro.storage.record import RecordAttributes, RecordDescriptor
 from repro.storage.vrd import VirtualRecordDescriptor
@@ -17,6 +23,10 @@ __all__ = [
     "MemoryBlockStore",
     "MissingRecordError",
     "AppendLogBlockStore",
+    "FileIntentJournal",
+    "IntentJournal",
+    "JournalEntry",
+    "MemoryIntentJournal",
     "RecordAttributes",
     "RecordDescriptor",
     "VirtualRecordDescriptor",

@@ -1,0 +1,218 @@
+"""Durable intent journal for the group-commit pending queue.
+
+Between :meth:`ShardedWormStore.submit` and the group-commit flush, an
+accepted record exists only in main-CPU memory — a host crash there
+would silently lose it.  The intent journal closes that hole with the
+classic write-ahead discipline:
+
+* ``append`` — before a record enters the pending queue, its payload and
+  write parameters are journalled and assigned an entry id;
+* ``mark_committed`` — after its group commit succeeds (the SCPU has
+  witnessed the VR), the entry is acknowledged;
+* ``replay`` — on construction over an existing journal, every
+  journalled-but-unacknowledged entry is returned, in submission order,
+  for re-queueing.
+
+Semantics are **at-least-once**: a crash *between* the group commit and
+the acknowledgement replays records that were already committed, so a
+restarted store may write a payload twice (two SNs, same bytes).  For a
+WORM store that is the correct side of the trade — duplicates are
+harmless under an immutability regime and deduplicable offline, while a
+lost record is a compliance violation.
+
+The journal is untrusted main-CPU state, like the VRDT: it buys
+*availability* (no accepted record is forgotten), never integrity — the
+SCPU-signed constructs still carry every guarantee.
+
+Two backends share the interface: :class:`MemoryIntentJournal` (tests,
+simulated crashes) and :class:`FileIntentJournal` (append-only JSONL on
+real disk, surviving process restarts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.core.errors import JournalError
+
+__all__ = ["JournalEntry", "IntentJournal", "MemoryIntentJournal",
+           "FileIntentJournal"]
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journalled submission: the payload and its write parameters."""
+
+    entry_id: int
+    payload: bytes
+    kwargs: Dict[str, Any]
+
+
+def _check_kwargs(kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """Write kwargs must survive a JSON round-trip to be journalable."""
+    try:
+        return json.loads(json.dumps(kwargs))
+    except (TypeError, ValueError) as exc:
+        raise JournalError(
+            f"write parameters are not journalable (must be JSON-safe): "
+            f"{kwargs!r}") from exc
+
+
+class IntentJournal(ABC):
+    """Interface of the submit-intent journal."""
+
+    @abstractmethod
+    def append(self, payload: bytes, kwargs: Dict[str, Any]) -> int:
+        """Durably record one submission; returns its entry id."""
+
+    @abstractmethod
+    def mark_committed(self, entry_ids: Iterable[int]) -> None:
+        """Acknowledge entries whose group commit succeeded."""
+
+    @abstractmethod
+    def replay(self) -> List[JournalEntry]:
+        """Unacknowledged entries in submission order (crash recovery)."""
+
+    @abstractmethod
+    def pending_count(self) -> int:
+        """Entries appended but not yet acknowledged."""
+
+
+class MemoryIntentJournal(IntentJournal):
+    """In-process journal: survives a *simulated* crash (the test keeps
+    the journal object and discards the store), not a real one."""
+
+    def __init__(self) -> None:
+        self._next_id = 1
+        self._entries: Dict[int, JournalEntry] = {}
+        self._order: List[int] = []
+
+    def append(self, payload: bytes, kwargs: Dict[str, Any]) -> int:
+        entry_id = self._next_id
+        self._next_id += 1
+        self._entries[entry_id] = JournalEntry(
+            entry_id=entry_id, payload=bytes(payload),
+            kwargs=_check_kwargs(kwargs))
+        self._order.append(entry_id)
+        return entry_id
+
+    def mark_committed(self, entry_ids: Iterable[int]) -> None:
+        for entry_id in entry_ids:
+            self._entries.pop(entry_id, None)
+
+    def replay(self) -> List[JournalEntry]:
+        return [self._entries[i] for i in self._order if i in self._entries]
+
+    def pending_count(self) -> int:
+        return len(self._entries)
+
+
+class FileIntentJournal(IntentJournal):
+    """Append-only JSONL journal on real disk.
+
+    Records two line kinds — ``{"op": "submit", ...}`` and
+    ``{"op": "commit", "ids": [...]}`` — and fsyncs each append, so the
+    recoverable set is exactly what a crashed process had acknowledged
+    to its callers.  :meth:`compact` rewrites the file down to the
+    unacknowledged entries (call it from a maintenance window; replay
+    correctness never requires it).
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._next_id = 1
+        self._load()  # seeds _next_id past every id ever journalled
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def _load(self) -> List[JournalEntry]:
+        if not self._path.exists():
+            return []
+        entries: Dict[int, JournalEntry] = {}
+        order: List[int] = []
+        highest = 0
+        for line_no, line in enumerate(
+                self._path.read_text().splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                op = record["op"]
+                if op == "submit":
+                    entry = JournalEntry(
+                        entry_id=int(record["id"]),
+                        payload=bytes.fromhex(record["payload"]),
+                        kwargs=dict(record["kwargs"]))
+                    entries[entry.entry_id] = entry
+                    order.append(entry.entry_id)
+                    highest = max(highest, entry.entry_id)
+                elif op == "commit":
+                    for entry_id in record["ids"]:
+                        entries.pop(int(entry_id), None)
+                else:
+                    raise KeyError(op)
+            except (KeyError, ValueError, TypeError) as exc:
+                # A torn final line (crash mid-append) is expected and
+                # safely ignorable; garbage earlier in the file is not.
+                if line_no == self._line_count():
+                    continue
+                raise JournalError(
+                    f"corrupt journal line {line_no} in {self._path}") from exc
+        self._next_id = max(self._next_id, highest + 1)
+        return [entries[i] for i in order if i in entries]
+
+    def _line_count(self) -> int:
+        return len(self._path.read_text().splitlines())
+
+    def _append_line(self, record: Dict[str, Any]) -> None:
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append(self, payload: bytes, kwargs: Dict[str, Any]) -> int:
+        entry_id = self._next_id
+        self._next_id += 1
+        self._append_line({"op": "submit", "id": entry_id,
+                           "payload": bytes(payload).hex(),
+                           "kwargs": _check_kwargs(kwargs)})
+        return entry_id
+
+    def mark_committed(self, entry_ids: Iterable[int]) -> None:
+        ids = [int(i) for i in entry_ids]
+        if ids:
+            self._append_line({"op": "commit", "ids": ids})
+
+    def replay(self) -> List[JournalEntry]:
+        return self._load()
+
+    def pending_count(self) -> int:
+        return len(self._load())
+
+    def compact(self) -> int:
+        """Rewrite the file keeping only unacknowledged entries.
+
+        Returns the number of live entries kept.  Writes to a temp file
+        and renames, so a crash mid-compaction leaves either the old or
+        the new journal intact.
+        """
+        live = self._load()
+        tmp = self._path.with_suffix(self._path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for entry in live:
+                handle.write(json.dumps({
+                    "op": "submit", "id": entry.entry_id,
+                    "payload": entry.payload.hex(),
+                    "kwargs": entry.kwargs}) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(self._path)
+        return len(live)

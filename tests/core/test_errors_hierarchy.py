@@ -14,16 +14,22 @@ import repro
 from repro.core import errors
 
 _PUBLIC_ERRORS = [
+    "CrashError",
     "CredentialError",
+    "DegradedError",
     "FreshnessError",
+    "JournalError",
     "LitigationHoldError",
     "MigrationError",
     "MissingRecordError",
     "RetentionViolationError",
+    "ScpuUnavailableError",
     "SecureMemoryError",
     "ShardRoutingError",
     "SignatureError",
+    "StorageUnavailableError",
     "TamperedError",
+    "TransientFaultError",
     "UnknownSerialNumberError",
     "VerificationError",
     "WormError",

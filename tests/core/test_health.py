@@ -1,0 +1,75 @@
+"""Tests for the failure-domain circuit breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.health import BreakerState, CircuitBreaker
+
+
+class TestCircuitBreaker:
+    def test_starts_closed(self):
+        breaker = CircuitBreaker()
+        assert breaker.state(0.0) == BreakerState.CLOSED
+        assert breaker.allows_writes(0.0)
+
+    def test_opens_at_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_seconds=30.0)
+        breaker.record_transient_failure(0.0)
+        breaker.record_transient_failure(0.0)
+        assert breaker.state(0.0) == BreakerState.CLOSED
+        breaker.record_transient_failure(0.0)
+        assert breaker.state(0.0) == BreakerState.OPEN
+        assert not breaker.allows_writes(0.0)
+
+    def test_half_open_after_cooldown_probe_closes(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_seconds=10.0)
+        breaker.record_transient_failure(0.0)
+        breaker.record_transient_failure(0.0)
+        assert breaker.state(5.0) == BreakerState.OPEN
+        assert breaker.state(10.0) == BreakerState.HALF_OPEN
+        assert breaker.allows_writes(10.0)  # the probe
+        breaker.record_success()
+        assert breaker.state(10.0) == BreakerState.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_seconds=10.0)
+        breaker.record_transient_failure(0.0)
+        breaker.record_transient_failure(0.0)
+        assert breaker.state(10.0) == BreakerState.HALF_OPEN
+        breaker.record_transient_failure(10.0)
+        assert breaker.state(15.0) == BreakerState.OPEN
+        assert breaker.state(20.0) == BreakerState.HALF_OPEN
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_transient_failure(0.0)
+        breaker.record_transient_failure(0.0)
+        breaker.record_success()
+        breaker.record_transient_failure(0.0)
+        breaker.record_transient_failure(0.0)
+        assert breaker.state(0.0) == BreakerState.CLOSED
+
+    def test_degraded_is_terminal(self):
+        breaker = CircuitBreaker()
+        breaker.record_permanent_failure()
+        assert breaker.degraded
+        assert breaker.state(0.0) == BreakerState.DEGRADED
+        assert not breaker.allows_writes(1e9)
+        breaker.record_success()  # nothing un-zeroizes a card
+        assert breaker.state(0.0) == BreakerState.DEGRADED
+
+    def test_snapshot_reports_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=30.0)
+        breaker.record_transient_failure(0.0)
+        snap = breaker.snapshot(10.0)
+        assert snap.state == BreakerState.OPEN
+        assert snap.cooldown_remaining == pytest.approx(20.0)
+        assert snap.transient_failures == 1
+        assert snap.as_dict()["state"] == BreakerState.OPEN
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_seconds=-1.0)

@@ -19,6 +19,7 @@ from repro.core.config import StoreConfig
 from repro.core.errors import (
     ShardRoutingError,
     TamperedError,
+    TransientFaultError,
     VerificationError,
     WormError,
 )
@@ -249,12 +250,28 @@ class TestTamperIsolation:
         receipts = [sharded.write([bytes([i]) * 8], policy="sox")
                     for i in range(3)]
         sharded.shard(1).scpu.tamper.trip()
-        with pytest.raises(TamperedError):
-            sharded.read(receipts[1].locator)
-        for receipt in (receipts[0], receipts[2]):
+        # Read proofs are *stored* artifacts (§4.2.2): the dead shard
+        # keeps serving verifiable reads — degraded, not dark — while
+        # the siblings are entirely unaffected.
+        for receipt in receipts:
             verified = sharded_client.verify_read(
                 sharded.read(receipt.locator), receipt.sn)
             assert verified.status == "active"
+        # Writes are a different story: the dead card cannot witness.
+        with pytest.raises(TamperedError):
+            sharded.shard(1).write([b"no witness left"])
+
+    def test_certificates_skip_a_card_that_died_quietly(self, sharded, ca):
+        # Regression: a card can zeroize outside any commit path (e.g.
+        # during maintenance), so the breaker never heard about it.
+        # certificates() must route around the corpse, not crash.
+        sharded.write([b"before the trip"], policy="sox")
+        sharded.shard(1).scpu.tamper.trip()
+        certs = sharded.certificates(ca)   # must not raise
+        assert certs
+        assert 1 in sharded.degraded_shards  # ...and the breaker learned
+        client = sharded.make_client(ca)
+        assert client is not None
 
 
 # ---------------------------------------------------------------------------
@@ -335,3 +352,71 @@ class TestConstruction:
         sharded.expire_record(receipt.locator, sharded.now)
         with pytest.raises(WormError):
             sharded.read_record(receipt.locator)
+
+
+# ---------------------------------------------------------------------------
+# Flush failure semantics
+# ---------------------------------------------------------------------------
+
+class TestFlushRestoresOnFailure:
+    """Regression: a failing group commit must not drop the other groups.
+
+    ``flush()`` used to batch all receipts behind a single commit loop:
+    an exception mid-loop lost the already-popped pending groups *and*
+    the receipts of the groups that had committed.  It now commits
+    per-group, restores the failing group, continues, and re-raises the
+    first error with ``partial_receipts`` attached.
+    """
+
+    def _store_with_poisoned_policy(self, bad_policy="sox"):
+        store = ShardedWormStore.build(
+            shard_count=2, keyring=demo_keyring(),
+            config=StoreConfig(group_commit_size=100))
+        original = store._commit_group
+
+        def poisoned(shard_id, group):
+            if group.kwargs.get("policy") == bad_policy:
+                raise TransientFaultError("injected commit failure")
+            return original(shard_id, group)
+
+        store._commit_group = poisoned
+        return store, original
+
+    def test_failed_group_is_restored_not_lost(self):
+        store, original = self._store_with_poisoned_policy()
+        for i in range(4):
+            store.submit(b"good-%d" % i)
+        for i in range(2):
+            store.submit(b"bad-%d" % i, policy="sox")
+        assert store.pending_count == 6
+
+        with pytest.raises(TransientFaultError) as excinfo:
+            store.flush()
+        # The healthy groups committed and their receipts survive the
+        # exception; the failed group is back in the pending queue.
+        partial = excinfo.value.partial_receipts
+        assert len(partial) == 4
+        assert store.pending_count == 2
+        for receipt in partial:
+            assert store.read_record(receipt.locator).startswith(b"good-")
+
+        # Once the failure clears, a plain flush commits the stragglers.
+        store._commit_group = original
+        receipts = store.flush()
+        assert len(receipts) == 2
+        assert store.pending_count == 0
+        payloads = {store.read_record(r.locator) for r in receipts}
+        assert payloads == {b"bad-0", b"bad-1"}
+
+    def test_flush_continues_past_first_failure(self):
+        store, _ = self._store_with_poisoned_policy()
+        # Interleave so a poisoned group sits *before* healthy ones in
+        # the shard iteration order.
+        store.submit(b"bad-0", policy="sox")
+        store.submit(b"bad-1", policy="sox")
+        for i in range(4):
+            store.submit(b"good-%d" % i)
+        with pytest.raises(TransientFaultError) as excinfo:
+            store.flush()
+        assert len(excinfo.value.partial_receipts) == 4
+        assert store.pending_count == 2

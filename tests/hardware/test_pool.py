@@ -87,6 +87,21 @@ class TestPoolResilience:
         for card in pool.cards:
             assert old_fp in card._retired_burst_fingerprints
 
+    def test_burst_rotation_resolves_authority_once(self, pool):
+        # Regression: rotate_burst_key used to call _authority() three
+        # times; a tamper trip between the calls could split the rotation
+        # steps across two different cards.  It must pin one card.
+        calls = []
+        original = pool._authority
+
+        def counting_authority():
+            calls.append(1)
+            return original()
+
+        pool._authority = counting_authority
+        pool.rotate_burst_key(None, weak_bits=512)
+        assert len(calls) == 1
+
 
 class TestPoolBackedStore:
     def test_store_runs_on_a_pool(self, pool, ca):

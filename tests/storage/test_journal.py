@@ -1,0 +1,109 @@
+"""Tests for the group-commit intent journal (crash durability)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import JournalError
+from repro.storage.journal import (
+    FileIntentJournal,
+    MemoryIntentJournal,
+    JournalEntry,
+)
+
+
+@pytest.fixture(params=["memory", "file"])
+def journal(request, tmp_path):
+    if request.param == "memory":
+        return MemoryIntentJournal()
+    return FileIntentJournal(tmp_path / "intent.jsonl")
+
+
+class TestJournalContract:
+    def test_append_replay_roundtrip(self, journal):
+        a = journal.append(b"alpha", {"policy": "sox"})
+        b = journal.append(b"beta", {})
+        entries = journal.replay()
+        assert [e.entry_id for e in entries] == [a, b]
+        assert entries[0].payload == b"alpha"
+        assert entries[0].kwargs == {"policy": "sox"}
+        assert journal.pending_count() == 2
+
+    def test_mark_committed_removes_entries(self, journal):
+        a = journal.append(b"alpha", {})
+        b = journal.append(b"beta", {})
+        journal.mark_committed([a])
+        entries = journal.replay()
+        assert [e.entry_id for e in entries] == [b]
+        assert journal.pending_count() == 1
+
+    def test_replay_preserves_submission_order(self, journal):
+        ids = [journal.append(b"p%d" % i, {}) for i in range(5)]
+        journal.mark_committed([ids[1], ids[3]])
+        assert [e.entry_id for e in journal.replay()] == [
+            ids[0], ids[2], ids[4]]
+
+    def test_non_json_kwargs_rejected(self, journal):
+        with pytest.raises(JournalError):
+            journal.append(b"x", {"bad": object()})
+
+
+class TestFileJournal:
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "intent.jsonl"
+        first = FileIntentJournal(path)
+        a = first.append(b"alpha", {})
+        first.append(b"beta", {})
+        first.mark_committed([a])
+        reopened = FileIntentJournal(path)
+        entries = reopened.replay()
+        assert len(entries) == 1
+        assert entries[0].payload == b"beta"
+
+    def test_ids_never_reused_after_reopen(self, tmp_path):
+        path = tmp_path / "intent.jsonl"
+        first = FileIntentJournal(path)
+        a = first.append(b"alpha", {})
+        first.mark_committed([a])  # journal now drains to empty
+        reopened = FileIntentJournal(path)
+        b = reopened.append(b"beta", {})
+        assert b > a  # committed ids stay burned
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "intent.jsonl"
+        journal = FileIntentJournal(path)
+        journal.append(b"alpha", {})
+        with open(path, "a") as handle:
+            handle.write('{"op": "submit", "id": 2, "payl')  # crash mid-append
+        recovered = FileIntentJournal(path)
+        assert [e.payload for e in recovered.replay()] == [b"alpha"]
+
+    def test_garbage_mid_file_raises(self, tmp_path):
+        path = tmp_path / "intent.jsonl"
+        journal = FileIntentJournal(path)
+        journal.append(b"alpha", {})
+        content = path.read_text()
+        path.write_text("GARBAGE\n" + content)
+        with pytest.raises(JournalError):
+            FileIntentJournal(path)
+
+    def test_compact_keeps_only_live_entries(self, tmp_path):
+        path = tmp_path / "intent.jsonl"
+        journal = FileIntentJournal(path)
+        ids = [journal.append(b"p%d" % i, {}) for i in range(4)]
+        journal.mark_committed(ids[:3])
+        kept = journal.compact()
+        assert kept == 1
+        lines = [json.loads(line) for line in
+                 path.read_text().splitlines() if line.strip()]
+        assert len(lines) == 1
+        assert lines[0]["id"] == ids[3]
+        # Still replayable after compaction.
+        assert FileIntentJournal(path).pending_count() == 1
+
+    def test_entry_is_frozen_value(self):
+        entry = JournalEntry(entry_id=1, payload=b"x", kwargs={})
+        with pytest.raises(AttributeError):
+            entry.payload = b"y"
