@@ -1,8 +1,12 @@
-.PHONY: check test lint bench chaos
+.PHONY: check test lint wormlint bench chaos
 
-# Lint (if ruff is installed) + tier-1 tests. The pre-merge gate.
+# wormlint + ruff (if installed) + tier-1 tests. The pre-merge gate.
 check:
 	sh scripts/check.sh
+
+# Compliance-invariant checks (trust domain, virtual time, no laundering).
+wormlint:
+	PYTHONPATH=src python -m repro.lint src tests
 
 test:
 	PYTHONPATH=src python -m pytest -x -q

@@ -1,15 +1,21 @@
 #!/bin/sh
-# Lint (when ruff is available) + the tier-1 test suite.
+# wormlint + lint (when ruff is available) + the tier-1 test suite.
 #
 # Usage: scripts/check.sh          (or: make check)
 #
+# wormlint needs only the repo itself and always runs: it enforces the
+# paper's compliance invariants (trust domain, virtual time, tamper
+# escalation, no signature laundering) against the committed baseline.
 # ruff ships in the `dev` extra (pip install -e '.[dev]'); environments
-# without it skip the lint step with a notice rather than failing, so
+# without it skip the style lint with a notice rather than failing, so
 # `make check` works in the minimal container too.
 
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==> wormlint (compliance invariants)"
+PYTHONPATH=src python -m repro.lint src tests
 
 if python -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1
 then

@@ -54,6 +54,8 @@ from repro.core.errors import (
     LitigationHoldError,
     MigrationError,
     MissingRecordError,
+    UnknownAlgorithmError,
+    UnknownPolicyError,
     RetentionViolationError,
     ScpuUnavailableError,
     SecureMemoryError,
@@ -99,6 +101,8 @@ __all__ = [
     "LitigationHoldError",
     "MigrationError",
     "MissingRecordError",
+    "UnknownAlgorithmError",
+    "UnknownPolicyError",
     "RetentionViolationError",
     "ScpuUnavailableError",
     "SecureMemoryError",

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.client import WormClient
-from repro.core.errors import FreshnessError, VerificationError
+from repro.core.errors import FreshnessError, TamperedError, VerificationError
 from repro.core.proofs import (
     BaseBoundProof,
     DeletionProofResponse,
@@ -406,6 +406,10 @@ def destroy_window_artifacts(env: AttackEnvironment) -> AttackOutcome:
     try:
         env.client.verify_read(malicious, receipt.sn)
         failure = None
+    except TamperedError:
+        # Client-side verification never talks to an SCPU; a tamper trip
+        # here means the harness itself is wired wrong — escalate.
+        raise
     except Exception as exc:  # any failure counts as detection here
         failure = f"{type(exc).__name__}: {exc}"
     return _outcome("destroy-window-artifacts", 2, failure)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.core.errors import MissingRecordError
 from repro.crypto.envelope import SignedEnvelope
 from repro.hardware.scpu import SecureCoprocessor, Strength
 from repro.storage.block_store import BlockStore, MemoryBlockStore
@@ -70,7 +71,7 @@ class ScpuOnlyStore:
         """
         entry = self._entries.get(sn)
         if entry is None:
-            raise KeyError(f"SN {sn} not present")
+            raise MissingRecordError(f"SN {sn} not present")
         data = self.blocks.get(entry.key)
         recomputed = self.scpu.hash_record_data([data])  # DMA in + SHA
         if recomputed != entry.data_hash:

@@ -25,7 +25,11 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.core.errors import RetentionViolationError, WormError
+from repro.core.errors import (
+    MissingRecordError,
+    RetentionViolationError,
+    WormError,
+)
 
 __all__ = ["SoftWormStore", "SoftReadResult"]
 
@@ -72,7 +76,7 @@ class SoftWormStore:
     def delete(self, record_id: int) -> None:
         """API-level delete: allowed only after the retention period."""
         if record_id not in self._data:
-            raise KeyError(record_id)
+            raise MissingRecordError(record_id)
         if self.now < self._retention_until[record_id]:
             raise RetentionViolationError(
                 "soft-WORM: record is inside its retention period")
@@ -83,7 +87,7 @@ class SoftWormStore:
     def read(self, record_id: int) -> SoftReadResult:
         """Read with the product's built-in checksum verification."""
         if record_id not in self._data:
-            raise KeyError(record_id)
+            raise MissingRecordError(record_id)
         data = self._data[record_id]
         checksum_ok = (hashlib.sha256(data).digest()
                        == self._checksums.get(record_id))
@@ -102,7 +106,7 @@ class SoftWormStore:
         alteration invisible to every check the product can run.
         """
         if record_id not in self._data:
-            raise KeyError(record_id)
+            raise MissingRecordError(record_id)
         self._data[record_id] = bytes(new_data)
         if fix_checksum:
             self._checksums[record_id] = hashlib.sha256(new_data).digest()

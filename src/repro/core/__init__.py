@@ -20,6 +20,8 @@ from repro.core.errors import (
     LitigationHoldError,
     MigrationError,
     MissingRecordError,
+    UnknownAlgorithmError,
+    UnknownPolicyError,
     RetentionViolationError,
     ScpuUnavailableError,
     SecureMemoryError,
@@ -103,6 +105,8 @@ __all__ = [
     "LitigationHoldError",
     "MigrationError",
     "MissingRecordError",
+    "UnknownAlgorithmError",
+    "UnknownPolicyError",
     "RetentionViolationError",
     "ScpuUnavailableError",
     "SecureMemoryError",

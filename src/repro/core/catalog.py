@@ -22,7 +22,7 @@ import bisect
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.client import WormClient
-from repro.core.errors import FreshnessError, VerificationError
+from repro.core.errors import FreshnessError, TamperedError, VerificationError
 from repro.core.worm import StrongWormStore
 
 __all__ = ["RecordCatalog"]
@@ -93,9 +93,13 @@ class RecordCatalog:
         for sn in range(1, self._store.scpu.current_serial_number + 1):
             try:
                 verified = client.verify_read(self._store.read(sn), sn)
-            except (VerificationError, FreshnessError) as exc:
+            except (VerificationError, FreshnessError):
                 violations.append(sn)
                 continue
+            except TamperedError:
+                # The store's SCPU died mid-rebuild: the index would be
+                # silently partial if we pressed on — escalate instead.
+                raise
             except Exception:
                 violations.append(sn)
                 continue

@@ -75,7 +75,9 @@ class DedupIndex:
         if rd.key not in self._store.blocks:
             del self._by_digest[self._digest(payload)]
             return None
-        if self._store.blocks.get(rd.key) != payload:
+        candidate = self._store.retry.call(
+            "block_store.get", self._store.blocks.get, rd.key)
+        if candidate != payload:
             return None  # poisoned or collided entry: ignore it
         return rd
 

@@ -28,6 +28,8 @@ __all__ = [
     "SignatureError",
     "TamperedError",
     "MissingRecordError",
+    "UnknownPolicyError",
+    "UnknownAlgorithmError",
     "ShardRoutingError",
     "TransientFaultError",
     "ScpuUnavailableError",
@@ -88,6 +90,18 @@ class TamperedError(WormError):
 
 class MissingRecordError(WormError, KeyError):
     """Raised when a record key does not exist in the store."""
+
+
+class UnknownPolicyError(WormError, KeyError):
+    """A regulation-policy name is not registered.
+
+    Keeps :class:`KeyError` as a secondary base: the policy registry
+    historically raised ``KeyError`` and callers still catch it.
+    """
+
+
+class UnknownAlgorithmError(WormError, KeyError):
+    """A shredding-algorithm name is not registered (same KeyError compat)."""
 
 
 class ShardRoutingError(WormError):

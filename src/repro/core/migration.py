@@ -87,9 +87,10 @@ def export_package(store: StrongWormStore,
         assert vrd is not None
         for rd in vrd.rdl:
             if rd.key not in blocks:
-                blocks[rd.key] = store.blocks.get(rd.key)
+                blocks[rd.key] = store.retry.call(
+                    "block_store.get", store.blocks.get, rd.key)
                 store.disk.read(rd.length)
-    manifest = store.scpu.sign_migration_manifest(
+    manifest = store.scpu_rt.sign_migration_manifest(
         manifest_hash=_package_hash(snapshot, blocks),
         record_count=len(store.vrdt.active_sns),
         sn_base=store.scpu.sn_base,
@@ -126,7 +127,7 @@ def import_package(dest: StrongWormStore, package: MigrationPackage,
     signer = trusted.get(manifest.key_fingerprint)
     if signer is None or signer[1] != "s":
         raise MigrationError("manifest not signed by the source's s key")
-    if not dest.scpu.verify_envelope(manifest, signer[0]):
+    if not dest.scpu_rt.verify_envelope(manifest, signer[0]):
         raise MigrationError("manifest signature verification failed")
     if manifest.field("manifest_hash") != _package_hash(
             package.vrdt_snapshot, package.blocks):
@@ -159,7 +160,7 @@ def _verify_source_record(dest: StrongWormStore, vrd: VirtualRecordDescriptor,
         signer = trusted.get(signed.key_fingerprint)
         if signer is None or signer[1] not in ("s", "burst"):
             return f"{label} signed by an untrusted key"
-        if not dest.scpu.verify_envelope(signed, signer[0]):
+        if not dest.scpu_rt.verify_envelope(signed, signer[0]):
             return f"{label} signature verification failed"
     if vrd.metasig.field("sn") != vrd.sn or vrd.datasig.field("sn") != vrd.sn:
         return "signatures name a different SN"

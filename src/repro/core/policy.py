@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, Mapping, Optional
 
-from repro.core.errors import RetentionViolationError
+from repro.core.errors import RetentionViolationError, UnknownPolicyError
 
 __all__ = ["RegulationPolicy", "PolicyRegistry", "STANDARD_POLICIES", "YEAR_SECONDS"]
 
@@ -131,11 +131,16 @@ class PolicyRegistry:
             policies if policies is not None else STANDARD_POLICIES)
 
     def get(self, name: str) -> RegulationPolicy:
-        """Look up a policy by name; raises KeyError for unknown names."""
+        """Look up a policy by name.
+
+        Raises :class:`UnknownPolicyError` (a ``WormError`` that is also
+        a ``KeyError``) for unknown names.
+        """
         try:
             return self._policies[name]
         except KeyError:
-            raise KeyError(f"unknown regulation policy: {name!r}") from None
+            raise UnknownPolicyError(
+                f"unknown regulation policy: {name!r}") from None
 
     def register(self, policy: RegulationPolicy) -> None:
         """Add or replace a policy (site-specific regimes)."""

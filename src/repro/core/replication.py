@@ -98,6 +98,11 @@ class MirroredWormStore:
         for index, store in enumerate(self._stores):
             try:
                 receipts.append(store.write(records, **write_kwargs))
+            except TamperedError:
+                # A replica's card zeroized mid-write: terminal for that
+                # replica and loud for the caller — never fold a tamper
+                # trip into the "degraded" summary string.
+                raise
             except Exception as exc:  # pragma: no cover - store bugs
                 failures.append(f"replica {index}: {exc}")
         if failures:
@@ -123,7 +128,7 @@ class MirroredWormStore:
                 zip(self._stores, self._clients, sns)):
             try:
                 verified = client.verify_read(store.read(sn), sn)
-            except (VerificationError, FreshnessError, WormError,
+            except (VerificationError, FreshnessError, WormError,  # wormlint: disable=W004 - read path skips bad replicas; raises when all fail
                     TamperedError) as exc:
                 reasons.append(f"replica {index}: {type(exc).__name__}: {exc}")
                 continue
@@ -165,7 +170,7 @@ class MirroredWormStore:
                     zip(self._stores, self._clients, sns)):
                 try:
                     verified = client.verify_read(store.read(sn), sn)
-                except (VerificationError, FreshnessError, WormError,
+                except (VerificationError, FreshnessError, WormError,  # wormlint: disable=W004 - divergence audit records tampered replicas as findings
                         TamperedError) as exc:
                     report.unavailable.append((record_id, index))
                     statuses[index] = f"unverifiable: {type(exc).__name__}"

@@ -17,7 +17,7 @@ The verdict logic is deliberately strict:
 
 from __future__ import annotations
 
-import time
+from datetime import datetime, timezone
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -81,9 +81,16 @@ def generate_report(store: StrongWormStore, client: WormClient,
     lines: List[str] = []
     lines.append("=" * 68)
     lines.append(title)
-    stamp = wall_time if wall_time is not None else time.time()
-    lines.append(f"generated: {time.ctime(stamp)}  "
-                 f"(store virtual time {store.now:.0f}s)")
+    # Reports are stamped in *virtual* time so identical runs file
+    # identical reports; a caller with a real calendar (the CLI's
+    # persistent stores) passes its wall clock in explicitly.
+    if wall_time is not None:
+        calendar = datetime.fromtimestamp(
+            wall_time, tz=timezone.utc).strftime("%a %b %d %H:%M:%S %Y UTC")
+        lines.append(f"generated: {calendar}  "
+                     f"(store virtual time {store.now:.0f}s)")
+    else:
+        lines.append(f"generated: store virtual time {store.now:.0f}s")
     lines.append(f"VERDICT: {verdict}")
     lines.append("=" * 68)
 

@@ -357,7 +357,7 @@ class ShardedWormStore:
             else:
                 try:
                     result = commit(current)
-                except TamperedError as exc:
+                except TamperedError as exc:  # wormlint: disable=W004 - escalates via breaker; re-raised when all shards fail
                     breaker.record_permanent_failure()
                     last_exc = exc
                 except TransientFaultError as exc:
@@ -489,7 +489,7 @@ class ShardedWormStore:
                     self._restore_group(shard_id, key, group)
                     exc.partial_receipts = receipts
                     raise
-                except WormError as exc:
+                except WormError as exc:  # wormlint: disable=W004 - group restored; first_error re-raised below
                     self._restore_group(shard_id, key, group)
                     if first_error is None:
                         first_error = exc
@@ -676,7 +676,7 @@ class ShardedWormStore:
             breaker = self._breakers[shard_id]
             try:
                 tripped = bool(store.scpu.tamper.tripped)
-            except WormError:
+            except WormError:  # wormlint: disable=W004 - health report: a dead pool *is* the tripped state
                 # A pool whose every card died raises on .tamper access;
                 # that *is* a trip for reporting purposes.
                 tripped = True
@@ -719,7 +719,7 @@ class ShardedWormStore:
                 continue
             try:
                 shard_certs = store.certificates(ca)
-            except TamperedError:
+            except TamperedError:  # wormlint: disable=W004 - escalates via breaker; raises below when no shard can sign
                 # The card died outside any commit path (e.g. during
                 # maintenance), so the breaker hasn't heard yet.
                 self._breakers[shard_id].record_permanent_failure()

@@ -20,6 +20,7 @@ import secrets
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
+from repro.core.errors import UnknownAlgorithmError
 from repro.storage.block_store import BlockStore
 
 __all__ = ["ShredResult", "Shredder", "SHREDDING_ALGORITHMS", "shred"]
@@ -86,12 +87,14 @@ SHREDDING_ALGORITHMS: Dict[str, Shredder] = {
 def shred(store: BlockStore, key: str, length: int, algorithm: str) -> ShredResult:
     """Shred one record with the named algorithm.
 
-    Raises :class:`KeyError` for unknown algorithm names — a store must
-    never silently fall back to a weaker shred than the record's policy
+    Raises :class:`UnknownAlgorithmError` (a ``WormError`` that is also a
+    ``KeyError``) for unknown algorithm names — a store must never
+    silently fall back to a weaker shred than the record's policy
     mandates.
     """
     try:
         shredder = SHREDDING_ALGORITHMS[algorithm]
     except KeyError:
-        raise KeyError(f"unknown shredding algorithm: {algorithm!r}") from None
+        raise UnknownAlgorithmError(
+            f"unknown shredding algorithm: {algorithm!r}") from None
     return shredder.run(store, key, length)

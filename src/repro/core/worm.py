@@ -153,6 +153,17 @@ class StrongWormStore:
         """Store time (the SCPU clock; hosts are roughly synchronized)."""
         return self.scpu.now
 
+    @property
+    def scpu_rt(self) -> RetryingScpu:
+        """The retry-gated SCPU view — how store-layer code calls the card.
+
+        ``self.scpu`` stays the raw device for identity/ownership checks;
+        every *service* call from the WORM layer goes through this view so
+        transient bus faults retry with backoff and tamper trips escalate
+        exactly once (wormlint W003 enforces this in ``repro.core``).
+        """
+        return self._scpu_rt
+
     def _cost_checkpoints(self) -> Tuple[float, float, float]:
         return (self.scpu.meter.checkpoint(), self.host.meter.checkpoint(),
                 self.disk.meter.checkpoint())
@@ -534,8 +545,8 @@ class StrongWormStore:
 
     def rotate_burst_key(self, ca: CertificateAuthority) -> Certificate:
         """Rotate the short-lived key; keeps the old cert for verification."""
-        old = self.scpu.public_keys()["burst"]
-        cert = self.scpu.rotate_burst_key(ca)
+        old = self._scpu_rt.public_keys()["burst"]
+        cert = self._scpu_rt.rotate_burst_key(ca)
         assert cert is not None
         self._burst_certificates.append(ca.certify(old, role="burst", now=self.now))
         return cert

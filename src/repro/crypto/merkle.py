@@ -135,7 +135,7 @@ class MerkleTree:
     def update(self, index: int, leaf_data: bytes) -> None:
         """Replace leaf *index* in place.  Costs O(log n) hashes."""
         if not 0 <= index < len(self._levels[0]):
-            raise IndexError(f"leaf index {index} out of range")
+            raise IndexError(f"leaf index {index} out of range")  # wormlint: disable=W005 - sequence-protocol contract
         self._levels[0][index] = self._leaf_digest(leaf_data)
         self._recompute_path(index)
 
@@ -144,7 +144,7 @@ class MerkleTree:
     def prove(self, index: int) -> MerkleProof:
         """Produce a membership proof for leaf *index*."""
         if not 0 <= index < len(self._levels[0]):
-            raise IndexError(f"leaf index {index} out of range")
+            raise IndexError(f"leaf index {index} out of range")  # wormlint: disable=W005 - sequence-protocol contract
         path: List[Tuple[bytes, bool]] = []
         level = 0
         i = index

@@ -1,0 +1,62 @@
+"""wormlint — AST-based compliance-invariant checking for this tree.
+
+Strong WORM's security argument rests on invariants the type system
+cannot see: the SCPU is a separate trust domain (PAPER.md §3), results
+must be reproducible in *virtual* time, tamper trips are terminal, and a
+weak burst construct must never escape without strengthening (§4.3).
+PR 2 fixed three silent violations of exactly these rules; ``wormlint``
+turns each rule class into a static check so the *next* violation fails
+``make check`` instead of shipping.
+
+Run it over the tree::
+
+    python -m repro.lint src tests
+
+Rules (see :mod:`repro.lint.rules` for the full semantics):
+
+========  =============================================================
+W001      trust-domain: no SCPU/key-store private internals outside
+          ``repro.hardware`` — host code programs against ``ScpuLike``
+W002      virtual-time: no wall-clock reads outside ``repro.sim.clock``
+W003      retry-boundary: ``repro.core`` reaches the SCPU / block store
+          only through the ``repro.core.retry`` wrappers
+W004      tamper-terminal: no handler may swallow ``TamperedError``
+W005      taxonomy: raises are ``WormError``-rooted (or stdlib
+          ``ValueError``/``TypeError`` on argument validation)
+W006      no-laundering: weak-capable witnessing must feed the
+          strengthening queue before results escape ``repro.core``
+========  =============================================================
+
+Findings are suppressed per line with ``# wormlint: disable=W00x`` and
+grandfathered via the committed ``wormlint.baseline.json`` (see
+:mod:`repro.lint.baseline`); anything new fails the run.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import (
+    Checker,
+    Finding,
+    LintResult,
+    ModuleContext,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+)
+
+# Importing the rules module populates the registry as a side effect.
+from repro.lint import rules as _rules  # noqa: F401  (registration import)
+
+__all__ = [
+    "Baseline",
+    "Checker",
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

@@ -1,0 +1,101 @@
+"""``python -m repro.lint`` — the wormlint command line.
+
+Exit status: 0 clean (modulo baseline), 1 new findings or unparsable
+files, 2 usage errors.  ``--write-baseline`` regenerates the committed
+grandfather file from the current findings and exits 0 — a deliberate,
+reviewable act.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.lint.engine import all_rules, lint_paths
+from repro.lint.reporters import render_json, render_text
+
+DEFAULT_PATHS = ["src", "tests"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="wormlint: compliance-invariant checks for Strong WORM")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help=f"files/directories to lint "
+                             f"(default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run (e.g. W002,W004)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        default=DEFAULT_BASELINE_NAME,
+                        help="baseline file of grandfathered findings "
+                             f"(default: {DEFAULT_BASELINE_NAME})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: report every finding")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe the registered rules and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule, cls in all_rules().items():
+        lines.append(f"{rule}  {cls.title}")
+        lines.append(f"      {cls.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    select = None
+    if args.select:
+        select = [token.strip() for token in args.select.split(",")
+                  if token.strip()]
+
+    paths = args.paths if args.paths else DEFAULT_PATHS
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"wormlint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        if baseline_path.exists():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except ValueError as exc:
+                print(f"wormlint: {exc}", file=sys.stderr)
+                return 2
+
+    try:
+        result = lint_paths(paths, select=select, baseline=baseline)
+    except ValueError as exc:   # unknown --select rule
+        print(f"wormlint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).dump(baseline_path)
+        print(f"wormlint: wrote {len(result.findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    print(render_text(result) if args.format == "text"
+          else render_json(result))
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Grandfathered-finding baseline: new violations fail, old ones don't.
+
+A baseline entry identifies a finding by ``(rule, path, source-line
+text)`` plus a count, *not* by line number — editing an unrelated part of
+a file must not resurrect its grandfathered findings, and a fingerprint
+on the offending line's text survives such drift.  Duplicates of the
+same line text in one file are handled by the count: three identical
+``raise KeyError(...)`` lines baseline as ``count: 3``, and adding a
+fourth is a *new* finding.
+
+The committed file lives at the repo root as ``wormlint.baseline.json``;
+regenerate it with ``python -m repro.lint --write-baseline`` (a
+deliberate act that should be visible in review, never automatic).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.engine import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "wormlint.baseline.json"
+
+_Key = Tuple[str, str, str]  # (rule, path, normalized source line)
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.rule, finding.path, " ".join(finding.source_line.split()))
+
+
+class Baseline:
+    """A multiset of grandfathered findings."""
+
+    def __init__(self, counts: Dict[_Key, int]) -> None:
+        self._counts = dict(counts)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Dict[_Key, int] = {}
+        for finding in findings:
+            key = _key(finding)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != 1:
+            raise ValueError(f"baseline {path} is not a version-1 baseline")
+        counts: Dict[_Key, int] = {}
+        for entry in data.get("findings", []):
+            key = (entry["rule"], entry["path"], entry["content"])
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    def dump(self, path: Path) -> None:
+        entries = [
+            {"rule": rule, "path": file_path, "content": content,
+             "count": count}
+            for (rule, file_path, content), count in sorted(self._counts.items())
+            if count > 0
+        ]
+        payload = {
+            "version": 1,
+            "comment": ("wormlint grandfathered findings — shrink me, never "
+                        "grow me.  Regenerate deliberately with "
+                        "`python -m repro.lint --write-baseline`."),
+            "findings": entries,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # -- matching -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def partition(self, findings: Iterable[Finding]
+                  ) -> Tuple[List[Finding], int, List[str]]:
+        """Split findings into (new, matched-count, stale-entry labels).
+
+        Stale entries are grandfathered findings that no longer occur —
+        they should be pruned from the committed file (the baseline only
+        ever shrinks).
+        """
+        remaining = dict(self._counts)
+        fresh: List[Finding] = []
+        matched = 0
+        for finding in findings:
+            key = _key(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                matched += 1
+            else:
+                fresh.append(finding)
+        stale = [
+            f"{rule} {path}: {content!r} (x{count})"
+            for (rule, path, content), count in sorted(remaining.items())
+            if count > 0
+        ]
+        return fresh, matched, stale

@@ -1,0 +1,265 @@
+"""The wormlint engine: contexts, the checker registry, and the runner.
+
+The engine is deliberately small: it parses each file once, hands the
+:class:`ModuleContext` to every registered :class:`Checker`, strips
+findings suppressed with ``# wormlint: disable=W00x`` comments, and
+(optionally) subtracts a committed :class:`~repro.lint.baseline.Baseline`
+of grandfathered findings.  All domain knowledge lives in
+:mod:`repro.lint.rules`.
+
+Checkers see files through their *package path* — the path of the module
+inside the ``repro`` package (``repro/core/worm.py``) — so scope
+predicates ("only in ``repro.core``", "not in ``repro.hardware``") are
+one string comparison, and test fixtures can impersonate any module by
+linting a source string under a virtual path (:func:`lint_source`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+]
+
+_RULE_RE = re.compile(r"^W\d{3}$|^E999$")
+_SUPPRESS_RE = re.compile(r"#\s*wormlint:\s*disable=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str          # file path as given to the runner (posix separators)
+    line: int          # 1-based
+    col: int           # 0-based, as in the AST
+    message: str
+    source_line: str = ""   # stripped text of the offending line
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message,
+                "source_line": self.source_line}
+
+
+class ModuleContext:
+    """Everything a checker may look at for one module."""
+
+    def __init__(self, source: str, path: str,
+                 tree: Optional[ast.Module] = None) -> None:
+        self.source = source
+        self.path = path.replace("\\", "/")
+        self.lines = source.splitlines()
+        self.tree = tree if tree is not None else ast.parse(source, path)
+        self.package_path = self._derive_package_path(self.path)
+
+    @staticmethod
+    def _derive_package_path(path: str) -> Optional[str]:
+        """Path inside the ``repro`` package, or None for non-package files.
+
+        ``src/repro/core/worm.py`` → ``repro/core/worm.py``;
+        ``tests/core/test_worm.py`` → ``None`` (rules scoped to package
+        code skip it).
+        """
+        parts = path.split("/")
+        for index, part in enumerate(parts[:-1]):
+            if part == "repro" and (index == 0 or parts[index - 1] != "tests"):
+                return "/".join(parts[index:])
+        return None
+
+    def in_package(self, prefix: str) -> bool:
+        """True when this module lives under *prefix* (``repro/core/``)."""
+        return (self.package_path is not None
+                and self.package_path.startswith(prefix))
+
+    def is_module(self, package_path: str) -> bool:
+        return self.package_path == package_path
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(rule=rule, path=self.path, line=lineno, col=col,
+                       message=message, source_line=self.source_line(lineno))
+
+
+class Checker:
+    """Base class of one wormlint rule.
+
+    Subclasses set :attr:`rule` / :attr:`title` / :attr:`rationale` and
+    implement :meth:`check`, yielding :class:`Finding` objects.  A fresh
+    checker instance is created per run (checkers may keep per-run
+    state), and :meth:`check` is called once per module.
+    """
+
+    rule: str = "W000"
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not _RULE_RE.match(cls.rule):
+        raise ValueError(f"checker rule id {cls.rule!r} must look like W123")
+    if cls.rule in _REGISTRY and _REGISTRY[cls.rule] is not cls:
+        raise ValueError(f"duplicate checker for rule {cls.rule}")
+    _REGISTRY[cls.rule] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Type[Checker]]:
+    """The registry, rule id → checker class (import-populated)."""
+    # Ensure the built-in rules registered even when the engine module is
+    # imported directly rather than through the package __init__.
+    from repro.lint import rules as _rules  # noqa: F401
+    return dict(sorted(_REGISTRY.items()))
+
+
+# ---------------------------------------------------------------- suppression
+
+def _suppressed_rules(line: str) -> frozenset:
+    match = _SUPPRESS_RE.search(line)
+    if not match:
+        return frozenset()
+    return frozenset(
+        token.strip() for token in match.group(1).split(",") if token.strip())
+
+
+def apply_suppressions(ctx: ModuleContext,
+                       findings: Iterable[Finding]) -> List[Finding]:
+    """Drop findings whose source line carries a matching disable comment."""
+    kept: List[Finding] = []
+    for finding in findings:
+        raw = (ctx.lines[finding.line - 1]
+               if 1 <= finding.line <= len(ctx.lines) else "")
+        if finding.rule in _suppressed_rules(raw):
+            continue
+        kept.append(finding)
+    return kept
+
+
+# -------------------------------------------------------------------- running
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run, pre/post baseline subtraction."""
+
+    findings: List[Finding] = field(default_factory=list)  # new (not baselined)
+    baselined: int = 0        # findings matched by the baseline
+    stale_baseline: List[str] = field(default_factory=list)  # fixed entries
+    files_checked: int = 0
+    parse_errors: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _selected_checkers(select: Optional[Sequence[str]]) -> List[Checker]:
+    registry = all_rules()
+    if select:
+        unknown = [rule for rule in select if rule not in registry]
+        if unknown:
+            raise ValueError(f"unknown rule(s): {', '.join(unknown)}")
+        return [registry[rule]() for rule in select]
+    return [cls() for cls in registry.values()]
+
+
+def lint_module(ctx: ModuleContext,
+                select: Optional[Sequence[str]] = None) -> List[Finding]:
+    """All non-suppressed findings for one parsed module."""
+    findings: List[Finding] = []
+    for checker in _selected_checkers(select):
+        findings.extend(checker.check(ctx))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return apply_suppressions(ctx, findings)
+
+
+def lint_source(source: str, virtual_path: str,
+                select: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint a source string as if it lived at *virtual_path*.
+
+    The fixture entry point: ``virtual_path`` controls the package-path
+    scoping exactly as a real file's location would.
+    """
+    return lint_module(ModuleContext(source, virtual_path), select=select)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            key = candidate.resolve()
+            if key in seen:
+                continue
+            seen.add(key)
+            yield candidate
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Sequence[str]] = None,
+               baseline: Optional["Baseline"] = None) -> LintResult:
+    """Lint files/directories; subtract *baseline* when given."""
+    from repro.lint.baseline import Baseline  # local: avoid import cycle
+
+    result = LintResult()
+    collected: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            collected.append(Finding(
+                rule="E999", path=str(path), line=1, col=0,
+                message=f"unreadable file: {exc}"))
+            result.parse_errors += 1
+            continue
+        try:
+            ctx = ModuleContext(source, str(path))
+        except SyntaxError as exc:
+            collected.append(Finding(
+                rule="E999", path=str(path), line=exc.lineno or 1, col=0,
+                message=f"syntax error: {exc.msg}"))
+            result.parse_errors += 1
+            continue
+        result.files_checked += 1
+        collected.extend(lint_module(ctx, select=select))
+
+    if baseline is None:
+        baseline = Baseline.empty()
+    fresh, matched, stale = baseline.partition(collected)
+    result.findings = fresh
+    result.baselined = matched
+    result.stale_baseline = stale
+    return result

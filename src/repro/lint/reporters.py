@@ -1,0 +1,51 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.lint.engine import Finding, LintResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def _sorted(findings: List[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def render_text(result: LintResult, verbose: bool = True) -> str:
+    """ruff-style one-line-per-finding text, plus a summary."""
+    lines: List[str] = []
+    for finding in _sorted(result.findings):
+        lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
+        if verbose and finding.source_line:
+            lines.append(f"    | {finding.source_line}")
+    if result.stale_baseline:
+        lines.append("")
+        lines.append("stale baseline entries (fixed — prune them with "
+                     "--write-baseline):")
+        for label in result.stale_baseline:
+            lines.append(f"  - {label}")
+    lines.append("")
+    status = "clean" if result.clean else f"{len(result.findings)} finding(s)"
+    lines.append(
+        f"wormlint: {status} across {result.files_checked} file(s)"
+        + (f", {result.baselined} grandfathered" if result.baselined else "")
+        + (f", {result.parse_errors} unparsable" if result.parse_errors else ""))
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "findings": [f.as_dict() for f in _sorted(result.findings)],
+        "summary": {
+            "files_checked": result.files_checked,
+            "new_findings": len(result.findings),
+            "baselined": result.baselined,
+            "stale_baseline": list(result.stale_baseline),
+            "parse_errors": result.parse_errors,
+            "clean": result.clean,
+        },
+    }
+    return json.dumps(payload, indent=2)

@@ -74,7 +74,7 @@ class Event:
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event now, delivering *value* to waiters."""
         if self._triggered:
-            raise RuntimeError("event already triggered")
+            raise RuntimeError("event already triggered")  # wormlint: disable=W005 - generic sim kernel, WORM-agnostic
         self.value = value
         self._triggered = True
         self.sim._schedule(self.sim.now, self)
@@ -231,7 +231,7 @@ class Resource:
         """Return a previously granted slot; wakes the next waiter."""
         granted_at = self._grant_times.pop(id(req), None)
         if granted_at is None:
-            raise RuntimeError("releasing a request that was never granted")
+            raise RuntimeError("releasing a request that was never granted")  # wormlint: disable=W005 - generic sim kernel, WORM-agnostic
         self.total_busy_time += self.sim.now - granted_at
         self._in_use -= 1
         if self._queue:

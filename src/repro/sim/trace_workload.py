@@ -78,7 +78,7 @@ class TraceWorkload:
     def __init__(self, path: Union[str, Path]) -> None:
         self._path = Path(path)
         if not self._path.exists():
-            raise FileNotFoundError(self._path)
+            raise FileNotFoundError(self._path)  # wormlint: disable=W005 - stdlib os semantics for trace files
 
     def __iter__(self) -> Iterator[WorkRequest]:
         last_arrival = 0.0

@@ -158,7 +158,7 @@ class FileIntentJournal(IntentJournal):
                     for entry_id in record["ids"]:
                         entries.pop(int(entry_id), None)
                 else:
-                    raise KeyError(op)
+                    raise KeyError(op)  # wormlint: disable=W005 - feeds the torn-line tolerance handler below
             except (KeyError, ValueError, TypeError) as exc:
                 # A torn final line (crash mid-append) is expected and
                 # safely ignorable; garbage earlier in the file is not.

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.core.errors import MissingRecordError
 from repro.crypto.envelope import SignedEnvelope
 from repro.storage.vrd import VirtualRecordDescriptor
 
@@ -86,7 +87,7 @@ class VrdTable:
     def replace_active(self, vrd: VirtualRecordDescriptor) -> None:
         """Swap an active VRD in place (signature upgrade, lit_hold)."""
         if vrd.sn not in self._active:
-            raise KeyError(f"SN {vrd.sn} is not active")
+            raise MissingRecordError(f"SN {vrd.sn} is not active")
         self._active[vrd.sn] = vrd
 
     def get_active(self, sn: int) -> Optional[VirtualRecordDescriptor]:
@@ -98,7 +99,7 @@ class VrdTable:
     def mark_expired(self, sn: int, deletion_proof: SignedEnvelope) -> None:
         """Replace an active entry with its deletion proof (§4.2.2 delete)."""
         if sn not in self._active:
-            raise KeyError(f"SN {sn} is not active")
+            raise MissingRecordError(f"SN {sn} is not active")
         del self._active[sn]
         self._deletion_proofs[sn] = deletion_proof
 

@@ -30,6 +30,8 @@ _PUBLIC_ERRORS = [
     "StorageUnavailableError",
     "TamperedError",
     "TransientFaultError",
+    "UnknownAlgorithmError",
+    "UnknownPolicyError",
     "UnknownSerialNumberError",
     "VerificationError",
     "WormError",

@@ -1,0 +1,80 @@
+"""Baseline mechanics: grandfathering by line *content*, never by number."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import Baseline
+from repro.lint.engine import Finding
+
+
+def _finding(rule="W001", path="tests/x.py", line=10,
+             source_line="assert scpu._keys is None"):
+    return Finding(rule=rule, path=path, line=line, col=0,
+                   message="m", source_line=source_line)
+
+
+def test_matched_findings_are_subtracted():
+    baseline = Baseline.from_findings([_finding()])
+    fresh, matched, stale = baseline.partition([_finding()])
+    assert fresh == []
+    assert matched == 1
+    assert stale == []
+
+
+def test_line_number_drift_still_matches():
+    # Fingerprints are (rule, path, normalized text): editing unrelated
+    # parts of the file must not resurrect grandfathered findings.
+    baseline = Baseline.from_findings([_finding(line=10)])
+    fresh, matched, _ = baseline.partition(
+        [_finding(line=99, source_line="assert  scpu._keys   is None")])
+    assert fresh == []
+    assert matched == 1
+
+
+def test_new_findings_stay_fresh():
+    baseline = Baseline.from_findings([_finding()])
+    intruder = _finding(source_line="scpu._sign_deletion_window(1, 2)")
+    fresh, matched, _ = baseline.partition([_finding(), intruder])
+    assert fresh == [intruder]
+    assert matched == 1
+
+
+def test_counts_cap_identical_lines():
+    # Two identical grandfathered lines, three occurrences: one is new.
+    baseline = Baseline.from_findings([_finding(), _finding()])
+    fresh, matched, _ = baseline.partition(
+        [_finding(line=1), _finding(line=2), _finding(line=3)])
+    assert matched == 2
+    assert len(fresh) == 1
+
+
+def test_fixed_entries_surface_as_stale():
+    baseline = Baseline.from_findings([_finding()])
+    fresh, matched, stale = baseline.partition([])
+    assert fresh == [] and matched == 0
+    assert len(stale) == 1
+    assert "W001" in stale[0]
+
+
+def test_dump_and_load_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings([_finding(), _finding()]).dump(path)
+    reloaded = Baseline.load(path)
+    assert len(reloaded) == 2
+    fresh, matched, stale = reloaded.partition([_finding(), _finding()])
+    assert fresh == [] and matched == 2 and stale == []
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"version": 2, "findings": []}')
+    with pytest.raises(ValueError, match="version-1"):
+        Baseline.load(path)
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("not json")
+    with pytest.raises(ValueError, match="unreadable"):
+        Baseline.load(path)

@@ -1,0 +1,105 @@
+"""W006 no-laundering: weak witnessing must feed the strengthening queue."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+from repro.lint import lint_source
+
+
+def rules(source: str, path: str = "src/repro/core/fixture.py",
+          select=("W006",)) -> list:
+    return [f.rule for f in lint_source(dedent(source), path, select=select)]
+
+
+def test_weak_witness_without_enqueue_fires():
+    assert rules("""
+        def flush(self, data, sn, now):
+            signed = self._scpu_rt.witness_write(
+                data, sn, now, strength=Strength.WEAK)
+            self.vrdt.insert_active(signed)
+    """) == ["W006"]
+
+
+def test_hmac_witness_without_enqueue_fires():
+    assert rules("""
+        def flush(self, data, sn, now):
+            return_value = self._scpu_rt.witness_write(
+                data, sn, now, strength=Strength.HMAC)
+            self.vrdt.insert_active(return_value)
+    """) == ["W006"]
+
+
+def test_weak_witness_with_enqueue_is_fine():
+    assert rules("""
+        def flush(self, data, sn, now, lifetime):
+            signed = self._scpu_rt.witness_write(
+                data, sn, now, strength=Strength.WEAK)
+            self.strengthening.enqueue(sn, now, lifetime)
+            self.vrdt.insert_active(signed)
+    """) == []
+
+
+def test_deferred_hash_queue_also_counts():
+    assert rules("""
+        def flush(self, data, sn, now):
+            signed = self._scpu_rt.witness_write(
+                data, sn, now, strength=Strength.HMAC)
+            self.hash_verification.enqueue(sn, now)
+            self.vrdt.insert_active(signed)
+    """) == []
+
+
+def test_strong_witnessing_needs_no_queue():
+    assert rules("""
+        def write(self, data, sn, now):
+            signed = self._scpu_rt.witness_write(
+                data, sn, now, strength=Strength.STRONG)
+            self.vrdt.insert_active(signed)
+    """) == []
+
+
+def test_omitted_strength_defaults_strong():
+    assert rules("""
+        def write(self, data, sn, now):
+            signed = self._scpu_rt.witness_write(data, sn, now)
+            self.vrdt.insert_active(signed)
+    """) == []
+
+
+def test_positional_weak_strength_fires():
+    assert rules("""
+        def flush(self, data, sn, now):
+            signed = self._scpu_rt.witness_write(
+                data, sn, now, Strength.WEAK)
+            self.vrdt.insert_active(signed)
+    """) == ["W006"]
+
+
+def test_public_function_returning_witness_output_fires():
+    # Even at STRONG the result escapes with no window left to enqueue a
+    # downgrade — the public surface must materialize first.
+    assert rules("""
+        def witness(self, data, sn, now):
+            return self._scpu_rt.witness_write(
+                data, sn, now, strength=Strength.STRONG)
+    """) == ["W006"]
+
+
+def test_private_helper_may_return_witness_output():
+    assert rules("""
+        def _witness(self, data, sn, now):
+            return self._scpu_rt.witness_write(
+                data, sn, now, strength=Strength.STRONG)
+    """) == []
+
+
+def test_only_core_is_in_scope():
+    source = """
+        def flush(self, data, sn, now):
+            signed = self._scpu_rt.witness_write(
+                data, sn, now, strength=Strength.WEAK)
+            self.vrdt.insert_active(signed)
+    """
+    assert rules(source, path="src/repro/baselines/fixture.py") == []
+    assert rules(source, path="tests/core/test_fixture.py") == []

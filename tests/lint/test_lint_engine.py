@@ -1,0 +1,127 @@
+"""Engine mechanics: scoping, suppression comments, registry, runner."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+import pytest
+
+from repro.lint import all_rules, lint_paths, lint_source
+from repro.lint.engine import ModuleContext
+from repro.lint.reporters import render_json, render_text
+
+
+def test_all_six_rules_are_registered():
+    assert list(all_rules()) == ["W001", "W002", "W003", "W004", "W005",
+                                 "W006"]
+
+
+def test_registry_entries_carry_documentation():
+    for cls in all_rules().values():
+        assert cls.title
+        assert cls.rationale
+
+
+@pytest.mark.parametrize("path,expected", [
+    ("src/repro/core/worm.py", "repro/core/worm.py"),
+    ("repro/cli.py", "repro/cli.py"),
+    ("tests/core/test_worm.py", None),
+    ("tests/repro/test_fake.py", None),   # "repro" under tests/ is a test dir
+    ("scripts/helper.py", None),
+])
+def test_package_path_derivation(path, expected):
+    assert ModuleContext._derive_package_path(path) == expected
+
+
+def test_unknown_select_rule_is_an_error():
+    with pytest.raises(ValueError, match="W999"):
+        lint_source("x = 1", "src/repro/core/fixture.py", select=["W999"])
+
+
+def test_suppression_comment_silences_its_rule():
+    source = dedent("""
+        import time
+
+        def stamp():
+            return time.time()  # wormlint: disable=W002 - fixture
+    """)
+    assert lint_source(source, "src/repro/core/fixture.py") == []
+
+
+def test_suppression_is_rule_specific():
+    source = dedent("""
+        import time
+
+        def stamp():
+            return time.time()  # wormlint: disable=W001 - wrong rule
+    """)
+    assert [f.rule for f in
+            lint_source(source, "src/repro/core/fixture.py")] == ["W002"]
+
+
+def test_suppression_accepts_a_rule_list():
+    source = dedent("""
+        import time
+
+        def stamp(store):
+            return time.time(), store.scpu._keys  # wormlint: disable=W001,W002
+    """)
+    assert lint_source(source, "src/repro/core/fixture.py") == []
+
+
+def test_suppression_only_covers_its_own_line():
+    source = dedent("""
+        import time
+
+        # wormlint: disable=W002
+        def stamp():
+            return time.time()
+    """)
+    assert [f.rule for f in
+            lint_source(source, "src/repro/core/fixture.py")] == ["W002"]
+
+
+def test_findings_carry_location_and_source_line():
+    source = dedent("""
+        import time
+
+        def stamp():
+            return time.time()
+    """)
+    (finding,) = lint_source(source, "src/repro/core/fixture.py")
+    assert finding.location() == "src/repro/core/fixture.py:5:12"
+    assert finding.source_line == "return time.time()"
+
+
+def test_lint_paths_reports_syntax_errors_as_e999(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n")
+    result = lint_paths([str(bad)])
+    assert result.parse_errors == 1
+    assert [f.rule for f in result.findings] == ["E999"]
+    assert not result.clean
+
+
+def test_lint_paths_skips_pycache(tmp_path):
+    cache = tmp_path / "__pycache__"
+    cache.mkdir()
+    (cache / "stale.py").write_text("def broken(:\n")
+    (tmp_path / "fine.py").write_text("x = 1\n")
+    result = lint_paths([str(tmp_path)])
+    assert result.files_checked == 1
+    assert result.clean
+
+
+def test_reporters_render_findings(tmp_path):
+    import json
+
+    source = "import time\n\n\ndef stamp():\n    return time.time()\n"
+    module = tmp_path / "fixture.py"
+    module.write_text(source)
+    result = lint_paths([str(module)], select=["W002"])
+    text = render_text(result)
+    assert "W002" in text
+    assert "finding(s) across 1 file(s)" in text
+    payload = json.loads(render_json(result))
+    assert payload["summary"]["new_findings"] == 1
+    assert payload["findings"][0]["rule"] == "W002"

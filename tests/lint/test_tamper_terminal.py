@@ -1,0 +1,128 @@
+"""W004 tamper-terminal: no handler may swallow a TamperedError."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+from repro.lint import lint_source
+
+
+def rules(source: str, path: str = "src/repro/core/fixture.py",
+          select=("W004",)) -> list:
+    return [f.rule for f in lint_source(dedent(source), path, select=select)]
+
+
+def test_swallowed_tamper_fires():
+    assert rules("""
+        def read(store, sn):
+            try:
+                return store.read(sn)
+            except TamperedError:
+                return None
+    """) == ["W004"]
+
+
+def test_reraised_tamper_is_fine():
+    assert rules("""
+        def read(store, sn):
+            try:
+                return store.read(sn)
+            except TamperedError:
+                raise
+    """) == []
+
+
+def test_broad_handler_fires_in_package_code():
+    assert rules("""
+        def read(store, sn):
+            try:
+                return store.read(sn)
+            except Exception:
+                return None
+    """) == ["W004"]
+
+
+def test_bare_except_fires_in_package_code():
+    assert rules("""
+        def read(store, sn):
+            try:
+                return store.read(sn)
+            except:
+                return None
+    """) == ["W004"]
+
+
+def test_worm_error_is_broad_too():
+    # WormError is TamperedError's base: catching it absorbs the trip.
+    assert rules("""
+        def read(store, sn):
+            try:
+                return store.read(sn)
+            except WormError:
+                return None
+    """) == ["W004"]
+
+
+def test_escalating_arm_legalizes_later_broad_handler():
+    assert rules("""
+        def read(store, sn):
+            try:
+                return store.read(sn)
+            except TamperedError:
+                raise
+            except Exception:
+                return None
+    """) == []
+
+
+def test_guarded_reraise_inside_broad_handler_is_fine():
+    assert rules("""
+        def read(store, sn):
+            try:
+                return store.read(sn)
+            except Exception as exc:
+                if isinstance(exc, TamperedError):
+                    raise
+                return None
+    """) == []
+
+
+def test_reraising_the_bound_name_is_fine():
+    assert rules("""
+        def read(store, sn):
+            try:
+                return store.read(sn)
+            except Exception as exc:
+                log(exc)
+                raise exc
+    """) == []
+
+
+def test_broad_handlers_in_tests_are_exempt():
+    # ...but an *explicit* TamperedError swallow fires even in tests.
+    broad = """
+        def test_read(store):
+            try:
+                store.read(1)
+            except Exception:
+                pass
+    """
+    explicit = """
+        def test_read(store):
+            try:
+                store.read(1)
+            except TamperedError:
+                pass
+    """
+    assert rules(broad, path="tests/core/test_fixture.py") == []
+    assert rules(explicit, path="tests/core/test_fixture.py") == ["W004"]
+
+
+def test_narrow_handlers_are_fine():
+    assert rules("""
+        def read(store, sn):
+            try:
+                return store.read(sn)
+            except (VerificationError, FreshnessError):
+                return None
+    """) == []

@@ -1,0 +1,106 @@
+"""W005 taxonomy: raises in src/repro stay WormError-rooted."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+from repro.lint import lint_source
+
+
+def rules(source: str, path: str = "src/repro/core/fixture.py",
+          select=("W005",)) -> list:
+    return [f.rule for f in lint_source(dedent(source), path, select=select)]
+
+
+def test_ad_hoc_runtime_error_fires():
+    assert rules("""
+        def check(flag):
+            if not flag:
+                raise RuntimeError("broken")
+    """) == ["W005"]
+
+
+def test_ad_hoc_key_error_fires():
+    assert rules("""
+        def lookup(table, name):
+            if name not in table:
+                raise KeyError(name)
+            return table[name]
+    """) == ["W005"]
+
+
+def test_taxonomy_exceptions_are_fine():
+    assert rules("""
+        from repro.core.errors import TamperedError, WormError
+
+        def check(flag):
+            if flag == "tamper":
+                raise TamperedError("enclosure breached")
+            raise WormError("generic")
+    """) == []
+
+
+def test_argument_validation_stdlib_is_fine():
+    assert rules("""
+        def configure(count):
+            if count < 0:
+                raise ValueError("count cannot be negative")
+            if not isinstance(count, int):
+                raise TypeError("count must be an int")
+    """) == []
+
+
+def test_local_subclass_of_worm_error_is_fine():
+    assert rules("""
+        from repro.core.errors import WormError
+
+        class FixtureError(WormError):
+            pass
+
+        class DeeperError(FixtureError):
+            pass
+
+        def check():
+            raise DeeperError("rooted two levels down")
+    """) == []
+
+
+def test_names_imported_from_repro_are_trusted():
+    # The taxonomy module is where roots are audited; importers of
+    # *Error names from repro.* are assumed compliant.
+    assert rules("""
+        from repro.storage.journal import JournalError
+
+        def check():
+            raise JournalError("torn line")
+    """) == []
+
+
+def test_reraising_a_bound_variable_is_fine():
+    assert rules("""
+        def drain(errors):
+            last_exc = None
+            for exc in errors:
+                last_exc = exc
+            if last_exc is not None:
+                raise last_exc
+    """) == []
+
+
+def test_tests_are_out_of_scope():
+    assert rules("""
+        def test_check():
+            raise RuntimeError("test scaffolding may raise anything")
+    """, path="tests/core/test_fixture.py") == []
+
+
+def test_taxonomy_self_updates_from_errors_module():
+    # W005 imports repro.core.errors.__all__ at runtime: exceptions added
+    # to the taxonomy are legal without touching the lint.
+    from repro.core import errors
+    assert rules(f"""
+        from repro.core.errors import {errors.__all__[0]}
+
+        def check():
+            raise {errors.__all__[0]}("from the live taxonomy")
+    """) == []

@@ -1,0 +1,73 @@
+"""W001 trust-domain: SCPU/key-store internals stay in repro.hardware."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+from repro.lint import lint_source
+
+
+def rules(source: str, path: str = "src/repro/core/fixture.py",
+          select=("W001",)) -> list:
+    return [f.rule for f in lint_source(dedent(source), path, select=select)]
+
+
+def test_private_scpu_attribute_fires():
+    assert rules("""
+        def persist(store):
+            return store.scpu._keys
+    """) == ["W001"]
+
+
+def test_private_on_retry_view_fires_too():
+    # Reaching privates *through* the wrapped view launders the same
+    # boundary as reaching into the raw device.
+    assert rules("""
+        def peek(self):
+            return self._scpu_rt._policy
+    """) == ["W001"]
+
+
+def test_keyring_internals_fire():
+    assert rules("""
+        def leak(self):
+            return self.keyring._s_key
+    """) == ["W001"]
+
+
+def test_public_service_surface_is_fine():
+    assert rules("""
+        def commit(store, data, sn, now):
+            return store.scpu.witness_write(data, sn, now)
+    """) == []
+
+
+def test_dunder_access_is_fine():
+    assert rules("""
+        def kind(store):
+            return store.scpu.__class__
+    """) == []
+
+
+def test_hardware_package_is_exempt():
+    source = """
+        def zeroize(self):
+            self.scpu._keys = None
+    """
+    assert rules(source, path="src/repro/hardware/tamper.py") == []
+    assert rules(source) == ["W001"]
+
+
+def test_fires_in_test_files_as_well():
+    # White-box tests are exactly what the committed baseline is for.
+    assert rules("""
+        def test_zeroized(scpu):
+            assert scpu._keys is None
+    """, path="tests/hardware/test_fixture.py") == ["W001"]
+
+
+def test_unrelated_private_receivers_are_ignored():
+    assert rules("""
+        def tally(self):
+            return self.metrics._counters
+    """) == []

@@ -1,0 +1,101 @@
+"""W002 virtual-time: only repro.sim.clock may read the wall clock."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+from repro.lint import lint_source
+
+
+def rules(source: str, path: str = "src/repro/core/fixture.py",
+          select=("W002",)) -> list:
+    return [f.rule for f in lint_source(dedent(source), path, select=select)]
+
+
+def test_time_time_fires():
+    assert rules("""
+        import time
+
+        def stamp():
+            return time.time()
+    """) == ["W002"]
+
+
+def test_time_sleep_fires():
+    assert rules("""
+        import time
+
+        def backoff(seconds):
+            time.sleep(seconds)
+    """) == ["W002"]
+
+
+def test_aliased_import_fires():
+    assert rules("""
+        import time as _t
+
+        def stamp():
+            return _t.monotonic()
+    """) == ["W002"]
+
+
+def test_from_import_fires():
+    assert rules("""
+        from time import perf_counter
+
+        def stamp():
+            return perf_counter()
+    """) == ["W002"]
+
+
+def test_datetime_now_fires():
+    assert rules("""
+        from datetime import datetime
+
+        def stamp():
+            return datetime.utcnow()
+    """) == ["W002"]
+
+
+def test_implicit_clock_read_fires_only_with_no_args():
+    # time.ctime(stamp) is a deterministic formatter; time.ctime() reads
+    # the clock.
+    assert rules("""
+        import time
+
+        def calendar(stamp):
+            return time.ctime(stamp)
+    """) == []
+    assert rules("""
+        import time
+
+        def calendar():
+            return time.ctime()
+    """) == ["W002"]
+
+
+def test_deterministic_datetime_constructors_are_fine():
+    assert rules("""
+        from datetime import datetime, timezone
+
+        def calendar(stamp):
+            return datetime.fromtimestamp(stamp, tz=timezone.utc)
+    """) == []
+
+
+def test_clock_module_is_exempt():
+    source = """
+        import time
+
+        def read():
+            return time.time()
+    """
+    assert rules(source, path="src/repro/sim/clock.py") == []
+
+
+def test_unimported_time_attribute_is_not_confused():
+    # `self.time.time()` is somebody's clock object, not the time module.
+    assert rules("""
+        def read(self):
+            return self.time.time()
+    """) == []

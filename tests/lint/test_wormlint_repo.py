@@ -1,0 +1,111 @@
+"""Integration: the repo itself lints clean, and the CLI gates on it."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import Baseline, lint_paths
+from repro.lint.baseline import DEFAULT_BASELINE_NAME
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run_cli(*argv: str, cwd: Path = REPO_ROOT) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        cwd=cwd, env=env, capture_output=True, text=True, timeout=300)
+
+
+def test_repo_is_clean_modulo_committed_baseline():
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_NAME)
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)   # baseline fingerprints use repo-relative paths
+    try:
+        result = lint_paths(["src", "tests"], baseline=baseline)
+    finally:
+        os.chdir(cwd)
+    assert result.clean, "\n".join(f.location() + " " + f.rule
+                                   for f in result.findings)
+    assert result.stale_baseline == [], result.stale_baseline
+    assert result.files_checked > 100
+
+
+def test_cli_exits_zero_on_the_repo():
+    proc = _run_cli("src", "tests")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_cli_flags_a_seeded_violation(tmp_path):
+    # The acceptance gate: re-introducing a wall-clock read must fail the
+    # build. Seed one into a scratch tree and watch the CLI go red.
+    bad = tmp_path / "seeded.py"
+    bad.write_text("import time\n\n\ndef stamp():\n    return time.time()\n")
+    proc = _run_cli(str(bad))
+    assert proc.returncode == 1
+    assert "W002" in proc.stdout
+
+
+def test_cli_baseline_does_not_mask_new_findings(tmp_path):
+    bad = tmp_path / "seeded.py"
+    bad.write_text("import time\n\n\ndef stamp():\n    return time.time()\n")
+    proc = _run_cli("--baseline", str(REPO_ROOT / DEFAULT_BASELINE_NAME),
+                    str(bad))
+    assert proc.returncode == 1
+
+
+def test_cli_json_format(tmp_path):
+    bad = tmp_path / "seeded.py"
+    bad.write_text("import time\n\n\ndef stamp():\n    return time.time()\n")
+    proc = _run_cli("--format", "json", str(bad))
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["summary"]["new_findings"] == 1
+    assert payload["findings"][0]["rule"] == "W002"
+
+
+def test_cli_select_restricts_rules(tmp_path):
+    bad = tmp_path / "seeded.py"
+    bad.write_text("import time\n\n\ndef stamp():\n    return time.time()\n")
+    proc = _run_cli("--select", "W001", str(bad))
+    assert proc.returncode == 0
+
+
+def test_cli_write_baseline_then_clean(tmp_path):
+    bad = tmp_path / "seeded.py"
+    bad.write_text("import time\n\n\ndef stamp():\n    return time.time()\n")
+    baseline = tmp_path / "baseline.json"
+    wrote = _run_cli("--write-baseline", "--baseline", str(baseline),
+                     str(bad), cwd=tmp_path)
+    assert wrote.returncode == 0
+    assert baseline.exists()
+    rerun = _run_cli("--baseline", str(baseline), str(bad), cwd=tmp_path)
+    assert rerun.returncode == 0
+    assert "grandfathered" in rerun.stdout
+
+
+def test_cli_usage_errors_exit_two(tmp_path):
+    assert _run_cli("--select", "W999", "src").returncode == 2
+    assert _run_cli(str(tmp_path / "missing")).returncode == 2
+
+
+def test_cli_list_rules():
+    proc = _run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule in ("W001", "W002", "W003", "W004", "W005", "W006"):
+        assert rule in proc.stdout
+
+
+def test_committed_baseline_only_grandfathers_white_box_tests():
+    # The baseline must never grow to cover src/ — grandfathering is for
+    # pre-existing white-box *tests* only.
+    data = json.loads((REPO_ROOT / DEFAULT_BASELINE_NAME).read_text())
+    assert data["version"] == 1
+    for entry in data["findings"]:
+        assert entry["path"].startswith("tests/"), entry
