@@ -1,4 +1,4 @@
-.PHONY: check test lint wormlint bench chaos
+.PHONY: check test lint wormlint bench chaos obs
 
 # wormlint + ruff (if installed) + tier-1 tests. The pre-merge gate.
 check:
@@ -17,6 +17,13 @@ chaos:
 
 lint:
 	python -m ruff check src tests benchmarks examples
+
+# Short sharded workload -> telemetry snapshot, reconciled against the
+# legacy health/cost reports and validated against the committed schema
+# (counter names are an API: renames must fail here, not drift silently).
+obs:
+	PYTHONPATH=src python -m repro.cli obs --shards 2 --records 48 \
+	    --check scripts/obs_schema.json
 
 # Full virtual-time evaluation suite (slow: paper-sized 1024-bit keys).
 bench:

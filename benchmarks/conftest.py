@@ -10,11 +10,41 @@ machines — while pytest-benchmark additionally times the real
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.crypto.hmac_scheme import HmacScheme
 from repro.crypto.keys import SigningKey
 from repro.hardware.scpu import ScpuKeyring
+from repro.obs import TelemetryBus
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--telemetry", action="store_true", default=False,
+        help="write each telemetry-instrumented benchmark's bus snapshot "
+             "to BENCH_<test>_telemetry.json next to the benchmark files, "
+             "so perf trajectories carry device-attribution data")
+
+
+@pytest.fixture
+def telemetry_bus(request) -> TelemetryBus:
+    """A live bus for a benchmark store (``StoreConfig(observe=bus)``).
+
+    With ``--telemetry`` the bus snapshot is exported after the test as
+    ``BENCH_<testname>_telemetry.json`` alongside the benchmark sources;
+    without the flag the bus still collects (the test can assert on it)
+    but nothing is written.
+    """
+    bus = TelemetryBus()
+    yield bus
+    if request.config.getoption("--telemetry"):
+        name = request.node.name.replace("[", "_").replace("]", "")
+        out = Path(__file__).parent / f"BENCH_{name}_telemetry.json"
+        out.write_text(json.dumps(bus.snapshot(), indent=2, sort_keys=True)
+                       + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -98,6 +98,40 @@ def test_group_commit_beats_per_record(scaling, benchmark):
     benchmark(lambda: None)
 
 
+def test_telemetry_attribution_reconciles(paper_keyring, telemetry_bus,
+                                          benchmark):
+    """An observed run's snapshot must agree with the legacy accounting.
+
+    The same closed-loop group-commit workload, run with a
+    :class:`~repro.obs.TelemetryBus` attached: the exported device
+    attribution must reconcile exactly with ``cost_summary`` /
+    ``health_report``, every write must appear in the latency histogram,
+    and SCPU virtual seconds must dominate the host's — the §4.3 claim
+    (SCPU witnessing, not main-CPU work, bounds throughput) read
+    straight off the telemetry.  With ``--telemetry`` the snapshot
+    lands in ``BENCH_*_telemetry.json`` beside the perf numbers.
+    """
+    from repro.core.config import StoreConfig
+    from repro.obs import reconcile_sharded
+
+    config = SimulationConfig(workers=64, host_count=8, disk_count=16)
+    simstore = make_sharded_sim_store(
+        2, config=config, keyring=fresh_keyring_copy(paper_keyring),
+        store_config=StoreConfig(shard_count=2, observe=telemetry_bus))
+    run_sharded_closed_loop(
+        simstore, ClosedLoopArrivals(FixedSize(_RECORD_SIZE), _RECORDS),
+        config=config, batch_size=_BATCH)
+
+    snapshot = simstore.store.telemetry_snapshot()
+    assert reconcile_sharded(simstore.store, snapshot) == []
+    counters = snapshot["counters"]
+    writes = snapshot["histograms"]["op.write.seconds"]
+    assert writes["count"] == counters["store.writes"] > 0
+    assert (counters["device.scpu.seconds"]
+            > counters["device.host.seconds"])
+    benchmark(lambda: None)
+
+
 def test_merged_metrics_match_per_shard_samples(paper_keyring, benchmark):
     """MetricsCollector.merge reports the union of shard samples."""
     metrics = _run(fresh_keyring_copy(paper_keyring), 2, 1)

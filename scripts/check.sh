@@ -30,3 +30,7 @@ PYTHONPATH=src python -m pytest -x -q
 
 echo "==> chaos suite"
 PYTHONPATH=src python -m pytest -x -q -m chaos
+
+echo "==> obs (telemetry reconciliation + snapshot schema)"
+PYTHONPATH=src python -m repro.cli obs --shards 2 --records 48 \
+    --check scripts/obs_schema.json >/dev/null

@@ -456,6 +456,113 @@ def cmd_faults_demo(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    """Run a short sharded workload and export its telemetry (in-memory).
+
+    Drives a fault-injected group-commit ingest through the chaos loop
+    with a :class:`~repro.obs.TelemetryBus` attached, reads a few
+    records back, runs one maintenance slice, then **reconciles** the
+    snapshot against the legacy ``health_report``/``cost_summary``
+    numbers — exit 2 with ``TELEMETRY MISMATCH`` if the two accountings
+    disagree.  ``--check SCHEMA`` additionally validates the snapshot
+    against a committed JSON schema (counter names are an API; CI runs
+    this so renames fail loudly).  ``--format`` selects the export:
+    ``summary`` (human table), ``snapshot`` (canonical JSON), ``jsonl``
+    (event log), ``prom`` (Prometheus text), ``chrome`` (trace spans).
+    """
+    from repro import demo_keyring
+    from repro.core.config import StoreConfig
+    from repro.faults import FaultPlan
+    from repro.obs import (TelemetryBus, load_schema, reconcile_sharded,
+                           snapshot_json, to_chrome_trace, to_jsonl,
+                           to_prometheus, validate)
+    from repro.sim.driver import (SimulationConfig, make_sharded_sim_store,
+                                  run_sharded_chaos_loop)
+    from repro.sim.tracing import TraceRecorder
+    from repro.sim.workload import WorkRequest
+
+    if args.shards < 1 or args.records < 1:
+        print("obs: --shards and --records must be >= 1", file=sys.stderr)
+        return 2
+    if args.tamper_after > 0 and args.shards < 2:
+        print("obs: --tamper-after needs --shards >= 2 (one card dies)",
+              file=sys.stderr)
+        return 2
+
+    bus = TelemetryBus(trace=TraceRecorder())
+    plans = None
+    if args.fault_rate > 0 or args.tamper_after > 0:
+        plans = [FaultPlan(seed=args.seed + i,
+                           transient_rate=args.fault_rate)
+                 for i in range(args.shards)]
+        if args.tamper_after > 0:
+            plans[1].tamper(after_ops=args.tamper_after)
+    simstore = make_sharded_sim_store(
+        args.shards,
+        config=SimulationConfig(workers=16),
+        keyring=demo_keyring(),
+        store_config=StoreConfig(shard_count=args.shards,
+                                 group_commit_size=4, observe=bus),
+        fault_plans=plans)
+    requests = [WorkRequest(kind="write", arrival=0.0,
+                            size=args.record_size, retention=3600.0)
+                for _ in range(args.records)]
+    result = run_sharded_chaos_loop(
+        simstore, requests, write_kwargs={"strength": Strength.WEAK})
+
+    store = simstore.store
+    for receipt in result.receipts[:8]:
+        store.read(receipt.locator)
+    store.maintenance()
+    snapshot = store.telemetry_snapshot()
+
+    status = 0
+    problems = reconcile_sharded(store, snapshot)
+    if problems:
+        print("TELEMETRY MISMATCH", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        status = 2
+    if args.check:
+        schema_problems = validate(snapshot, load_schema(args.check))
+        if schema_problems:
+            print(f"SCHEMA VIOLATION ({args.check})", file=sys.stderr)
+            for problem in schema_problems:
+                print(f"  {problem}", file=sys.stderr)
+            status = 2
+
+    if args.format == "snapshot":
+        output = snapshot_json(bus)
+    elif args.format == "jsonl":
+        output = to_jsonl(bus)
+    elif args.format == "prom":
+        output = to_prometheus(bus)
+    elif args.format == "chrome":
+        output = to_chrome_trace(bus)
+    else:
+        counters = snapshot["counters"]
+        gauges = snapshot["gauges"]
+        rows = [[name, f"{counters[name]:g}"] for name in sorted(counters)]
+        rows += [[name, f"{gauges[name]:g} (gauge)"]
+                 for name in sorted(gauges)]
+        output = format_table(
+            ["metric", "value"], rows,
+            title=f"Telemetry — {args.shards} shards, {args.records} "
+                  f"records, {args.fault_rate:.0%} transient faults")
+        events = snapshot["events"]
+        output += (f"\n\nevents: {events['count']} "
+                   f"({events['dropped']} dropped)  "
+                   f"spans: {snapshot['spans']}")
+        output += ("\nreconciliation vs health_report/cost_summary: "
+                   + ("OK" if not problems else "MISMATCH"))
+    if args.out:
+        Path(args.out).write_text(output + "\n")
+        print(f"telemetry written to {args.out}", file=sys.stderr)
+    else:
+        print(output)
+    return status
+
+
 def cmd_report(args) -> int:
     from repro.core.report import generate_report
     root, store, fs, ca = _open(args.directory)
@@ -566,6 +673,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=40,
                    help="base RNG seed for the per-shard fault plans")
     p.set_defaults(func=cmd_faults_demo)
+
+    p = sub.add_parser("obs",
+                       help="run a short sharded workload, export + "
+                            "reconcile its telemetry (in-memory; exit 2 "
+                            "on mismatch or schema violation)")
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--records", type=int, default=48)
+    p.add_argument("--record-size", type=int, default=512)
+    p.add_argument("--fault-rate", type=float, default=0.05,
+                   help="per-op transient fault probability per shard")
+    p.add_argument("--tamper-after", type=int, default=0,
+                   help="SCPU ops before shard 1's card zeroizes "
+                        "(0 = no tamper)")
+    p.add_argument("--seed", type=int, default=71,
+                   help="base RNG seed for the per-shard fault plans")
+    p.add_argument("--format", default="summary",
+                   choices=["summary", "snapshot", "jsonl", "prom", "chrome"])
+    p.add_argument("--out", default=None,
+                   help="write the export here instead of stdout")
+    p.add_argument("--check", default=None, metavar="SCHEMA",
+                   help="validate the snapshot against this JSON schema")
+    p.set_defaults(func=cmd_obs)
 
     p = sub.add_parser("attest",
                        help="signed SCPU state snapshot; chain with --previous")

@@ -63,6 +63,14 @@ class StoreConfig:
     * ``journal`` — an :class:`~repro.storage.journal.IntentJournal`
       making submitted-but-unflushed records crash-durable (``None`` =
       no journal; the front-end replays it on construction).
+
+    Observability (see ``repro.obs``):
+
+    * ``observe`` — a :class:`~repro.obs.bus.TelemetryBus` every layer
+      of the store reports into (``None`` = telemetry off).  Unlike the
+      device fields, the bus intentionally survives :meth:`per_shard`:
+      all shards of a sharded store share one bus, which is what makes
+      the snapshot a store-wide aggregate.
     """
 
     scpu: Optional[Any] = None
@@ -80,6 +88,7 @@ class StoreConfig:
     shard_count: int = 1
     group_commit_size: int = 8
     journal: Optional[Any] = None
+    observe: Optional[Any] = None
 
     def replace(self, **changes: Any) -> "StoreConfig":
         """A copy with *changes* applied (frozen-dataclass update)."""

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
+
+from repro.obs.bus import NULL_BUS, TelemetryBus
 
 __all__ = ["PendingStrengthening", "StrengtheningQueue", "HashVerificationQueue"]
 
@@ -58,17 +60,33 @@ class StrengtheningQueue:
     lifetime" requirement with margin for scheduling jitter.
     """
 
-    def __init__(self, store, safety_factor: float = 0.5) -> None:
+    def __init__(self, store, safety_factor: float = 0.5,
+                 obs: Optional[TelemetryBus] = None) -> None:
         if not 0.0 < safety_factor <= 1.0:
             raise ValueError("safety factor must be in (0, 1]")
         self._store = store
         self.safety_factor = safety_factor
+        self.obs = obs if obs is not None else NULL_BUS
         self._heap: List[Tuple[float, int, PendingStrengthening]] = []
         self._counter = 0
         self.strengthened_count = 0
         self.lifetime_violations = 0
+        self.skipped_deleted = 0
+        # SNs already counted as lifetime violations.  A violation is a
+        # property of the *record* (its weak construct outlived its
+        # security lifetime unstrengthened), so an entry that fails to
+        # strengthen and is restored to the heap must not be counted
+        # again on retry.
+        self._violated: Set[int] = set()
+        if self.obs.enabled:
+            self.obs.declare_counter("strengthen.completed")
+            self.obs.declare_counter("strengthen.lifetime_violations")
+            self.obs.declare_counter("strengthen.skipped_deleted")
 
     def __len__(self) -> int:
+        """Raw heap size, *including* entries whose record has since been
+        deleted — the number of pops still needed to drain the queue
+        (what scheduling loops budget against)."""
         return len(self._heap)
 
     def enqueue(self, sn: int, issued_at: float, lifetime_seconds: float) -> None:
@@ -82,13 +100,28 @@ class StrengtheningQueue:
         self._counter += 1
         heapq.heappush(self._heap, (pending.deadline, self._counter, pending))
 
+    def _is_live(self, pending: PendingStrengthening) -> bool:
+        """Does this entry still protect anything?  Deleted records don't:
+        a deletion proof supersedes the data signatures."""
+        return self._store.vrdt.is_active(pending.sn)
+
+    def active_backlog(self) -> int:
+        """Entries whose record is still active (the real strengthening debt)."""
+        return sum(1 for _, _, p in self._heap if self._is_live(p))
+
     def next_deadline(self) -> Optional[float]:
-        """Earliest strengthening deadline, or None when the queue is empty."""
-        return self._heap[0][0] if self._heap else None
+        """Earliest deadline among *live* entries (None when none remain).
+
+        Entries whose record was deleted are not deadlines — there is
+        nothing left to strengthen — so they are skipped, not reported.
+        """
+        return min((deadline for deadline, _, p in self._heap
+                    if self._is_live(p)), default=None)
 
     def overdue_count(self, now: float) -> int:
-        """Entries whose *deadline* (not hard expiry) has passed."""
-        return sum(1 for deadline, _, _ in self._heap if deadline <= now)
+        """Live entries whose *deadline* (not hard expiry) has passed."""
+        return sum(1 for deadline, _, p in self._heap
+                   if deadline <= now and self._is_live(p))
 
     def strengthen_next(self, now: float) -> Optional[int]:
         """Strengthen the most urgent entry; returns its SN (None if idle).
@@ -112,24 +145,50 @@ class StrengtheningQueue:
             item = heapq.heappop(self._heap)
             pending = item[2]
             if not self._store.vrdt.is_active(pending.sn):
+                self._drop_deleted()
                 continue
-            if now > pending.hard_expiry:
+            if now > pending.hard_expiry and pending.sn not in self._violated:
+                # One violation per record, ever: a retry of the same
+                # entry (restored below on failure) is still the same
+                # lapsed construct, not a new lapse.
+                self._violated.add(pending.sn)
                 self.lifetime_violations += 1
+                self.obs.inc("strengthen.lifetime_violations")
             try:
                 self._store.strengthen_vrd(pending.sn)
             except BaseException:
                 heapq.heappush(self._heap, item)
                 raise
             self.strengthened_count += 1
+            self.obs.inc("strengthen.completed")
             return pending.sn
         return None
+
+    def _drop_deleted(self) -> None:
+        """Account for one popped entry whose record was deleted."""
+        self.skipped_deleted += 1
+        self.obs.inc("strengthen.skipped_deleted")
+
+    def _prune_deleted(self) -> None:
+        """Evict (and count) every entry whose record is gone."""
+        live = [item for item in self._heap if self._is_live(item[2])]
+        dropped = len(self._heap) - len(live)
+        if dropped:
+            self._heap = live
+            heapq.heapify(self._heap)
+            for _ in range(dropped):
+                self._drop_deleted()
 
     def report(self, now: float) -> dict:
         """The strengthening backlog, for health reports and escalation.
 
         After a tamper trip this is the authoritative list of what never
-        got its strong signature — reported, not lost.
+        got its strong signature — reported, not lost.  Entries whose
+        record was deleted in the meantime protect nothing (the deletion
+        proof supersedes the data signatures); they are pruned here and
+        surfaced via ``skipped_deleted`` rather than padding the backlog.
         """
+        self._prune_deleted()
         return {
             "backlog": len(self._heap),
             "overdue": self.overdue_count(now),
@@ -137,6 +196,7 @@ class StrengtheningQueue:
             "pending_sns": sorted(p.sn for _, _, p in self._heap),
             "strengthened": self.strengthened_count,
             "lifetime_violations": self.lifetime_violations,
+            "skipped_deleted": self.skipped_deleted,
         }
 
     def drain(self, now: float, max_items: Optional[int] = None) -> int:
@@ -160,11 +220,17 @@ class HashVerificationQueue:
     they are proof of main-CPU misbehaviour during the burst.
     """
 
-    def __init__(self, store) -> None:
+    def __init__(self, store, obs: Optional[TelemetryBus] = None) -> None:
         self._store = store
+        self.obs = obs if obs is not None else NULL_BUS
         self._pending: List[Tuple[float, int]] = []  # (written_at, sn) FIFO
         self.verified_count = 0
+        self.skipped_deleted = 0
         self.mismatches: List[int] = []
+        if self.obs.enabled:
+            self.obs.declare_counter("hashverify.verified")
+            self.obs.declare_counter("hashverify.mismatches")
+            self.obs.declare_counter("hashverify.skipped_deleted")
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -184,7 +250,11 @@ class HashVerificationQueue:
             entry = self._pending.pop(0)
             vrd = self._store.vrdt.get_active(entry[1])
             if vrd is None:
-                continue  # deleted meanwhile; nothing left to protect
+                # Deleted meanwhile; nothing left to protect — but the
+                # drop is counted, not silent.
+                self.skipped_deleted += 1
+                self.obs.inc("hashverify.skipped_deleted")
+                continue
             try:
                 ok = self._store.scpu_verify_data_hash(vrd)
             except BaseException:
@@ -193,8 +263,10 @@ class HashVerificationQueue:
                 self._pending.insert(0, entry)
                 raise
             self.verified_count += 1
+            self.obs.inc("hashverify.verified")
             if not ok:
                 self.mismatches.append(entry[1])
+                self.obs.inc("hashverify.mismatches")
             return ok
         return None
 

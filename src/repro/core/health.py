@@ -22,7 +22,9 @@ losing it costs availability decisions, never integrity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Optional
+
+from repro.obs.bus import NULL_BUS, TelemetryBus
 
 __all__ = ["BreakerState", "CircuitBreaker", "HealthSnapshot"]
 
@@ -62,18 +64,26 @@ class CircuitBreaker:
     """Health latch of one failure domain, driven by virtual time."""
 
     def __init__(self, failure_threshold: int = 3,
-                 cooldown_seconds: float = 30.0) -> None:
+                 cooldown_seconds: float = 30.0,
+                 obs: Optional[TelemetryBus] = None,
+                 label: str = "") -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         if cooldown_seconds < 0:
             raise ValueError("cooldown_seconds must be non-negative")
         self.failure_threshold = failure_threshold
         self.cooldown_seconds = cooldown_seconds
+        self.obs = obs if obs is not None else NULL_BUS
+        self.label = label
         self._consecutive = 0
         self._transient_total = 0
         self._successes = 0
         self._degraded = False
         self._open_until = float("-inf")
+        if self.obs.enabled:
+            self.obs.declare_counter("breaker.opened")
+            self.obs.declare_counter("breaker.closed")
+            self.obs.declare_counter("breaker.degraded")
 
     # -- state ---------------------------------------------------------------
 
@@ -101,9 +111,22 @@ class CircuitBreaker:
 
     # -- transitions ----------------------------------------------------------
 
-    def record_success(self) -> None:
+    def record_success(self, now: Optional[float] = None) -> None:
+        """A commit landed; re-closes a tripped (open/half-open) breaker.
+
+        *now* is optional back-compat sugar: when given, the re-close is
+        also emitted as a ``breaker.transition`` telemetry event at that
+        virtual time (the counter increments either way).
+        """
         self._successes += 1
+        was_tripped = (self._consecutive >= self.failure_threshold
+                       and not self._degraded)
+        previous = (self.state(now) if now is not None
+                    else BreakerState.HALF_OPEN)
         self._consecutive = 0
+        if was_tripped:
+            self.obs.inc("breaker.closed")
+            self._transition_event(now, previous, BreakerState.CLOSED)
 
     def record_transient_failure(self, now: float) -> None:
         if self._degraded:
@@ -112,10 +135,35 @@ class CircuitBreaker:
         self._consecutive += 1
         if self._consecutive >= self.failure_threshold:
             self._open_until = now + self.cooldown_seconds
+            if self._consecutive == self.failure_threshold:
+                # Crossing the threshold is the closed->open transition;
+                # further failures while open just extend the cooldown.
+                self.obs.inc("breaker.opened")
+                self._transition_event(now, BreakerState.CLOSED,
+                                       BreakerState.OPEN)
 
-    def record_permanent_failure(self) -> None:
-        """Tamper trip: the domain is gone for good."""
+    def record_permanent_failure(self, now: Optional[float] = None) -> None:
+        """Tamper trip: the domain is gone for good.
+
+        Idempotent — the paper's zeroization happens once, and several
+        code paths may observe it (a failed commit, a failed
+        certification), so only the first report counts as the
+        transition.
+        """
+        if self._degraded:
+            return
+        previous = (BreakerState.OPEN
+                    if self._consecutive >= self.failure_threshold
+                    else BreakerState.CLOSED)
         self._degraded = True
+        self.obs.inc("breaker.degraded")
+        self._transition_event(now, previous, BreakerState.DEGRADED)
+
+    def _transition_event(self, now: Optional[float], from_state: str,
+                          to_state: str) -> None:
+        if now is not None:
+            self.obs.event("breaker.transition", now, label=self.label,
+                           from_state=from_state, to_state=to_state)
 
     # -- reporting -----------------------------------------------------------
 

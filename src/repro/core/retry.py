@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from repro.core.errors import ScpuUnavailableError, TransientFaultError
+from repro.obs.bus import NULL_BUS, TelemetryBus
 
 __all__ = ["RetryPolicy", "RetryStats", "RetryExecutor", "RetryingScpu"]
 
@@ -85,13 +86,23 @@ class RetryExecutor:
     """Runs callables under a :class:`RetryPolicy` against one clock."""
 
     def __init__(self, policy: Optional[RetryPolicy] = None,
-                 clock: Optional[object] = None) -> None:
+                 clock: Optional[object] = None,
+                 obs: Optional[TelemetryBus] = None) -> None:
         self.policy = policy if policy is not None else RetryPolicy()
         self.clock = clock
         self.stats = RetryStats()
+        # Telemetry mirror of ``stats``: same increments, same moments,
+        # so the bus totals reconcile with the merged RetryStats ledger.
+        self.obs = obs if obs is not None else NULL_BUS
+        if self.obs.enabled:
+            self.obs.declare_counter("retry.calls")
+            self.obs.declare_counter("retry.retries")
+            self.obs.declare_counter("retry.exhausted")
+            self.obs.declare_counter("retry.backoff_seconds")
 
     def _sleep(self, seconds: float) -> None:
         self.stats.backoff_seconds += seconds
+        self.obs.inc("retry.backoff_seconds", seconds)
         advance = getattr(self.clock, "advance", None)
         if advance is not None:
             advance(seconds)
@@ -105,6 +116,7 @@ class RetryExecutor:
         occurrence untouched.
         """
         self.stats.calls += 1
+        self.obs.inc("retry.calls")
         policy = self.policy
         spent = 0.0
         retry_index = 0
@@ -117,11 +129,13 @@ class RetryExecutor:
                 if (attempt >= policy.max_attempts
                         or spent + delay > policy.op_timeout):
                     self.stats.exhausted += 1
+                    self.obs.inc("retry.exhausted")
                     raise ScpuUnavailableError(
                         f"{op} still failing after {attempt} attempt(s) "
                         f"({spent:.3f}s backoff spent)") from exc
                 self.stats.retries += 1
                 self.stats.by_op[op] = self.stats.by_op.get(op, 0) + 1
+                self.obs.inc("retry.retries")
                 self._sleep(delay)
                 spent += delay
                 retry_index += 1

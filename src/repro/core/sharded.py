@@ -74,6 +74,7 @@ from repro.core.worm import StrongWormStore, WriteReceipt
 from repro.crypto.keys import Certificate, CertificateAuthority
 from repro.hardware.pool import ScpuPool
 from repro.hardware.scpu import ScpuKeyring, SecureCoprocessor
+from repro.obs.bus import NULL_BUS
 from repro.sim.manual_clock import ManualClock
 from repro.storage.journal import IntentJournal
 from repro.storage.vrd import VirtualRecordDescriptor
@@ -193,6 +194,8 @@ class ShardedWormStore:
         self._stores: List[StrongWormStore] = list(stores)
         self.config = config if config is not None else StoreConfig(
             shard_count=len(self._stores))
+        self.obs = (self.config.observe if self.config.observe is not None
+                    else NULL_BUS)
         self._next_shard = 0
         self._maintenance_cursor = 0
         # pending[shard_id] holds per-parameter-set groups, oldest first.
@@ -202,9 +205,18 @@ class ShardedWormStore:
         self._breakers: List[CircuitBreaker] = [
             CircuitBreaker(
                 failure_threshold=self.config.breaker_failure_threshold,
-                cooldown_seconds=self.config.breaker_cooldown_seconds)
-            for _ in self._stores]
+                cooldown_seconds=self.config.breaker_cooldown_seconds,
+                obs=self.obs, label=f"shard{shard_id}")
+            for shard_id in range(len(self._stores))]
         self._failover_count = 0
+        if self.obs.enabled:
+            for name in ("sharded.group_commits", "sharded.failovers",
+                         "sharded.flushes", "sharded.groups_restored"):
+                self.obs.declare_counter(name)
+            self.obs.declare_histogram("sharded.batch_size",
+                                       buckets=(1, 2, 4, 8, 16, 32, 64))
+            self.obs.register_gauge("sharded.pending_records",
+                                    lambda: float(self.pending_count))
         self._journal = journal if journal is not None else self.config.journal
         if self._journal is not None:
             # Crash recovery: re-queue every journalled-but-unflushed
@@ -358,15 +370,18 @@ class ShardedWormStore:
                 try:
                     result = commit(current)
                 except TamperedError as exc:  # wormlint: disable=W004 - escalates via breaker; re-raised when all shards fail
-                    breaker.record_permanent_failure()
+                    breaker.record_permanent_failure(self.now)
                     last_exc = exc
                 except TransientFaultError as exc:
                     breaker.record_transient_failure(self.now)
                     last_exc = exc
                 else:
-                    breaker.record_success()
+                    breaker.record_success(self.now)
                     if current != shard_id:
                         self._failover_count += 1
+                        self.obs.inc("sharded.failovers")
+                        self.obs.event("failover", self.now,
+                                       from_shard=shard_id, to_shard=current)
                     return result
             tried.append(current)
             nxt = self._next_candidate(tried)
@@ -417,6 +432,7 @@ class ShardedWormStore:
             self._pending[shard_id][key] = group
         else:
             existing.restore_front(group)
+        self.obs.inc("sharded.groups_restored")
 
     def submit(self, payload: bytes,
                **write_kwargs) -> Optional[List[ShardedWriteReceipt]]:
@@ -477,6 +493,7 @@ class ShardedWormStore:
         """
         receipts: List[ShardedWriteReceipt] = []
         first_error: Optional[WormError] = None
+        self.obs.inc("sharded.flushes")
         for shard_id in range(len(self._stores)):
             groups = self._pending[shard_id]
             for key in list(groups.keys()):
@@ -540,6 +557,10 @@ class ShardedWormStore:
         """One group commit: a single multi-record write on one shard."""
         receipt = self._stores[shard_id].write(group.payloads, **group.kwargs)
         size = len(group.payloads)
+        if self.obs.enabled:
+            self.obs.inc("sharded.group_commits")
+            self.obs.observe("sharded.batch_size", size,
+                             buckets=(1, 2, 4, 8, 16, 32, 64))
         share = {device: cost / size for device, cost in receipt.costs.items()}
         return [self._wrap(shard_id, receipt, record_index=index,
                            batch_size=size, costs=dict(share))
@@ -722,7 +743,7 @@ class ShardedWormStore:
             except TamperedError:  # wormlint: disable=W004 - escalates via breaker; raises below when no shard can sign
                 # The card died outside any commit path (e.g. during
                 # maintenance), so the breaker hasn't heard yet.
-                self._breakers[shard_id].record_permanent_failure()
+                self._breakers[shard_id].record_permanent_failure(self.now)
                 continue
             for cert in shard_certs:
                 key = (cert.fingerprint, cert.role)
@@ -746,6 +767,10 @@ class ShardedWormStore:
             freshness_window=freshness_window,
             accept_unverifiable=accept_unverifiable,
         )
+
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """The shared bus's snapshot (empty structure when unobserved)."""
+        return self.obs.snapshot()
 
     # ------------------------------------------------------- cost attribution
 

@@ -52,6 +52,7 @@ from repro.crypto.envelope import Purpose, SignedEnvelope
 from repro.crypto.keys import Certificate, CertificateAuthority, security_lifetime
 from repro.hardware.device import ScpuLike
 from repro.hardware.disk import DiskDevice
+from repro.obs.bus import NULL_BUS
 from repro.hardware.host import HostCPU
 from repro.hardware.scpu import SecureCoprocessor, Strength
 from repro.storage.block_store import BlockStore, MemoryBlockStore
@@ -118,6 +119,8 @@ class StrongWormStore:
         self.policies = (config.policies if config.policies is not None
                          else PolicyRegistry())
         self.regulator_public_key = config.regulator_public_key
+        self.obs = (config.observe if config.observe is not None
+                    else NULL_BUS)
 
         # Transient SCPU faults (a dropped bus request, a firmware
         # hiccup) are retried with capped backoff; tamper trips are
@@ -127,7 +130,7 @@ class StrongWormStore:
         self.retry = RetryExecutor(
             config.retry_policy if config.retry_policy is not None
             else RetryPolicy(),
-            clock=self.scpu.clock)
+            clock=self.scpu.clock, obs=self.obs)
         self._scpu_rt = RetryingScpu(self.scpu, self.retry)
 
         self.vrdt = VrdTable()
@@ -135,8 +138,10 @@ class StrongWormStore:
                                      refresh_interval=config.window_refresh_interval)
         self.retention = RetentionMonitor(self, vexp_capacity=config.vexp_capacity)
         self.strengthening = StrengtheningQueue(
-            self, safety_factor=config.strengthen_safety_factor)
-        self.hash_verification = HashVerificationQueue(self)
+            self, safety_factor=config.strengthen_safety_factor, obs=self.obs)
+        self.hash_verification = HashVerificationQueue(self, obs=self.obs)
+        if self.obs.enabled:
+            self._wire_telemetry()
 
         self._burst_certificates: List[Certificate] = []
         self._rm_process = None  # simulation-mode retention process
@@ -145,6 +150,53 @@ class StrongWormStore:
         # "never allocated" to clients.
         self.windows.refresh_current(force=True)
         self.windows.refresh_base(force=True)
+
+    # ------------------------------------------------------------- telemetry
+
+    def _wire_telemetry(self) -> None:
+        """Connect this store's components to the shared telemetry bus.
+
+        Device meters mirror every charge (seeded with anything charged
+        before attachment, so bus seconds always equal meter totals);
+        backlog depths are pull-gauges read at snapshot time; the store's
+        own counters and latency histograms are declared up front because
+        their names are part of the exported-snapshot API.
+        """
+        self.scpu.meter.attach_telemetry(self.obs, "scpu")
+        self.host.meter.attach_telemetry(self.obs, "host")
+        self.disk.meter.attach_telemetry(self.obs, "disk")
+        self.obs.register_gauge("strengthen.backlog",
+                                self.strengthening.active_backlog)
+        self.obs.register_gauge(
+            "strengthen.overdue",
+            lambda: float(self.strengthening.overdue_count(self.now)))
+        self.obs.register_gauge(
+            "hashverify.backlog",
+            lambda: float(len(self.hash_verification)))
+        for name in ("store.writes", "store.writes.strong",
+                     "store.writes.weak", "store.writes.hmac",
+                     "store.reads", "store.expired", "store.shreds",
+                     "maintenance.runs"):
+            self.obs.declare_counter(name)
+        self.obs.declare_histogram("op.write.seconds")
+        self.obs.declare_histogram("op.read.seconds")
+
+    def _emit_op_spans(self, label: str, costs: Dict[str, float]) -> None:
+        """One span per device that did work for this operation.
+
+        Spans start at the operation's (virtual) completion time and run
+        for the device's share — a per-device attribution lane in the
+        Chrome trace, not a queueing-accurate schedule (the simulator's
+        own TraceRecorder provides that).
+        """
+        now = self.now
+        for device, cost in costs.items():
+            if cost > 0.0:
+                self.obs.span(label, device, now, now + cost, device=device)
+
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """The store's bus snapshot (empty structure when unobserved)."""
+        return self.obs.snapshot()
 
     # ------------------------------------------------------------------ utils
 
@@ -271,8 +323,13 @@ class StrongWormStore:
             self.hash_verification.enqueue(sn, self.now)
         self.windows.refresh_current()
 
-        return WriteReceipt(sn=sn, vrd=vrd, strength=strength,
-                            costs=self._cost_delta(marks))
+        costs = self._cost_delta(marks)
+        if self.obs.enabled:
+            self.obs.inc("store.writes")
+            self.obs.inc(f"store.writes.{strength}")
+            self.obs.observe("op.write.seconds", sum(costs.values()))
+            self._emit_op_spans("write", costs)
+        return WriteReceipt(sn=sn, vrd=vrd, strength=strength, costs=costs)
 
     # -------------------------------------------------------------------- read
 
@@ -283,6 +340,18 @@ class StrongWormStore:
         artifacts.  If those have gone stale (an idle store without its
         maintenance loop), clients will reject them — by design.
         """
+        if not self.obs.enabled:
+            return self._serve_read(sn)
+        marks = self._cost_checkpoints()
+        result = self._serve_read(sn)
+        costs = self._cost_delta(marks)
+        self.obs.inc("store.reads")
+        self.obs.observe("op.read.seconds", sum(costs.values()))
+        self._emit_op_spans("read", costs)
+        return result
+
+    def _serve_read(self, sn: int) -> ReadResult:
+        """The read path proper (see :meth:`read` for the contract)."""
         if sn < 1:
             raise UnknownSerialNumberError(f"serial numbers start at 1, got {sn}")
         self.host.table_touch()
@@ -361,6 +430,7 @@ class StrongWormStore:
             for other_sn in self.vrdt.active_sns if other_sn != sn
             for rd in self.vrdt.get_active(other_sn).rdl
         }
+        shredded = 0
         for rd in vrd.rdl:
             if rd.key in still_referenced or rd.key not in self.blocks:
                 continue
@@ -368,11 +438,17 @@ class StrongWormStore:
                            vrd.attr.shredding_algorithm)
             for _ in range(result.passes):
                 self.disk.write(rd.length)
+            shredded += 1
 
         proof = self._scpu_rt.make_deletion_proof(sn)
         self.vrdt.mark_expired(sn, proof)
         self.host.table_touch()
         self.disk.write(256, sequential=True)
+        if self.obs.enabled:
+            self.obs.inc("store.expired")
+            if shredded:
+                self.obs.inc("store.shreds", shredded)
+            self.obs.event("record.expired", now, sn=sn, shredded=shredded)
         return "deleted"
 
     # ------------------------------------------------------------- litigation
@@ -496,6 +572,9 @@ class StrongWormStore:
                 summary["base_advanced"] = 1
         if self.retention.vexp.needs_rescan:
             summary["night_scanned"] = self.retention.night_scan(self.now)
+        if self.obs.enabled:
+            self.obs.inc("maintenance.runs")
+            self.obs.event("maintenance", self.now, **summary)
         return summary
 
     # ------------------------------------------------------------- migration

@@ -57,6 +57,27 @@ class OpMeter:
     def __init__(self) -> None:
         self._records: List[OpRecord] = []
         self._total = 0.0
+        self._bus = None
+        self._bus_device: Optional[str] = None
+
+    def attach_telemetry(self, bus, device_name: str) -> None:
+        """Mirror every future charge into *bus* as ``device.<name>.*``.
+
+        *bus* is duck-typed (a :class:`~repro.obs.TelemetryBus`; this
+        module stays obs-import-free).  Charges accumulated *before*
+        attaching are seeded into the counters, so
+        ``bus.counter(f"device.{name}.seconds")`` equals
+        :attr:`total_seconds` exactly from the moment of attachment —
+        the invariant the obs reconciliation checks against
+        ``cost_summary``.
+        """
+        self._bus = bus
+        self._bus_device = device_name
+        bus.declare_counter(f"device.{device_name}.ops")
+        bus.declare_counter(f"device.{device_name}.seconds")
+        if self._records:
+            bus.inc(f"device.{device_name}.ops", len(self._records))
+            bus.inc(f"device.{device_name}.seconds", self._total)
 
     def charge(self, name: str, seconds: float) -> float:
         """Record an operation; returns *seconds* for call-site chaining."""
@@ -64,6 +85,8 @@ class OpMeter:
             raise ValueError(f"negative cost for {name}: {seconds}")
         self._records.append(OpRecord(name, seconds))
         self._total += seconds
+        if self._bus is not None:
+            self._bus.device_charge(self._bus_device, name, seconds)
         return seconds
 
     @property

@@ -1,0 +1,39 @@
+"""repro.obs — the store-wide observability subsystem (PR 5).
+
+One :class:`~repro.obs.bus.TelemetryBus` per store (shared across the
+shards of a sharded store via ``StoreConfig(observe=bus)``) collects
+counters, gauges, histograms, events, and spans from every layer —
+:class:`~repro.core.worm.StrongWormStore`,
+:class:`~repro.core.sharded.ShardedWormStore`, the retry loop, the
+circuit breakers, the deferred queues, and the device meters.  The
+:mod:`~repro.obs.export` module renders the bus in three formats, and
+:mod:`~repro.obs.reconcile` squares the snapshot against the legacy
+``health_report``/``cost_summary`` numbers so the telemetry can never
+silently drift from the accounting of record.
+"""
+
+from repro.obs.bus import (
+    DEFAULT_BUCKETS,
+    NULL_BUS,
+    Histogram,
+    TelemetryBus,
+    TelemetryEvent,
+)
+from repro.obs.export import snapshot_json, to_chrome_trace, to_jsonl, to_prometheus
+from repro.obs.reconcile import reconcile_sharded
+from repro.obs.schema import load_schema, validate
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "NULL_BUS",
+    "Histogram",
+    "TelemetryBus",
+    "TelemetryEvent",
+    "snapshot_json",
+    "to_chrome_trace",
+    "to_jsonl",
+    "to_prometheus",
+    "reconcile_sharded",
+    "load_schema",
+    "validate",
+]

@@ -1,0 +1,107 @@
+"""Cross-checking a telemetry snapshot against the legacy reports.
+
+The bus is *secondary* bookkeeping: the numbers of record stay where
+they always were — ``ShardedWormStore.health_report()`` /
+``cost_summary()``, the retry executors' :class:`RetryStats`, the
+strengthening queues' ``report()``.  A telemetry layer that drifts from
+those would be worse than none (it would faithfully export wrong
+attribution), so reconciliation is part of the ``obs`` CLI and of the
+chaos suite: every run squares the snapshot with the legacy reports and
+fails loud on mismatch.
+
+:func:`reconcile_sharded` returns a list of human-readable mismatches —
+empty means the two accountings agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["reconcile_sharded"]
+
+#: Relative tolerance for float-accumulated seconds (two accumulation
+#: orders may differ by rounding; anything beyond this is a real drift).
+_REL_TOL = 1e-6
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _REL_TOL * max(1.0, abs(a), abs(b))
+
+
+def reconcile_sharded(store, snapshot: Dict[str, object]) -> List[str]:
+    """Square *snapshot* with *store*'s legacy reports; list mismatches.
+
+    Checks the acceptance surface of PR 5: device virtual seconds vs
+    ``cost_summary``, retry attempts/backoff vs the merged
+    ``RetryStats``, breaker degradations and failovers vs
+    ``health_report``, and strengthening backlog vs the queues' own
+    ``report()``.
+    """
+    problems: List[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    health = store.health_report()
+    now = store.now
+
+    # Device attribution: the meters are the ledger cost_summary reads;
+    # the bus hears every charge through OpMeter.attach_telemetry.
+    costs = store.cost_summary()
+    for device in ("scpu", "host", "disk"):
+        bus_seconds = counters.get(f"device.{device}.seconds", 0.0)
+        if not _close(bus_seconds, costs[device]):
+            problems.append(
+                f"device.{device}.seconds: bus={bus_seconds!r} "
+                f"cost_summary={costs[device]!r}")
+
+    # Retry-loop totals: each shard's RetryExecutor mirrors its stats
+    # into the shared bus, so the sums must match the merged ledger.
+    retry_total = health["retry_total"]
+    for bus_name, legacy_key in (("retry.calls", "calls"),
+                                 ("retry.retries", "retries"),
+                                 ("retry.exhausted", "exhausted")):
+        bus_value = counters.get(bus_name, 0.0)
+        if bus_value != retry_total[legacy_key]:
+            problems.append(
+                f"{bus_name}: bus={bus_value!r} "
+                f"health_report={retry_total[legacy_key]!r}")
+    bus_backoff = counters.get("retry.backoff_seconds", 0.0)
+    if not _close(bus_backoff, retry_total["backoff_seconds"]):
+        problems.append(
+            f"retry.backoff_seconds: bus={bus_backoff!r} "
+            f"health_report={retry_total['backoff_seconds']!r}")
+
+    # Failure domains: failovers and terminal breaker trips.
+    bus_failovers = counters.get("sharded.failovers", 0.0)
+    if bus_failovers != health["failovers"]:
+        problems.append(
+            f"sharded.failovers: bus={bus_failovers!r} "
+            f"health_report={health['failovers']!r}")
+    bus_degraded = counters.get("breaker.degraded", 0.0)
+    if bus_degraded != len(health["degraded_shards"]):
+        problems.append(
+            f"breaker.degraded: bus={bus_degraded!r} "
+            f"degraded_shards={health['degraded_shards']!r}")
+
+    # Strengthening debt: the backlog gauge vs the queues' own reports.
+    reports = [shard.strengthening.report(now) for shard in store.shards]
+    legacy_backlog = sum(r["backlog"] for r in reports)
+    bus_backlog = gauges.get("strengthen.backlog")
+    if bus_backlog is not None and bus_backlog != legacy_backlog:
+        problems.append(
+            f"strengthen.backlog: bus={bus_backlog!r} "
+            f"queue reports={legacy_backlog!r}")
+    legacy_violations = sum(r["lifetime_violations"] for r in reports)
+    bus_violations = counters.get("strengthen.lifetime_violations", 0.0)
+    if bus_violations != legacy_violations:
+        problems.append(
+            f"strengthen.lifetime_violations: bus={bus_violations!r} "
+            f"queue reports={legacy_violations!r}")
+
+    # Group-commit front-end: pending depth.
+    bus_pending = gauges.get("sharded.pending_records")
+    if bus_pending is not None and bus_pending != health["pending_records"]:
+        problems.append(
+            f"sharded.pending_records: bus={bus_pending!r} "
+            f"health_report={health['pending_records']!r}")
+
+    return problems

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.deferred import StrengtheningQueue
+from repro.core.errors import ScpuUnavailableError
 from repro.hardware.scpu import Strength
 
 
@@ -98,6 +99,98 @@ class TestStrengtheningQueue:
         sn = store.strengthening.strengthen_next(store.now)
         upgraded = store.vrdt.get_active(sn)
         assert upgraded.metasig.scheme == "rsa"
+
+
+class TestAccountingRegressions:
+    """PR 5 fixes: violation double-count and deleted-entry reporting."""
+
+    def test_failed_then_retried_strengthen_counts_one_violation(
+            self, store, monkeypatch):
+        """Regression: a strengthen attempt past hard expiry that fails
+        (entry restored for retry) must count the lapse exactly once —
+        it is one record whose construct lapsed, not one lapse per
+        attempt."""
+        store.write([b"late"], strength=Strength.WEAK)
+        lifetime = 60 * 60.0  # 512-bit security lifetime
+        store.scpu.clock.advance(lifetime + 100.0)
+
+        real = store.strengthen_vrd
+        attempts = []
+
+        def flaky(sn):
+            attempts.append(sn)
+            if len(attempts) == 1:
+                raise ScpuUnavailableError("card dropped the request")
+            return real(sn)
+
+        monkeypatch.setattr(store, "strengthen_vrd", flaky)
+        with pytest.raises(ScpuUnavailableError):
+            store.strengthening.strengthen_next(store.now)
+        # The entry was restored for retry; the lapse already counted.
+        assert len(store.strengthening) == 1
+        assert store.strengthening.lifetime_violations == 1
+        # The retry completes without counting the same lapse again.
+        assert store.strengthening.strengthen_next(store.now) is not None
+        assert store.strengthening.lifetime_violations == 1
+        assert (store.strengthening.report(store.now)["lifetime_violations"]
+                == 1)
+
+    def test_deleted_entries_vanish_from_report(self, store):
+        """Regression: report() used to include silently-droppable
+        deleted entries in backlog/pending_sns while strengthen_next
+        skipped them without a trace."""
+        store.write([b"doomed"], strength=Strength.WEAK,
+                    retention_seconds=5.0)
+        keeper = store.write([b"keeper"], strength=Strength.WEAK,
+                             retention_seconds=1e6)
+        store.scpu.clock.advance(10.0)
+        store.retention.tick(store.now)
+
+        report = store.strengthening.report(store.now)
+        assert report["pending_sns"] == [keeper.sn]
+        assert report["backlog"] == 1
+        assert report["skipped_deleted"] == 1
+        assert store.strengthening.skipped_deleted == 1
+
+    def test_next_deadline_ignores_deleted_entries(self, store):
+        store.write([b"doomed"], strength=Strength.WEAK,
+                    retention_seconds=5.0)
+        store.scpu.clock.advance(10.0)
+        store.write([b"keeper"], strength=Strength.WEAK,
+                    retention_seconds=1e6)
+        store.retention.tick(store.now)
+        # The deleted record has the earlier deadline but protects
+        # nothing; the keeper's (issue + lifetime/2) is what's next.
+        assert (store.strengthening.next_deadline()
+                == pytest.approx(10.0 + 60 * 60.0 * 0.5))
+
+    def test_overdue_count_ignores_deleted_entries(self, store):
+        store.write([b"doomed"], strength=Strength.WEAK,
+                    retention_seconds=5.0)
+        store.write([b"keeper"], strength=Strength.WEAK,
+                    retention_seconds=1e9)
+        store.scpu.clock.advance(31 * 60.0)  # past both deadlines
+        store.retention.tick(store.now)
+        assert store.strengthening.overdue_count(store.now) == 1
+
+    def test_len_is_raw_heap_active_backlog_is_live(self, store):
+        store.write([b"doomed"], strength=Strength.WEAK,
+                    retention_seconds=5.0)
+        store.write([b"keeper"], strength=Strength.WEAK,
+                    retention_seconds=1e6)
+        store.scpu.clock.advance(10.0)
+        store.retention.tick(store.now)
+        # Drain budgets count pops still needed; debt counts live records.
+        assert len(store.strengthening) == 2
+        assert store.strengthening.active_backlog() == 1
+
+    def test_hash_verify_skip_is_counted(self, store):
+        store.write([b"gone soon"], defer_data_hash=True,
+                    retention_seconds=5.0)
+        store.scpu.clock.advance(10.0)
+        store.retention.tick(store.now)
+        assert store.hash_verification.verify_next() is None
+        assert store.hash_verification.skipped_deleted == 1
 
 
 class TestHashVerificationQueue:
