@@ -1,4 +1,4 @@
-.PHONY: check test lint wormlint bench chaos obs
+.PHONY: check test lint wormlint bench chaos obs service
 
 # wormlint + ruff (if installed) + tier-1 tests. The pre-merge gate.
 check:
@@ -24,6 +24,14 @@ lint:
 obs:
 	PYTHONPATH=src python -m repro.cli obs --shards 2 --records 48 \
 	    --check scripts/obs_schema.json
+
+# Service contract gates (RC-1..RC-3 + lifecycle) and the multi-tenant
+# overload bench: Zipf-skewed open-loop traffic with a burst above the
+# admission limit; fails unless every admitted-or-deferred write lands
+# durable and every rejection is a well-formed coded problem.
+service:
+	PYTHONPATH=src python -m pytest -x -q tests/service
+	PYTHONPATH=src python -m repro.cli tenant-bench
 
 # Full virtual-time evaluation suite (slow: paper-sized 1024-bit keys).
 bench:

@@ -34,3 +34,7 @@ PYTHONPATH=src python -m pytest -x -q -m chaos
 echo "==> obs (telemetry reconciliation + snapshot schema)"
 PYTHONPATH=src python -m repro.cli obs --shards 2 --records 48 \
     --check scripts/obs_schema.json >/dev/null
+
+echo "==> contract gate (service RC suites + multi-tenant overload bench)"
+PYTHONPATH=src python -m pytest -x -q tests/service
+PYTHONPATH=src python -m repro.cli tenant-bench >/dev/null

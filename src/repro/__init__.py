@@ -68,11 +68,19 @@ from repro.core.errors import (
     VerificationError,
     WormError,
 )
-from repro.core.health import CircuitBreaker
 from repro.core.retry import RetryPolicy
 from repro.storage.journal import FileIntentJournal, MemoryIntentJournal
 from repro.crypto import CertificateAuthority, SigningKey
 from repro.hardware import ScpuKeyring, SecureCoprocessor, Strength
+from repro.service import (
+    OPERATIONS,
+    PROTOCOL_VERSION,
+    Problem,
+    ServiceRequest,
+    ServiceResponse,
+    TenantConfig,
+    WormService,
+)
 
 __version__ = "1.0.0"
 
@@ -114,7 +122,13 @@ __all__ = [
     "UnknownSerialNumberError",
     "VerificationError",
     "WormError",
-    "CircuitBreaker",
+    "WormService",
+    "TenantConfig",
+    "ServiceRequest",
+    "ServiceResponse",
+    "Problem",
+    "PROTOCOL_VERSION",
+    "OPERATIONS",
     "RetryPolicy",
     "FileIntentJournal",
     "MemoryIntentJournal",
@@ -143,3 +157,26 @@ def demo_keyring(strong_bits: int = 512, weak_bits: int = 512) -> ScpuKeyring:
         burst_key=SigningKey.generate(weak_bits, role="burst"),
         hmac=HmacScheme(),
     )
+
+
+#: Internals that historically leaked into the top-level namespace.
+#: They still resolve (with a DeprecationWarning) but are not part of
+#: the public API in ``__all__``; import them from their home module.
+_DEPRECATED_INTERNALS = {
+    "CircuitBreaker": "repro.core.health",
+}
+
+
+def __getattr__(name: str):
+    home = _DEPRECATED_INTERNALS.get(name)
+    if home is not None:
+        import importlib
+        import warnings
+
+        warnings.warn(
+            f"repro.{name} is an internal implementation detail; "
+            f"import it from {home} instead",
+            DeprecationWarning, stacklevel=2)
+        return getattr(importlib.import_module(home), name)
+    raise AttributeError(  # wormlint: disable=W005 - the module __getattr__ protocol requires AttributeError
+        f"module 'repro' has no attribute {name!r}")

@@ -514,10 +514,26 @@ def cmd_obs(args) -> int:
     for receipt in result.receipts[:8]:
         store.read(receipt.locator)
     store.maintenance()
+
+    # Exercise the service front-end so its counters (including the
+    # canonical "default" tenant's) are part of the committed snapshot
+    # schema — a rename in repro.service must fail `make obs`.  Only
+    # batch writes, so every store write stays a group commit and the
+    # writes==group_commits invariant of this loop survives.
+    from repro.service import ServiceRequest, TenantConfig, WormService
+    service = WormService(store, tenants=[
+        TenantConfig("default", rate=0.1, burst=8, max_deferred=64)])
+    for batch in range(3):
+        service.handle(ServiceRequest(
+            operation="write_batch", tenant="default",
+            params={"payloads": [b"obs-%d-%d" % (batch, i)
+                                 for i in range(4)],
+                    "retention_seconds": 3600.0}))
+    service.flush()
     snapshot = store.telemetry_snapshot()
 
     status = 0
-    problems = reconcile_sharded(store, snapshot)
+    problems = reconcile_sharded(store, snapshot) + service.reconcile()
     if problems:
         print("TELEMETRY MISMATCH", file=sys.stderr)
         for problem in problems:
@@ -561,6 +577,245 @@ def cmd_obs(args) -> int:
     else:
         print(output)
     return status
+
+
+def cmd_tenant_bench(args) -> int:
+    """Open-loop multi-tenant service benchmark in virtual time.
+
+    Drives a diurnal, Zipf-skewed, Poisson workload (simulating
+    ``--users`` end users per tenant) through the service front-end,
+    with the end-of-day burst deliberately above the per-tenant
+    admission rate so overload sheds into the deferred group-commit
+    machinery.  Afterwards every admitted-or-deferred write is redeemed
+    and read back **through the service**, rejections are checked for
+    well-formed problem payloads and ``RateLimit-*`` headers, and the
+    per-tenant telemetry counters are reconciled against the service's
+    receipt ledger.  Exit 0 only when not a single admitted write was
+    lost and every accounting agrees; 2 otherwise.
+    """
+    from repro import demo_keyring
+    from repro.core.config import StoreConfig
+    from repro.core.sharded import ShardedWormStore
+    from repro.obs import TelemetryBus
+    from repro.service import ServiceRequest, TenantConfig, WormService
+    from repro.sim.workload import FixedSize, MultiTenantArrivals
+
+    if args.shards < 1 or args.tenants < 1:
+        print("tenant-bench: --shards and --tenants must be >= 1",
+              file=sys.stderr)
+        return 2
+
+    bus = TelemetryBus()
+    store = ShardedWormStore.build(
+        shard_count=args.shards, keyring=demo_keyring(),
+        config=StoreConfig(shard_count=args.shards,
+                           group_commit_size=args.group_commit,
+                           observe=bus))
+    names = [f"tenant{i}" for i in range(args.tenants)]
+    service = WormService(store, tenants=[
+        TenantConfig(name, rate=args.rate, burst=args.burst_tokens,
+                     max_deferred=args.max_deferred)
+        for name in names])
+    workload = MultiTenantArrivals(
+        names, FixedSize(args.record_size), days=args.days,
+        night_rate=args.night_rate, day_rate=args.day_rate,
+        burst_rate=args.burst_rate, burst_seconds=args.burst_seconds,
+        skew=args.skew, users_per_tenant=args.users,
+        hour_seconds=args.hour_seconds, seed=args.seed)
+
+    current = store.now
+
+    def advance(to: float) -> None:
+        nonlocal current
+        if to > current:
+            store.advance_clocks(to - current)
+            current = to
+
+    malformed = []
+    rejected_codes = {}
+
+    def well_formed_rejection(response) -> bool:
+        """Every refusal must be a coded problem with honest headers."""
+        problem = response.problem
+        ok = (problem is not None and problem.code
+              and problem.type.endswith(problem.code)
+              and problem.status == response.status
+              and "RateLimit-Limit" in response.headers
+              and "RateLimit-Remaining" in response.headers
+              and "RateLimit-Reset" in response.headers
+              and ("Retry-After" in response.headers
+                   if response.status == 429 else True))
+        if ok:
+            rejected_codes[problem.code] = (
+                rejected_codes.get(problem.code, 0) + 1)
+        else:
+            malformed.append(response.to_dict())
+        return ok
+
+    def patient(request) -> object:
+        """Handle *request*, honoring Retry-After in virtual time."""
+        response = service.handle(request)
+        while response.status == 429 and well_formed_rejection(response):
+            advance(current + float(response.headers["Retry-After"]))
+            response = service.handle(request)
+        return response
+
+    ledger = {}        # scoped locator -> expected payload
+    open_tickets = {}  # ticket -> (tenant, expected payload)
+    offered = accepted = deferred = rejected = 0
+    last_flush = current
+    seq = 0
+    for item in workload:
+        advance(item.request.arrival)
+        if current - last_flush >= args.flush_interval:
+            service.flush()
+            last_flush = current
+        seq += 1
+        head = f"{item.tenant}|u{item.user}|{seq}|".encode()
+        payload = head + b"." * max(0, item.request.size - len(head))
+        offered += 1
+        resp = service.handle(ServiceRequest(
+            operation="write", tenant=item.tenant,
+            params={"payload": payload,
+                    "retention_seconds": item.request.retention},
+            request_id=f"w{seq}"))
+        if resp.status == 201:
+            accepted += 1
+            ledger[resp.body["locator"]] = payload
+        elif resp.status == 202:
+            deferred += 1
+            open_tickets[resp.body["ticket"]] = (item.tenant, payload)
+        else:
+            rejected += 1
+            if not well_formed_rejection(resp):
+                print(f"MALFORMED REJECTION: {resp.to_dict()}",
+                      file=sys.stderr)
+                return 2
+
+    # Drain: commit every pending group, then redeem every ticket.
+    service.flush()
+    for ticket, (tenant, payload) in sorted(open_tickets.items()):
+        resp = patient(ServiceRequest(operation="redeem", tenant=tenant,
+                                      params={"ticket": ticket}))
+        if resp.status != 200:
+            print(f"UNREDEEMED TICKET {ticket}: {resp.to_dict()}",
+                  file=sys.stderr)
+            return 2
+        ledger[resp.body["locator"]] = payload
+
+    unreadable = 0
+    for locator, payload in sorted(ledger.items()):
+        tenant = locator.split("/", 1)[0]
+        resp = patient(ServiceRequest(operation="read", tenant=tenant,
+                                      params={"locator": locator}))
+        if resp.status != 200 or resp.body["payload"] != payload:
+            unreadable += 1
+
+    isolation_ok = True
+    if args.tenants >= 2 and ledger:
+        victim = next(iter(sorted(ledger)))
+        intruder = next(n for n in names if n != victim.split("/", 1)[0])
+        resp = patient(ServiceRequest(operation="read", tenant=intruder,
+                                      params={"locator": victim}))
+        isolation_ok = (resp.status == 404 and resp.problem is not None
+                        and resp.problem.code == "tenant-isolation")
+
+    problems = service.reconcile()
+    if store.pending_count or len(ledger) != accepted + deferred:
+        problems.append(
+            f"ledger holds {len(ledger)} locators for {accepted} accepted "
+            f"+ {deferred} deferred writes "
+            f"({store.pending_count} still pending)")
+    if malformed:
+        problems.extend(f"malformed rejection: {entry}"
+                        for entry in malformed[:5])
+    if not rejected_codes and args.burst_rate > args.tenants * args.rate:
+        problems.append("overload burst produced no rejections to check")
+
+    stats = service.stats()
+    rows = [[name,
+             str(s["requests"]), str(s["accepted"]), str(s["deferred"]),
+             str(s["redeemed"]), str(s["rejected"]),
+             str(s["durable_records"]), str(s["pending_deferred"])]
+            for name, s in ((n, stats[n]) for n in names)]
+    print(format_table(
+        ["tenant", "requests", "accepted", "deferred", "redeemed",
+         "rejected", "durable", "pending"], rows,
+        title=f"Tenant bench — {args.tenants} tenants (Zipf "
+              f"{args.skew:g}), {args.users:,} users each, "
+              f"{args.shards} shards, burst {args.burst_rate:g}/s vs "
+              f"admission {args.rate:g}/s/tenant"))
+    print(f"\noffered:   {offered} writes over {current:.0f}s virtual "
+          f"({args.days} day(s))")
+    print(f"admitted:  {accepted} immediate + {deferred} deferred "
+          f"(all {len(ledger)} durable+verified), {rejected} rejected")
+    if rejected_codes:
+        breakdown = ", ".join(f"{code}={count}" for code, count
+                              in sorted(rejected_codes.items()))
+        print(f"rejections: {breakdown} "
+              f"(all well-formed: coded problem + RateLimit headers)")
+    print(f"isolation: cross-tenant probe "
+          f"{'refused (404 tenant-isolation)' if isolation_ok else 'LEAKED'}")
+    if unreadable:
+        print(f"RECORD LOSS: {unreadable} admitted writes unreadable",
+              file=sys.stderr)
+    for problem in problems:
+        print(f"RECONCILE: {problem}", file=sys.stderr)
+    if unreadable or problems or not isolation_ok:
+        return 2
+    print("zero dropped writes; telemetry reconciles")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Serve the versioned contract as JSON lines on stdin/stdout.
+
+    A demo transport for the in-process service layer: each input line
+    is one ``ServiceRequest`` dict (payload bytes as
+    ``{"$bytes": base64}``), each output line the matching
+    ``ServiceResponse``.  The store is in-memory and wall-clock timed;
+    persistence would wire the same service over a directory store.
+    """
+    from repro import demo_keyring
+    from repro.core.config import StoreConfig
+    from repro.core.sharded import ShardedWormStore
+    from repro.service import (PROTOCOL_VERSION, BadRequestError,
+                               ServiceRequest, TenantConfig, WormService,
+                               problem_from_error)
+
+    names = [name.strip() for name in args.tenants.split(",") if name.strip()]
+    if not names:
+        print("serve: need at least one tenant name", file=sys.stderr)
+        return 2
+    store = ShardedWormStore.build(
+        shard_count=args.shards, keyring=demo_keyring(), clock=SystemClock(),
+        config=StoreConfig(shard_count=args.shards, group_commit_size=4))
+    ca = CertificateAuthority(bits=512)
+    service = WormService(store, ca=ca, tenants=[
+        TenantConfig(name, rate=args.rate, burst=args.burst_tokens,
+                     max_deferred=args.max_deferred) for name in names])
+    print(f"serve: protocol v{PROTOCOL_VERSION}, {args.shards} shards, "
+          f"tenants {', '.join(names)}; one JSON request per line",
+          file=sys.stderr)
+    try:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = ServiceRequest.from_dict(json.loads(line))
+            except (ValueError, TypeError) as exc:
+                problem = problem_from_error(
+                    BadRequestError(f"unparseable request: {exc}"))
+                print(json.dumps({"status": problem.status, "headers": {},
+                                  "problem": problem.to_dict(),
+                                  "request_id": None}), flush=True)
+                continue
+            print(json.dumps(service.handle(request).to_dict()), flush=True)
+    except BrokenPipeError:
+        return 0  # reader went away; nothing left to answer
+    service.flush()
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -695,6 +950,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", default=None, metavar="SCHEMA",
                    help="validate the snapshot against this JSON schema")
     p.set_defaults(func=cmd_obs)
+
+    p = sub.add_parser("tenant-bench",
+                       help="open-loop multi-tenant service benchmark in "
+                            "virtual time; exit 2 on lost writes or "
+                            "telemetry mismatch (in-memory)")
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--tenants", type=int, default=3)
+    p.add_argument("--days", type=int, default=1)
+    p.add_argument("--hour-seconds", type=float, default=2.0,
+                   help="virtual seconds per diurnal 'hour' (compresses "
+                        "the day; rates stay per-second)")
+    p.add_argument("--night-rate", type=float, default=0.5)
+    p.add_argument("--day-rate", type=float, default=2.0)
+    p.add_argument("--burst-rate", type=float, default=40.0,
+                   help="end-of-day burst arrival rate (set above "
+                        "tenants*rate to exercise deferral)")
+    p.add_argument("--burst-seconds", type=float, default=6.0)
+    p.add_argument("--rate", type=float, default=4.0,
+                   help="per-tenant sustained admission rate (tokens/s)")
+    p.add_argument("--burst-tokens", type=int, default=8,
+                   help="per-tenant token-bucket depth")
+    p.add_argument("--max-deferred", type=int, default=48,
+                   help="per-tenant deferred-backlog cap (beyond it: "
+                        "429 backlog-full)")
+    p.add_argument("--record-size", type=int, default=256)
+    p.add_argument("--skew", type=float, default=1.1,
+                   help="Zipf skew of tenant popularity")
+    p.add_argument("--users", type=int, default=1_000_000,
+                   help="simulated end users per tenant")
+    p.add_argument("--group-commit", type=int, default=8)
+    p.add_argument("--flush-interval", type=float, default=5.0,
+                   help="virtual seconds between forced group commits")
+    p.add_argument("--seed", type=int, default=11)
+    p.set_defaults(func=cmd_tenant_bench)
+
+    p = sub.add_parser("serve",
+                       help="JSON-lines service transport on stdin/stdout "
+                            "(in-memory demo store)")
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--tenants", default="default",
+                   help="comma-separated tenant names")
+    p.add_argument("--rate", type=float, default=100.0)
+    p.add_argument("--burst-tokens", type=int, default=200)
+    p.add_argument("--max-deferred", type=int, default=256)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("attest",
                        help="signed SCPU state snapshot; chain with --previous")

@@ -69,8 +69,8 @@ from repro.core.retry import (
     RetryPolicy,
     RetryStats,
 )
+from repro.core.locator import LocatorLike, RecordLocator, resolve_locator
 from repro.core.sharded import (
-    RecordLocator,
     ShardedWormStore,
     ShardedWriteReceipt,
 )
@@ -126,7 +126,9 @@ __all__ = [
     "RetryPolicy",
     "RetryStats",
     "StoreConfig",
+    "LocatorLike",
     "RecordLocator",
+    "resolve_locator",
     "ShardedWormStore",
     "ShardedWriteReceipt",
     "MigrationPackage",

@@ -11,6 +11,13 @@ re-exported from their original homes for back-compat:
   ``repro.storage.block_store.MissingRecordError``; it keeps
   :class:`KeyError` as a secondary base so existing ``except KeyError``
   call sites continue to work).
+
+Every class carries a stable, machine-readable ``code`` — a kebab-case
+slug unique across the taxonomy.  Problem payloads (RFC 9457 style, see
+:mod:`repro.service.problems`) and telemetry key on ``exc.code``, never
+on Python class names, so renaming or moving an exception class cannot
+silently change what clients see on the wire.  A rename of a *code* is
+an API break and is locked by the service contract tests.
 """
 
 from __future__ import annotations
@@ -41,23 +48,39 @@ __all__ = [
 
 
 class WormError(Exception):
-    """Base class for all WORM-layer errors."""
+    """Base class for all WORM-layer errors.
+
+    ``code`` is the stable machine-readable identity of each class —
+    the string problem payloads and telemetry carry.  Subclasses
+    override it with a unique kebab-case slug.
+    """
+
+    #: Stable wire identity; never derived from the class name.
+    code: str = "worm-error"
 
 
 class RetentionViolationError(WormError):
     """An operation would delete or alter a record inside its retention period."""
 
+    code = "retention-violation"
+
 
 class LitigationHoldError(WormError):
     """A record under litigation hold cannot be deleted or released improperly."""
+
+    code = "litigation-hold"
 
 
 class UnknownSerialNumberError(WormError):
     """The serial number does not correspond to any response the store can prove."""
 
+    code = "unknown-serial-number"
+
 
 class VerificationError(WormError):
     """A client-side proof check failed — evidence of tampering."""
+
+    code = "verification-failed"
 
 
 class FreshnessError(VerificationError):
@@ -67,29 +90,43 @@ class FreshnessError(VerificationError):
     record-hiding attack of §4.2.1) or an expired ``S_s(SN_base)``.
     """
 
+    code = "stale-construct"
+
 
 class CredentialError(WormError):
     """A litigation credential failed SCPU-side verification."""
+
+    code = "bad-credential"
 
 
 class MigrationError(WormError):
     """Compliant migration failed verification at the destination."""
 
+    code = "migration-failed"
+
 
 class SecureMemoryError(WormError):
     """An SCPU-resident structure exceeded the secure memory budget."""
+
+    code = "secure-memory-exhausted"
 
 
 class SignatureError(WormError):
     """Raised when signing or verification cannot proceed."""
 
+    code = "signature-error"
+
 
 class TamperedError(WormError):
     """Raised by any SCPU service invoked after the enclosure was breached."""
 
+    code = "tampered"
+
 
 class MissingRecordError(WormError, KeyError):
     """Raised when a record key does not exist in the store."""
+
+    code = "missing-record"
 
 
 class UnknownPolicyError(WormError, KeyError):
@@ -99,13 +136,19 @@ class UnknownPolicyError(WormError, KeyError):
     historically raised ``KeyError`` and callers still catch it.
     """
 
+    code = "unknown-policy"
+
 
 class UnknownAlgorithmError(WormError, KeyError):
     """A shredding-algorithm name is not registered (same KeyError compat)."""
 
+    code = "unknown-algorithm"
+
 
 class ShardRoutingError(WormError):
     """A record locator names a shard the front-end does not have."""
+
+    code = "shard-routing"
 
 
 class TransientFaultError(WormError):
@@ -117,6 +160,8 @@ class TransientFaultError(WormError):
     and will never serve again.
     """
 
+    code = "transient-fault"
+
 
 class ScpuUnavailableError(TransientFaultError):
     """The SCPU dropped a request (bus glitch, firmware hiccup, reset).
@@ -126,9 +171,13 @@ class ScpuUnavailableError(TransientFaultError):
     not answer" regardless of how many times we asked.
     """
 
+    code = "scpu-unavailable"
+
 
 class StorageUnavailableError(TransientFaultError):
     """The untrusted block store dropped an I/O request transiently."""
+
+    code = "storage-unavailable"
 
 
 class DegradedError(WormError):
@@ -139,6 +188,8 @@ class DegradedError(WormError):
     path, which routes around degraded shards instead.
     """
 
+    code = "degraded"
+
 
 class CrashError(WormError):
     """An injected process crash (fault harness only).
@@ -148,6 +199,10 @@ class CrashError(WormError):
     this; chaos tests catch it and then model a restart.
     """
 
+    code = "crash-injected"
+
 
 class JournalError(WormError):
     """The durable intent journal is unreadable or inconsistent."""
+
+    code = "journal-error"

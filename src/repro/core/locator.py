@@ -1,0 +1,113 @@
+"""Record locators: the stable, routable name of one committed record.
+
+A :class:`RecordLocator` ``(shard_id, sn, record_index)`` names one
+record anywhere in a deployment: ``shard_id`` routes to the owning
+:class:`~repro.core.worm.StrongWormStore` (0 for a standalone store),
+``sn`` is that shard's SCPU serial number, and ``record_index`` selects
+the record inside a group-committed multi-record VR.  The packed string
+form (``"2:41:0"``) survives being written down — which is what
+compliance departments do with receipts — and is the locator
+representation the service layer (:mod:`repro.service`) puts on the
+wire.
+
+Historically this type lived in :mod:`repro.core.sharded`; it moved
+here so the single-store read path and the service front-end can accept
+packed locators without importing the sharded front-end.  The old
+import path still works.
+
+Parsing is *strict*: every malformed input — truncated strings, stray
+separators, non-numeric or negative components — raises
+:class:`~repro.core.errors.ShardRoutingError`, never a bare
+``ValueError``, so callers routing untrusted client-supplied locator
+strings defend with the WORM taxonomy alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.core.errors import ShardRoutingError
+
+__all__ = ["RecordLocator", "LocatorLike", "resolve_locator"]
+
+
+@dataclass(frozen=True)
+class RecordLocator:
+    """Stable name of one record in a (possibly sharded) store.
+
+    ``shard_id`` routes; ``sn`` is the shard-local serial number of the
+    VR; ``record_index`` selects the record inside a group-committed
+    multi-record VR.  The string form (``"2:41:0"``) survives being
+    written down, which is what compliance departments do with receipts.
+    """
+
+    shard_id: int
+    sn: int
+    record_index: int = 0
+
+    def pack(self) -> str:
+        return f"{self.shard_id}:{self.sn}:{self.record_index}"
+
+    @classmethod
+    def unpack(cls, text: str) -> "RecordLocator":
+        """Parse a packed locator; strict, taxonomy-rooted errors.
+
+        Accepts ``"shard:sn"`` and ``"shard:sn:index"``.  Anything else
+        — wrong part count, empty or non-decimal parts, a negative
+        shard/index, a serial number below 1 — raises
+        :class:`ShardRoutingError` (which existence checks against the
+        actual shard table then refine further).
+        """
+        if not isinstance(text, str):
+            raise ShardRoutingError(
+                f"a packed locator is a string, got {type(text).__name__}")
+        parts = text.split(":")
+        if len(parts) not in (2, 3):
+            raise ShardRoutingError(f"malformed record locator: {text!r}")
+        values = []
+        for part in parts:
+            # isascii+isdigit admits only ASCII decimal digits: signs,
+            # whitespace, empty parts ("1::0", "2:"), and Unicode digit
+            # lookalikes (which int() would happily parse) all fail here.
+            if not (part.isascii() and part.isdigit()):
+                raise ShardRoutingError(
+                    f"malformed record locator: {text!r} "
+                    f"(component {part!r} is not a decimal number)")
+            values.append(int(part))
+        shard_id, sn = values[0], values[1]
+        index = values[2] if len(values) == 3 else 0
+        if sn < 1:
+            raise ShardRoutingError(
+                f"malformed record locator: {text!r} "
+                "(serial numbers start at 1)")
+        return cls(shard_id=shard_id, sn=sn, record_index=index)
+
+
+#: Locator value accepted anywhere a front-end routes by record: a
+#: :class:`RecordLocator`, a receipt carrying a ``.locator``, a packed
+#: string (``"2:41:0"``), or a raw ``(shard_id, sn)`` /
+#: ``(shard_id, sn, record_index)`` tuple.
+LocatorLike = Union[RecordLocator, str, Tuple[int, int], Tuple[int, int, int]]
+
+
+def resolve_locator(locator) -> RecordLocator:
+    """Normalize any :data:`LocatorLike` to a :class:`RecordLocator`.
+
+    Receipts are accepted structurally (anything exposing a ``.locator``
+    that is a :class:`RecordLocator`), so the sharded receipt type never
+    needs importing here.  Unroutable values raise
+    :class:`ShardRoutingError`.
+    """
+    if isinstance(locator, RecordLocator):
+        return locator
+    inner = getattr(locator, "locator", None)
+    if isinstance(inner, RecordLocator):
+        return inner
+    if isinstance(locator, str):
+        return RecordLocator.unpack(locator)
+    if isinstance(locator, tuple) and len(locator) in (2, 3):
+        return RecordLocator(*locator)
+    raise ShardRoutingError(
+        f"cannot route by {locator!r}; pass a RecordLocator, a receipt, "
+        "a (shard_id, sn) tuple, or a packed string")

@@ -68,6 +68,7 @@ from repro.core.errors import (
     WormError,
 )
 from repro.core.health import CircuitBreaker
+from repro.core.locator import RecordLocator, resolve_locator
 from repro.core.proofs import ReadResult
 from repro.core.retry import RetryStats
 from repro.core.worm import StrongWormStore, WriteReceipt
@@ -84,37 +85,12 @@ __all__ = ["RecordLocator", "ShardedWriteReceipt", "ShardedWormStore"]
 #: Locator value accepted anywhere the front-end routes by record: a
 #: :class:`RecordLocator`, a receipt, a packed string (``"2:41:0"``), or
 #: a raw ``(shard_id, sn)`` / ``(shard_id, sn, record_index)`` tuple.
+#: (:class:`RecordLocator` itself now lives in :mod:`repro.core.locator`
+#: and is re-exported here for back-compat.)
 LocatorLike = Union["RecordLocator", "ShardedWriteReceipt", str,
                     Tuple[int, int], Tuple[int, int, int]]
 
 _T = TypeVar("_T")
-
-
-@dataclass(frozen=True)
-class RecordLocator:
-    """Stable name of one record in a sharded store.
-
-    ``shard_id`` routes; ``sn`` is the shard-local serial number of the
-    VR; ``record_index`` selects the record inside a group-committed
-    multi-record VR.  The string form (``"2:41:0"``) survives being
-    written down, which is what compliance departments do with receipts.
-    """
-
-    shard_id: int
-    sn: int
-    record_index: int = 0
-
-    def pack(self) -> str:
-        return f"{self.shard_id}:{self.sn}:{self.record_index}"
-
-    @classmethod
-    def unpack(cls, text: str) -> "RecordLocator":
-        parts = text.split(":")
-        if len(parts) not in (2, 3):
-            raise ValueError(f"malformed record locator: {text!r}")
-        index = int(parts[2]) if len(parts) == 3 else 0
-        return cls(shard_id=int(parts[0]), sn=int(parts[1]),
-                   record_index=index)
 
 
 @dataclass(frozen=True)
@@ -158,21 +134,36 @@ class _PendingGroup:
 
     ``entry_ids`` parallels ``payloads``: the intent-journal id of each
     record (``None`` when no journal is attached), acknowledged when the
-    group commits.
+    group commits.  ``tags`` parallels them too: the caller's opaque
+    correlation handle for each record (``None`` when untracked), paired
+    with its receipt when the group commits — the mechanism that lets a
+    service hand out 202-style deferred receipts and redeem them later.
     """
 
     kwargs: Dict
     payloads: List[bytes] = field(default_factory=list)
     entry_ids: List[Optional[int]] = field(default_factory=list)
+    tags: List[Optional[object]] = field(default_factory=list)
 
-    def add(self, payload: bytes, entry_id: Optional[int]) -> None:
+    def __post_init__(self) -> None:
+        # Groups built from a bare payload list (write_batch) carry no
+        # correlation state; pad so the three lists stay parallel.
+        while len(self.entry_ids) < len(self.payloads):
+            self.entry_ids.append(None)
+        while len(self.tags) < len(self.payloads):
+            self.tags.append(None)
+
+    def add(self, payload: bytes, entry_id: Optional[int],
+            tag: Optional[object] = None) -> None:
         self.payloads.append(bytes(payload))
         self.entry_ids.append(entry_id)
+        self.tags.append(tag)
 
     def restore_front(self, other: "_PendingGroup") -> None:
         """Put *other*'s records back ahead of this group's (oldest first)."""
         self.payloads[:0] = other.payloads
         self.entry_ids[:0] = other.entry_ids
+        self.tags[:0] = other.tags
 
 
 class ShardedWormStore:
@@ -217,6 +208,9 @@ class ShardedWormStore:
                                        buckets=(1, 2, 4, 8, 16, 32, 64))
             self.obs.register_gauge("sharded.pending_records",
                                     lambda: float(self.pending_count))
+        # tag -> receipt for group-committed records submitted with a
+        # correlation tag; drained by take_tagged_receipts().
+        self._tagged_receipts: Dict[object, ShardedWriteReceipt] = {}
         self._journal = journal if journal is not None else self.config.journal
         if self._journal is not None:
             # Crash recovery: re-queue every journalled-but-unflushed
@@ -293,18 +287,7 @@ class ShardedWormStore:
         return self._stores[shard_id]
 
     def _resolve(self, locator: LocatorLike) -> RecordLocator:
-        if isinstance(locator, RecordLocator):
-            resolved = locator
-        elif isinstance(locator, ShardedWriteReceipt):
-            resolved = locator.locator
-        elif isinstance(locator, str):
-            resolved = RecordLocator.unpack(locator)
-        elif isinstance(locator, tuple) and len(locator) in (2, 3):
-            resolved = RecordLocator(*locator)
-        else:
-            raise ShardRoutingError(
-                f"cannot route by {locator!r}; pass a RecordLocator, "
-                "a receipt, a (shard_id, sn) tuple, or a packed string")
+        resolved = resolve_locator(locator)
         self.shard(resolved.shard_id)  # raises on out-of-range shards
         return resolved
 
@@ -416,12 +399,14 @@ class ShardedWormStore:
         return self._with_failover(shard_id, commit)
 
     def _enqueue(self, payload: bytes, kwargs: Dict,
-                 entry_id: Optional[int]) -> Tuple[int, Tuple, _PendingGroup]:
+                 entry_id: Optional[int],
+                 tag: Optional[object] = None
+                 ) -> Tuple[int, Tuple, _PendingGroup]:
         shard_id = self._pick_shard()
         key = _group_key(kwargs)
         group = self._pending[shard_id].setdefault(
             key, _PendingGroup(kwargs=dict(kwargs)))
-        group.add(payload, entry_id)
+        group.add(payload, entry_id, tag)
         return shard_id, key, group
 
     def _restore_group(self, shard_id: int, key: Tuple,
@@ -434,7 +419,7 @@ class ShardedWormStore:
             existing.restore_front(group)
         self.obs.inc("sharded.groups_restored")
 
-    def submit(self, payload: bytes,
+    def submit(self, payload: bytes, tag: Optional[object] = None,
                **write_kwargs) -> Optional[List[ShardedWriteReceipt]]:
         """Queue one record for the next group commit (best-effort path).
 
@@ -445,6 +430,14 @@ class ShardedWormStore:
         automatically — failing over to healthy shards if its own SCPU
         has died — and the flushed receipts are returned; otherwise
         returns ``None`` (call :meth:`flush` to force the commit).
+
+        *tag* is an opaque, hashable correlation handle: when the record
+        eventually group-commits — on this call, a later :meth:`submit`,
+        or a :meth:`flush` — its receipt is filed under the tag for
+        :meth:`take_tagged_receipts` to drain.  This is how a front-end
+        that acknowledged a deferred write (a 202) later resolves the
+        acknowledgement to a durable locator.  Tags are in-memory only:
+        after a crash, replayed journal entries re-commit untagged.
 
         This path never raises :class:`DegradedError`: if the commit
         cannot land anywhere *right now* (every candidate transiently
@@ -457,7 +450,7 @@ class ShardedWormStore:
         entry_id = (self._journal.append(bytes(payload), dict(write_kwargs))
                     if self._journal is not None else None)
         shard_id, key, group = self._enqueue(bytes(payload), write_kwargs,
-                                             entry_id)
+                                             entry_id, tag)
         if len(group.payloads) >= max(1, self.config.group_commit_size):
             del self._pending[shard_id][key]
             try:
@@ -550,7 +543,21 @@ class ShardedWormStore:
         if self._journal is not None:
             self._journal.mark_committed(
                 [i for i in group.entry_ids if i is not None])
+        for tag, receipt in zip(group.tags, receipts):
+            if tag is not None:
+                self._tagged_receipts[tag] = receipt
         return receipts
+
+    def take_tagged_receipts(self) -> Dict[object, ShardedWriteReceipt]:
+        """Drain the tag → receipt map of committed tagged submissions.
+
+        Every record handed to :meth:`submit` with a ``tag`` that has
+        since group-committed appears exactly once across successive
+        calls; uncommitted tags stay invisible until their group lands.
+        """
+        taken = self._tagged_receipts
+        self._tagged_receipts = {}
+        return taken
 
     def _commit_group(self, shard_id: int,
                       group: _PendingGroup) -> List[ShardedWriteReceipt]:

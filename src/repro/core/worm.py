@@ -32,9 +32,11 @@ from repro.core.deferred import HashVerificationQueue, StrengtheningQueue
 from repro.core.errors import (
     CredentialError,
     LitigationHoldError,
+    ShardRoutingError,
     UnknownSerialNumberError,
     WormError,
 )
+from repro.core.locator import RecordLocator, resolve_locator
 from repro.core.policy import PolicyRegistry
 from repro.core.proofs import (
     ActiveProof,
@@ -216,6 +218,28 @@ class StrongWormStore:
         """
         return self._scpu_rt
 
+    def _resolve_sn(self, sn) -> int:
+        """Normalize an SN argument: int, packed locator, or locator.
+
+        A standalone store is shard 0 of a one-shard deployment, so the
+        packed locators its callers wrote down (``"0:41:0"``) route here
+        uniformly with the sharded front-end.  A locator naming any
+        other shard is a routing error, not a silent misread.
+        """
+        if isinstance(sn, bool) or not isinstance(sn, (int, str,
+                                                       RecordLocator)):
+            raise ShardRoutingError(
+                f"cannot address a record by {sn!r}; pass a serial "
+                "number, a RecordLocator, or a packed locator string")
+        if isinstance(sn, int):
+            return sn
+        resolved = resolve_locator(sn)
+        if resolved.shard_id != 0:
+            raise ShardRoutingError(
+                f"locator {resolved.pack()} names shard "
+                f"{resolved.shard_id}; a standalone store serves shard 0")
+        return resolved.sn
+
     def _cost_checkpoints(self) -> Tuple[float, float, float]:
         return (self.scpu.meter.checkpoint(), self.host.meter.checkpoint(),
                 self.disk.meter.checkpoint())
@@ -333,13 +357,17 @@ class StrongWormStore:
 
     # -------------------------------------------------------------------- read
 
-    def read(self, sn: int) -> ReadResult:
+    def read(self, sn) -> ReadResult:
         """Serve a read with its proof (§4.2.2 Read) — main CPU only.
 
-        The SCPU is never touched: proofs are the *stored* signed
-        artifacts.  If those have gone stale (an idle store without its
-        maintenance loop), clients will reject them — by design.
+        *sn* is a serial number, a :class:`RecordLocator`, or a packed
+        locator string (``"0:41:0"`` — shard 0, uniformly with the
+        sharded front-end).  The SCPU is never touched: proofs are the
+        *stored* signed artifacts.  If those have gone stale (an idle
+        store without its maintenance loop), clients will reject them —
+        by design.
         """
+        sn = self._resolve_sn(sn)
         if not self.obs.enabled:
             return self._serve_read(sn)
         marks = self._cost_checkpoints()
@@ -409,13 +437,15 @@ class StrongWormStore:
 
     # -------------------------------------------------------- expiry & deletion
 
-    def expire_record(self, sn: int, now: float) -> str:
+    def expire_record(self, sn, now: float) -> str:
         """Delete a retention-expired record (called by the RM, §4.2.2).
 
-        Returns ``"deleted"``, ``"held"`` (litigation hold),
-        ``"premature"`` (not yet expired — the RM re-arms), or
+        *sn* accepts the same serial-number / locator forms as
+        :meth:`read`.  Returns ``"deleted"``, ``"held"`` (litigation
+        hold), ``"premature"`` (not yet expired — the RM re-arms), or
         ``"already"`` (no longer active).
         """
+        sn = self._resolve_sn(sn)
         vrd = self.vrdt.get_active(sn)
         if vrd is None:
             return "already"

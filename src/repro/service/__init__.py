@@ -1,0 +1,83 @@
+"""repro.service — the multi-tenant compliance service front-end.
+
+A transport-agnostic, in-process service layer over
+:class:`~repro.core.sharded.ShardedWormStore`: tenant namespaces with
+quotas and isolated locator spaces, a versioned request/response
+contract, RFC 9457 problem payloads keyed on the stable ``code`` slugs
+of the :class:`~repro.core.errors.WormError` taxonomy, token-bucket
+rate limiting in virtual time with IETF ``RateLimit-*`` headers, and
+admission control that sheds write overload into the store's deferred
+group-commit machinery (202 + redeemable ticket) instead of dropping
+writes.
+
+Quickstart (see TUTORIAL §13)::
+
+    from repro import ShardedWormStore, StoreConfig, demo_keyring
+    from repro.service import ServiceRequest, TenantConfig, WormService
+
+    store = ShardedWormStore.build(shard_count=2, keyring=demo_keyring(),
+                                   config=StoreConfig(group_commit_size=4))
+    service = WormService(store, tenants=[TenantConfig("acme", rate=50)])
+    response = service.handle(ServiceRequest(
+        operation="write", tenant="acme",
+        params={"payload": b"board minutes", "policy": "sox"}))
+    assert response.status == 201
+"""
+
+from repro.service.contract import (
+    OPERATIONS,
+    PROTOCOL_VERSION,
+    Problem,
+    ServiceRequest,
+    ServiceResponse,
+)
+from repro.service.problems import (
+    PROBLEM_TYPE_PREFIX,
+    STATUS_BY_CODE,
+    BacklogFullError,
+    BadRequestError,
+    PolicyForbiddenError,
+    QuotaExceededError,
+    RateLimitedError,
+    TenantIsolationError,
+    UnknownOperationError,
+    UnknownTenantError,
+    UnknownTicketError,
+    UnsupportedVersionError,
+    all_error_codes,
+    problem_from_error,
+    status_for,
+)
+from repro.service.ratelimit import TokenBucket, ratelimit_headers
+from repro.service.service import TENANT_COUNTERS, WormService
+from repro.service.tenants import DeferredTicket, TenantConfig, TenantState
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "OPERATIONS",
+    "ServiceRequest",
+    "ServiceResponse",
+    "Problem",
+    "WormService",
+    "TenantConfig",
+    "TenantState",
+    "DeferredTicket",
+    "TENANT_COUNTERS",
+    "TokenBucket",
+    "ratelimit_headers",
+    "PROBLEM_TYPE_PREFIX",
+    "STATUS_BY_CODE",
+    "status_for",
+    "problem_from_error",
+    "all_error_codes",
+    "RateLimitedError",
+    "BacklogFullError",
+    "UnknownTenantError",
+    "TenantIsolationError",
+    "PolicyForbiddenError",
+    "QuotaExceededError",
+    "UnknownOperationError",
+    "UnsupportedVersionError",
+    "UnknownTicketError",
+    "BadRequestError",
+]

@@ -1,0 +1,211 @@
+"""The versioned request/response contract of the compliance service.
+
+Everything a transport needs is in this module: the protocol version,
+the closed set of operation names, and the three wire shapes —
+:class:`ServiceRequest`, :class:`ServiceResponse`, and the RFC 9457
+:class:`Problem` payload errors travel in.  The shapes are plain
+dataclasses with ``to_dict``/``from_dict`` codecs so any transport
+(the JSON-lines ``serve`` CLI, a test harness, an embedding
+application) can marshal them without importing service internals.
+
+Stability rules, locked by ``tests/service/test_contract.py``:
+
+* ``OPERATIONS`` is append-only; renaming or removing an operation is
+  a protocol break and requires a new ``PROTOCOL_VERSION``.
+* Every error a caller sees is a :class:`Problem` whose ``code`` comes
+  from the stable :class:`~repro.core.errors.WormError` taxonomy (or
+  the service-level codes in :mod:`repro.service.problems`) — never a
+  Python class name.
+* Binary payloads cross the dict codec as ``{"$bytes": <base64>}``
+  envelopes, so the JSON form is lossless for WORM record payloads.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "OPERATIONS",
+    "ServiceRequest",
+    "ServiceResponse",
+    "Problem",
+    "encode_value",
+    "decode_value",
+]
+
+#: Version of the request/response contract.  Bumped only on breaking
+#: changes (operation renames/removals, problem-payload field changes).
+PROTOCOL_VERSION = 1
+
+#: The closed set of operation names (append-only within a version).
+OPERATIONS = (
+    "write",
+    "write_batch",
+    "read",
+    "read_verified",
+    "expire",
+    "hold",
+    "audit",
+    "health",
+    "redeem",
+)
+
+
+def encode_value(value):
+    """Make *value* JSON-safe: bytes become ``{"$bytes": base64}``."""
+    if isinstance(value, (bytes, bytearray)):
+        return {"$bytes": base64.b64encode(bytes(value)).decode("ascii")}
+    if isinstance(value, dict):
+        return {key: encode_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    return value
+
+
+def decode_value(value):
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict):
+        if set(value) == {"$bytes"}:
+            return base64.b64decode(value["$bytes"])
+        return {key: decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One operation offered to the service by (on behalf of) a tenant.
+
+    ``params`` carries the operation's arguments; in-process callers may
+    put live objects in it (bytes payloads, credential envelopes), the
+    dict codec round-trips the JSON-representable subset.
+    """
+
+    operation: str
+    tenant: str
+    params: Mapping[str, object] = field(default_factory=dict)
+    version: int = PROTOCOL_VERSION
+    request_id: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "operation": self.operation,
+            "tenant": self.tenant,
+            "params": encode_value(dict(self.params)),
+            "request_id": self.request_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ServiceRequest":
+        if not isinstance(data, Mapping):
+            raise TypeError("a service request is a mapping")
+        params = data.get("params", {})
+        if not isinstance(params, Mapping):
+            raise TypeError("request params must be a mapping")
+        return cls(
+            operation=str(data.get("operation", "")),
+            tenant=str(data.get("tenant", "")),
+            params=decode_value(dict(params)),
+            version=int(data.get("version", PROTOCOL_VERSION)),
+            request_id=(None if data.get("request_id") is None
+                        else str(data["request_id"])),
+        )
+
+
+@dataclass(frozen=True)
+class Problem:
+    """An RFC 9457 problem-details payload.
+
+    ``code`` is the machine-readable identity (the taxonomy slug from
+    :attr:`~repro.core.errors.WormError.code` or a service-level code);
+    ``type`` is its URI form ``urn:problem-type:strong-worm:<code>``.
+    Clients dispatch on ``code``; ``title``/``detail`` are for humans.
+    """
+
+    type: str
+    title: str
+    status: int
+    detail: str
+    code: str
+    instance: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "type": self.type,
+            "title": self.title,
+            "status": self.status,
+            "detail": self.detail,
+            "code": self.code,
+        }
+        if self.instance is not None:
+            payload["instance"] = self.instance
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Problem":
+        return cls(
+            type=str(data["type"]),
+            title=str(data["title"]),
+            status=int(data["status"]),
+            detail=str(data.get("detail", "")),
+            code=str(data["code"]),
+            instance=(None if data.get("instance") is None
+                      else str(data["instance"])),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """The service's answer: HTTP-shaped, transport-agnostic.
+
+    Exactly one of ``body`` (success, including 202 deferred receipts)
+    and ``problem`` (any 4xx/5xx) is set.  ``headers`` always includes
+    the IETF ``RateLimit-*`` trio for the tenant's bucket; 429s add
+    ``Retry-After``.
+    """
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: Optional[Dict[str, object]] = None
+    problem: Optional[Problem] = None
+    request_id: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.problem is None and self.status < 400
+
+    @property
+    def deferred(self) -> bool:
+        """True for 202 answers: admitted, durable later, redeemable."""
+        return self.status == 202
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "status": self.status,
+            "headers": dict(self.headers),
+            "request_id": self.request_id,
+        }
+        if self.problem is not None:
+            payload["problem"] = self.problem.to_dict()
+        else:
+            payload["body"] = encode_value(self.body or {})
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ServiceResponse":
+        problem = data.get("problem")
+        return cls(
+            status=int(data["status"]),
+            headers={str(k): str(v)
+                     for k, v in dict(data.get("headers", {})).items()},
+            body=(None if problem is not None
+                  else decode_value(dict(data.get("body", {})))),
+            problem=None if problem is None else Problem.from_dict(problem),
+            request_id=(None if data.get("request_id") is None
+                        else str(data["request_id"])),
+        )

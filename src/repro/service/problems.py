@@ -1,0 +1,237 @@
+"""WormError taxonomy → RFC 9457 problem payloads, plus service codes.
+
+Two things live here:
+
+* The **service-level errors** — admission, routing, and contract
+  violations that arise in the service layer itself rather than the
+  store (rate limits, quotas, unknown tenants/operations/tickets).
+  They are rooted at :class:`~repro.core.errors.WormError` so the whole
+  program keeps a single exception taxonomy, and they carry stable
+  ``code`` slugs exactly like the core classes.
+* The **problem mapping** — :func:`problem_from_error` turns any
+  :class:`WormError` into a :class:`~repro.service.contract.Problem`
+  with an HTTP-shaped status from :data:`STATUS_BY_CODE`.  The mapping
+  keys on ``exc.code``, never the Python class, so refactors of the
+  exception hierarchy cannot change what clients see.
+
+One deliberate hole: :class:`~repro.core.errors.TamperedError` has a
+status here (500) for documentation completeness, but the service never
+converts a tamper trip into a problem payload — tampering outranks
+serving traffic and always escalates (wormlint W004).  The same goes
+for the fault-harness-only :class:`~repro.core.errors.CrashError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.core.errors import WormError
+from repro.service.contract import Problem
+
+__all__ = [
+    "PROBLEM_TYPE_PREFIX",
+    "STATUS_BY_CODE",
+    "RateLimitedError",
+    "BacklogFullError",
+    "UnknownTenantError",
+    "TenantIsolationError",
+    "PolicyForbiddenError",
+    "QuotaExceededError",
+    "UnknownOperationError",
+    "UnsupportedVersionError",
+    "UnknownTicketError",
+    "BadRequestError",
+    "status_for",
+    "problem_from_error",
+    "all_error_classes",
+    "all_error_codes",
+]
+
+#: URI prefix of every problem ``type``; the suffix is the stable code.
+PROBLEM_TYPE_PREFIX = "urn:problem-type:strong-worm:"
+
+
+# ---------------------------------------------------------------------------
+# Service-level errors (admission / routing / contract)
+# ---------------------------------------------------------------------------
+
+class RateLimitedError(WormError):
+    """The tenant's token bucket is empty and the operation cannot defer."""
+
+    code = "rate-limited"
+
+    def __init__(self, detail: str, retry_after: float = 1.0) -> None:
+        super().__init__(detail)
+        self.retry_after = retry_after
+
+
+class BacklogFullError(WormError):
+    """The tenant's deferred-write backlog is at its configured cap.
+
+    Raised instead of silently queueing without bound: the write was
+    *not* admitted and the client must retry after ``Retry-After``.
+    """
+
+    code = "backlog-full"
+
+    def __init__(self, detail: str, retry_after: float = 1.0) -> None:
+        super().__init__(detail)
+        self.retry_after = retry_after
+
+
+class UnknownTenantError(WormError):
+    """The request names a tenant the service has not provisioned."""
+
+    code = "unknown-tenant"
+
+
+class TenantIsolationError(WormError):
+    """A locator outside the tenant's namespace.
+
+    Deliberately mapped to 404, not 403: whether the locator exists in
+    *another* tenant's space is itself confidential.
+    """
+
+    code = "tenant-isolation"
+
+
+class PolicyForbiddenError(WormError):
+    """The tenant is not provisioned for the requested retention policy."""
+
+    code = "policy-forbidden"
+
+
+class QuotaExceededError(WormError):
+    """The write would exceed the tenant's durable-record quota."""
+
+    code = "quota-exceeded"
+
+
+class UnknownOperationError(WormError):
+    """The operation name is not in the contract's OPERATIONS set."""
+
+    code = "unknown-operation"
+
+
+class UnsupportedVersionError(WormError):
+    """The request's protocol version is not served by this process."""
+
+    code = "unsupported-version"
+
+
+class UnknownTicketError(WormError):
+    """A redemption ticket the service did not issue (or already lost
+    to a restart — tickets are in-memory correlation handles)."""
+
+    code = "unknown-ticket"
+
+
+class BadRequestError(WormError):
+    """Malformed parameters: missing fields, wrong types, bad shapes."""
+
+    code = "bad-request"
+
+
+# ---------------------------------------------------------------------------
+# Status mapping
+# ---------------------------------------------------------------------------
+
+#: HTTP-shaped status for every stable code.  Codes not listed map to
+#: 500 — an internal invariant failed and the client cannot fix it.
+STATUS_BY_CODE: Dict[str, int] = {
+    # Client-side contract violations
+    "bad-request": 400,
+    "shard-routing": 400,
+    "unknown-operation": 400,
+    "unsupported-version": 400,
+    # Authorization / compliance refusals
+    "retention-violation": 403,
+    "bad-credential": 403,
+    "policy-forbidden": 403,
+    "quota-exceeded": 403,
+    "unknown-tenant": 403,
+    # Absent (or deliberately unacknowledged) resources
+    "unknown-serial-number": 404,
+    "missing-record": 404,
+    "unknown-ticket": 404,
+    "tenant-isolation": 404,
+    # State conflicts
+    "litigation-hold": 409,
+    # Semantically invalid parameters
+    "unknown-policy": 422,
+    "unknown-algorithm": 422,
+    # Overload (retryable by the client)
+    "rate-limited": 429,
+    "backlog-full": 429,
+    # Transient infrastructure trouble (retryable)
+    "transient-fault": 503,
+    "scpu-unavailable": 503,
+    "storage-unavailable": 503,
+    "degraded": 503,
+}
+
+#: Status for any code absent from :data:`STATUS_BY_CODE` — including
+#: ``tampered``, ``verification-failed``, ``journal-error``: server-side
+#: integrity trouble a client retry cannot fix.
+DEFAULT_STATUS = 500
+
+
+def status_for(code: str) -> int:
+    return STATUS_BY_CODE.get(code, DEFAULT_STATUS)
+
+
+def _title_for(exc_type: Type[BaseException]) -> str:
+    doc = (exc_type.__doc__ or "").strip()
+    first = doc.splitlines()[0].strip() if doc else ""
+    return first or exc_type.__name__
+
+
+def problem_from_error(exc: WormError,
+                       instance: Optional[str] = None) -> Problem:
+    """Map a taxonomy error to its RFC 9457 problem payload."""
+    code = getattr(exc, "code", WormError.code)
+    return Problem(
+        type=PROBLEM_TYPE_PREFIX + code,
+        title=_title_for(type(exc)),
+        status=status_for(code),
+        detail=str(exc),
+        code=code,
+        instance=instance,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Taxonomy introspection (tests, docs, serve --codes)
+# ---------------------------------------------------------------------------
+
+def all_error_classes() -> List[Type[WormError]]:
+    """Every class in the WormError taxonomy, base included."""
+    seen: List[Type[WormError]] = []
+    stack: List[Type[WormError]] = [WormError]
+    while stack:
+        cls = stack.pop()
+        if cls in seen:
+            continue
+        seen.append(cls)
+        stack.extend(cls.__subclasses__())
+    return seen
+
+
+def all_error_codes() -> Dict[str, Type[WormError]]:
+    """Stable code → class for the full taxonomy.
+
+    Raises :class:`ValueError` on a duplicate code — two classes
+    sharing a slug would be indistinguishable on the wire, and the
+    contract tests assert this never regresses.
+    """
+    codes: Dict[str, Type[WormError]] = {}
+    for cls in all_error_classes():
+        code = cls.__dict__.get("code")
+        if code is None:
+            continue  # inherits its parent's identity on the wire
+        if code in codes:
+            raise ValueError(
+                f"duplicate error code {code!r}: "
+                f"{codes[code].__name__} and {cls.__name__}")
+        codes[code] = cls
+    return codes

@@ -1,0 +1,92 @@
+"""Token-bucket rate limiting in virtual time, with IETF headers.
+
+The bucket never reads a clock: every method takes ``now`` (the store's
+virtual time, ultimately the SCPU clock) so the limiter is exactly as
+deterministic as the rest of the simulation — a tenant-bench run with a
+fixed seed produces the same admission decisions every time.
+
+Header semantics follow the IETF RateLimit-headers draft, mapped onto a
+token bucket the way proxies conventionally do:
+
+* ``RateLimit-Limit`` — the bucket depth (burst capacity);
+* ``RateLimit-Remaining`` — whole tokens available right now;
+* ``RateLimit-Reset`` — whole seconds until the bucket is full again;
+* ``Retry-After`` (429s only) — whole seconds until the refused
+  acquisition would succeed, never below 1.
+
+All header values are decimal integers (locked by the RC-3 gate in
+``tests/service/test_rate_limit_headers.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+__all__ = ["TokenBucket", "ratelimit_headers"]
+
+
+class TokenBucket:
+    """A continuously-refilling token bucket over an external clock.
+
+    ``rate`` tokens/second accrue up to a depth of ``burst``.  Time may
+    be observed out of order by concurrent callers in principle; a
+    ``now`` earlier than the last refill is treated as "no time passed"
+    rather than refunding tokens.
+    """
+
+    def __init__(self, rate: float, burst: int) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive (tokens/second)")
+        if burst < 1:
+            raise ValueError("burst must be at least 1 token")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._tokens = float(burst)
+        self._last = 0.0
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last)
+        self._last = max(self._last, now)
+        self._tokens = min(float(self.burst),
+                           self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, now: float, n: int = 1) -> bool:
+        """Take *n* tokens if available; False (and no debit) otherwise."""
+        if n < 1:
+            raise ValueError("must acquire at least one token")
+        self._refill(now)
+        if self._tokens + 1e-9 >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    def remaining(self, now: float) -> int:
+        """Whole tokens available at *now*."""
+        self._refill(now)
+        return int(math.floor(self._tokens + 1e-9))
+
+    def reset_after(self, now: float) -> float:
+        """Seconds until the bucket is full again."""
+        self._refill(now)
+        return max(0.0, (self.burst - self._tokens) / self.rate)
+
+    def retry_after(self, now: float, n: int = 1) -> float:
+        """Seconds until an acquisition of *n* tokens would succeed."""
+        self._refill(now)
+        deficit = n - self._tokens
+        return max(0.0, deficit / self.rate)
+
+
+def ratelimit_headers(bucket: TokenBucket, now: float,
+                      retry_after: Optional[float] = None
+                      ) -> Dict[str, str]:
+    """The IETF ``RateLimit-*`` trio (plus ``Retry-After`` on refusals)."""
+    headers = {
+        "RateLimit-Limit": str(bucket.burst),
+        "RateLimit-Remaining": str(bucket.remaining(now)),
+        "RateLimit-Reset": str(int(math.ceil(bucket.reset_after(now)))),
+    }
+    if retry_after is not None:
+        headers["Retry-After"] = str(max(1, int(math.ceil(retry_after))))
+    return headers

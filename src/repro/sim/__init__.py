@@ -17,10 +17,13 @@ from repro.sim.workload import (
     FixedSize,
     LognormalSize,
     MixedWorkload,
+    MultiTenantArrivals,
     PoissonArrivals,
     RetentionSampler,
+    TenantRequest,
     UniformSize,
     WorkRequest,
+    ZipfChoice,
 )
 
 __all__ = [
@@ -44,8 +47,11 @@ __all__ = [
     "FixedSize",
     "LognormalSize",
     "MixedWorkload",
+    "MultiTenantArrivals",
     "PoissonArrivals",
     "RetentionSampler",
+    "TenantRequest",
     "UniformSize",
     "WorkRequest",
+    "ZipfChoice",
 ]

@@ -39,6 +39,9 @@ __all__ = [
     "DiurnalArrivals",
     "MixedWorkload",
     "RetentionSampler",
+    "ZipfChoice",
+    "TenantRequest",
+    "MultiTenantArrivals",
 ]
 
 
@@ -356,3 +359,140 @@ class MixedWorkload:
                     size=self.size_dist.sample(rng),
                     retention=self.retention.sample(rng),
                 )
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant arrivals (the service layer's open-loop workload)
+# ---------------------------------------------------------------------------
+
+class ZipfChoice:
+    """Zipf-skewed choice over *n* items: rank ``k`` has weight ``1/k^s``.
+
+    The classic tenant-popularity shape: with the default ``skew=1.1``
+    and three tenants the head tenant draws roughly half the traffic.
+    Sampling is O(log n) via a precomputed CDF; deterministic given the
+    caller's ``random.Random``.
+    """
+
+    def __init__(self, n: int, skew: float = 1.1) -> None:
+        if n < 1:
+            raise ValueError("need at least one item")
+        if skew < 0:
+            raise ValueError("skew cannot be negative")
+        self.n = n
+        self.skew = skew
+        weights = [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+        total = sum(weights)
+        cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0
+        self._cdf = cdf
+
+    def sample(self, rng: random.Random) -> int:
+        """A 0-based item index, rank 0 most popular."""
+        u = rng.random()
+        lo, hi = 0, self.n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+
+@dataclass(frozen=True)
+class TenantRequest:
+    """One tenant-attributed operation offered to the service layer.
+
+    ``user`` is the originating end-user's id within the tenant's
+    (possibly millions-strong) simulated population — the service does
+    not key on it, but telemetry and traces can.
+    """
+
+    tenant: str
+    user: int
+    request: WorkRequest
+
+
+class MultiTenantArrivals:
+    """Open-loop multi-tenant arrivals: Poisson × Zipf × diurnal.
+
+    The aggregate arrival process is Poisson with a piecewise-constant
+    diurnal rate (quiet nights, busy days, an end-of-day burst that is
+    *meant* to exceed the service's admission rate — that is what the
+    deferred-write machinery absorbs).  Each arrival is attributed to a
+    tenant by Zipf-skewed popularity and to one of that tenant's
+    ``users_per_tenant`` simulated end users uniformly.
+
+    ``hour_seconds`` compresses the day for bounded benchmark runs: the
+    diurnal *shape* is preserved while a full day costs
+    ``24 * hour_seconds`` virtual seconds of events.  Rates are always
+    in requests per (virtual) second, whatever the compression.
+    """
+
+    def __init__(self, tenants: Sequence[str], size_dist,
+                 days: int = 1,
+                 night_rate: float = 0.5, day_rate: float = 5.0,
+                 burst_rate: float = 800.0, burst_seconds: float = 60.0,
+                 skew: float = 1.1,
+                 users_per_tenant: int = 1_000_000,
+                 hour_seconds: float = 3600.0,
+                 retention: Optional[RetentionSampler] = None,
+                 seed: int = 0) -> None:
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        if min(night_rate, day_rate, burst_rate) <= 0:
+            raise ValueError("rates must be positive")
+        if days < 1:
+            raise ValueError("need at least one day")
+        if users_per_tenant < 1:
+            raise ValueError("each tenant needs at least one user")
+        if hour_seconds <= 0:
+            raise ValueError("hour_seconds must be positive")
+        self.tenants = tuple(tenants)
+        self.size_dist = size_dist
+        self.days = days
+        self.night_rate = night_rate
+        self.day_rate = day_rate
+        self.burst_rate = burst_rate
+        self.burst_seconds = burst_seconds
+        self.users_per_tenant = users_per_tenant
+        self.hour_seconds = hour_seconds
+        self.retention = retention or RetentionSampler()
+        self.seed = seed
+        self._zipf = ZipfChoice(len(self.tenants), skew)
+
+    def _phases(self, day_start: float):
+        hour = self.hour_seconds
+        burst = min(self.burst_seconds, 8 * hour)
+        yield (day_start, day_start + 8 * hour, self.night_rate)
+        yield (day_start + 8 * hour, day_start + 16 * hour, self.day_rate)
+        yield (day_start + 16 * hour,
+               day_start + 16 * hour + burst, self.burst_rate)
+        yield (day_start + 16 * hour + burst,
+               day_start + 24 * hour, self.night_rate)
+
+    def __iter__(self) -> Iterator[TenantRequest]:
+        rng = random.Random(self.seed)
+        for day in range(self.days):
+            for start, end, rate in self._phases(day * 24 * self.hour_seconds):
+                t = start
+                while True:
+                    t += rng.expovariate(rate)
+                    if t >= end:
+                        break
+                    tenant = self.tenants[self._zipf.sample(rng)]
+                    yield TenantRequest(
+                        tenant=tenant,
+                        user=rng.randrange(self.users_per_tenant),
+                        request=WorkRequest(
+                            kind="write",
+                            arrival=t,
+                            size=self.size_dist.sample(rng),
+                            retention=self.retention.sample(rng),
+                        ),
+                    )

@@ -1,0 +1,132 @@
+"""Round-trip and adversarial parsing for :mod:`repro.core.locator`.
+
+Packed locators cross the trust boundary (clients hand them back to the
+service), so every malformed form must fail with the taxonomy's
+``ShardRoutingError`` — never a bare ``ValueError`` that a broad
+``except`` upstream would misclassify.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import StrongWormStore, demo_keyring
+from repro.core.errors import ShardRoutingError
+from repro.core.locator import RecordLocator, resolve_locator
+from repro.hardware import SecureCoprocessor
+
+
+class TestPackUnpackRoundTrip:
+    @pytest.mark.parametrize("locator", [
+        RecordLocator(0, 1),
+        RecordLocator(0, 1, 0),
+        RecordLocator(7, 41, 3),
+        RecordLocator(15, 10**9, 255),
+    ])
+    def test_round_trip(self, locator):
+        assert RecordLocator.unpack(locator.pack()) == locator
+
+    def test_two_part_form_defaults_index_zero(self):
+        assert RecordLocator.unpack("2:41") == RecordLocator(2, 41, 0)
+
+    def test_pack_is_stable(self):
+        assert RecordLocator(2, 41, 0).pack() == "2:41:0"
+
+
+class TestAdversarialUnpack:
+    @pytest.mark.parametrize("text", [
+        "",            # empty
+        "1",           # truncated: one part
+        "1:2:3:4",     # too many parts
+        "1::0",        # empty middle component
+        "2:",          # empty trailing component
+        ":",           # nothing but separator
+        "-1:2",        # signed shard
+        "1:-2",        # signed sn
+        "1:2:-3",      # signed index
+        " 1:2",        # leading whitespace
+        "1:2 ",        # trailing whitespace
+        "1: 2",        # inner whitespace
+        "a:b",         # non-numeric
+        "0x1:2",       # hex prefix
+        "1.0:2",       # float-ish
+        "1:0",         # serial numbers start at 1
+        "1:0:0",
+        "١:٢",         # Unicode digits that int() would accept
+    ])
+    def test_malformed_strings_raise_shard_routing(self, text):
+        with pytest.raises(ShardRoutingError):
+            RecordLocator.unpack(text)
+
+    @pytest.mark.parametrize("value", [None, 42, 3.5, b"1:2:0", ["1", "2"]])
+    def test_non_strings_raise_shard_routing(self, value):
+        with pytest.raises(ShardRoutingError):
+            RecordLocator.unpack(value)
+
+    def test_never_a_bare_value_error(self):
+        # The satellite's point: a broad `except ValueError` must not
+        # be able to swallow a routing failure.
+        for text in ("", "1:2:3:4", "a:b", "-1:2"):
+            try:
+                RecordLocator.unpack(text)
+            except ShardRoutingError:
+                pass  # ShardRoutingError IS the contract
+
+
+class TestResolveLocator:
+    def test_accepts_every_locator_like_form(self):
+        expected = RecordLocator(1, 7, 2)
+        assert resolve_locator(expected) is expected
+        assert resolve_locator("1:7:2") == expected
+        assert resolve_locator((1, 7, 2)) == expected
+        assert resolve_locator((1, 7)) == RecordLocator(1, 7, 0)
+
+        class Receipt:
+            locator = expected
+
+        assert resolve_locator(Receipt()) == expected
+
+    @pytest.mark.parametrize("value", [
+        None, object(), (1,), (1, 2, 3, 4), {"shard": 1}, True,
+    ])
+    def test_unroutable_values_raise_shard_routing(self, value):
+        with pytest.raises(ShardRoutingError):
+            resolve_locator(value)
+
+
+class TestSingleStoreAcceptsPackedLocators:
+    @pytest.fixture
+    def store(self):
+        return StrongWormStore(
+            scpu=SecureCoprocessor(keyring=demo_keyring()))
+
+    def test_read_accepts_packed_shard_zero(self, store):
+        receipt = store.write([b"filed"], retention_seconds=60.0)
+        result = store.read(f"0:{receipt.sn}:0")
+        assert result.records[0] == b"filed"
+        assert store.read(f"0:{receipt.sn}").sn == receipt.sn
+
+    def test_expire_accepts_packed_shard_zero(self, store):
+        receipt = store.write([b"short"], retention_seconds=1.0)
+        store.scpu.clock.advance(30.0)
+        assert store.expire_record(f"0:{receipt.sn}",
+                                   now=store.now) == "deleted"
+
+    def test_foreign_shard_is_a_routing_error(self, store):
+        receipt = store.write([b"x"], retention_seconds=60.0)
+        with pytest.raises(ShardRoutingError):
+            store.read(f"3:{receipt.sn}:0")
+        with pytest.raises(ShardRoutingError):
+            store.expire_record(f"3:{receipt.sn}", now=store.now)
+
+    def test_garbage_is_a_routing_error_not_value_error(self, store):
+        for garbage in ("", "a:b", "1:2:3:4", b"0:1:0", True, None):
+            with pytest.raises(ShardRoutingError):
+                store.read(garbage)
+
+    def test_plain_serial_numbers_still_work(self, store):
+        receipt = store.write([b"y"], retention_seconds=60.0)
+        assert store.read(receipt.sn).sn == receipt.sn
+        # Unallocated serials are answerable, not errors: the store
+        # returns a signed never-allocated proof (Theorem 2).
+        assert store.read(receipt.sn + 1000).status == "never-allocated"

@@ -58,7 +58,7 @@ class TestRecordLocator:
         assert RecordLocator.unpack("1:7") == RecordLocator(1, 7, 0)
 
     def test_unpack_rejects_garbage(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ShardRoutingError):
             RecordLocator.unpack("not-a-locator")
 
 

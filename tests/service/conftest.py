@@ -1,0 +1,41 @@
+"""Fixtures for the service-layer suite: an observed two-shard store
+behind a :class:`WormService` with two small, easily-exhausted tenants.
+
+Tiny buckets (burst 4, rate 2/s) are deliberate: most tests want to
+cross the admission boundary within a handful of requests.  The shared
+:class:`~repro.sim.manual_clock.ManualClock` means refills only happen
+when a test advances time explicitly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import demo_keyring
+from repro.core.config import StoreConfig
+from repro.core.sharded import ShardedWormStore
+from repro.obs import TelemetryBus
+from repro.service import TenantConfig, WormService
+
+
+@pytest.fixture
+def bus() -> TelemetryBus:
+    return TelemetryBus()
+
+
+@pytest.fixture
+def sharded(bus, regulator_key) -> ShardedWormStore:
+    return ShardedWormStore.build(
+        shard_count=2, keyring=demo_keyring(),
+        config=StoreConfig(group_commit_size=4, observe=bus,
+                           regulator_public_key=regulator_key.public))
+
+
+@pytest.fixture
+def service(sharded, ca) -> WormService:
+    return WormService(
+        sharded, ca=ca,
+        tenants=[
+            TenantConfig("acme", rate=2.0, burst=4, max_deferred=8),
+            TenantConfig("globex", rate=2.0, burst=4, max_deferred=8),
+        ])

@@ -1,0 +1,127 @@
+"""RC-1 — the API contract gate.
+
+Locks the protocol version, the operation-name set, the request/response
+wire shapes, and the dispatch completeness of the service.  A failing
+test here means a client-visible protocol break: bump
+``PROTOCOL_VERSION`` instead of editing the expectations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (
+    OPERATIONS,
+    PROTOCOL_VERSION,
+    Problem,
+    ServiceRequest,
+    ServiceResponse,
+)
+
+#: The contract, spelled out: renames and removals are breaking changes.
+LOCKED_OPERATIONS = (
+    "write",
+    "write_batch",
+    "read",
+    "read_verified",
+    "expire",
+    "hold",
+    "audit",
+    "health",
+    "redeem",
+)
+
+
+class TestProtocolSurface:
+    def test_version_is_one(self):
+        assert PROTOCOL_VERSION == 1
+
+    def test_operation_names_are_locked(self):
+        assert OPERATIONS == LOCKED_OPERATIONS
+
+    def test_every_operation_dispatches(self, service):
+        # No operation may be declared but unserved (or vice versa).
+        assert set(service._handlers) == set(OPERATIONS)
+
+
+class TestRequestCodec:
+    def test_round_trip_with_bytes_payload(self):
+        request = ServiceRequest(
+            operation="write", tenant="acme",
+            params={"payload": b"\x00binary\xff", "policy": "sox",
+                    "tags": ["a", "b"]},
+            request_id="r-17")
+        wire = request.to_dict()
+        assert wire["version"] == PROTOCOL_VERSION
+        assert wire["params"]["payload"] == {"$bytes": "AGJpbmFyef8="}
+        restored = ServiceRequest.from_dict(wire)
+        assert restored == request
+
+    def test_defaults(self):
+        request = ServiceRequest(operation="health", tenant="t")
+        assert request.version == PROTOCOL_VERSION
+        assert request.request_id is None
+        assert dict(request.params) == {}
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(TypeError):
+            ServiceRequest.from_dict("write")
+        with pytest.raises(TypeError):
+            ServiceRequest.from_dict({"operation": "write", "tenant": "t",
+                                      "params": ["not", "a", "mapping"]})
+
+
+class TestResponseCodec:
+    def test_success_round_trip(self):
+        response = ServiceResponse(
+            status=201, headers={"RateLimit-Limit": "4"},
+            body={"locator": "acme/0:1:0", "payload": b"data"},
+            request_id="r-1")
+        restored = ServiceResponse.from_dict(response.to_dict())
+        assert restored == response
+        assert restored.ok and not restored.deferred
+
+    def test_problem_round_trip(self):
+        problem = Problem(
+            type="urn:problem-type:strong-worm:rate-limited",
+            title="over the limit", status=429, detail="slow down",
+            code="rate-limited", instance="r-9")
+        response = ServiceResponse(status=429,
+                                   headers={"Retry-After": "1"},
+                                   problem=problem)
+        restored = ServiceResponse.from_dict(response.to_dict())
+        assert restored.problem == problem
+        assert not restored.ok
+
+    def test_202_is_deferred(self):
+        assert ServiceResponse(status=202, body={"ticket": "t"}).deferred
+
+
+class TestContractEnforcement:
+    def test_unknown_operation_is_a_coded_problem(self, service):
+        response = service.handle(
+            ServiceRequest(operation="drop_table", tenant="acme"))
+        assert response.status == 400
+        assert response.problem.code == "unknown-operation"
+
+    def test_unsupported_version_is_a_coded_problem(self, service):
+        response = service.handle(
+            ServiceRequest(operation="health", tenant="acme",
+                           version=PROTOCOL_VERSION + 1))
+        assert response.status == 400
+        assert response.problem.code == "unsupported-version"
+
+    def test_unknown_tenant_is_a_coded_problem(self, service):
+        response = service.handle(
+            ServiceRequest(operation="health", tenant="initech"))
+        assert response.status == 403
+        assert response.problem.code == "unknown-tenant"
+
+    def test_every_response_carries_request_id(self, service):
+        ok = service.handle(ServiceRequest(
+            operation="health", tenant="acme", request_id="rid-1"))
+        bad = service.handle(ServiceRequest(
+            operation="nope", tenant="acme", request_id="rid-2"))
+        assert ok.request_id == "rid-1"
+        assert bad.request_id == "rid-2"
+        assert bad.problem.instance == "rid-2"

@@ -1,0 +1,171 @@
+"""RC-2 — the RFC 9457 error-format gate.
+
+Locks the stable ``code`` slugs of the whole WormError taxonomy (core
+and service level), their uniqueness, and the problem-payload shape.
+Codes are wire API: a rename here breaks deployed clients, so the
+expected table is spelled out rather than derived.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.core import errors
+from repro.service import (
+    PROBLEM_TYPE_PREFIX,
+    STATUS_BY_CODE,
+    ServiceRequest,
+    all_error_codes,
+    problem_from_error,
+    status_for,
+)
+from repro.service import problems as problems_module
+
+#: Core taxonomy codes, locked class-by-class.
+LOCKED_CORE_CODES = {
+    "WormError": "worm-error",
+    "RetentionViolationError": "retention-violation",
+    "LitigationHoldError": "litigation-hold",
+    "UnknownSerialNumberError": "unknown-serial-number",
+    "VerificationError": "verification-failed",
+    "FreshnessError": "stale-construct",
+    "CredentialError": "bad-credential",
+    "MigrationError": "migration-failed",
+    "SecureMemoryError": "secure-memory-exhausted",
+    "SignatureError": "signature-error",
+    "TamperedError": "tampered",
+    "MissingRecordError": "missing-record",
+    "UnknownPolicyError": "unknown-policy",
+    "UnknownAlgorithmError": "unknown-algorithm",
+    "ShardRoutingError": "shard-routing",
+    "TransientFaultError": "transient-fault",
+    "ScpuUnavailableError": "scpu-unavailable",
+    "StorageUnavailableError": "storage-unavailable",
+    "DegradedError": "degraded",
+    "CrashError": "crash-injected",
+    "JournalError": "journal-error",
+}
+
+#: Service-level codes, equally locked.
+LOCKED_SERVICE_CODES = {
+    "RateLimitedError": "rate-limited",
+    "BacklogFullError": "backlog-full",
+    "UnknownTenantError": "unknown-tenant",
+    "TenantIsolationError": "tenant-isolation",
+    "PolicyForbiddenError": "policy-forbidden",
+    "QuotaExceededError": "quota-exceeded",
+    "UnknownOperationError": "unknown-operation",
+    "UnsupportedVersionError": "unsupported-version",
+    "UnknownTicketError": "unknown-ticket",
+    "BadRequestError": "bad-request",
+}
+
+_KEBAB = re.compile(r"^[a-z][a-z0-9]*(-[a-z0-9]+)*$")
+
+
+class TestCodeTaxonomy:
+    @pytest.mark.parametrize("name,code", sorted(LOCKED_CORE_CODES.items()))
+    def test_core_codes_are_locked(self, name, code):
+        assert getattr(errors, name).code == code
+
+    @pytest.mark.parametrize("name,code",
+                             sorted(LOCKED_SERVICE_CODES.items()))
+    def test_service_codes_are_locked(self, name, code):
+        assert getattr(problems_module, name).code == code
+
+    def test_every_taxonomy_class_declares_its_own_code(self):
+        # all_error_codes() raises on duplicates; its keys must cover
+        # at least every locked class (subclassing without a fresh code
+        # is allowed — the subclass then shares its parent's identity).
+        codes = all_error_codes()
+        expected = set(LOCKED_CORE_CODES.values())
+        expected |= set(LOCKED_SERVICE_CODES.values())
+        assert expected <= set(codes)
+
+    def test_codes_are_unique_across_the_taxonomy(self):
+        codes = all_error_codes()  # raises ValueError on a duplicate
+        assert len(codes) == len(set(codes))
+
+    def test_codes_are_kebab_case(self):
+        for code in all_error_codes():
+            assert _KEBAB.match(code), f"{code!r} is not kebab-case"
+
+    def test_codes_are_literal_class_attributes(self):
+        # Codes must be spelled out in each class body (wire constants),
+        # never computed from __name__ at lookup time.
+        for cls in all_error_codes().values():
+            assert "code" in cls.__dict__
+            assert isinstance(cls.__dict__["code"], str)
+
+
+class TestStatusMapping:
+    def test_every_mapped_code_exists(self):
+        assert set(STATUS_BY_CODE) <= set(all_error_codes())
+
+    @pytest.mark.parametrize("code,status", [
+        ("retention-violation", 403),
+        ("litigation-hold", 409),
+        ("unknown-serial-number", 404),
+        ("tenant-isolation", 404),
+        ("unknown-policy", 422),
+        ("rate-limited", 429),
+        ("backlog-full", 429),
+        ("scpu-unavailable", 503),
+        ("degraded", 503),
+        ("bad-request", 400),
+    ])
+    def test_key_statuses(self, code, status):
+        assert status_for(code) == status
+
+    def test_unmapped_codes_are_500(self):
+        assert status_for("tampered") == 500
+        assert status_for("verification-failed") == 500
+        assert status_for("no-such-code") == 500
+
+
+class TestProblemPayload:
+    def test_shape_and_type_uri(self):
+        problem = problem_from_error(
+            errors.RetentionViolationError("still retained"), instance="r1")
+        payload = problem.to_dict()
+        assert payload == {
+            "type": PROBLEM_TYPE_PREFIX + "retention-violation",
+            "title": ("An operation would delete or alter a record "
+                      "inside its retention period."),
+            "status": 403,
+            "detail": "still retained",
+            "code": "retention-violation",
+            "instance": "r1",
+        }
+
+    def test_instance_omitted_when_absent(self):
+        payload = problem_from_error(errors.DegradedError("down")).to_dict()
+        assert "instance" not in payload
+
+    def test_subclass_without_code_inherits_parent_identity(self):
+        class LocalError(errors.DegradedError):
+            pass
+
+        problem = problem_from_error(LocalError("shard 3 down"))
+        assert problem.code == "degraded"
+        assert problem.status == 503
+
+
+class TestServiceProblemsEndToEnd:
+    def test_store_error_surfaces_with_core_code(self, service):
+        response = service.handle(ServiceRequest(
+            operation="write", tenant="acme",
+            params={"payload": b"x", "policy": "no-such-regulation"}))
+        assert response.status == 422
+        assert response.problem.code == "unknown-policy"
+        assert response.problem.type == (PROBLEM_TYPE_PREFIX
+                                         + "unknown-policy")
+
+    def test_malformed_params_become_bad_request(self, service):
+        response = service.handle(ServiceRequest(
+            operation="write", tenant="acme",
+            params={"payload": "not-bytes"}))
+        assert response.status == 400
+        assert response.problem.code == "bad-request"

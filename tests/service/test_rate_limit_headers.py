@@ -1,0 +1,166 @@
+"""RC-3 — the IETF ``RateLimit-*`` header gate.
+
+Every service response — success or problem — must carry the three
+draft-ietf-httpapi-ratelimit-headers fields as integer strings, and
+every 429 must additionally carry a ``Retry-After`` of at least one
+second.  All timing is virtual: buckets refill only when the store's
+ManualClock advances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceRequest, TokenBucket, ratelimit_headers
+
+RATELIMIT_HEADERS = ("RateLimit-Limit", "RateLimit-Remaining",
+                     "RateLimit-Reset")
+
+
+def _health(service, tenant="acme"):
+    return service.handle(ServiceRequest(operation="health", tenant=tenant))
+
+
+def _write(service, tenant="acme", payload=b"x"):
+    return service.handle(ServiceRequest(
+        operation="write", tenant=tenant,
+        params={"payload": payload, "retention_seconds": 60.0}))
+
+
+class TestHeadersOnEveryResponse:
+    def test_success_carries_integer_ratelimit_headers(self, service):
+        response = _health(service)
+        assert response.status == 200
+        for name in RATELIMIT_HEADERS:
+            assert name in response.headers
+            int(response.headers[name])  # must parse as an integer
+
+    def test_problem_carries_integer_ratelimit_headers(self, service):
+        response = service.handle(
+            ServiceRequest(operation="nope", tenant="acme"))
+        assert response.status == 400
+        for name in RATELIMIT_HEADERS:
+            int(response.headers[name])
+
+    def test_unknown_tenant_still_gets_headers(self, service):
+        # No tenant bucket exists; the service must still emit the
+        # trio (from its anonymous bucket) so clients can back off.
+        response = _health(service, tenant="hooli")
+        assert response.status == 403
+        for name in RATELIMIT_HEADERS:
+            assert name in response.headers
+
+    def test_limit_reflects_tenant_burst(self, service):
+        assert _health(service).headers["RateLimit-Limit"] == "4"
+
+
+class TestRemainingAndReset:
+    def test_remaining_decreases_with_spend(self, service):
+        before = int(_write(service).headers["RateLimit-Remaining"])
+        after = int(_write(service).headers["RateLimit-Remaining"])
+        assert after == before - 1
+
+    def test_reset_zero_when_full(self, service, sharded):
+        sharded.advance_clocks(60.0)  # refill to burst
+        assert _health(service).headers["RateLimit-Reset"] == "0"
+
+    def test_reset_positive_after_spend(self, service):
+        _write(service)
+        assert int(_health(service).headers["RateLimit-Reset"]) >= 1
+
+
+class TestRetryAfterOn429:
+    def test_starved_read_is_rate_limited_with_retry_after(self, service):
+        # Reads shed immediately when the bucket is dry (no deferral
+        # path for reads) — drain the burst with writes, then read.
+        written = _write(service)
+        for _ in range(4):
+            _write(service)
+        response = service.handle(ServiceRequest(
+            operation="read", tenant="acme",
+            params={"locator": written.body["locator"]}))
+        assert response.status == 429
+        assert response.problem.code == "rate-limited"
+        assert int(response.headers["Retry-After"]) >= 1
+
+    def test_backlog_full_write_carries_retry_after(self, service):
+        # Distinct retention values land in distinct group-commit
+        # queues, so nothing auto-flushes and the deferred backlog
+        # (max_deferred=8) genuinely fills.
+        for _ in range(4):
+            _write(service)  # drain the token burst
+        for i in range(8):
+            deferred = service.handle(ServiceRequest(
+                operation="write", tenant="acme",
+                params={"payload": b"d", "retention_seconds": 100.0 + i}))
+            assert deferred.status == 202
+        shed = service.handle(ServiceRequest(
+            operation="write", tenant="acme",
+            params={"payload": b"d", "retention_seconds": 999.0}))
+        assert shed.status == 429
+        assert shed.problem.code == "backlog-full"
+        assert int(shed.headers["Retry-After"]) >= 1
+
+    def test_health_is_exempt_from_rate_limiting(self, service):
+        # Monitoring must never be shed: drain the bucket, then poll.
+        for _ in range(8):
+            _write(service)
+        assert _health(service).status == 200
+
+    def test_bucket_recovers_in_virtual_time(self, service, sharded):
+        written = _write(service)
+        locator = written.body["locator"]
+        for _ in range(4):
+            _write(service)
+
+        def read():
+            return service.handle(ServiceRequest(
+                operation="read", tenant="acme",
+                params={"locator": locator}))
+
+        blocked = read()
+        assert blocked.status == 429
+        sharded.advance_clocks(float(int(blocked.headers["Retry-After"])))
+        recovered = read()
+        assert recovered.status == 200
+
+
+class TestTokenBucketUnit:
+    def test_burst_then_starve(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        assert [bucket.try_acquire(0.0) for _ in range(4)] == [
+            True, True, True, False]
+
+    def test_refill_is_linear_and_capped(self):
+        bucket = TokenBucket(rate=2.0, burst=4)
+        for _ in range(4):
+            bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.4)   # only 0.8 tokens back
+        assert bucket.try_acquire(0.5)       # exactly 1.0
+        assert bucket.remaining(1000.0) == 4  # capped at burst
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(rate=1.0, burst=2)
+        bucket.try_acquire(10.0)
+        assert bucket.remaining(5.0) == 1  # stale clock: no refund
+
+    def test_retry_after_covers_the_deficit(self):
+        bucket = TokenBucket(rate=0.5, burst=1)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+        assert bucket.retry_after(0.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+    def test_header_rendering(self):
+        bucket = TokenBucket(rate=1.0, burst=5)
+        bucket.try_acquire(0.0, 2)
+        headers = ratelimit_headers(bucket, 0.0, retry_after=0.2)
+        assert headers["RateLimit-Limit"] == "5"
+        assert headers["RateLimit-Remaining"] == "3"
+        assert headers["RateLimit-Reset"] == "2"
+        assert headers["Retry-After"] == "1"  # floor of one second

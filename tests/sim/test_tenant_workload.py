@@ -1,0 +1,121 @@
+"""The multi-tenant open-loop workload generator.
+
+These tests pin the statistical *shape* (Zipf head-heaviness, diurnal
+phase boundaries, Poisson monotonicity) with deterministic seeds, so
+the tenant-bench harness stays reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.sim import (
+    FixedSize,
+    MultiTenantArrivals,
+    TenantRequest,
+    ZipfChoice,
+)
+
+
+class TestZipfChoice:
+    def test_rank_zero_is_most_popular(self):
+        zipf = ZipfChoice(5, skew=1.1)
+        rng = random.Random(7)
+        counts = Counter(zipf.sample(rng) for _ in range(20_000))
+        ordered = [counts[i] for i in range(5)]
+        assert ordered == sorted(ordered, reverse=True)
+        assert counts[0] > 2 * counts[4]
+
+    def test_zero_skew_is_uniform(self):
+        zipf = ZipfChoice(4, skew=0.0)
+        rng = random.Random(3)
+        counts = Counter(zipf.sample(rng) for _ in range(40_000))
+        for i in range(4):
+            assert counts[i] == pytest.approx(10_000, rel=0.08)
+
+    def test_deterministic_given_seed(self):
+        zipf = ZipfChoice(8, skew=1.3)
+        first = [zipf.sample(random.Random(42)) for _ in range(10)]
+        second = [zipf.sample(random.Random(42)) for _ in range(10)]
+        assert first == second
+
+    def test_single_item_always_wins(self):
+        zipf = ZipfChoice(1)
+        assert zipf.sample(random.Random(0)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfChoice(0)
+        with pytest.raises(ValueError):
+            ZipfChoice(3, skew=-0.5)
+
+
+class TestMultiTenantArrivals:
+    def _workload(self, **overrides):
+        params = dict(
+            tenants=("t0", "t1", "t2"), size_dist=FixedSize(128),
+            days=1, night_rate=0.5, day_rate=2.0,
+            burst_rate=50.0, burst_seconds=10.0,
+            hour_seconds=2.0, users_per_tenant=1_000, seed=11)
+        params.update(overrides)
+        return MultiTenantArrivals(**params)
+
+    def test_arrivals_are_strictly_increasing(self):
+        arrivals = [tr.request.arrival for tr in self._workload()]
+        assert arrivals == sorted(arrivals)
+        assert len(set(arrivals)) == len(arrivals)
+        assert arrivals[-1] < 24 * 2.0  # inside the compressed day
+
+    def test_reproducible_for_a_seed(self):
+        a = list(self._workload())
+        b = list(self._workload())
+        assert a == b
+        assert a != list(self._workload(seed=12))
+
+    def test_every_request_is_tenant_attributed(self):
+        for tr in self._workload():
+            assert isinstance(tr, TenantRequest)
+            assert tr.tenant in ("t0", "t1", "t2")
+            assert 0 <= tr.user < 1_000
+            assert tr.request.kind == "write"
+            assert tr.request.size == 128
+
+    def test_zipf_head_tenant_dominates(self):
+        counts = Counter(tr.tenant for tr in self._workload(skew=1.1))
+        assert counts["t0"] > counts["t1"] > counts["t2"]
+
+    def test_burst_phase_is_denser_than_day(self):
+        # Day phase: hours 8..16; burst: 10 s after hour 16.
+        hour = 2.0
+        day_window, burst_window = (8 * hour, 16 * hour), (16 * hour,
+                                                           16 * hour + 10.0)
+        day = burst = 0
+        for tr in self._workload():
+            t = tr.request.arrival
+            if day_window[0] <= t < day_window[1]:
+                day += 1
+            elif burst_window[0] <= t < burst_window[1]:
+                burst += 1
+        day_density = day / (day_window[1] - day_window[0])
+        burst_density = burst / (burst_window[1] - burst_window[0])
+        assert burst_density > 5 * day_density
+
+    def test_multiple_days_repeat_the_cycle(self):
+        one = max(tr.request.arrival for tr in self._workload())
+        two = max(tr.request.arrival for tr in self._workload(days=2))
+        assert one < 24 * 2.0 < two < 48 * 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._workload(tenants=())
+        with pytest.raises(ValueError):
+            self._workload(day_rate=0.0)
+        with pytest.raises(ValueError):
+            self._workload(days=0)
+        with pytest.raises(ValueError):
+            self._workload(users_per_tenant=0)
+        with pytest.raises(ValueError):
+            self._workload(hour_seconds=0.0)
