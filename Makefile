@@ -1,4 +1,4 @@
-.PHONY: check test lint wormlint bench chaos obs service
+.PHONY: check test lint wormlint bench chaos obs service recover
 
 # wormlint + ruff (if installed) + tier-1 tests. The pre-merge gate.
 check:
@@ -32,6 +32,14 @@ obs:
 service:
 	PYTHONPATH=src python -m pytest -x -q tests/service
 	PYTHONPATH=src python -m repro.cli tenant-bench
+
+# Site-loss recovery drill: replicate to a standby over a flaky WAN,
+# kill the primary mid-stream, rebuild with staged verified recovery.
+# Fails on any acknowledged-write loss, a laundered corrupt replica,
+# or an RTO over the virtual-time bound.
+recover:
+	PYTHONPATH=src python -m repro.cli recover --records 400
+	PYTHONPATH=src python -m repro.cli recover --records 200 --corrupt
 
 # Full virtual-time evaluation suite (slow: paper-sized 1024-bit keys).
 bench:

@@ -38,3 +38,7 @@ PYTHONPATH=src python -m repro.cli obs --shards 2 --records 48 \
 echo "==> contract gate (service RC suites + multi-tenant overload bench)"
 PYTHONPATH=src python -m pytest -x -q tests/service
 PYTHONPATH=src python -m repro.cli tenant-bench >/dev/null
+
+echo "==> recovery drill (site kill -> verified rebuild, + corrupt replica)"
+PYTHONPATH=src python -m repro.cli recover --records 400 >/dev/null
+PYTHONPATH=src python -m repro.cli recover --records 200 --corrupt >/dev/null

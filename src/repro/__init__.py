@@ -64,11 +64,22 @@ from repro.core.errors import (
     StorageUnavailableError,
     TamperedError,
     TransientFaultError,
+    RecoveryError,
+    ReplicationError,
     UnknownSerialNumberError,
     VerificationError,
     WormError,
 )
 from repro.core.retry import RetryPolicy
+from repro.recovery import (
+    RecoveryReport,
+    RecoveryStage,
+    ReplicaSite,
+    ReplicatedIntentJournal,
+    ReplicationPump,
+    ReplicationTransport,
+    SiteRecovery,
+)
 from repro.storage.journal import FileIntentJournal, MemoryIntentJournal
 from repro.crypto import CertificateAuthority, SigningKey
 from repro.hardware import ScpuKeyring, SecureCoprocessor, Strength
@@ -119,9 +130,18 @@ __all__ = [
     "StorageUnavailableError",
     "TamperedError",
     "TransientFaultError",
+    "RecoveryError",
+    "ReplicationError",
     "UnknownSerialNumberError",
     "VerificationError",
     "WormError",
+    "ReplicationPump",
+    "ReplicationTransport",
+    "ReplicaSite",
+    "ReplicatedIntentJournal",
+    "SiteRecovery",
+    "RecoveryStage",
+    "RecoveryReport",
     "WormService",
     "TenantConfig",
     "ServiceRequest",

@@ -44,6 +44,8 @@ __all__ = [
     "DegradedError",
     "CrashError",
     "JournalError",
+    "ReplicationError",
+    "RecoveryError",
 ]
 
 
@@ -206,3 +208,28 @@ class JournalError(WormError):
     """The durable intent journal is unreadable or inconsistent."""
 
     code = "journal-error"
+
+
+class ReplicationError(WormError):
+    """Cross-site replication could not keep its durability promise.
+
+    Raised by the synchronous journal mirror when the replication link
+    stays down past its retry budget: acknowledging a write whose
+    journal entry never reached the standby would silently reopen the
+    site-loss hole, so the ingest fails loud instead.
+    """
+
+    code = "replication-failed"
+
+
+class RecoveryError(WormError):
+    """Site recovery cannot proceed (structurally, not a tamper signal).
+
+    Missing replica streams, an unverifiable-by-construction record
+    (e.g. HMAC-witnessed, which only the dead source card could check),
+    or a stage run out of order.  Evidence of *tampering* during
+    recovery is never this class — that raises
+    :class:`TamperedError` terminally (wormlint W004).
+    """
+
+    code = "recovery-failed"

@@ -26,7 +26,7 @@ from typing import Any, Dict, Optional
 
 from repro.obs.bus import NULL_BUS, TelemetryBus
 
-__all__ = ["BreakerState", "CircuitBreaker", "HealthSnapshot"]
+__all__ = ["BreakerState", "SiteState", "CircuitBreaker", "HealthSnapshot"]
 
 
 class BreakerState:
@@ -36,6 +36,23 @@ class BreakerState:
     OPEN = "open"
     HALF_OPEN = "half-open"
     DEGRADED = "degraded"
+
+
+class SiteState:
+    """Names of a whole site's lifecycle states.
+
+    Breakers track one *shard*; the site state tracks the whole
+    front-end through disaster recovery.  ``ACTIVE`` is the ordinary
+    serving state.  ``RECOVERING`` means the site is being rebuilt from
+    a replica by :class:`repro.recovery.SiteRecovery`: verifiable reads
+    are served as soon as the VERIFY stage completes, while external
+    writes are refused (503 + Retry-After at the service layer) until
+    the replicated journal has drained and RESUME flips the site back
+    to ``ACTIVE``.
+    """
+
+    ACTIVE = "active"
+    RECOVERING = "recovering"
 
 
 @dataclass(frozen=True)

@@ -21,10 +21,20 @@ There is no consensus protocol here on purpose: WORM writes are
 idempotent appends of immutable data, so "write to all, read from any
 verifiable" is sufficient, and partial write failures are surfaced to
 the writer for retry rather than papered over.
+
+For **cross-site** disaster recovery this synchronous mirror is
+superseded by :mod:`repro.recovery`: an asynchronous replica role
+(:class:`~repro.recovery.replication.ReplicationPump` +
+:class:`~repro.recovery.stages.SiteRecovery`) that tolerates WAN loss
+and delay and rebuilds a dead site with full verification.
+:class:`MirroredWormStore` remains the right tool *within* a site,
+where the link is reliable and every replica can afford its own SCPU
+witnessing per write.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,6 +42,7 @@ from repro.core.client import WormClient
 from repro.core.errors import FreshnessError, VerificationError, WormError
 from repro.core.worm import StrongWormStore, WriteReceipt
 from repro.hardware.tamper import TamperedError
+from repro.obs.bus import NULL_BUS, TelemetryBus
 
 __all__ = ["MirroredWormStore", "MirroredWrite", "DivergenceReport"]
 
@@ -50,11 +61,25 @@ class MirroredWrite:
 
 @dataclass
 class DivergenceReport:
-    """Outcome of a cross-replica audit."""
+    """Outcome of a cross-replica audit.
+
+    Beyond the clean/dirty verdict, the report localizes damage per
+    replica: ``replica_sn_ranges`` gives each replica's audited SN span
+    (its local serial-number space — replicas witness independently, so
+    the spans differ), and ``suspect_sns`` lists, per replica, the
+    local SNs that failed verification or disagreed — the work list a
+    repair pass (or a :class:`repro.recovery.SiteRecovery`) starts from.
+    """
 
     checked: int = 0
     divergent: List[Tuple[int, str]] = field(default_factory=list)
     unavailable: List[Tuple[int, int]] = field(default_factory=list)  # (record, replica)
+    #: replica index -> (lowest, highest) local SN covered by the audit
+    #: (``None`` for a replica with no audited records).
+    replica_sn_ranges: Dict[int, Optional[Tuple[int, int]]] = (
+        field(default_factory=dict))
+    #: replica index -> its local SNs that were unverifiable or divergent.
+    suspect_sns: Dict[int, List[int]] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -65,7 +90,8 @@ class MirroredWormStore:
     """N-way mirrored Strong WORM stores with verify-on-read fail-over."""
 
     def __init__(self, stores: Sequence[StrongWormStore],
-                 clients: Sequence[WormClient]) -> None:
+                 clients: Sequence[WormClient],
+                 obs: Optional[TelemetryBus] = None) -> None:
         if len(stores) < 2:
             raise ValueError("mirroring needs at least two replicas")
         if len(stores) != len(clients):
@@ -74,6 +100,9 @@ class MirroredWormStore:
         self._clients = list(clients)
         self._records: Dict[int, Tuple[int, ...]] = {}  # id -> per-replica SNs
         self._next_id = 0
+        self.obs = obs if obs is not None else NULL_BUS
+        if self.obs.enabled:
+            self.obs.declare_counter("replication.divergences")
 
     @property
     def replica_count(self) -> int:
@@ -162,10 +191,15 @@ class MirroredWormStore:
         whose verification already failed (tampered) or that lost data.
         """
         report = DivergenceReport()
+        for index in range(len(self._stores)):
+            local = [sns[index] for sns in self._records.values()]
+            report.replica_sn_ranges[index] = (
+                (min(local), max(local)) if local else None)
         for record_id, sns in sorted(self._records.items()):
             report.checked += 1
             contents: Dict[int, bytes] = {}
             statuses: Dict[int, str] = {}
+            suspects: List[int] = []
             for index, (store, client, sn) in enumerate(
                     zip(self._stores, self._clients, sns)):
                 try:
@@ -173,6 +207,7 @@ class MirroredWormStore:
                 except (VerificationError, FreshnessError, WormError,  # wormlint: disable=W004 - divergence audit records tampered replicas as findings
                         TamperedError) as exc:
                     report.unavailable.append((record_id, index))
+                    report.suspect_sns.setdefault(index, []).append(sn)
                     statuses[index] = f"unverifiable: {type(exc).__name__}"
                     continue
                 statuses[index] = verified.status
@@ -180,8 +215,20 @@ class MirroredWormStore:
                     contents[index] = verified.data
             distinct = set(contents.values())
             if len(distinct) > 1:
+                # Content disagreement between *verified* replicas: mark
+                # the minority (or on a tie, all of them) suspect.
+                tally = Counter(contents.values())
+                majority, majority_count = tally.most_common(1)[0]
+                for index, data in contents.items():
+                    if data != majority or majority_count * 2 <= len(contents):
+                        suspects.append(index)
                 report.divergent.append(
                     (record_id, f"verified replicas disagree: {statuses}"))
             elif not contents and any(s == "active" for s in statuses.values()):
                 report.divergent.append((record_id, f"inconsistent: {statuses}"))
+            for index in suspects:
+                report.suspect_sns.setdefault(index, []).append(sns[index])
+            if suspects or (not contents and any(
+                    s == "active" for s in statuses.values())):
+                self.obs.inc("replication.divergences")
         return report

@@ -62,12 +62,13 @@ from repro.core.config import StoreConfig
 from repro.core.errors import (
     CrashError,
     DegradedError,
+    JournalError,
     ShardRoutingError,
     TamperedError,
     TransientFaultError,
     WormError,
 )
-from repro.core.health import CircuitBreaker
+from repro.core.health import CircuitBreaker, SiteState
 from repro.core.locator import RecordLocator, resolve_locator
 from repro.core.proofs import ReadResult
 from repro.core.retry import RetryStats
@@ -211,13 +212,19 @@ class ShardedWormStore:
         # tag -> receipt for group-committed records submitted with a
         # correlation tag; drained by take_tagged_receipts().
         self._tagged_receipts: Dict[object, ShardedWriteReceipt] = {}
+        # Whole-site lifecycle: ACTIVE serves normally; RECOVERING means
+        # a SiteRecovery pass is rebuilding this site and the service
+        # layer refuses external writes (503 + Retry-After).
+        self._site_state = SiteState.ACTIVE
         self._journal = journal if journal is not None else self.config.journal
         if self._journal is not None:
             # Crash recovery: re-queue every journalled-but-unflushed
-            # record.  Replay only queues — the caller decides when to
-            # flush, exactly as the crashed process would have.
+            # record (tags included, so deferred tickets survive the
+            # restart).  Replay only queues — the caller decides when
+            # to flush, exactly as the crashed process would have.
             for entry in self._journal.replay():
-                self._enqueue(entry.payload, entry.kwargs, entry.entry_id)
+                self._enqueue(entry.payload, entry.kwargs, entry.entry_id,
+                              entry.tag)
 
     # ------------------------------------------------------------ construction
 
@@ -388,15 +395,43 @@ class ShardedWormStore:
         the next healthy shard in round-robin order (failing over if
         that shard dies mid-write), and the receipt carries the
         ``(shard_id, sn)`` locator.
+
+        With an intent journal attached, single-payload writes are
+        journalled too (append before the commit, locator-carrying
+        acknowledgement after), so a replicated journal gives the
+        standby site a complete ledger of *every* acknowledged write —
+        the direct path included — not just the deferred queue.
+        Multi-record VRs and shared-descriptor writes skip the journal
+        (their inputs are not journalable payload bytes).
         """
         shard_id = self._pick_shard()
+        entry_id = self._journal_direct(records, write_kwargs)
 
         def commit(target: int) -> ShardedWriteReceipt:
             receipt = self._stores[target].write(records, **write_kwargs)
             return self._wrap(target, receipt, record_index=0, batch_size=1,
                               costs=receipt.costs)
 
-        return self._with_failover(shard_id, commit)
+        wrapped = self._with_failover(shard_id, commit)
+        if entry_id is not None:
+            self._journal.mark_committed([entry_id],
+                                         [wrapped.locator.pack()])
+        return wrapped
+
+    def _journal_direct(self, records: Sequence[bytes],
+                        write_kwargs: Dict) -> Optional[int]:
+        """Journal a direct single-payload write, when journalable."""
+        if (self._journal is None or len(records) != 1
+                or not isinstance(records[0], (bytes, bytearray))):
+            return None
+        try:
+            return self._journal.append(bytes(records[0]),
+                                        dict(write_kwargs))
+        except JournalError:
+            # Non-JSON-safe kwargs (e.g. shared descriptors): the write
+            # is synchronous anyway — proceed unjournalled, exactly as
+            # this path behaved before journaling was added to it.
+            return None
 
     def _enqueue(self, payload: bytes, kwargs: Dict,
                  entry_id: Optional[int],
@@ -447,8 +482,17 @@ class ShardedWormStore:
         """
         if not isinstance(payload, (bytes, bytearray)):
             raise TypeError("submit() takes one record payload (bytes)")
-        entry_id = (self._journal.append(bytes(payload), dict(write_kwargs))
-                    if self._journal is not None else None)
+        entry_id: Optional[int] = None
+        if self._journal is not None:
+            try:
+                entry_id = self._journal.append(bytes(payload),
+                                                dict(write_kwargs), tag=tag)
+            except JournalError:
+                # Opaque in-memory-only tags are still allowed; they
+                # just don't survive a restart (the pre-tag-journal
+                # contract).  The payload itself must journal.
+                entry_id = self._journal.append(bytes(payload),
+                                                dict(write_kwargs))
         shard_id, key, group = self._enqueue(bytes(payload), write_kwargs,
                                              entry_id, tag)
         if len(group.payloads) >= max(1, self.config.group_commit_size):
@@ -516,22 +560,28 @@ class ShardedWormStore:
         shards round-robin and each shard commits its share as a single
         multi-record ``write()`` — one SN, one metasig/datasig pair —
         so SCPU witnessing cost is paid once per shard, not once per
-        record.  Receipts come back in input order.
+        record.  Receipts come back in input order.  With an intent
+        journal attached, each payload is journalled before its commit
+        and acknowledged with its locator, like :meth:`submit`.
         """
         if isinstance(payloads, (bytes, bytearray)):
             raise TypeError("pass a sequence of record payloads")
         slots: List[List[bytes]] = [[] for _ in self._stores]
+        entry_slots: List[List[Optional[int]]] = [[] for _ in self._stores]
         order: List[Tuple[int, int]] = []  # (shard_id, index-in-shard-batch)
         for payload in payloads:
             shard_id = self._pick_shard()
             order.append((shard_id, len(slots[shard_id])))
             slots[shard_id].append(payload)
+            entry_slots[shard_id].append(
+                self._journal_direct([payload], write_kwargs))
         per_shard: Dict[int, List[ShardedWriteReceipt]] = {}
         for shard_id, batch in enumerate(slots):
             if batch:
                 per_shard[shard_id] = self._commit_with_failover(
                     shard_id, _PendingGroup(kwargs=dict(write_kwargs),
-                                            payloads=batch))
+                                            payloads=batch,
+                                            entry_ids=entry_slots[shard_id]))
         return [per_shard[shard_id][index] for shard_id, index in order]
 
     def _commit_with_failover(
@@ -541,8 +591,14 @@ class ShardedWormStore:
         receipts = self._with_failover(
             shard_id, lambda target: self._commit_group(target, group))
         if self._journal is not None:
-            self._journal.mark_committed(
-                [i for i in group.entry_ids if i is not None])
+            committed = [(entry_id, receipt.locator.pack())
+                         for entry_id, receipt in zip(group.entry_ids,
+                                                      receipts)
+                         if entry_id is not None]
+            if committed:
+                self._journal.mark_committed(
+                    [entry_id for entry_id, _ in committed],
+                    [locator for _, locator in committed])
         for tag, receipt in zip(group.tags, receipts):
             if tag is not None:
                 self._tagged_receipts[tag] = receipt
@@ -668,6 +724,32 @@ class ShardedWormStore:
     # ------------------------------------------------------------------ health
 
     @property
+    def site_state(self) -> str:
+        """Whole-site lifecycle state (see :class:`SiteState`)."""
+        return self._site_state
+
+    @property
+    def recovering(self) -> bool:
+        """True while a :class:`repro.recovery.SiteRecovery` pass owns
+        this site: reads are served (verifiably, once VERIFY has
+        passed), external writes are refused at the service layer."""
+        return self._site_state == SiteState.RECOVERING
+
+    def begin_recovery(self) -> None:
+        """Mark this site as being rebuilt from a replica.
+
+        Called by :class:`repro.recovery.SiteRecovery` before REPLAY
+        starts importing records, so monitoring (``health_report``) and
+        the service layer (503 + Retry-After) see the transition.
+        Idempotent — a resumed recovery re-enters the same state.
+        """
+        self._site_state = SiteState.RECOVERING
+
+    def resume_service(self) -> None:
+        """Recovery's RESUME stage completed: the site serves writes again."""
+        self._site_state = SiteState.ACTIVE
+
+    @property
     def degraded_shards(self) -> Tuple[int, ...]:
         """Shard ids whose SCPU has zeroized (read-only forever)."""
         return tuple(i for i, b in enumerate(self._breakers) if b.degraded)
@@ -720,6 +802,8 @@ class ShardedWormStore:
             })
         return {
             "shards": shards,
+            "site_state": self._site_state,
+            "recovering": self.recovering,
             "writable_shards": list(self.writable_shards),
             "degraded_shards": list(self.degraded_shards),
             "failovers": self._failover_count,

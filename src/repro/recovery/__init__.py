@@ -1,0 +1,47 @@
+"""Cross-site replication and verified disaster recovery.
+
+Two halves, one compliance story:
+
+* :mod:`repro.recovery.replication` — a :class:`ReplicationPump`
+  continuously ships the primary site's sealed windows, catalog
+  snapshots/deltas, and (synchronously) its intent journal to an
+  untrusted :class:`ReplicaSite` over a fault-injectable
+  :class:`ReplicationTransport`.
+* :mod:`repro.recovery.stages` — :class:`SiteRecovery` rebuilds a dead
+  site from that replica through explicit, resumable stages
+  (DISCOVER → DOWNLOAD → VERIFY → REPLAY → RESUME), verifying every
+  construct against the dead site's CA-certified SCPU keys before a
+  byte is re-imported, and raising
+  :class:`~repro.core.errors.TamperedError` terminally on any mismatch.
+
+The replica is exactly as untrusted as the primary's own disk; the
+recovery guarantee is the paper's guarantee, stretched across sites:
+what the SCPU signed is what the new site serves, and what it never
+signed never gets in.
+"""
+
+from repro.recovery.replication import (LAG_BUCKETS, REPLICATION_COUNTERS,
+                                        ReplicatedIntentJournal,
+                                        ReplicationArtifact,
+                                        ReplicationPump,
+                                        ReplicationTransport, ReplicaSite,
+                                        declare_replication_metrics)
+from repro.recovery.stages import (RECOVERY_COUNTERS, RecoveryReport,
+                                   RecoveryStage, SiteRecovery,
+                                   declare_recovery_metrics)
+
+__all__ = [
+    "ReplicationArtifact",
+    "ReplicationTransport",
+    "ReplicaSite",
+    "ReplicationPump",
+    "ReplicatedIntentJournal",
+    "declare_replication_metrics",
+    "REPLICATION_COUNTERS",
+    "LAG_BUCKETS",
+    "RecoveryStage",
+    "RecoveryReport",
+    "SiteRecovery",
+    "declare_recovery_metrics",
+    "RECOVERY_COUNTERS",
+]

@@ -33,6 +33,7 @@ __all__ = [
     "STATUS_BY_CODE",
     "RateLimitedError",
     "BacklogFullError",
+    "SiteRecoveringError",
     "UnknownTenantError",
     "TenantIsolationError",
     "PolicyForbiddenError",
@@ -75,6 +76,23 @@ class BacklogFullError(WormError):
     code = "backlog-full"
 
     def __init__(self, detail: str, retry_after: float = 1.0) -> None:
+        super().__init__(detail)
+        self.retry_after = retry_after
+
+
+class SiteRecoveringError(WormError):
+    """The site is rebuilding from its replica; writes resume after RESUME.
+
+    Raised while the backing store is in the ``recovering`` site state
+    (a :class:`repro.recovery.SiteRecovery` pass owns it): mutating
+    operations are refused with 503 + ``Retry-After`` so clients back
+    off instead of racing the journal drain, while reads keep serving —
+    recovered records are verifiable as soon as VERIFY has passed.
+    """
+
+    code = "site-recovering"
+
+    def __init__(self, detail: str, retry_after: float = 30.0) -> None:
         super().__init__(detail)
         self.retry_after = retry_after
 
@@ -168,6 +186,9 @@ STATUS_BY_CODE: Dict[str, int] = {
     "scpu-unavailable": 503,
     "storage-unavailable": 503,
     "degraded": 503,
+    # Disaster recovery in progress (retryable, carries Retry-After)
+    "site-recovering": 503,
+    "replication-failed": 503,
 }
 
 #: Status for any code absent from :data:`STATUS_BY_CODE` — including

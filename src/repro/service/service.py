@@ -55,6 +55,7 @@ from repro.service.problems import (
     PolicyForbiddenError,
     QuotaExceededError,
     RateLimitedError,
+    SiteRecoveringError,
     TenantIsolationError,
     UnknownOperationError,
     UnknownTenantError,
@@ -90,11 +91,17 @@ class WormService:
     reads a wall clock (wormlint W002).
     """
 
+    #: Retry-After (virtual seconds) answered while the site recovers.
+    RECOVERY_RETRY_AFTER = 30.0
+
     def __init__(self, store: ShardedWormStore,
                  tenants: Iterable[Union[TenantConfig, str]] = (),
                  ca=None, client=None) -> None:
         self._store = store
         self.obs = store.obs
+        # old packed locator -> new packed locator, grown by promote():
+        # locators handed out before a disaster keep resolving after it.
+        self._locator_aliases: Dict[str, str] = {}
         self._client = (client if client is not None
                         else store.make_client(ca) if ca is not None
                         else None)
@@ -207,6 +214,12 @@ class WormService:
         retry_after = None
         if problem.status == 429:
             retry_after = float(getattr(exc, "retry_after", 1.0))
+        elif problem.status == 503:
+            # Recovery / replication refusals carry their own horizon;
+            # plain infrastructure 503s leave the client to its backoff.
+            hint = getattr(exc, "retry_after", None)
+            if hint is not None:
+                retry_after = float(hint)
         self.obs.inc("service.rejected")
         if state is not None:
             state.rejected += 1
@@ -246,7 +259,15 @@ class WormService:
                 f"locator {value!r} is outside tenant "
                 f"{state.config.name!r}'s namespace")
         resolved = RecordLocator.unpack(packed)
-        if resolved.pack() not in state.owned:
+        canonical = resolved.pack()
+        if canonical not in state.owned:
+            # A locator issued before a disaster: promote() recorded the
+            # old -> new mapping, so pre-recovery handles keep resolving.
+            alias = self._locator_aliases.get(canonical)
+            if alias is not None and alias in state.owned:
+                resolved = RecordLocator.unpack(alias)
+                canonical = alias
+        if canonical not in state.owned:
             # 404-shaped on purpose: existence in someone else's
             # namespace is itself confidential.
             raise TenantIsolationError(
@@ -255,6 +276,19 @@ class WormService:
         return resolved
 
     # --------------------------------------------------------------- admission
+
+    def _require_active_site(self) -> None:
+        """Refuse mutations while a recovery pass owns the store.
+
+        Reads are deliberately exempt: the recovering site serves
+        verifiable reads as soon as VERIFY has passed, which is the
+        whole point of staged recovery.
+        """
+        if getattr(self._store, "recovering", False):
+            raise SiteRecoveringError(
+                "this site is being rebuilt from its replica; writes "
+                "resume once the replicated journal has drained",
+                retry_after=self.RECOVERY_RETRY_AFTER)
 
     def _take_token(self, state: TenantState, now: float) -> None:
         if not state.bucket.try_acquire(now):
@@ -315,6 +349,7 @@ class WormService:
 
     def _op_write(self, state: TenantState, params: Dict[str, object],
                   now: float) -> Tuple[int, Dict[str, object]]:
+        self._require_active_site()
         payload = self._require_payload(params.get("payload"))
         kwargs = self._write_kwargs(params)
         self._check_policy(state, kwargs["policy"])
@@ -333,6 +368,7 @@ class WormService:
 
     def _op_write_batch(self, state: TenantState, params: Dict[str, object],
                         now: float) -> Tuple[int, Dict[str, object]]:
+        self._require_active_site()
         payloads = params.get("payloads")
         if not isinstance(payloads, (list, tuple)) or not payloads:
             raise BadRequestError(
@@ -403,6 +439,7 @@ class WormService:
 
     def _op_expire(self, state: TenantState, params: Dict[str, object],
                    now: float) -> Tuple[int, Dict[str, object]]:
+        self._require_active_site()
         self._take_token(state, now)
         resolved = self._unscope(state, params.get("locator"))
         outcome = self._store.expire_record(resolved, now=now)
@@ -410,6 +447,7 @@ class WormService:
 
     def _op_hold(self, state: TenantState, params: Dict[str, object],
                  now: float) -> Tuple[int, Dict[str, object]]:
+        self._require_active_site()
         self._take_token(state, now)
         resolved = self._unscope(state, params.get("locator"))
         credential = params.get("credential")
@@ -474,21 +512,61 @@ class WormService:
     def _pump(self) -> None:
         """File freshly-committed tagged receipts into tenant state."""
         for tag, receipt in self._store.take_tagged_receipts().items():
-            tenant, ticket = tag
-            state = self._tenants.get(tenant)
-            if state is None:
-                continue
-            packed = receipt.locator.pack()
-            state.owned.add(packed)
-            entry = state.tickets.get(ticket)
-            if entry is None or entry.durable:
-                continue
-            entry.packed_locator = packed
-            state.redeemed += 1
-            self.obs.inc("service.redeemed")
-            self._tenant_inc(state, "redeemed")
-            self.obs.observe("service.defer_wait_seconds",
-                             max(0.0, self.now - entry.submitted_at))
+            self._file_tagged(tag, receipt)
+
+    def _file_tagged(self, tag: object,
+                     receipt: ShardedWriteReceipt) -> None:
+        """Resolve one committed ``(tenant, ticket)`` tag to its locator.
+
+        Tags outside the service's shape (e.g. the recovery pass's own
+        ``__recovery__`` handles, or tenants never provisioned here)
+        are ignored — their receipts still exist in the store.
+        """
+        if not (isinstance(tag, tuple) and len(tag) == 2):
+            return
+        tenant, ticket = tag
+        state = self._tenants.get(tenant)
+        if state is None:
+            return
+        packed = receipt.locator.pack()
+        state.owned.add(packed)
+        entry = state.tickets.get(ticket)
+        if entry is None or entry.durable:
+            return
+        entry.packed_locator = packed
+        state.redeemed += 1
+        self.obs.inc("service.redeemed")
+        self._tenant_inc(state, "redeemed")
+        self.obs.observe("service.defer_wait_seconds",
+                         max(0.0, self.now - entry.submitted_at))
+
+    # ------------------------------------------------------ disaster failback
+
+    def promote(self, new_store: ShardedWormStore, report) -> None:
+        """Fail the service over to a freshly recovered store.
+
+        *report* is the :class:`repro.recovery.RecoveryReport` of the
+        completed recovery pass.  Tenant state survives the disaster:
+        owned locators and redeemed tickets are remapped through the
+        report's old→new locator mapping (old handles keep resolving
+        via aliases), and journal entries that re-committed under
+        their original ``(tenant, ticket)`` tags resolve their still
+        pending tickets — a deferred write acknowledged by the dead
+        site redeems on the new one.
+        """
+        mapping: Dict[str, str] = dict(report.locator_mapping)
+        self._store = new_store
+        for state in self._tenants.values():
+            state.owned = {mapping.get(packed, packed)
+                           for packed in state.owned}
+            for entry in state.tickets.values():
+                if entry.packed_locator is not None:
+                    entry.packed_locator = mapping.get(
+                        entry.packed_locator, entry.packed_locator)
+        self._locator_aliases.update(mapping)
+        for tag, receipt in report.tagged_receipts.items():
+            self._file_tagged(tag, receipt)
+        self._pump()  # anything the new store committed since RESUME
 
     # ------------------------------------------------------------- accounting
 

@@ -22,6 +22,8 @@ _PUBLIC_ERRORS = [
     "LitigationHoldError",
     "MigrationError",
     "MissingRecordError",
+    "RecoveryError",
+    "ReplicationError",
     "RetentionViolationError",
     "ScpuUnavailableError",
     "SecureMemoryError",

@@ -126,3 +126,44 @@ def test_narrow_handlers_are_fine():
             except (VerificationError, FreshnessError):
                 return None
     """) == []
+
+
+def test_recovery_stage_swallowing_tamper_fires():
+    # The disaster-recovery VERIFY stage is exactly where a swallowed
+    # tamper trip would be catastrophic: the stage would "succeed" and
+    # REPLAY would import forged records into the rebuilt site.  The
+    # rule must fire on the retry-the-stage idiom.
+    assert rules("""
+        def step(self):
+            handler = self._handlers[self.stage]
+            try:
+                handler()
+            except TamperedError:
+                self._retries += 1
+                return self.stage  # keep the stage re-runnable
+    """, path="src/repro/recovery/stages.py") == ["W004"]
+
+
+def test_recovery_stage_demoting_tamper_fires():
+    # Demoting the trip to a resumable RecoveryError is the same bug
+    # with better manners — W004 treats raise-of-something-else in a
+    # tamper handler as a swallow unless the original escalates.
+    assert rules("""
+        def _verify(self):
+            try:
+                self._verify_shard_windows()
+            except TamperedError as exc:
+                self.checkpoint["failed"] = str(exc)
+                raise RecoveryError("verify failed; resume later")
+    """, path="src/repro/recovery/stages.py") == ["W004"]
+
+
+def test_recovery_stage_escalating_tamper_is_fine():
+    assert rules("""
+        def _verify(self):
+            try:
+                self._verify_shard_windows()
+            except TamperedError:
+                self.checkpoint["failed"] = True
+                raise
+    """, path="src/repro/recovery/stages.py") == []

@@ -1,0 +1,177 @@
+"""Replication mechanics: streams, ordering, faults, the journal mirror.
+
+The transport is an adversarial WAN (loss, delay, reordering,
+corruption from a deterministic FaultPlan); these tests pin down the
+behaviours recovery depends on: per-stream in-order application with
+gap buffering, retransmission until acknowledged, the synchronous
+journal mirror failing loud instead of acknowledging an unreplicated
+write, and replication lag showing up in telemetry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _wiring import drain, make_site
+from repro.core.errors import ReplicationError
+from repro.faults import FaultPlan
+from repro.obs import TelemetryBus
+from repro.recovery import ReplicaSite, ReplicationArtifact
+
+
+def _artifact(stream, seq, payload=None, created_at=0.0):
+    return ReplicationArtifact(
+        stream=stream, seq=seq, kind="delta", created_at=created_at,
+        payload=payload or {"shard_id": 0, "kind": "delta", "vrds": [],
+                            "blocks": {}, "expired": []},
+        size_bytes=64)
+
+
+class TestReplicaOrdering:
+    def test_gap_is_buffered_until_contiguous(self):
+        replica = ReplicaSite()
+        assert replica.apply(_artifact("catalog:0", 2)) == 0  # gap: waits
+        assert replica.ack("catalog:0") == 0
+        assert replica.apply(_artifact("catalog:0", 1)) == 2  # drains both
+        assert replica.ack("catalog:0") == 2
+
+    def test_duplicates_apply_zero(self):
+        replica = ReplicaSite()
+        assert replica.apply(_artifact("catalog:0", 1)) == 1
+        assert replica.apply(_artifact("catalog:0", 1)) == 0  # retransmit
+        assert replica.ack("catalog:0") == 1
+
+    def test_streams_are_independent(self):
+        replica = ReplicaSite()
+        assert replica.apply(_artifact("catalog:1",
+                                       1, {"shard_id": 1})) == 1
+        assert replica.ack("catalog:0") == 0
+        assert replica.ack("catalog:1") == 1
+
+
+class TestTransportFaults:
+    def test_lost_artifact_is_retransmitted_until_acked(self):
+        plan = FaultPlan().transient(after_ops=1, op="replicate.send",
+                                     count=2)
+        store, transport, replica, pump = make_site(plan=plan)
+        store.submit(b"survives loss")
+        store.flush()
+        drain(store, pump)
+        assert replica.ack("catalog:0") >= 1 or replica.ack("catalog:1") >= 1
+        assert plan.injected["transient"] == 2
+
+    def test_latency_spike_reorders_but_replica_absorbs_it(self):
+        # The first catalog artifact is delayed 30s; its successor
+        # arrives first and must wait in the gap buffer.
+        plan = FaultPlan().latency(seconds=30.0, after_ops=1,
+                                   op="replicate.send")
+        store, transport, replica, pump = make_site(plan=plan,
+                                                    shard_count=1)
+        store.submit(b"first")
+        store.flush()
+        store.advance_clocks(1.0)
+        pump.pump()  # ships delta #1 (delayed in flight)
+        store.submit(b"second")
+        store.flush()
+        store.advance_clocks(0.2)
+        pump.pump()  # ships delta #2, which arrives first -> buffered
+        assert replica.ack("catalog:0") == 0
+        drain(store, pump)  # the spike elapses; both apply in order
+        assert replica.ack("catalog:0") >= 2
+        image = replica.materialize_shard(0)
+        assert len(image["vrds"]) == 2
+
+    def test_sync_path_exhaustion_refuses_the_write(self):
+        # Link down past the retry budget: the journal mirror raises
+        # instead of acknowledging an unreplicated write.
+        plan = FaultPlan().transient(after_ops=1, op="replicate.sync",
+                                     count=64)
+        store, transport, replica, pump = make_site(plan=plan)
+        with pytest.raises(ReplicationError):
+            store.submit(b"never acknowledged")
+
+    def test_sync_path_rides_out_short_outages(self):
+        plan = FaultPlan().transient(after_ops=1, op="replicate.sync",
+                                     count=3)
+        store, transport, replica, pump = make_site(plan=plan)
+        store.submit(b"persistent")  # 3 drops, 4th attempt lands
+        assert len(replica.journal_ledger()) == 1
+        assert transport.sync_delay_seconds > 0
+
+
+class TestJournalMirror:
+    def test_every_acknowledged_write_has_a_mirrored_entry(self):
+        store, transport, replica, pump = make_site()
+        for i in range(5):
+            store.submit(b"rec-%d" % i)
+        store.flush()
+        ledger = replica.journal_ledger()
+        assert [e.payload for e in ledger] == [
+            b"rec-%d" % i for i in range(5)]
+        assert all(e.committed and e.locator is not None for e in ledger)
+
+    def test_uncommitted_tail_is_mirrored_before_the_crash(self):
+        store, transport, replica, pump = make_site(group_commit_size=8)
+        store.submit(b"pending-a")
+        store.submit(b"pending-b", tag=("acme", "t-1"))
+        # No flush: the primary dies here.  The standby already holds
+        # both intents, tags restored to their tuple form.
+        ledger = replica.journal_ledger()
+        assert [e.committed for e in ledger] == [False, False]
+        assert ledger[1].tag == ("acme", "t-1")
+
+    def test_mirror_matches_the_local_ledger(self):
+        store, transport, replica, pump = make_site()
+        for i in range(6):
+            store.submit(b"x%d" % i)
+        store.flush()
+        store.submit(b"tail")
+        local = store._journal.ledger()
+        mirrored = replica.journal_ledger()
+        assert [(e.entry_id, e.committed, e.locator) for e in local] == \
+               [(e.entry_id, e.committed, e.locator) for e in mirrored]
+
+
+class TestPump:
+    def test_catalog_converges_to_the_primary(self, ca):
+        store, transport, replica, pump = make_site(ca=ca)
+        for i in range(9):
+            store.submit(b"record-%d" % i)
+        store.flush()
+        drain(store, pump)
+        assert replica.source_certificates  # meta stream shipped
+        total = 0
+        for shard_id in replica.shard_ids:
+            image = replica.materialize_shard(shard_id)
+            assert image["sn_current"] is not None
+            total += len(image["vrds"])
+        assert total == sum(len(store.shard(s).vrdt.active_sns)
+                            for s in range(store.shard_count))
+
+    def test_snapshot_subsumes_the_delta_chain(self):
+        store, transport, replica, pump = make_site(
+            snapshot_interval=50.0, shard_count=1)
+        store.submit(b"early")
+        store.flush()
+        drain(store, pump, tick=1.0)
+        store.advance_clocks(60.0)  # past the snapshot interval
+        store.submit(b"late")
+        store.flush()
+        drain(store, pump, tick=1.0)
+        shard_replica = replica._shards[0]
+        assert shard_replica.history[0]["kind"] == "snapshot"
+        image = replica.materialize_shard(0)
+        assert len(image["vrds"]) == 2
+
+    def test_lag_is_observed_into_the_histogram(self):
+        bus = TelemetryBus()
+        store, transport, replica, pump = make_site(obs=bus)
+        store.submit(b"measured")
+        store.flush()
+        drain(store, pump)
+        snapshot = bus.snapshot()
+        lag = snapshot["histograms"]["replication.lag_seconds"]
+        assert lag["count"] >= 1
+        assert snapshot["counters"]["replication.artifacts_shipped"] >= 1
+        assert snapshot["counters"]["replication.artifacts_applied"] >= 1
+        assert snapshot["counters"]["replication.journal_ops"] >= 2

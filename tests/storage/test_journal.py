@@ -107,3 +107,83 @@ class TestFileJournal:
         entry = JournalEntry(entry_id=1, payload=b"x", kwargs={})
         with pytest.raises(AttributeError):
             entry.payload = b"y"
+
+
+class TestTornFinalSegment:
+    """Crash-truncation of the *last* segment must never lose earlier
+    acknowledged state, and must never be mistaken for tampering."""
+
+    def _journal_with_history(self, path):
+        journal = FileIntentJournal(path)
+        a = journal.append(b"alpha", {"policy": "sox"},
+                           tag=("acme", "t-1"))
+        b = journal.append(b"beta", {})
+        journal.mark_committed([a], locators=["0:1:0"])
+        return journal, a, b
+
+    def test_truncated_mid_byte_keeps_prior_entries(self, tmp_path):
+        """Simulate the disk persisting only a prefix of the final
+        append (torn write at an arbitrary byte offset)."""
+        path = tmp_path / "intent.jsonl"
+        journal, a, b = self._journal_with_history(path)
+        journal.append(b"gamma", {})
+        raw = path.read_bytes()
+        # Chop the final line at every offset within it; each prefix
+        # must recover exactly the pre-crash acknowledged state.
+        tail_start = raw.rstrip(b"\n").rfind(b"\n") + 1
+        for cut in range(tail_start + 1, len(raw) - 1):
+            path.write_bytes(raw[:cut])
+            recovered = FileIntentJournal(path)
+            assert [e.payload for e in recovered.replay()] == [b"beta"]
+
+    def test_torn_commit_line_replays_entry(self, tmp_path):
+        """A crash mid-``mark_committed`` leaves the entry pending —
+        at-least-once: replaying a committed write beats losing one."""
+        path = tmp_path / "intent.jsonl"
+        journal, a, b = self._journal_with_history(path)
+        with open(path, "a") as handle:
+            handle.write('{"op": "commit", "ids": [%d], "loc' % b)
+        recovered = FileIntentJournal(path)
+        assert [e.entry_id for e in recovered.replay()] == [b]
+        ledger = {e.entry_id: e for e in recovered.ledger()}
+        assert ledger[a].committed and ledger[a].locator == "0:1:0"
+        assert not ledger[b].committed
+
+    def test_torn_tail_preserves_tags_and_ledger(self, tmp_path):
+        """Tags (tuple form restored from JSON lists) and commit
+        locators survive a torn tail intact."""
+        path = tmp_path / "intent.jsonl"
+        journal, a, b = self._journal_with_history(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"op": "submit", "id": 3, "payload": "de')
+        recovered = FileIntentJournal(path)
+        entries = recovered.replay()
+        assert [e.entry_id for e in entries] == [b]
+        ledger = recovered.ledger()
+        assert ledger[0].tag == ("acme", "t-1")  # tuple, not list
+        assert ledger[0].committed
+        assert ledger[0].locator == "0:1:0"
+
+    def test_ids_not_reused_after_truncation(self, tmp_path):
+        """The torn entry's id stays burned: a fresh append after
+        recovery must not collide with the lost intent."""
+        path = tmp_path / "intent.jsonl"
+        journal, a, b = self._journal_with_history(path)
+        c = journal.append(b"gamma", {})
+        raw = path.read_bytes()
+        tail_start = raw.rstrip(b"\n").rfind(b"\n") + 1
+        path.write_bytes(raw[:tail_start + 20])  # torn "gamma" submit
+        recovered = FileIntentJournal(path)
+        d = recovered.append(b"delta", {})
+        assert d > b  # never reuses a surviving id
+        assert recovered.pending_count() == 2  # beta + delta
+
+    def test_empty_final_line_is_clean(self, tmp_path):
+        """A crash right after the newline (zero bytes of the next
+        record) is indistinguishable from a clean shutdown."""
+        path = tmp_path / "intent.jsonl"
+        journal, a, b = self._journal_with_history(path)
+        with open(path, "a") as handle:
+            handle.write("\n")
+        recovered = FileIntentJournal(path)
+        assert [e.entry_id for e in recovered.replay()] == [b]
