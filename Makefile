@@ -1,4 +1,4 @@
-.PHONY: check test lint wormlint bench chaos obs service recover
+.PHONY: check test lint wormlint bench chaos obs service recover auth-ablation
 
 # wormlint + ruff (if installed) + tier-1 tests. The pre-merge gate.
 check:
@@ -40,6 +40,13 @@ service:
 recover:
 	PYTHONPATH=src python -m repro.cli recover --records 400
 	PYTHONPATH=src python -m repro.cli recover --records 200 --corrupt
+
+# Three-way authentication-scheme ablation (windows / Merkle / RSA
+# accumulator): regenerates benchmarks/BENCH_ablation_auth_<scheme>.json.
+# The sweep is deterministic, so `--check` in scripts/check.sh gates on
+# these committed artifacts matching the cost model.
+auth-ablation:
+	PYTHONPATH=src python -m repro.cli auth-ablation
 
 # Full virtual-time evaluation suite (slow: paper-sized 1024-bit keys).
 bench:

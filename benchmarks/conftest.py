@@ -21,12 +21,20 @@ from repro.hardware.scpu import ScpuKeyring
 from repro.obs import TelemetryBus
 
 
+#: The authentication backends the ablation benchmarks sweep.
+ALL_SCHEMES = ("windows", "merkle", "accumulator")
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--telemetry", action="store_true", default=False,
         help="write each telemetry-instrumented benchmark's bus snapshot "
              "to BENCH_<test>_telemetry.json next to the benchmark files, "
              "so perf trajectories carry device-attribution data")
+    parser.addoption(
+        "--scheme", action="append", default=None, choices=ALL_SCHEMES,
+        help="restrict the authentication-scheme ablation to this backend "
+             "(repeatable; default: all three)")
 
 
 @pytest.fixture

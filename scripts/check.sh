@@ -35,6 +35,9 @@ echo "==> obs (telemetry reconciliation + snapshot schema)"
 PYTHONPATH=src python -m repro.cli obs --shards 2 --records 48 \
     --check scripts/obs_schema.json >/dev/null
 
+echo "==> auth-ablation artifacts (committed BENCH files vs cost model)"
+PYTHONPATH=src python -m repro.cli auth-ablation --check >/dev/null
+
 echo "==> contract gate (service RC suites + multi-tenant overload bench)"
 PYTHONPATH=src python -m pytest -x -q tests/service
 PYTHONPATH=src python -m repro.cli tenant-bench >/dev/null

@@ -12,7 +12,9 @@ coprocessor (SCPU) in close data proximity:
   deletion proofs;
 * compliant migration — stores move to new media with assurances intact;
 * O(1)-per-update window authentication instead of Merkle trees;
-* deferred-strength witnessing for burst absorption (§4.3).
+* deferred-strength witnessing for burst absorption (§4.3);
+* pluggable catalog authentication (``StoreConfig(auth_scheme=...)``):
+  sealed windows, Merkle tree, or trapdoor-assisted RSA accumulator.
 
 Quickstart
 ----------
@@ -29,6 +31,7 @@ Quickstart
 
 from repro.core import (
     AuditReport,
+    AuthenticationScheme,
     PolicyRegistry,
     ReadResult,
     RecordLocator,
@@ -41,6 +44,7 @@ from repro.core import (
     VerifiedRead,
     WormClient,
     WriteReceipt,
+    available_schemes,
     export_package,
     import_package,
 )
@@ -97,6 +101,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AuditReport",
+    "AuthenticationScheme",
+    "available_schemes",
     "StoreAuditor",
     "WormFileSystem",
     "PolicyRegistry",
@@ -177,26 +183,3 @@ def demo_keyring(strong_bits: int = 512, weak_bits: int = 512) -> ScpuKeyring:
         burst_key=SigningKey.generate(weak_bits, role="burst"),
         hmac=HmacScheme(),
     )
-
-
-#: Internals that historically leaked into the top-level namespace.
-#: They still resolve (with a DeprecationWarning) but are not part of
-#: the public API in ``__all__``; import them from their home module.
-_DEPRECATED_INTERNALS = {
-    "CircuitBreaker": "repro.core.health",
-}
-
-
-def __getattr__(name: str):
-    home = _DEPRECATED_INTERNALS.get(name)
-    if home is not None:
-        import importlib
-        import warnings
-
-        warnings.warn(
-            f"repro.{name} is an internal implementation detail; "
-            f"import it from {home} instead",
-            DeprecationWarning, stacklevel=2)
-        return getattr(importlib.import_module(home), name)
-    raise AttributeError(  # wormlint: disable=W005 - the module __getattr__ protocol requires AttributeError
-        f"module 'repro' has no attribute {name!r}")

@@ -28,6 +28,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.core.auth import (
+    AccumulatorFrontierProof,
+    MerkleFrontierProof,
+    MerkleMembershipProof,
+    _merkle_leaf,
+)
 from repro.core.client import WormClient
 from repro.core.errors import FreshnessError, TamperedError, VerificationError
 from repro.core.proofs import (
@@ -415,6 +421,172 @@ def destroy_window_artifacts(env: AttackEnvironment) -> AttackOutcome:
     return _outcome("destroy-window-artifacts", 2, failure)
 
 
+# ---------------------------------------------------------------------------
+# Scheme-specific attacks: the Merkle and accumulator backends must uphold
+# the same theorems.  Each attack rebuilds its world on the backend it
+# targets (the provided environment only supplies the client's freshness
+# window); detection must come from the scheme's own verification path.
+# ---------------------------------------------------------------------------
+
+def _rebuild_on_scheme(env: AttackEnvironment,
+                       auth_scheme: str) -> AttackEnvironment:
+    """A fresh world running a non-default authentication backend."""
+    from repro.adversary.games import fresh_environment  # local: games imports us
+    return fresh_environment(freshness_window=env.client.freshness_window,
+                             auth_scheme=auth_scheme)
+
+
+def forge_merkle_root(env: AttackEnvironment) -> AttackOutcome:
+    """Doctor a record and re-root the Merkle tree under Mallory's key.
+
+    Mallory rewrites the payload on the medium, rebuilds a tree whose
+    leaf binds the doctored bytes, and signs the new root herself.  The
+    proof is internally consistent — leaf, path, and root all match —
+    but her key carries no CA certificate binding it to this store's
+    SCPU, so the signed root is rejected before the leaf is even
+    inspected.
+    """
+    import dataclasses
+    env = _rebuild_on_scheme(env, "merkle")
+    receipt = env.store.write([b"original ledger page"], policy="sec17a-4")
+    forged_data = b"doctored ledger page"
+    env.store.blocks.unchecked_overwrite(receipt.vrd.rdl[0].key, forged_data)
+
+    from repro.crypto.hashing import ChainedHasher
+    from repro.crypto.merkle import MerkleTree
+    hasher = ChainedHasher()
+    hasher.update(forged_data)
+    vrd = env.store.vrdt.get_active(receipt.sn)
+    leaf = _merkle_leaf(receipt.sn, vrd.attr.canonical_bytes(),
+                        hasher.digest())
+    tree = MerkleTree()
+    index = tree.append(leaf)
+    mallory = SigningKey.generate(512, role="s")
+    signed_root = mallory.sign_envelope(Envelope(
+        purpose=Purpose.MERKLE_ROOT,
+        fields={"root": tree.root(), "sn_frontier": receipt.sn},
+        timestamp=env.store.now))
+    forged_proof = MerkleMembershipProof(signed_root=signed_root, leaf=leaf,
+                                         path=tree.prove(index))
+    malicious = dataclasses.replace(env.store.read(receipt.sn),
+                                    proof=forged_proof)
+    failure = env.verify(malicious, receipt.sn)
+    return _outcome("forge-merkle-root", 1, failure)
+
+
+def merkle_wrong_leaf_path(env: AttackEnvironment) -> AttackOutcome:
+    """Serve one record's Merkle membership proof for another record.
+
+    Both leaf and path are genuine — for the decoy.  The client rebuilds
+    the expected leaf from the requested SN and the returned bytes, so
+    the transplanted proof cannot authenticate the target.
+    """
+    import dataclasses
+    env = _rebuild_on_scheme(env, "merkle")
+    decoy = env.store.write([b"innocuous memo"], policy="sox")
+    target = env.store.write([b"the regretted record"], policy="sox")
+    decoy_result = env.store.read(decoy.sn)
+    malicious = dataclasses.replace(env.store.read(target.sn),
+                                    proof=decoy_result.proof)
+    failure = env.verify(malicious, target.sn)
+    return _outcome("merkle-wrong-leaf-path", 1, failure)
+
+
+def accumulator_spliced_witness(env: AttackEnvironment) -> AttackOutcome:
+    """Serve a genuine accumulator witness — minted for a different SN.
+
+    The client never trusts a server-supplied prime: it recomputes the
+    representative from the requested SN, so the decoy's witness fails
+    ``w^p = value`` for the target.
+    """
+    import dataclasses
+    env = _rebuild_on_scheme(env, "accumulator")
+    decoy = env.store.write([b"innocuous memo"], policy="sox")
+    target = env.store.write([b"the regretted record"], policy="sox")
+    decoy_result = env.store.read(decoy.sn)
+    target_result = env.store.read(target.sn)
+    spliced = dataclasses.replace(target_result.proof,
+                                  witness=decoy_result.proof.witness)
+    malicious = dataclasses.replace(target_result, proof=spliced)
+    failure = env.verify(malicious, target.sn)
+    return _outcome("accumulator-spliced-witness", 1, failure)
+
+
+def accumulator_resurrect_expired(env: AttackEnvironment) -> AttackOutcome:
+    """Replay a pre-expiry witness to serve a deleted record as active.
+
+    Mallory archives the record's read (VRD, payload, witness) before it
+    expires.  The SCPU's removal changed the accumulated value, so the
+    archived witness no longer satisfies ``w^p = value`` against the
+    current signed statement — and the archived statement itself ages
+    out of the freshness window.
+    """
+    import dataclasses
+    env = _rebuild_on_scheme(env, "accumulator")
+    doomed = env.store.write([b"soon-to-expire record"], retention_seconds=1.0)
+    env.store.write([b"long-lived anchor"], policy="sox")
+    archived = env.store.read(doomed.sn)
+    env.clock.advance(10.0)
+    env.store.maintenance()  # expiry removes the SN from the accumulator
+    fresh_statement = env.store.auth.signed_value
+    assert fresh_statement is not None
+    resurrected = dataclasses.replace(archived.proof,
+                                      signed_value=fresh_statement)
+    malicious = dataclasses.replace(archived, proof=resurrected)
+    failure = env.verify(malicious, doomed.sn)
+    return _outcome("accumulator-resurrect-expired", 1, failure)
+
+
+def merkle_stale_root_hiding(env: AttackEnvironment) -> AttackOutcome:
+    """Deny a record with a signed Merkle root from before its write.
+
+    The pre-write root's frontier is genuinely below the target SN, so
+    the denial is internally consistent — but the root's timestamp ages
+    out of the freshness window, exactly like a stale S_s(SN_current).
+    """
+    env = _rebuild_on_scheme(env, "merkle")
+    stale_root = env.store.auth.signed_root
+    assert stale_root is not None
+    receipt = env.store.write([b"the record Mallory regrets"], policy="sox")
+    env.clock.advance(env.client.freshness_window + 60.0)
+    malicious = ReadResult(sn=receipt.sn, status="never-allocated",
+                           proof=MerkleFrontierProof(signed_root=stale_root))
+    failure = env.verify(malicious, receipt.sn)
+    return _outcome("merkle-stale-root-hiding", 2, failure)
+
+
+def accumulator_stale_value_hiding(env: AttackEnvironment) -> AttackOutcome:
+    """Deny a record with a signed accumulator value from before its write."""
+    env = _rebuild_on_scheme(env, "accumulator")
+    stale_value = env.store.auth.signed_value
+    assert stale_value is not None
+    receipt = env.store.write([b"the record Mallory regrets"], policy="sox")
+    env.clock.advance(env.client.freshness_window + 60.0)
+    malicious = ReadResult(
+        sn=receipt.sn, status="never-allocated",
+        proof=AccumulatorFrontierProof(signed_value=stale_value))
+    failure = env.verify(malicious, receipt.sn)
+    return _outcome("accumulator-stale-value-hiding", 2, failure)
+
+
+def accumulator_frontier_hiding(env: AttackEnvironment) -> AttackOutcome:
+    """Deny a committed record with a perfectly *fresh* signed value.
+
+    The statement's SN frontier is at or above the target, so the
+    'never allocated' claim is checkably false — the monotone frontier
+    plays the role S_s(SN_current) plays for windows.
+    """
+    env = _rebuild_on_scheme(env, "accumulator")
+    receipt = env.store.write([b"subpoenaed email"], policy="sec17a-4")
+    fresh_statement = env.store.auth.signed_value
+    assert fresh_statement is not None
+    malicious = ReadResult(
+        sn=receipt.sn, status="never-allocated",
+        proof=AccumulatorFrontierProof(signed_value=fresh_statement))
+    failure = env.verify(malicious, receipt.sn)
+    return _outcome("accumulator-frontier-hiding", 2, failure)
+
+
 #: The full suite: name → (attack function, theorem number).
 ATTACKS: List[Callable[[AttackEnvironment], AttackOutcome]] = [
     tamper_record_payload,
@@ -435,6 +607,13 @@ ATTACKS: List[Callable[[AttackEnvironment], AttackOutcome]] = [
     weak_signature_lapse,
     downgrade_to_weak_signature,
     destroy_window_artifacts,
+    forge_merkle_root,
+    merkle_wrong_leaf_path,
+    accumulator_spliced_witness,
+    accumulator_resurrect_expired,
+    merkle_stale_root_hiding,
+    accumulator_stale_value_hiding,
+    accumulator_frontier_hiding,
 ]
 
 

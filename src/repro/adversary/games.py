@@ -58,19 +58,24 @@ class SuiteResult:
 
 
 def fresh_environment(keyring: Optional[ScpuKeyring] = None,
-                      freshness_window: float = 300.0) -> AttackEnvironment:
+                      freshness_window: float = 300.0,
+                      auth_scheme: str = "windows") -> AttackEnvironment:
     """A brand-new store + verifying client for one attack run.
 
     Attacks mutate untrusted state destructively, so each gets its own
     world; passing a pre-generated *keyring* avoids paying RSA keygen
-    per attack.
+    per attack.  *auth_scheme* selects the authentication backend under
+    attack — the Merkle and accumulator attacks rebuild their world on
+    the scheme they target.
     """
     from repro import demo_keyring
+    from repro.core.config import StoreConfig
 
     ca = CertificateAuthority(bits=512)
     scpu = SecureCoprocessor(
         keyring=keyring if keyring is not None else demo_keyring())
-    store = StrongWormStore(scpu=scpu)
+    store = StrongWormStore(scpu=scpu,
+                            config=StoreConfig(auth_scheme=auth_scheme))
     client = store.make_client(ca, freshness_window=freshness_window)
     return AttackEnvironment(store=store, client=client)
 

@@ -1029,6 +1029,60 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_auth_ablation(args) -> int:
+    """Three-way authentication-scheme ablation → committed artifacts.
+
+    Sweeps every (or each ``--scheme``-selected) backend through
+    :func:`repro.sim.ablation.run_auth_ablation` and writes one
+    ``BENCH_ablation_auth_<scheme>.json`` per scheme.  The sweep runs in
+    virtual time on demo 512-bit keys, so the artifacts are
+    deterministic across machines — which is what makes ``--check``
+    (regenerate and diff against the committed files, exit 2 on drift)
+    a meaningful CI gate.
+    """
+    from repro import demo_keyring
+    from repro.sim.ablation import run_auth_ablation
+
+    schemes = args.scheme or ["windows", "merkle", "accumulator"]
+    sizes = [int(part) for part in args.sizes.split(",") if part.strip()]
+    keyring = demo_keyring()
+    out_dir = Path(args.out_dir)
+    drifted = []
+    rows = []
+    for scheme in schemes:
+        sweep = run_auth_ablation(scheme, keyring, sizes=sizes)
+        rendered = json.dumps(sweep, indent=2, sort_keys=True) + "\n"
+        path = out_dir / f"BENCH_ablation_auth_{scheme}.json"
+        if args.check:
+            if not path.exists() or path.read_text() != rendered:
+                drifted.append(path.name)
+        else:
+            path.write_text(rendered)
+        for point in sweep["points"]:
+            rows.append([
+                scheme, str(point["store_size"]),
+                f"{point['scpu_seconds_per_write'] * 1e6:.0f}",
+                f"{point['read_seconds'] * 1e3:.2f}",
+                str(int(point["proof_bytes"])),
+                str(int(point["state_bytes"])),
+            ])
+    print(format_table(
+        ["scheme", "store size", "SCPU µs/write", "read ms", "proof B",
+         "state B"],
+        rows, title="Authentication-scheme ablation (virtual time)"))
+    if args.check:
+        if drifted:
+            print(f"DRIFT: {', '.join(drifted)} differ from the cost "
+                  f"model; regenerate with `make auth-ablation`",
+                  file=sys.stderr)
+            return 2
+        print(f"committed artifacts match the cost model "
+              f"({len(schemes)} scheme(s))")
+    else:
+        print(f"wrote {len(schemes)} artifact(s) to {out_dir}/")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.core.report import generate_report
     root, store, fs, ca = _open(args.directory)
@@ -1227,6 +1281,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--burst-tokens", type=int, default=200)
     p.add_argument("--max-deferred", type=int, default=256)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("auth-ablation",
+                       help="windows/merkle/accumulator ablation sweep; "
+                            "writes BENCH_ablation_auth_<scheme>.json "
+                            "(in-memory, virtual time, deterministic)")
+    p.add_argument("--scheme", action="append", default=None,
+                   choices=["windows", "merkle", "accumulator"],
+                   help="sweep only this backend (repeatable; default all)")
+    p.add_argument("--sizes", default="32,128,512",
+                   help="comma-separated prefill sizes per sample point")
+    p.add_argument("--out-dir", default="benchmarks",
+                   help="directory receiving the BENCH_*.json artifacts")
+    p.add_argument("--check", action="store_true",
+                   help="regenerate and diff against the committed "
+                        "artifacts instead of writing; exit 2 on drift")
+    p.set_defaults(func=cmd_auth_ablation)
 
     p = sub.add_parser("attest",
                        help="signed SCPU state snapshot; chain with --previous")

@@ -1,6 +1,16 @@
 """The Strong WORM core: store, client, windows, retention, deferral."""
 
 from repro.core.audit import AuditFinding, AuditReport, StoreAuditor
+from repro.core.auth import (
+    AccumulatorScheme,
+    AuthenticationScheme,
+    MerkleScheme,
+    WindowScheme,
+    available_schemes,
+    create_scheme,
+    register_scheme,
+    resolve_scheme,
+)
 from repro.core.catalog import RecordCatalog
 from repro.core.client import VerifiedRead, WormClient
 from repro.core.config import StoreConfig
@@ -82,6 +92,14 @@ __all__ = [
     "AuditFinding",
     "AuditReport",
     "StoreAuditor",
+    "AccumulatorScheme",
+    "AuthenticationScheme",
+    "MerkleScheme",
+    "WindowScheme",
+    "available_schemes",
+    "create_scheme",
+    "register_scheme",
+    "resolve_scheme",
     "RecordCatalog",
     "DedupIndex",
     "DepositOutcome",

@@ -232,4 +232,18 @@ class WormClient:
             return VerifiedRead(sn=requested_sn, status="never-allocated",
                                 proof_kind=ProofKind.NEVER_ALLOCATED)
 
+        # Proof objects from pluggable authentication schemes carry a
+        # ``scheme`` discriminator; dispatch to the registered scheme's
+        # verifier.  Imported lazily: repro.core.auth imports this module.
+        scheme_name = getattr(proof, "scheme", None)
+        if isinstance(scheme_name, str):
+            from repro.core.auth import resolve_scheme
+            from repro.core.errors import UnknownAlgorithmError
+            try:
+                scheme_cls = resolve_scheme(scheme_name)
+            except UnknownAlgorithmError as exc:
+                raise VerificationError(
+                    f"proof claims unknown scheme {scheme_name!r}") from exc
+            return scheme_cls.client_verify(self, result, requested_sn)
+
         raise VerificationError(f"unrecognized proof object: {proof!r}")

@@ -37,8 +37,16 @@ class StoreConfig:
 
     Tuning scalars (paper defaults):
 
-    * ``window_refresh_interval`` — seconds between S_s(SN_current)
-      refreshes (§4.2.1 freshness mechanism);
+    * ``auth_scheme`` — which registered
+      :class:`~repro.core.auth.AuthenticationScheme` authenticates the
+      record catalog: ``"windows"`` (the paper's O(1) sealed windows,
+      default), ``"merkle"`` (O(log n) authenticated tree), or
+      ``"accumulator"`` (trapdoor-assisted RSA accumulator).  Unknown
+      names raise :class:`~repro.core.errors.UnknownAlgorithmError` at
+      store construction;
+    * ``window_refresh_interval`` — seconds between refreshes of the
+      scheme's freshness-bearing statement (S_s(SN_current), the signed
+      Merkle root, or the signed accumulator value);
     * ``vexp_capacity`` — SCPU-resident expiration-list slots (§4.2.2);
     * ``strengthen_safety_factor`` — fraction of a weak construct's
       security lifetime after which it must be strengthened (§4.3).
@@ -79,6 +87,7 @@ class StoreConfig:
     disk: Optional[Any] = None
     policies: Optional[Any] = None
     regulator_public_key: Optional[Any] = None
+    auth_scheme: str = "windows"
     window_refresh_interval: float = 120.0
     vexp_capacity: int = 65536
     strengthen_safety_factor: float = 0.5

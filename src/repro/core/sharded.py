@@ -802,6 +802,7 @@ class ShardedWormStore:
             })
         return {
             "shards": shards,
+            "auth_scheme": self.config.auth_scheme,
             "site_state": self._site_state,
             "recovering": self.recovering,
             "writable_shards": list(self.writable_shards),

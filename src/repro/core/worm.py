@@ -5,7 +5,9 @@
 * the **SCPU** (trusted witness, §4.1) — involved in *updates only*;
 * the **host CPU** and **disk** cost models (untrusted, fast);
 * the **block store** and **VRDT** (untrusted state);
-* the **window manager** (O(1) authentication, §4.2.1);
+* the **authentication scheme** (pluggable via ``config.auth_scheme``:
+  the paper's O(1) windows, a Merkle tree, or an RSA accumulator — see
+  :mod:`repro.core.auth`);
 * the **retention monitor** with its VEXP list (§4.2.2);
 * the **deferred-strengthening queues** (§4.3).
 
@@ -26,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.auth import AuthenticationScheme, create_scheme
 from repro.core.client import WormClient
 from repro.core.config import StoreConfig
 from repro.core.deferred import HashVerificationQueue, StrengtheningQueue
@@ -38,18 +41,10 @@ from repro.core.errors import (
 )
 from repro.core.locator import RecordLocator, resolve_locator
 from repro.core.policy import PolicyRegistry
-from repro.core.proofs import (
-    ActiveProof,
-    BaseBoundProof,
-    DeletionProofResponse,
-    DeletionWindowProof,
-    NeverAllocatedProof,
-    ReadResult,
-)
+from repro.core.proofs import ReadResult
 from repro.core.retention import RetentionMonitor
 from repro.core.retry import RetryExecutor, RetryingScpu, RetryPolicy, RetryStats
 from repro.core.shredding import shred
-from repro.core.windows import WindowManager
 from repro.crypto.envelope import Purpose, SignedEnvelope
 from repro.crypto.keys import Certificate, CertificateAuthority, security_lifetime
 from repro.hardware.device import ScpuLike
@@ -136,8 +131,14 @@ class StrongWormStore:
         self._scpu_rt = RetryingScpu(self.scpu, self.retry)
 
         self.vrdt = VrdTable()
-        self.windows = WindowManager(self._scpu_rt, self.vrdt,
-                                     refresh_interval=config.window_refresh_interval)
+        # The authentication scheme is selected purely by config; unknown
+        # names raise UnknownAlgorithmError here, at construction.
+        self.auth: AuthenticationScheme = create_scheme(config.auth_scheme,
+                                                        self)
+        # Back-compat alias: under the default scheme, ``store.windows``
+        # remains the live WindowManager (pre-scheme tooling pokes it
+        # directly); other schemes have no window manager.
+        self.windows = getattr(self.auth, "windows", None)
         self.retention = RetentionMonitor(self, vexp_capacity=config.vexp_capacity)
         self.strengthening = StrengtheningQueue(
             self, safety_factor=config.strengthen_safety_factor, obs=self.obs)
@@ -148,10 +149,9 @@ class StrongWormStore:
         self._burst_certificates: List[Certificate] = []
         self._rm_process = None  # simulation-mode retention process
 
-        # Publish initial window bounds so even an empty store can prove
-        # "never allocated" to clients.
-        self.windows.refresh_current(force=True)
-        self.windows.refresh_base(force=True)
+        # Publish the scheme's initial signed state so even an empty
+        # store can prove "never allocated" to clients.
+        self.auth.bootstrap()
 
     # ------------------------------------------------------------- telemetry
 
@@ -206,6 +206,11 @@ class StrongWormStore:
     def now(self) -> float:
         """Store time (the SCPU clock; hosts are roughly synchronized)."""
         return self.scpu.now
+
+    @property
+    def auth_scheme(self) -> str:
+        """Name of the configured authentication scheme ("windows", ...)."""
+        return self.auth.name
 
     @property
     def scpu_rt(self) -> RetryingScpu:
@@ -345,7 +350,7 @@ class StrongWormStore:
             self.strengthening.enqueue(sn, self.now, HMAC_STRENGTHEN_TARGET)
         if defer_data_hash:
             self.hash_verification.enqueue(sn, self.now)
-        self.windows.refresh_current()
+        self.auth.on_write(vrd)
 
         costs = self._cost_delta(marks)
         if self.obs.enabled:
@@ -383,9 +388,13 @@ class StrongWormStore:
         if sn < 1:
             raise UnknownSerialNumberError(f"serial numbers start at 1, got {sn}")
         self.host.table_touch()
-        case = self.windows.classify(sn)
+        case = self.auth.classify(sn)
+        if case == "missing":
+            raise UnknownSerialNumberError(
+                f"SN {sn} is inside the window but has no entry — VRDT corrupted")
+        status, proof = self.auth.prove(sn, case)
 
-        if case == "active":
+        if status == "active":
             vrd = self.vrdt.get_active(sn)
             assert vrd is not None
             payloads = []
@@ -393,35 +402,12 @@ class StrongWormStore:
                 payloads.append(self.retry.call(
                     "block_store.get", self.blocks.get, rd.key))
                 self.disk.read(rd.length)
-            proof = ActiveProof(sn_current=self._stored_sn_current())
             return ReadResult(sn=sn, status="active", proof=proof, vrd=vrd,
                               records=tuple(payloads))
 
         if case == "deletion-proof":
-            proof_env = self.vrdt.get_deletion_proof(sn)
-            assert proof_env is not None
             self.disk.read(256)
-            return ReadResult(sn=sn, status="deleted",
-                              proof=DeletionProofResponse(proof=proof_env))
-
-        if case == "below-base":
-            return ReadResult(sn=sn, status="deleted",
-                              proof=BaseBoundProof(sn_base=self._stored_sn_base()))
-
-        if case == "deletion-window":
-            window = self.vrdt.window_covering(sn)
-            assert window is not None
-            return ReadResult(sn=sn, status="deleted",
-                              proof=DeletionWindowProof(lower=window.lower,
-                                                        upper=window.upper))
-
-        if case == "never-allocated":
-            return ReadResult(sn=sn, status="never-allocated",
-                              proof=NeverAllocatedProof(
-                                  sn_current=self._stored_sn_current()))
-
-        raise UnknownSerialNumberError(
-            f"SN {sn} is inside the window but has no entry — VRDT corrupted")
+        return ReadResult(sn=sn, status=status, proof=proof)
 
     def _stored_sn_current(self) -> SignedEnvelope:
         envelope = self.vrdt.sn_current_envelope
@@ -470,7 +456,7 @@ class StrongWormStore:
                 self.disk.write(rd.length)
             shredded += 1
 
-        proof = self._scpu_rt.make_deletion_proof(sn)
+        proof = self.auth.witness_deletion(sn)
         self.vrdt.mark_expired(sn, proof)
         self.host.table_touch()
         self.disk.write(256, sequential=True)
@@ -511,6 +497,7 @@ class StrongWormStore:
         metasig = self._scpu_rt.resign_metadata(sn, new_attr.canonical_bytes())
         updated = vrd.with_attr(new_attr, metasig)
         self.vrdt.replace_active(updated)
+        self.auth.on_attr_change(updated)
         self.host.table_touch()
         self.disk.write(256, sequential=True)
         self.retention.vexp.remove(sn)
@@ -530,6 +517,7 @@ class StrongWormStore:
         metasig = self._scpu_rt.resign_metadata(sn, new_attr.canonical_bytes())
         updated = vrd.with_attr(new_attr, metasig)
         self.vrdt.replace_active(updated)
+        self.auth.on_attr_change(updated)
         self.host.table_touch()
         self.disk.write(256, sequential=True)
         self.retention.vexp.remove(sn)
@@ -582,24 +570,20 @@ class StrongWormStore:
                     compact: bool = True) -> Dict[str, int]:
         """One idle-period maintenance slice (§4.2.1/§4.3 "idle periods").
 
-        Refreshes window signatures, runs due expirations, drains the
-        strengthening and hash-verification queues, advances the base and
-        compacts expired runs.  Returns a summary of work done.
+        Runs due expirations, drains the strengthening and
+        hash-verification queues, then hands the authentication scheme
+        its idle slice (freshness refresh; for the window scheme also
+        compaction and base advancement).  Returns a summary of work done.
         """
         summary = {"expired": 0, "strengthened": 0, "hashes_verified": 0,
                    "windows_compacted": 0, "base_advanced": 0,
                    "night_scanned": 0}
-        self.windows.refresh_current()
-        self.windows.refresh_base()
         summary["expired"] = len(self.retention.tick(self.now))
         summary["strengthened"] = self.strengthening.drain(
             self.now, max_items=strengthen_budget)
         summary["hashes_verified"] = self.hash_verification.drain(
             max_items=verify_budget)
-        if compact:
-            summary["windows_compacted"] = self.windows.compact_expired_runs()
-            if self.windows.try_advance_base():
-                summary["base_advanced"] = 1
+        summary.update(self.auth.maintenance(compact=compact))
         if self.retention.vexp.needs_rescan:
             summary["night_scanned"] = self.retention.night_scan(self.now)
         if self.obs.enabled:
@@ -641,7 +625,7 @@ class StrongWormStore:
         self.retention.on_write(
             sn, max(attr.expires_at,
                     attr.litigation_timeout if attr.litigation_hold else 0.0))
-        self.windows.refresh_current()
+        self.auth.on_write(vrd)
         return WriteReceipt(sn=sn, vrd=vrd, strength=Strength.STRONG,
                             costs=self._cost_delta(marks))
 

@@ -8,9 +8,20 @@ Everything the WORM protocol signs or hashes flows through this package:
 * :mod:`repro.crypto.hmac_scheme` — HMAC witnessing for extreme bursts,
 * :mod:`repro.crypto.envelope` — typed signed statements (splice-proof),
 * :mod:`repro.crypto.keys` — signing keys, lifetimes, the regulatory CA,
-* :mod:`repro.crypto.merkle` — the Merkle-tree baseline the paper replaces.
+* :mod:`repro.crypto.merkle` — the Merkle-tree baseline the paper replaces,
+* :mod:`repro.crypto.accumulator` — dynamic RSA accumulator (the third
+  pluggable authentication backend).  Only the trapdoor-free pieces are
+  re-exported here: :class:`TrapdoorAccumulator` stays confined to the
+  SCPU enclosure (wormlint W001) and must be imported from its home
+  module by hardware code.
 """
 
+from repro.crypto.accumulator import (
+    PRIME_BITS,
+    WitnessDirectory,
+    hash_to_prime,
+    verify_membership,
+)
 from repro.crypto.chacha import ChaCha20, chacha20_block, chacha20_xor
 from repro.crypto.envelope import Envelope, Purpose, SignedEnvelope
 from repro.crypto.hashing import (
@@ -37,6 +48,10 @@ from repro.crypto.rsa import (
 )
 
 __all__ = [
+    "PRIME_BITS",
+    "WitnessDirectory",
+    "hash_to_prime",
+    "verify_membership",
     "ChaCha20",
     "chacha20_block",
     "chacha20_xor",

@@ -1,0 +1,259 @@
+"""Dynamic RSA accumulator with trapdoor-assisted O(1) updates.
+
+Implements the authenticated-set substrate for the third pluggable
+authentication scheme (Goodrich, Tamassia, Hasic — "An Efficient Dynamic
+and Distributed Cryptographic Accumulator", PAPERS.md): the trusted party
+(the SCPU) holds the factorisation trapdoor of an RSA modulus and can
+
+* add a member with one small-exponent modular exponentiation,
+* remove a member in O(1) by exponentiating with the *inverse* of its
+  prime representative modulo phi(n), and
+* mint a fresh membership witness for any member in O(1) the same way —
+
+while **untrusted directories** cache witnesses and serve membership
+queries without ever seeing the trapdoor.  Directories keep their cached
+witnesses current without the trapdoor: additions raise each witness to
+the new prime; removals use the Bezout identity
+``a*p_x + b*p_y = 1  =>  w_x' = A'^a * w_x^b`` (p_x, p_y distinct primes,
+``A'`` the post-removal accumulator value).
+
+Membership verification is public: ``witness^prime == value (mod n)``.
+
+Trust boundary: :class:`TrapdoorAccumulator` must live inside the SCPU
+enclosure (``repro/hardware/``) — wormlint rule W001 enforces this.
+:func:`hash_to_prime`, :func:`verify_membership`, and
+:class:`WitnessDirectory` are trapdoor-free and may run anywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.crypto.numtheory import egcd, generate_prime, is_probable_prime, modinv
+
+__all__ = [
+    "PRIME_BITS",
+    "hash_to_prime",
+    "verify_membership",
+    "TrapdoorAccumulator",
+    "WitnessDirectory",
+]
+
+#: Bit width of prime representatives.  128 bits keeps hash-to-prime
+#: collisions negligible while leaving exponentiations cheap next to the
+#: RSA-modulus arithmetic they feed into.
+PRIME_BITS = 128
+
+_DOMAIN = b"sworm.acc.v1"
+
+
+def hash_to_prime(sn: int, bits: int = PRIME_BITS) -> int:
+    """Map a serial number to its deterministic prime representative.
+
+    Counter-mode SHA-256 generates candidates (top and bottom bits forced
+    so every candidate is an odd *bits*-bit integer) until one passes
+    Miller-Rabin.  The mapping is public: verifiers recompute it from the
+    serial number rather than trusting a server-supplied prime, so a
+    witness can never be spliced onto a different record.
+    """
+    if sn < 0:
+        raise ValueError("serial numbers are non-negative")
+    counter = 0
+    while True:
+        digest = hashlib.sha256(
+            _DOMAIN + sn.to_bytes(8, "big") + counter.to_bytes(4, "big")
+        ).digest()
+        candidate = int.from_bytes(digest[: bits // 8], "big")
+        candidate |= (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate):
+            return candidate
+        counter += 1
+
+
+def verify_membership(witness: int, prime: int, value: int, modulus: int) -> bool:
+    """Public membership check: ``witness^prime == value (mod modulus)``.
+
+    Trapdoor-free — this is what clients and untrusted directories run.
+    """
+    if modulus < 4 or not 0 < witness < modulus or not 0 < value < modulus:
+        return False
+    if prime < 2:
+        return False
+    return pow(witness, prime, modulus) == value
+
+
+class TrapdoorAccumulator:
+    """The trusted half of the accumulator: value plus factorisation trapdoor.
+
+    Lives inside the SCPU enclosure; the trapdoor ``phi(n)`` never leaves
+    it (W001).  All three mutators are O(1) modular exponentiations —
+    this is the property the scheme trades against sealed windows
+    (cheapest) and Merkle trees (O(log n) per update).
+    """
+
+    def __init__(self, bits: int = 512):
+        if bits < 64 or bits % 2:
+            raise ValueError("modulus size must be an even number >= 64 bits")
+        p = generate_prime(bits // 2)
+        q = generate_prime(bits // 2)
+        while q == p:  # pragma: no cover - 2^-250 event
+            q = generate_prime(bits // 2)
+        self.modulus = p * q
+        self._phi = (p - 1) * (q - 1)
+        # Quadratic residue generator; squaring makes the subgroup choice
+        # independent of the (secret) factor structure.
+        self.generator = pow(2, 2, self.modulus)
+        self.value = self.generator
+        self._members: Dict[int, int] = {}  # sn -> prime representative
+
+    @property
+    def bits(self) -> int:
+        return self.modulus.bit_length()
+
+    @property
+    def member_count(self) -> int:
+        return len(self._members)
+
+    def contains(self, sn: int) -> bool:
+        return sn in self._members
+
+    def add(self, sn: int) -> int:
+        """Accumulate *sn*; returns its prime representative.  Idempotent."""
+        prime = self._members.get(sn)
+        if prime is None:
+            prime = hash_to_prime(sn)
+            self.value = pow(self.value, prime, self.modulus)
+            self._members[sn] = prime
+        return prime
+
+    def remove(self, sn: int) -> int:
+        """Delete *sn* in O(1) via the trapdoor; returns its prime."""
+        prime = self._members.pop(sn, None)
+        if prime is None:
+            raise ValueError(f"sn {sn} is not in the accumulated set")
+        self.value = pow(self.value, modinv(prime, self._phi), self.modulus)
+        return prime
+
+    def witness(self, sn: int) -> int:
+        """Mint a membership witness for *sn* in O(1) via the trapdoor."""
+        prime = self._members.get(sn)
+        if prime is None:
+            raise ValueError(f"sn {sn} is not in the accumulated set")
+        return pow(self.value, modinv(prime, self._phi), self.modulus)
+
+    def value_bytes(self) -> bytes:
+        """Fixed-width big-endian encoding of the current value."""
+        return self.value.to_bytes((self.bits + 7) // 8, "big")
+
+    def modulus_bytes(self) -> bytes:
+        return self.modulus.to_bytes((self.bits + 7) // 8, "big")
+
+    def zeroize(self) -> None:
+        """Destroy the trapdoor (tamper response)."""
+        self._phi = 0
+        self._members.clear()
+        self.value = 0
+
+
+@dataclass
+class _CachedWitness:
+    prime: int
+    witness: int
+    epoch: int  # index into the directory's update log when last synced
+
+
+class WitnessDirectory:
+    """Untrusted witness cache answering membership queries.
+
+    Models the *directories* of the distributed accumulator: it holds no
+    trapdoor, only the public modulus, published accumulator values, and
+    cached witnesses.  Updates arrive as an append-only log of
+    (add/remove, prime, value-after) events; cached witnesses are caught
+    up lazily on lookup — additions via ``w ^ q``, removals via the
+    Bezout identity — so a write costs the *trusted* party O(1)
+    regardless of how many witnesses the directory serves.
+
+    ``charge`` (optional) is called with ``(op_name, modexp_count)`` for
+    every batch of directory-side exponentiations so host device traffic
+    stays metered.
+    """
+
+    def __init__(self, modulus: int,
+                 charge: Optional[Callable[[str, int], None]] = None):
+        if modulus < 4:
+            raise ValueError("modulus too small")
+        self.modulus = modulus
+        self._charge = charge or (lambda op, count: None)
+        self._log: List[Tuple[str, int, int]] = []  # (op, prime, value_after)
+        self._cache: Dict[int, _CachedWitness] = {}
+        self.value: Optional[int] = None
+
+    @property
+    def epoch(self) -> int:
+        return len(self._log)
+
+    @property
+    def cached_count(self) -> int:
+        return len(self._cache)
+
+    def observe_add(self, prime: int, value_after: int) -> None:
+        """Record a published addition (prime joined the set)."""
+        self._log.append(("add", prime, value_after))
+        self.value = value_after
+
+    def observe_remove(self, prime: int, value_after: int) -> None:
+        """Record a published removal; drops the removed member's witness."""
+        self._log.append(("remove", prime, value_after))
+        self.value = value_after
+        for sn, cached in list(self._cache.items()):
+            if cached.prime == prime:
+                del self._cache[sn]
+
+    def publish(self, sn: int, prime: int, witness: int) -> None:
+        """Cache a freshly minted witness at the current epoch."""
+        self._cache[sn] = _CachedWitness(prime=prime, witness=witness,
+                                         epoch=self.epoch)
+
+    def forget(self, sn: int) -> None:
+        self._cache.pop(sn, None)
+
+    def witness_for(self, sn: int) -> Optional[int]:
+        """Return an up-to-date witness for *sn*, or None if not cached.
+
+        Replays log events since the witness was last synced.  All work
+        here is untrusted host-side arithmetic.
+        """
+        cached = self._cache.get(sn)
+        if cached is None:
+            return None
+        n = self.modulus
+        w = cached.witness
+        modexps = 0
+        for op, q, value_after in self._log[cached.epoch:]:
+            if q == cached.prime:
+                # Our own member was re-added (no-op) or removed (witness
+                # is dead; observe_remove already evicts, but guard).
+                if op == "remove":  # pragma: no cover - evicted eagerly
+                    self.forget(sn)
+                    return None
+                continue
+            if op == "add":
+                w = pow(w, q, n)
+                modexps += 1
+            else:
+                # Bezout: a*p_x + b*p_y = 1  =>  w' = A'^a * w^b.
+                _, a, b = egcd(cached.prime, q)
+                w = (pow(value_after, a, n) * pow(w, b, n)) % n
+                modexps += 2
+        if modexps:
+            self._charge("acc_directory_refresh", modexps)
+        cached.witness = w
+        cached.epoch = self.epoch
+        return w
+
+    def state_size_bytes(self) -> int:
+        """Directory-resident state: cached witnesses + published value."""
+        width = (self.modulus.bit_length() + 7) // 8
+        return width * (1 + len(self._cache))

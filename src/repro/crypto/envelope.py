@@ -42,6 +42,8 @@ class Purpose:
     MIGRATION_MANIFEST = "worm.migration.manifest"  # signed store snapshot
     KEY_CERTIFICATE = "worm.key.certificate"  # CA signature over SCPU pubkey
     ATTESTATION = "worm.attestation"          # signed SCPU state summary
+    MERKLE_ROOT = "worm.auth.merkle.root"     # signed tree root (merkle scheme)
+    ACCUMULATOR_VALUE = "worm.auth.acc.value"  # signed accumulator statement
 
 
 def _encode_value(value: FieldValue) -> bytes:

@@ -62,6 +62,12 @@ SCPU_FAULTABLE_OPS = (
     "compact_deletion_window",
     "verify_regulator_credential",
     "rotate_burst_key",
+    "sign_merkle_root",
+    "accumulator_bootstrap",
+    "accumulator_add",
+    "accumulator_remove",
+    "accumulator_witness",
+    "accumulator_sign_value",
 )
 
 #: Block-store operations subject to fault injection.

@@ -210,6 +210,21 @@ class ScpuLike(Protocol):
                                 sn_base: int,
                                 sn_current: int) -> "SignedEnvelope": ...
 
+    # -- pluggable authentication backends ------------------------------------
+    def sign_merkle_root(self, root: bytes, size: int,
+                         path_nodes: int) -> "SignedEnvelope": ...
+
+    def accumulator_bootstrap(self, labels: Tuple[str, ...] = ...,
+                              bits: Optional[int] = None) -> None: ...
+
+    def accumulator_add(self, label: str, sn: int) -> int: ...
+
+    def accumulator_remove(self, label: str, sn: int) -> int: ...
+
+    def accumulator_witness(self, label: str, sn: int) -> int: ...
+
+    def accumulator_sign_value(self, label: str) -> "SignedEnvelope": ...
+
     # -- key management / client trust bootstrap -----------------------------
     def public_keys(self) -> Dict[str, object]: ...
 

@@ -49,6 +49,15 @@ _AUTHORITY_METHODS = (
     "public_keys",
     "certify_with",
     "_keys_or_die",
+    # Authenticated-set backend state (Merkle frontier, accumulator
+    # trapdoors) is NVRAM-like single-writer state: it lives on the
+    # authority card alongside the SN counter it is correlated with.
+    "sign_merkle_root",
+    "accumulator_bootstrap",
+    "accumulator_add",
+    "accumulator_remove",
+    "accumulator_witness",
+    "accumulator_sign_value",
 )
 
 #: Protocol methods round-robined across live cards (the expensive

@@ -30,6 +30,7 @@ import secrets
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.crypto.accumulator import TrapdoorAccumulator
 from repro.crypto.envelope import Envelope, Purpose, SignedEnvelope
 from repro.crypto.hashing import ChainedHasher
 from repro.crypto.hmac_scheme import HmacScheme
@@ -137,6 +138,10 @@ class SecureCoprocessor:
         # that was not re-wrapped.  Lives only in battery-backed NVRAM.
         self._epoch_key = secrets.token_bytes(32)
         self._epoch_id = 1
+        # Trapdoor accumulators for the "accumulator" authentication
+        # scheme; provisioned lazily by accumulator_bootstrap().  The
+        # trapdoors live only here, inside the enclosure (W001).
+        self._accumulators: Dict[str, TrapdoorAccumulator] = {}
         self.tamper.register_zeroizer(self._zeroize)
 
     # -- trust boundary / lifecycle ---------------------------------------
@@ -148,6 +153,9 @@ class SecureCoprocessor:
         self._sn_base = -1
         self._epoch_key = b""
         self._epoch_id = -1
+        for acc in self._accumulators.values():
+            acc.zeroize()
+        self._accumulators.clear()
 
     @property
     def now(self) -> float:
@@ -481,6 +489,104 @@ class SecureCoprocessor:
         """S_d(SN): the proof of rightful deletion stored in the VRDT."""
         keys = self._keys_or_die()
         return self._sign(keys.d_key, Purpose.DELETION_PROOF, {"sn": sn})
+
+    # -- pluggable authentication backends (DESIGN §12) --------------------------
+
+    #: Serialized Merkle node size DMA'd into the enclosure per path hop
+    #: (32-byte digest + position byte + 32-byte sibling), matching the
+    #: baseline's cost model.
+    _MERKLE_NODE_BYTES = 65
+
+    def sign_merkle_root(self, root: bytes, size: int,
+                         path_nodes: int) -> SignedEnvelope:
+        """Verify-and-sign a Merkle root update (``merkle`` backend).
+
+        Models in-enclosure incremental maintenance: the card DMAs the
+        *path_nodes* authentication-path nodes for the touched leaf,
+        re-hashes them, and signs the resulting root together with the
+        tree size and the SN allocation frontier (the frontier backs
+        never-allocated denials, replacing SN_current for this scheme).
+        """
+        keys = self._keys_or_die()
+        nbytes = max(1, path_nodes) * self._MERKLE_NODE_BYTES
+        self.meter.charge("merkle_path_dma", self.profile.dma_seconds(nbytes))
+        self.meter.charge("merkle_path_sha",
+                          self.profile.sha_seconds(nbytes, block_size=1024))
+        return self._sign(keys.s_key, Purpose.MERKLE_ROOT, {
+            "root": root, "size": size, "sn_frontier": self._sn_counter})
+
+    def accumulator_bootstrap(self,
+                              labels: Tuple[str, ...] = ("active", "deleted"),
+                              bits: Optional[int] = None) -> None:
+        """Provision trapdoor accumulators inside the enclosure (idempotent).
+
+        One modulus per label; the factorisation trapdoor never leaves
+        the card and is destroyed with the signing keys on tamper.  The
+        modulus width defaults to the durable key's width so the
+        accumulator's security level tracks the signature scheme's.
+        """
+        keys = self._keys_or_die()
+        width = bits if bits is not None else keys.s_key.bits
+        for label in labels:
+            if label not in self._accumulators:
+                self.meter.charge("rsa_keygen", 0.5)  # modulus generation
+                self._accumulators[label] = TrapdoorAccumulator(bits=width)
+
+    def _accumulator(self, label: str) -> TrapdoorAccumulator:
+        self.tamper.check()
+        acc = self._accumulators.get(label)
+        if acc is None:
+            raise ValueError(f"no accumulator provisioned under label {label!r}")
+        return acc
+
+    def accumulator_add(self, label: str, sn: int) -> int:
+        """Accumulate *sn*: one small-exponent modexp, O(1).
+
+        Returns the prime representative (public — verifiers recompute it
+        from the SN, so returning it is a convenience, not a secret).
+        """
+        acc = self._accumulator(label)
+        self.meter.charge(f"acc_update_{acc.bits}",
+                          self.profile.rsa_verify_seconds(acc.bits))
+        self.meter.charge("acc_nvram", _NVRAM_TOUCH_SECONDS)
+        return acc.add(sn)
+
+    def accumulator_remove(self, label: str, sn: int) -> int:
+        """Delete *sn* from the set via the trapdoor: O(1) full-width modexp."""
+        acc = self._accumulator(label)
+        self.meter.charge(f"acc_trapdoor_{acc.bits}",
+                          self.profile.rsa_sign_seconds(acc.bits))
+        self.meter.charge("acc_nvram", _NVRAM_TOUCH_SECONDS)
+        return acc.remove(sn)
+
+    def accumulator_witness(self, label: str, sn: int) -> int:
+        """Mint a membership witness via the trapdoor: O(1) modexp.
+
+        This is the trapdoor-assisted update path of the distributed
+        accumulator — without the trapdoor a witness costs O(set size).
+        """
+        acc = self._accumulator(label)
+        self.meter.charge(f"acc_trapdoor_{acc.bits}",
+                          self.profile.rsa_sign_seconds(acc.bits))
+        return acc.witness(sn)
+
+    def accumulator_sign_value(self, label: str) -> SignedEnvelope:
+        """S_s(label, value, frontier): the signed accumulator statement.
+
+        Carries the public modulus (trust in it flows from the signature)
+        and the SN allocation frontier so the same statement also backs
+        never-allocated denials.  Clients reject stale statements by the
+        freshness window, exactly like SN_current.
+        """
+        keys = self._keys_or_die()
+        acc = self._accumulator(label)
+        return self._sign(keys.s_key, Purpose.ACCUMULATOR_VALUE, {
+            "label": label,
+            "value": acc.value_bytes(),
+            "modulus": acc.modulus_bytes(),
+            "members": acc.member_count,
+            "sn_frontier": self._sn_counter,
+        })
 
     # -- litigation & attribute updates (§4.2.2 Litigation) -----------------------
 

@@ -80,6 +80,15 @@ def _exception_names(handler_type: Optional[ast.AST]) -> List[str]:
 _SCPU_RECEIVERS = frozenset(
     {"scpu", "_scpu", "scpu_rt", "_scpu_rt", "keyring", "keystore"})
 
+#: Enclosure-only accumulator machinery: the class that carries the
+#: factorisation trapdoor, and the attribute the trapdoor lives in.
+#: Referencing either outside the enclosure (or the primitive's home
+#: module) means host code could compute witnesses without the card —
+#: the exact capability the accumulator scheme's trust story forbids.
+_TRAPDOOR_NAMES = frozenset({"TrapdoorAccumulator"})
+_TRAPDOOR_ATTRS = frozenset({"_phi"})
+_TRAPDOOR_HOME_MODULE = "repro/crypto/accumulator.py"
+
 
 @register
 class TrustDomainChecker(Checker):
@@ -91,20 +100,58 @@ class TrustDomainChecker(Checker):
     Outside ``repro.hardware``, every SCPU interaction goes through the
     :class:`~repro.hardware.device.ScpuLike` service surface; private
     attribute access on an SCPU-typed receiver is flagged.
+
+    The same boundary confines the RSA-accumulator trapdoor: any
+    reference to :class:`~repro.crypto.accumulator.TrapdoorAccumulator`
+    (or its ``_phi`` trapdoor attribute) outside ``repro.hardware`` and
+    the primitive's home module is flagged — host-side code must use the
+    trapdoor-free surface (``hash_to_prime``, ``verify_membership``,
+    ``WitnessDirectory``) and reach the trapdoor only through the
+    ``accumulator_*`` ScpuLike service calls.
     """
 
     rule = "W001"
     title = "trust-domain"
-    rationale = ("host code must not reach into SCPU/key-store internals; "
-                 "program against the ScpuLike surface")
+    rationale = ("host code must not reach into SCPU/key-store internals "
+                 "or the accumulator trapdoor; program against the "
+                 "ScpuLike surface")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if ctx.in_package("repro/hardware/"):
             return
+        trapdoor_ok = ctx.is_module(_TRAPDOOR_HOME_MODULE)
         for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and not trapdoor_ok:
+                for alias in node.names:
+                    if alias.name in _TRAPDOOR_NAMES:
+                        yield ctx.finding(
+                            self.rule, node,
+                            f"import of '{alias.name}' outside "
+                            "repro.hardware — the accumulator trapdoor "
+                            "lives inside the enclosure; use the "
+                            "accumulator_* ScpuLike service calls or the "
+                            "trapdoor-free directory/verification surface")
+                continue
+            if isinstance(node, ast.Name) and not trapdoor_ok:
+                if node.id in _TRAPDOOR_NAMES:
+                    yield ctx.finding(
+                        self.rule, node,
+                        f"reference to '{node.id}' outside repro.hardware — "
+                        "the accumulator trapdoor lives inside the "
+                        "enclosure; use the accumulator_* ScpuLike service "
+                        "calls or the trapdoor-free surface")
+                continue
             if not isinstance(node, ast.Attribute):
                 continue
             attr = node.attr
+            if not trapdoor_ok and (attr in _TRAPDOOR_NAMES
+                                    or attr in _TRAPDOOR_ATTRS):
+                yield ctx.finding(
+                    self.rule, node,
+                    f"access to accumulator-trapdoor internal '.{attr}' "
+                    "outside repro.hardware — the trapdoor never leaves "
+                    "the enclosure")
+                continue
             if not attr.startswith("_") or attr.startswith("__"):
                 continue
             receiver = terminal_name(node.value)

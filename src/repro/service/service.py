@@ -474,7 +474,9 @@ class WormService:
             report = StoreAuditor(shard, client).sweep()
             clean = clean and report.clean
             shards.append({"shard_id": shard_id, **report.summary()})
-        return 200, {"clean": clean, "shards": shards}
+        return 200, {"clean": clean,
+                     "auth_scheme": self._store.config.auth_scheme,
+                     "shards": shards}
 
     def _op_health(self, state: TenantState, params: Dict[str, object],
                    now: float) -> Tuple[int, Dict[str, object]]:

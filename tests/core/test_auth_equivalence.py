@@ -1,0 +1,235 @@
+"""Cross-scheme equivalence: one trace, three authentication backends.
+
+The scheme owns only the authenticated set-membership structure; the
+catalog (VRDT), witnessing, retention, and deletion proofs are shared.
+So the same write/read/hold/expire trace must leave the *identical*
+catalog behind any scheme, and a verifying client must reach the
+identical verdicts — only the proof objects differ.  Forged variants of
+each scheme's proofs must be rejected by the client.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import demo_keyring
+from repro.core.auth import (
+    AccumulatorMembershipProof,
+    MerkleMembershipProof,
+    available_schemes,
+)
+from repro.core.config import StoreConfig
+from repro.core.errors import (
+    FreshnessError,
+    UnknownAlgorithmError,
+    VerificationError,
+)
+from repro.core.worm import StrongWormStore
+from repro.crypto.keys import CertificateAuthority
+from repro.hardware.scpu import SecureCoprocessor
+
+SCHEMES = ("windows", "merkle", "accumulator")
+
+
+@pytest.fixture(scope="module")
+def module_ca():
+    return CertificateAuthority(bits=512)
+
+
+def build(scheme: str, ca: CertificateAuthority):
+    scpu = SecureCoprocessor(keyring=demo_keyring())
+    store = StrongWormStore(scpu=scpu,
+                            config=StoreConfig(auth_scheme=scheme))
+    return store, store.make_client(ca)
+
+
+def run_trace(store):
+    """The shared trace: writes, a hold cycle, expiries, maintenance."""
+    receipts = [
+        store.write([b"alpha"], retention_seconds=10.0),
+        store.write([b"beta", b"gamma"], retention_seconds=10.0),
+        store.write([b"delta"], retention_seconds=3600.0),
+        store.write([b"epsilon"], retention_seconds=3600.0),
+    ]
+    store.scpu.clock.advance(20.0)
+    assert store.expire_record(receipts[0].sn, store.now) == "deleted"
+    assert store.expire_record(receipts[1].sn, store.now) == "deleted"
+    store.maintenance(compact=False)
+    return receipts
+
+
+def catalog_snapshot(store):
+    return {
+        "active": set(store.vrdt.active_sns),
+        "expired": set(store.vrdt.expired_sns),
+        "frontier": store.scpu.current_serial_number,
+    }
+
+
+def verdicts(store, client, upto=6):
+    out = {}
+    for sn in range(1, upto + 1):
+        verified = client.verify_read(store.read(sn), sn)
+        out[sn] = (verified.status, verified.data)
+    return out
+
+
+def test_registry_lists_all_three_schemes():
+    assert set(SCHEMES) <= set(available_schemes())
+
+
+def test_unknown_scheme_raises_at_construction():
+    with pytest.raises(UnknownAlgorithmError):
+        build("vector-commitment", CertificateAuthority(bits=512))
+
+
+def test_store_reports_its_scheme(module_ca):
+    for scheme in SCHEMES:
+        store, _ = build(scheme, module_ca)
+        assert store.auth_scheme == scheme
+        assert store.auth.name == scheme
+
+
+def test_same_trace_same_catalog_and_verdicts(module_ca):
+    snapshots = {}
+    all_verdicts = {}
+    for scheme in SCHEMES:
+        store, client = build(scheme, module_ca)
+        run_trace(store)
+        snapshots[scheme] = catalog_snapshot(store)
+        all_verdicts[scheme] = verdicts(store, client)
+    reference = snapshots["windows"]
+    for scheme in SCHEMES[1:]:
+        assert snapshots[scheme] == reference
+    reference_verdicts = all_verdicts["windows"]
+    for scheme in SCHEMES[1:]:
+        assert all_verdicts[scheme] == reference_verdicts
+    # Sanity on the reference itself: deletions deleted, actives served.
+    assert reference_verdicts[1][0] == "deleted"
+    assert reference_verdicts[2][0] == "deleted"
+    assert reference_verdicts[3] == ("active", b"delta")
+    assert reference_verdicts[5][0] == "never-allocated"
+
+
+def test_hold_and_release_verify_under_every_scheme(module_ca):
+    from repro.crypto.envelope import Envelope, Purpose
+    from repro.crypto.keys import SigningKey
+
+    regulator = SigningKey.generate(512, role="regulator")
+    for scheme in SCHEMES:
+        scpu = SecureCoprocessor(keyring=demo_keyring())
+        store = StrongWormStore(
+            scpu=scpu,
+            config=StoreConfig(auth_scheme=scheme,
+                               regulator_public_key=regulator.public))
+        client = store.make_client(module_ca)
+        receipt = store.write([b"held"], retention_seconds=5.0)
+
+        def credential():
+            return regulator.sign_envelope(Envelope(
+                purpose=Purpose.LITIGATION_CREDENTIAL,
+                fields={"sn": receipt.sn},
+                timestamp=store.now))
+
+        store.lit_hold(receipt.sn, credential(), hold_timeout=store.now + 100.0)
+        verified = client.verify_read(store.read(receipt.sn), receipt.sn)
+        assert verified.status == "active" and verified.data == b"held"
+        # Retention lapsed but the hold blocks deletion.
+        store.scpu.clock.advance(10.0)
+        assert store.expire_record(receipt.sn, store.now) == "held"
+        store.lit_release(receipt.sn, credential())
+        assert store.expire_record(receipt.sn, store.now) == "deleted"
+        verified = client.verify_read(store.read(receipt.sn), receipt.sn)
+        assert verified.status == "deleted"
+
+
+def test_sharded_front_end_selects_scheme_via_config(module_ca):
+    from repro.core.sharded import ShardedWormStore
+
+    store = ShardedWormStore.build(
+        config=StoreConfig(auth_scheme="accumulator", shard_count=2,
+                           group_commit_size=1))
+    assert store.health_report()["auth_scheme"] == "accumulator"
+    for shard in store:
+        assert shard.auth_scheme == "accumulator"
+
+
+# ----------------------------------------------------------- forged proofs
+
+
+def test_merkle_forged_leaf_rejected(module_ca):
+    store, client = build("merkle", module_ca)
+    receipt = store.write([b"target"], retention_seconds=3600.0)
+    result = store.read(receipt.sn)
+    assert isinstance(result.proof, MerkleMembershipProof)
+    forged = dataclasses.replace(
+        result.proof, leaf=b"\x00" * len(result.proof.leaf))
+    tampered = dataclasses.replace(result, proof=forged)
+    with pytest.raises(VerificationError):
+        client.verify_read(tampered, receipt.sn)
+
+
+def test_merkle_spliced_path_rejected(module_ca):
+    # A valid path for one record does not authenticate another.
+    store, client = build("merkle", module_ca)
+    r1 = store.write([b"one"], retention_seconds=3600.0)
+    r2 = store.write([b"two"], retention_seconds=3600.0)
+    res1 = store.read(r1.sn)
+    res2 = store.read(r2.sn)
+    spliced = dataclasses.replace(res2, proof=res1.proof)
+    with pytest.raises(VerificationError):
+        client.verify_read(spliced, r2.sn)
+
+
+def test_accumulator_forged_witness_rejected(module_ca):
+    store, client = build("accumulator", module_ca)
+    receipt = store.write([b"target"], retention_seconds=3600.0)
+    result = store.read(receipt.sn)
+    assert isinstance(result.proof, AccumulatorMembershipProof)
+    forged = dataclasses.replace(result.proof,
+                                 witness=result.proof.witness + 1)
+    tampered = dataclasses.replace(result, proof=forged)
+    with pytest.raises(VerificationError):
+        client.verify_read(tampered, receipt.sn)
+
+
+def test_accumulator_spliced_witness_rejected(module_ca):
+    # The client recomputes the prime from the requested SN, so a
+    # witness minted for another record never transfers.
+    store, client = build("accumulator", module_ca)
+    r1 = store.write([b"one"], retention_seconds=3600.0)
+    r2 = store.write([b"two"], retention_seconds=3600.0)
+    res1 = store.read(r1.sn)
+    res2 = store.read(r2.sn)
+    spliced_proof = dataclasses.replace(res2.proof,
+                                        witness=res1.proof.witness)
+    spliced = dataclasses.replace(res2, proof=spliced_proof)
+    with pytest.raises(VerificationError):
+        client.verify_read(spliced, r2.sn)
+
+
+def test_stale_statement_rejected_for_denials(module_ca):
+    # Merkle and accumulator denials lean on the freshness window just
+    # like S_s(SN_current): an idle store's stale statement is rejected.
+    for scheme in ("merkle", "accumulator"):
+        store, client = build(scheme, module_ca)
+        store.write([b"x"], retention_seconds=3600.0)
+        store.scpu.clock.advance(10_000.0)
+        result = store.read(999)
+        with pytest.raises(FreshnessError):
+            client.verify_read(result, 999)
+        # Maintenance re-signs the statement; the denial verifies again.
+        store.maintenance()
+        verified = client.verify_read(store.read(999), 999)
+        assert verified.status == "never-allocated"
+
+
+def test_proof_and_state_size_accounting(module_ca):
+    for scheme in SCHEMES:
+        store, _ = build(scheme, module_ca)
+        receipt = store.write([b"x"], retention_seconds=3600.0)
+        result = store.read(receipt.sn)
+        assert store.auth.proof_size_bytes(result.proof) > 0
+        assert store.auth.state_size_bytes() > 0

@@ -129,7 +129,10 @@ class TestEncryptedMigration:
                    for sn, w in estore.wrapped_table().items()}
         bundle = estore.store.scpu.export_deks(
             wrapped, dest_public, dest_cert, ca.root_public_key)
-        bundle["ciphertext"] = bundle["ciphertext"][:-2] + "00"
+        # Flip (not overwrite) the last byte so the tamper is guaranteed
+        # even when the genuine ciphertext happens to end in that value.
+        flipped = int(bundle["ciphertext"][-2:], 16) ^ 0xFF
+        bundle["ciphertext"] = bundle["ciphertext"][:-2] + f"{flipped:02x}"
         with pytest.raises(ValueError, match="authentication"):
             dest.store.scpu.import_deks(bundle)
 

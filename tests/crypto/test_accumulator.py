@@ -1,0 +1,211 @@
+"""Unit tests for the dynamic RSA accumulator primitive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.accumulator import TrapdoorAccumulator  # wormlint: disable=W001 - unit tests exercise the enclosure-side primitive directly
+from repro.crypto.accumulator import (
+    PRIME_BITS,
+    WitnessDirectory,
+    hash_to_prime,
+    verify_membership,
+)
+from repro.crypto.numtheory import is_probable_prime
+
+
+def make_accumulator(bits: int = 256):
+    return TrapdoorAccumulator(bits=bits)  # wormlint: disable=W001 - test-local factory for the enclosure-side primitive
+
+
+# ------------------------------------------------------------- hash_to_prime
+
+def test_hash_to_prime_is_deterministic_and_prime():
+    p1 = hash_to_prime(41)
+    p2 = hash_to_prime(41)
+    assert p1 == p2
+    assert is_probable_prime(p1)
+    assert p1.bit_length() == PRIME_BITS
+
+
+def test_hash_to_prime_distinct_for_distinct_sns():
+    primes = {hash_to_prime(sn) for sn in range(1, 64)}
+    assert len(primes) == 63
+
+
+def test_hash_to_prime_rejects_negative():
+    with pytest.raises(ValueError):
+        hash_to_prime(-1)
+
+
+# ------------------------------------------------------- trapdoor operations
+
+def test_add_then_witness_verifies():
+    acc = make_accumulator()
+    prime = acc.add(7)
+    assert prime == hash_to_prime(7)
+    witness = acc.witness(7)
+    assert verify_membership(witness, prime, acc.value, acc.modulus)
+
+
+def test_add_is_idempotent():
+    acc = make_accumulator()
+    acc.add(7)
+    value = acc.value
+    acc.add(7)
+    assert acc.value == value
+    assert acc.member_count == 1
+
+
+def test_remove_invalidates_witness():
+    acc = make_accumulator()
+    acc.add(7)
+    acc.add(8)
+    witness = acc.witness(7)
+    prime = acc.remove(7)
+    assert not acc.contains(7)
+    assert not verify_membership(witness, prime, acc.value, acc.modulus)
+
+
+def test_remove_undoes_add_exactly():
+    # Trapdoor removal is an exact inverse: the value returns to what it
+    # was before the member joined (same insertion order).
+    acc = make_accumulator()
+    acc.add(1)
+    before = acc.value
+    acc.add(2)
+    acc.remove(2)
+    assert acc.value == before
+
+
+def test_remove_absent_member_raises():
+    acc = make_accumulator()
+    with pytest.raises(ValueError):
+        acc.remove(99)
+    with pytest.raises(ValueError):
+        acc.witness(99)
+
+
+def test_forged_witness_rejected():
+    acc = make_accumulator()
+    acc.add(7)
+    witness = acc.witness(7)
+    assert not verify_membership(witness + 1, hash_to_prime(7),
+                                 acc.value, acc.modulus)
+
+
+def test_spliced_witness_rejected():
+    # A witness for member 7 does not prove membership of 8: verifiers
+    # recompute the prime from the requested SN.
+    acc = make_accumulator()
+    acc.add(7)
+    acc.add(8)
+    witness_7 = acc.witness(7)
+    assert not verify_membership(witness_7, hash_to_prime(8),
+                                 acc.value, acc.modulus)
+
+
+def test_verify_membership_range_checks():
+    acc = make_accumulator()
+    acc.add(7)
+    prime = hash_to_prime(7)
+    assert not verify_membership(0, prime, acc.value, acc.modulus)
+    assert not verify_membership(acc.modulus, prime, acc.value, acc.modulus)
+    assert not verify_membership(acc.witness(7), 1, acc.value, acc.modulus)
+
+
+def test_fixed_width_encodings():
+    acc = make_accumulator(bits=256)
+    widths = set()
+    for sn in range(1, 9):
+        acc.add(sn)
+        widths.add(len(acc.value_bytes()))
+    assert widths == {32}
+    assert len(acc.modulus_bytes()) == 32
+
+
+def test_zeroize_destroys_trapdoor_state():
+    acc = make_accumulator()
+    acc.add(7)
+    acc.zeroize()
+    assert acc.member_count == 0
+    assert acc.value == 0
+
+
+# --------------------------------------------------------- witness directory
+
+def _synced_directory(acc, charge=None) -> WitnessDirectory:
+    directory = WitnessDirectory(acc.modulus, charge=charge)
+    directory.value = acc.value
+    return directory
+
+
+def test_directory_updates_witness_after_additions():
+    acc = make_accumulator()
+    directory = _synced_directory(acc)
+    prime_7 = acc.add(7)
+    directory.observe_add(prime_7, acc.value)
+    directory.publish(7, prime_7, acc.witness(7))
+    for sn in (8, 9, 10):
+        directory.observe_add(acc.add(sn), acc.value)
+    witness = directory.witness_for(7)
+    assert verify_membership(witness, prime_7, acc.value, acc.modulus)
+
+
+def test_directory_updates_witness_after_removal_via_bezout():
+    acc = make_accumulator()
+    directory = _synced_directory(acc)
+    prime_7 = acc.add(7)
+    directory.observe_add(prime_7, acc.value)
+    directory.publish(7, prime_7, acc.witness(7))
+    prime_8 = acc.add(8)
+    directory.observe_add(prime_8, acc.value)
+    acc.remove(8)
+    directory.observe_remove(prime_8, acc.value)
+    witness = directory.witness_for(7)
+    assert verify_membership(witness, prime_7, acc.value, acc.modulus)
+
+
+def test_directory_evicts_removed_member():
+    acc = make_accumulator()
+    directory = _synced_directory(acc)
+    prime = acc.add(7)
+    directory.observe_add(prime, acc.value)
+    directory.publish(7, prime, acc.witness(7))
+    acc.remove(7)
+    directory.observe_remove(prime, acc.value)
+    assert directory.witness_for(7) is None
+    assert directory.cached_count == 0
+
+
+def test_directory_uncached_member_returns_none():
+    acc = make_accumulator()
+    directory = _synced_directory(acc)
+    assert directory.witness_for(5) is None
+
+
+def test_directory_charges_host_side_modexps():
+    charges = []
+    acc = make_accumulator()
+    directory = _synced_directory(
+        acc, charge=lambda op, count: charges.append((op, count)))
+    prime_7 = acc.add(7)
+    directory.observe_add(prime_7, acc.value)
+    directory.publish(7, prime_7, acc.witness(7))
+    directory.observe_add(acc.add(8), acc.value)
+    directory.observe_add(acc.add(9), acc.value)
+    directory.witness_for(7)
+    assert charges == [("acc_directory_refresh", 2)]
+    # Already synced: a second lookup does no arithmetic.
+    directory.witness_for(7)
+    assert len(charges) == 1
+
+
+def test_directory_state_size_scales_with_cache():
+    acc = make_accumulator(bits=256)
+    directory = _synced_directory(acc)
+    empty = directory.state_size_bytes()
+    prime = acc.add(7)
+    directory.observe_add(prime, acc.value)
+    directory.publish(7, prime, acc.witness(7))
+    assert directory.state_size_bytes() == empty + 32

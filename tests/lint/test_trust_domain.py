@@ -71,3 +71,65 @@ def test_unrelated_private_receivers_are_ignored():
         def tally(self):
             return self.metrics._counters
     """) == []
+
+
+# -- accumulator trapdoor confinement ---------------------------------------
+
+
+def test_trapdoor_import_fires_outside_hardware():
+    assert rules("""
+        from repro.crypto.accumulator import TrapdoorAccumulator
+
+        def build():
+            return TrapdoorAccumulator(bits=512)
+    """) == ["W001", "W001"]
+
+
+def test_trapdoor_attribute_reference_fires():
+    assert rules("""
+        import repro.crypto.accumulator as acc
+
+        def build():
+            return acc.TrapdoorAccumulator(bits=512)
+    """) == ["W001"]
+
+
+def test_trapdoor_phi_access_fires():
+    assert rules("""
+        def leak(accumulator):
+            return accumulator._phi
+    """) == ["W001"]
+
+
+def test_trapdoor_allowed_in_hardware_package():
+    source = """
+        from repro.crypto.accumulator import TrapdoorAccumulator
+
+        def provision(self):
+            self._accumulators["active"] = TrapdoorAccumulator()
+    """
+    assert rules(source, path="src/repro/hardware/scpu.py") == []
+    assert rules(source) == ["W001", "W001"]
+
+
+def test_trapdoor_allowed_in_its_home_module():
+    source = """
+        class TrapdoorAccumulator:
+            def zeroize(self):
+                self._phi = 0
+    """
+    assert rules(source, path="src/repro/crypto/accumulator.py") == []
+
+
+def test_trapdoor_free_surface_is_fine():
+    assert rules("""
+        from repro.crypto.accumulator import (
+            WitnessDirectory,
+            hash_to_prime,
+            verify_membership,
+        )
+
+        def check(sn, witness, value, modulus):
+            return verify_membership(witness, hash_to_prime(sn), value,
+                                     modulus)
+    """) == []
