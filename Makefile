@@ -1,12 +1,20 @@
-.PHONY: check test lint wormlint bench chaos obs service recover auth-ablation
+.PHONY: check test lint wormlint lint-sarif bench chaos obs service recover auth-ablation
 
 # wormlint + ruff (if installed) + tier-1 tests. The pre-merge gate.
 check:
 	sh scripts/check.sh
 
 # Compliance-invariant checks (trust domain, virtual time, no laundering).
+# Project mode adds the interprocedural rules (W007-W009) on top of the
+# per-file set.
 wormlint:
-	PYTHONPATH=src python -m repro.lint src tests
+	PYTHONPATH=src python -m repro.lint --project src tests
+
+# Full project lint as a SARIF 2.1.0 log for code-scanning upload.
+lint-sarif:
+	PYTHONPATH=src python -m repro.lint --project --format sarif \
+	    --output wormlint.sarif src tests
+	@echo "wrote wormlint.sarif"
 
 test:
 	PYTHONPATH=src python -m pytest -x -q

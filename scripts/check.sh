@@ -14,8 +14,24 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> wormlint (compliance invariants)"
-PYTHONPATH=src python -m repro.lint src tests
+echo "==> wormlint (compliance invariants, project mode)"
+PYTHONPATH=src python -m repro.lint --project src tests
+
+# Diff-aware gates run when a merge base with the main branch exists:
+# the baseline may only shrink relative to it, and the incremental pass
+# re-lints just the changed lines (a fast signal; the full run above
+# stays authoritative).
+BASE_REF="${WORMLINT_BASE_REF:-main}"
+if MERGE_BASE=$(git merge-base HEAD "$BASE_REF" 2>/dev/null); then
+    echo "==> wormlint baseline gate (vs $BASE_REF)"
+    PYTHONPATH=src python -m repro.lint --baseline-gate "$MERGE_BASE" \
+        src tests
+    echo "==> wormlint diff gate (changed lines vs merge base)"
+    PYTHONPATH=src python -m repro.lint --project --diff "$BASE_REF" \
+        src tests
+else
+    echo "==> no merge base with $BASE_REF; skipping diff-aware gates"
+fi
 
 if python -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1
 then

@@ -1,12 +1,16 @@
-"""Comparison baselines: Merkle-authenticated, soft-WORM, and all-in-SCPU."""
+"""Comparison baselines: soft-WORM and all-in-SCPU.
 
-from repro.baselines.merkle_worm import MerkleReadResult, MerkleWormStore
+The Merkle-authenticated baseline that used to live here
+(``merkle_worm``) was promoted to the first-class
+``StoreConfig(auth_scheme="merkle")`` backend in :mod:`repro.core.auth`
+and has been retired; ``tests/baselines/test_merkle_worm.py`` pins its
+behaviours against the real store.
+"""
+
 from repro.baselines.scpu_only import ScpuOnlyStore
 from repro.baselines.soft_worm import SoftReadResult, SoftWormStore
 
 __all__ = [
-    "MerkleReadResult",
-    "MerkleWormStore",
     "ScpuOnlyStore",
     "SoftReadResult",
     "SoftWormStore",

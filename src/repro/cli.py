@@ -722,7 +722,7 @@ def cmd_recover(args) -> int:
     if args.corrupt:
         try:
             recovery.run()
-        except TamperedError as exc:  # wormlint: disable=W004 - drill asserts detection: the terminal tamper *is* the passing outcome
+        except TamperedError as exc:  # wormlint: disable=W004,W008 - drill asserts detection: the terminal tamper *is* the passing outcome
             imported = sum(len(s.vrdt.active_sns) for s in standby.shards)
             if imported:
                 print(f"tamper detected but {imported} records were "
@@ -746,7 +746,7 @@ def cmd_recover(args) -> int:
             if standby.read_record(new_packed) != payload:
                 lost.append((old_packed, "payload mismatch"))
                 continue
-        except WormError as exc:  # wormlint: disable=W004 - drill verdict: unreadable acknowledged write is the reported loss
+        except WormError as exc:  # wormlint: disable=W004,W008 - drill verdict: unreadable acknowledged write is the reported loss
             lost.append((old_packed, f"unreadable: {exc}"))
             continue
         locator = RecordLocator.unpack(new_packed)

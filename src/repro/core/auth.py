@@ -13,7 +13,8 @@ frozen ``StoreConfig.auth_scheme`` field:
   deletion windows (§4.2.1);
 * ``"merkle"`` — :class:`MerkleScheme`, an SCPU-signed Merkle tree over
   the catalog (the classical baseline, promoted from
-  ``repro.baselines.merkle_worm`` to a first-class backend);
+  the since-retired ``repro.baselines.merkle_worm`` to a
+  first-class backend);
 * ``"accumulator"`` — :class:`AccumulatorScheme`, a trapdoor-assisted
   RSA accumulator: the SCPU holds the trapdoor for O(1) updates and
   witness minting, an **untrusted** :class:`~repro.crypto.accumulator.

@@ -157,7 +157,7 @@ class MirroredWormStore:
                 zip(self._stores, self._clients, sns)):
             try:
                 verified = client.verify_read(store.read(sn), sn)
-            except (VerificationError, FreshnessError, WormError,  # wormlint: disable=W004 - read path skips bad replicas; raises when all fail
+            except (VerificationError, FreshnessError, WormError,  # wormlint: disable=W004,W008 - read path skips bad replicas; raises when all fail
                     TamperedError) as exc:
                 reasons.append(f"replica {index}: {type(exc).__name__}: {exc}")
                 continue
@@ -204,7 +204,7 @@ class MirroredWormStore:
                     zip(self._stores, self._clients, sns)):
                 try:
                     verified = client.verify_read(store.read(sn), sn)
-                except (VerificationError, FreshnessError, WormError,  # wormlint: disable=W004 - divergence audit records tampered replicas as findings
+                except (VerificationError, FreshnessError, WormError,  # wormlint: disable=W004,W008 - divergence audit records tampered replicas as findings
                         TamperedError) as exc:
                     report.unavailable.append((record_id, index))
                     report.suspect_sns.setdefault(index, []).append(sn)

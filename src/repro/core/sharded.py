@@ -543,7 +543,7 @@ class ShardedWormStore:
                     self._restore_group(shard_id, key, group)
                     exc.partial_receipts = receipts
                     raise
-                except WormError as exc:  # wormlint: disable=W004 - group restored; first_error re-raised below
+                except WormError as exc:  # wormlint: disable=W004,W008 - group restored; first_error re-raised below
                     self._restore_group(shard_id, key, group)
                     if first_error is None:
                         first_error = exc
@@ -832,7 +832,7 @@ class ShardedWormStore:
                 continue
             try:
                 shard_certs = store.certificates(ca)
-            except TamperedError:  # wormlint: disable=W004 - escalates via breaker; raises below when no shard can sign
+            except TamperedError:  # wormlint: disable=W004,W008 - escalates via breaker; raises below when no shard can sign
                 # The card died outside any commit path (e.g. during
                 # maintenance), so the breaker hasn't heard yet.
                 self._breakers[shard_id].record_permanent_failure(self.now)

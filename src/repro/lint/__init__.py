@@ -10,9 +10,11 @@ turns each rule class into a static check so the *next* violation fails
 
 Run it over the tree::
 
-    python -m repro.lint src tests
+    python -m repro.lint src tests              # per-file rules
+    python -m repro.lint --project src tests    # + interprocedural rules
 
-Rules (see :mod:`repro.lint.rules` for the full semantics):
+Rules (see :mod:`repro.lint.rules` and :mod:`repro.lint.rules_project`
+for the full semantics):
 
 ========  =============================================================
 W001      trust-domain: no SCPU/key-store private internals outside
@@ -25,11 +27,23 @@ W005      taxonomy: raises are ``WormError``-rooted (or stdlib
           ``ValueError``/``TypeError`` on argument validation)
 W006      no-laundering: weak-capable witnessing must feed the
           strengthening queue before results escape ``repro.core``
+W007      verify-before-trust: untrusted host-side data must pass a
+          verifier on *every* path before a trust sink (interprocedural
+          taint analysis — :mod:`repro.lint.dataflow`)
+W008      tamper-terminal-transitive: W004 with call-graph reachability —
+          no transitive caller may swallow ``TamperedError``
+W009      scpu-in-loop (advisory): call-graph-transitive SCPU round-trips
+          inside per-record loops (the hot-path perf campaign)
 ========  =============================================================
 
-Findings are suppressed per line with ``# wormlint: disable=W00x`` and
+The interprocedural rules run over a whole-program
+:class:`~repro.lint.project.ProjectModel` (symbol table + call graph).
+Findings are suppressed per line with ``wormlint: disable=W00x`` and
 grandfathered via the committed ``wormlint.baseline.json`` (see
-:mod:`repro.lint.baseline`); anything new fails the run.
+:mod:`repro.lint.baseline`); anything new fails the run.  Reports are
+available as text, JSON, and SARIF 2.1.0 (``--format sarif``), and
+``--diff REF`` restricts findings to lines changed since the merge base
+for incremental CI.
 """
 
 from __future__ import annotations
@@ -40,14 +54,18 @@ from repro.lint.engine import (
     Finding,
     LintResult,
     ModuleContext,
+    ProjectChecker,
     all_rules,
     lint_paths,
+    lint_project_sources,
     lint_source,
     register,
 )
+from repro.lint.project import ProjectModel
 
-# Importing the rules module populates the registry as a side effect.
+# Importing the rule modules populates the registry as a side effect.
 from repro.lint import rules as _rules  # noqa: F401  (registration import)
+from repro.lint import rules_project as _rules_project  # noqa: F401
 
 __all__ = [
     "Baseline",
@@ -55,8 +73,11 @@ __all__ = [
     "Finding",
     "LintResult",
     "ModuleContext",
+    "ProjectChecker",
+    "ProjectModel",
     "all_rules",
     "lint_paths",
+    "lint_project_sources",
     "lint_source",
     "register",
 ]

@@ -55,11 +55,20 @@ class Baseline:
     @classmethod
     def load(cls, path: Path) -> "Baseline":
         try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError) as exc:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
             raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+        return cls.loads(text, str(path))
+
+    @classmethod
+    def loads(cls, text: str, label: str = "<baseline>") -> "Baseline":
+        """Parse baseline JSON from a string (e.g. ``git show`` output)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"unreadable baseline {label}: {exc}") from exc
         if not isinstance(data, dict) or data.get("version") != 1:
-            raise ValueError(f"baseline {path} is not a version-1 baseline")
+            raise ValueError(f"baseline {label} is not a version-1 baseline")
         counts: Dict[_Key, int] = {}
         for entry in data.get("findings", []):
             key = (entry["rule"], entry["path"], entry["content"])
@@ -81,6 +90,43 @@ class Baseline:
             "findings": entries,
         }
         path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # -- maintenance --------------------------------------------------------
+
+    def pruned_to(self, findings: Iterable[Finding]
+                  ) -> Tuple["Baseline", List[str]]:
+        """The baseline with stale entries dropped, plus their labels.
+
+        An entry survives only up to the number of times it still occurs
+        in *findings*; keys are never added and counts never grow — the
+        baseline may only shrink (``--prune-baseline``).
+        """
+        current: Dict[_Key, int] = {}
+        for finding in findings:
+            key = _key(finding)
+            current[key] = current.get(key, 0) + 1
+        kept: Dict[_Key, int] = {}
+        dropped: List[str] = []
+        for key, count in sorted(self._counts.items()):
+            keep = min(count, current.get(key, 0))
+            if keep:
+                kept[key] = keep
+            if keep < count:
+                rule, path, content = key
+                dropped.append(f"{rule} {path}: {content!r} "
+                               f"(x{count - keep})")
+        return Baseline(kept), dropped
+
+    def growth_since(self, old: "Baseline") -> List[str]:
+        """Entries of *self* that exceed *old* — the gate against a
+        quietly growing grandfather file (empty list = no growth)."""
+        grown: List[str] = []
+        for key, count in sorted(self._counts.items()):
+            extra = count - old._counts.get(key, 0)
+            if extra > 0:
+                rule, path, content = key
+                grown.append(f"{rule} {path}: {content!r} (+{extra})")
+        return grown
 
     # -- matching -----------------------------------------------------------
 

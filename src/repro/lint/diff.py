@@ -1,0 +1,89 @@
+"""Diff-aware linting: restrict findings to lines changed since a ref.
+
+Incremental CI wants "did *this change* introduce a violation", not a
+re-litigation of the whole tree on every push.  :func:`changed_lines`
+shells out to ``git diff -U0 <ref>`` and parses the hunk headers into a
+``{path: {line, ...}}`` map of added/modified lines in the working
+tree; :func:`filter_findings` keeps only findings on those lines.
+
+Two deliberate asymmetries:
+
+* **Project-scope findings are kept when either end moved.**  A W007
+  can appear because the *sink* file changed or because a *sanitizer
+  two modules away* was deleted — in diff mode, any finding in a
+  changed file is kept even off the changed lines, because the taint
+  chain that produced it is not a per-line property.  Per-file rules
+  (W001–W006, E99x) filter strictly by line.
+* **The full run stays authoritative.** ``--diff`` is a fast gate for
+  the inner loop; check.sh still runs the complete project lint.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+from typing import Dict, Iterable, List, Set
+
+from repro.lint.engine import Finding
+
+__all__ = ["changed_lines", "filter_findings", "merge_base"]
+
+#: Rules whose findings depend on more than their own line (the
+#: interprocedural set): kept for any finding in a touched file.
+_PROJECT_RULES = frozenset({"W007", "W008", "W009"})
+
+_HUNK_RE = re.compile(r"^@@ -\d+(?:,\d+)? \+(\d+)(?:,(\d+))? @@")
+
+
+def _git(args: List[str]) -> str:
+    proc = subprocess.run(["git", *args], capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise ValueError(
+            f"git {' '.join(args)} failed: {proc.stderr.strip()}")
+    return proc.stdout
+
+
+def merge_base(ref: str) -> str:
+    """The merge base of HEAD and *ref* (what CI diffs against)."""
+    return _git(["merge-base", "HEAD", ref]).strip()
+
+
+def changed_lines(ref: str) -> Dict[str, Set[int]]:
+    """Added/modified line numbers per file, working tree vs *ref*.
+
+    Paths are repo-relative with posix separators, matching the paths
+    wormlint reports when run from the repo root.
+    """
+    output = _git(["diff", "-U0", "--no-color", ref, "--", "*.py"])
+    changes: Dict[str, Set[int]] = {}
+    current: Set[int] = set()
+    for line in output.splitlines():
+        if line.startswith("+++ "):
+            target = line[4:].strip()
+            if target == "/dev/null":      # deletion: nothing to lint
+                current = set()
+                continue
+            if target.startswith("b/"):
+                target = target[2:]
+            current = changes.setdefault(target.replace("\\", "/"), set())
+            continue
+        match = _HUNK_RE.match(line)
+        if match:
+            start = int(match.group(1))
+            count = int(match.group(2)) if match.group(2) is not None else 1
+            current.update(range(start, start + count))
+    return {path: lines for path, lines in changes.items() if lines}
+
+
+def filter_findings(findings: Iterable[Finding],
+                    changes: Dict[str, Set[int]]) -> List[Finding]:
+    """Findings that land on changed lines (or changed files, for the
+    interprocedural rules — see the module docstring)."""
+    kept: List[Finding] = []
+    for finding in findings:
+        lines = changes.get(finding.path)
+        if lines is None:
+            continue
+        if finding.rule in _PROJECT_RULES or finding.line in lines:
+            kept.append(finding)
+    return kept

@@ -2,7 +2,7 @@
 
 The engine is deliberately small: it parses each file once, hands the
 :class:`ModuleContext` to every registered :class:`Checker`, strips
-findings suppressed with ``# wormlint: disable=W00x`` comments, and
+findings suppressed with ``wormlint: disable=W00x`` comments, and
 (optionally) subtracts a committed :class:`~repro.lint.baseline.Baseline`
 of grandfathered findings.  All domain knowledge lives in
 :mod:`repro.lint.rules`.
@@ -27,14 +27,19 @@ __all__ = [
     "Finding",
     "LintResult",
     "ModuleContext",
+    "ProjectChecker",
     "all_rules",
     "lint_paths",
+    "lint_project_sources",
     "lint_source",
     "register",
 ]
 
-_RULE_RE = re.compile(r"^W\d{3}$|^E999$")
+_RULE_RE = re.compile(r"^W\d{3}$|^E99[89]$")
 _SUPPRESS_RE = re.compile(r"#\s*wormlint:\s*disable=([A-Z0-9,\s]+)")
+
+#: Engine-reserved pseudo-rules, always legal in suppression pragmas.
+_ENGINE_RULES = frozenset({"E998", "E999"})
 
 
 @dataclass(frozen=True)
@@ -47,6 +52,7 @@ class Finding:
     col: int           # 0-based, as in the AST
     message: str
     source_line: str = ""   # stripped text of the offending line
+    severity: str = "error"  # "error" fails the run; "advisory" reports only
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1}"
@@ -54,7 +60,7 @@ class Finding:
     def as_dict(self) -> Dict[str, object]:
         return {"rule": self.rule, "path": self.path, "line": self.line,
                 "col": self.col, "message": self.message,
-                "source_line": self.source_line}
+                "source_line": self.source_line, "severity": self.severity}
 
 
 class ModuleContext:
@@ -95,11 +101,13 @@ class ModuleContext:
             return self.lines[lineno - 1].strip()
         return ""
 
-    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+    def finding(self, rule: str, node: ast.AST, message: str,
+                severity: str = "error") -> Finding:
         lineno = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
         return Finding(rule=rule, path=self.path, line=lineno, col=col,
-                       message=message, source_line=self.source_line(lineno))
+                       message=message, source_line=self.source_line(lineno),
+                       severity=severity)
 
 
 class Checker:
@@ -109,13 +117,40 @@ class Checker:
     implement :meth:`check`, yielding :class:`Finding` objects.  A fresh
     checker instance is created per run (checkers may keep per-run
     state), and :meth:`check` is called once per module.
+
+    ``severity`` is the rule's default: ``"error"`` findings fail the
+    run, ``"advisory"`` findings are reported but never gate (used by
+    the perf-campaign rules).  Checkers that set ``wants_project`` get
+    the :class:`~repro.lint.project.ProjectModel` assigned to
+    :attr:`project` before :meth:`check` when one is available (project
+    mode), and must degrade gracefully when it is None.
     """
 
     rule: str = "W000"
     title: str = ""
     rationale: str = ""
+    severity: str = "error"
+    requires_project: bool = False   # project-scope rule: check_project()
+    wants_project: bool = False      # module rule that can use the model
+    project = None                   # set by the engine in project mode
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectChecker(Checker):
+    """A rule that runs once over the whole :class:`ProjectModel`.
+
+    Findings carry the real path of the module they point into, so
+    per-line suppressions and the baseline work unchanged.
+    """
+
+    requires_project = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
         raise NotImplementedError
 
 
@@ -137,6 +172,7 @@ def all_rules() -> Dict[str, Type[Checker]]:
     # Ensure the built-in rules registered even when the engine module is
     # imported directly rather than through the package __init__.
     from repro.lint import rules as _rules  # noqa: F401
+    from repro.lint import rules_project as _rules_project  # noqa: F401
     return dict(sorted(_REGISTRY.items()))
 
 
@@ -163,6 +199,28 @@ def apply_suppressions(ctx: ModuleContext,
     return kept
 
 
+def suppression_errors(ctx: ModuleContext) -> List[Finding]:
+    """E998 findings for pragmas naming rules that do not exist.
+
+    A typo'd ``wormlint: disable=W0007`` pragma silently suppresses nothing —
+    the author believes a finding is sanctioned while the rule id never
+    matches.  Unknown ids are therefore hard errors, caught on every
+    line (not just lines that currently have findings).
+    """
+    known = set(all_rules()) | set(_ENGINE_RULES)
+    errors: List[Finding] = []
+    for lineno, line in enumerate(ctx.lines, start=1):
+        for token in _suppressed_rules(line):
+            if token not in known:
+                errors.append(Finding(
+                    rule="E998", path=ctx.path, line=lineno, col=0,
+                    message=(f"unknown rule id {token!r} in wormlint "
+                             f"suppression comment — known rules: "
+                             f"{', '.join(sorted(known))}"),
+                    source_line=ctx.source_line(lineno)))
+    return errors
+
+
 # -------------------------------------------------------------------- running
 
 @dataclass
@@ -170,6 +228,7 @@ class LintResult:
     """Outcome of one lint run, pre/post baseline subtraction."""
 
     findings: List[Finding] = field(default_factory=list)  # new (not baselined)
+    advisories: List[Finding] = field(default_factory=list)  # never gate
     baselined: int = 0        # findings matched by the baseline
     stale_baseline: List[str] = field(default_factory=list)  # fixed entries
     files_checked: int = 0
@@ -191,11 +250,16 @@ def _selected_checkers(select: Optional[Sequence[str]]) -> List[Checker]:
 
 
 def lint_module(ctx: ModuleContext,
-                select: Optional[Sequence[str]] = None) -> List[Finding]:
+                select: Optional[Sequence[str]] = None,
+                checkers: Optional[List[Checker]] = None) -> List[Finding]:
     """All non-suppressed findings for one parsed module."""
+    if checkers is None:
+        checkers = [c for c in _selected_checkers(select)
+                    if not c.requires_project]
     findings: List[Finding] = []
-    for checker in _selected_checkers(select):
+    for checker in checkers:
         findings.extend(checker.check(ctx))
+    findings.extend(suppression_errors(ctx))
     findings.sort(key=lambda f: (f.line, f.col, f.rule))
     return apply_suppressions(ctx, findings)
 
@@ -208,6 +272,43 @@ def lint_source(source: str, virtual_path: str,
     scoping exactly as a real file's location would.
     """
     return lint_module(ModuleContext(source, virtual_path), select=select)
+
+
+def lint_project_sources(sources: Dict[str, str],
+                         select: Optional[Sequence[str]] = None
+                         ) -> List[Finding]:
+    """Lint a virtual multi-module project (the interprocedural fixture
+    entry point): ``{virtual_path: source}`` becomes a
+    :class:`~repro.lint.project.ProjectModel`, and both module-scope and
+    project-scope checkers run over it.  Returns every non-suppressed
+    finding (advisories included), sorted by path/line.
+    """
+    from repro.lint.project import ProjectModel  # local: import cycle
+
+    contexts = {path: ModuleContext(src, path)
+                for path, src in sources.items()}
+    project = ProjectModel(contexts.values())
+    checkers = _selected_checkers(select)
+    findings: List[Finding] = []
+    for checker in checkers:
+        if checker.wants_project:
+            checker.project = project
+    for path, ctx in sorted(contexts.items()):
+        module_checkers = [c for c in checkers if not c.requires_project]
+        findings.extend(lint_module(ctx, checkers=module_checkers))
+    for checker in checkers:
+        if not checker.requires_project:
+            continue
+        raw = list(checker.check_project(project))
+        by_path: Dict[str, List[Finding]] = {}
+        for finding in raw:
+            by_path.setdefault(finding.path, []).append(finding)
+        for path, group in by_path.items():
+            ctx = contexts.get(path)
+            findings.extend(apply_suppressions(ctx, group)
+                            if ctx is not None else group)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
@@ -228,14 +329,10 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
             yield candidate
 
 
-def lint_paths(paths: Sequence[str],
-               select: Optional[Sequence[str]] = None,
-               baseline: Optional["Baseline"] = None) -> LintResult:
-    """Lint files/directories; subtract *baseline* when given."""
-    from repro.lint.baseline import Baseline  # local: avoid import cycle
-
-    result = LintResult()
-    collected: List[Finding] = []
+def _parse_contexts(paths: Sequence[str], result: LintResult,
+                    collected: List[Finding]) -> Dict[str, ModuleContext]:
+    """Parse every python file under *paths*; E999 the unparsable ones."""
+    contexts: Dict[str, ModuleContext] = {}
     for path in iter_python_files(paths):
         try:
             source = path.read_text(encoding="utf-8")
@@ -254,11 +351,59 @@ def lint_paths(paths: Sequence[str],
             result.parse_errors += 1
             continue
         result.files_checked += 1
-        collected.extend(lint_module(ctx, select=select))
+        contexts[ctx.path] = ctx
+    return contexts
 
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Sequence[str]] = None,
+               baseline: Optional["Baseline"] = None,
+               project: bool = False) -> LintResult:
+    """Lint files/directories; subtract *baseline* when given.
+
+    With ``project=True`` the package modules among *paths* are parsed
+    into one :class:`~repro.lint.project.ProjectModel` and the
+    interprocedural rules (W007–W009) run over it; module-scope rules
+    that declare ``wants_project`` get the model too (W002's re-export
+    resolution).  Advisory-severity findings land in
+    :attr:`LintResult.advisories` and never fail the run.
+    """
+    from repro.lint.baseline import Baseline  # local: avoid import cycle
+
+    result = LintResult()
+    collected: List[Finding] = []
+    contexts = _parse_contexts(paths, result, collected)
+
+    checkers = _selected_checkers(select)
+    model = None
+    if project:
+        from repro.lint.project import ProjectModel
+        model = ProjectModel(contexts.values())
+        for checker in checkers:
+            if checker.wants_project:
+                checker.project = model
+    module_checkers = [c for c in checkers if not c.requires_project]
+    for _, ctx in sorted(contexts.items()):
+        collected.extend(lint_module(ctx, checkers=module_checkers))
+    if model is not None:
+        for checker in checkers:
+            if not checker.requires_project:
+                continue
+            by_path: Dict[str, List[Finding]] = {}
+            for finding in checker.check_project(model):
+                by_path.setdefault(finding.path, []).append(finding)
+            for path, group in by_path.items():
+                ctx = contexts.get(path)
+                collected.extend(apply_suppressions(ctx, group)
+                                 if ctx is not None else group)
+
+    errors = [f for f in collected if f.severity == "error"]
+    result.advisories = sorted(
+        (f for f in collected if f.severity != "error"),
+        key=lambda f: (f.path, f.line, f.col, f.rule))
     if baseline is None:
         baseline = Baseline.empty()
-    fresh, matched, stale = baseline.partition(collected)
+    fresh, matched, stale = baseline.partition(errors)
     result.findings = fresh
     result.baselined = matched
     result.stale_baseline = stale

@@ -1,0 +1,407 @@
+"""Whole-program model of the ``repro`` package for interprocedural rules.
+
+The per-file checkers of :mod:`repro.lint.rules` see one module at a
+time, which is exactly the blind spot of cross-layer chain-of-custody
+bugs: a verify step skipped two calls away looks fine in every single
+file.  :class:`ProjectModel` parses all of ``src/repro`` once and builds
+the three structures the interprocedural rules (W007–W009) need:
+
+* a **symbol table** per module — every local name resolved to the
+  dotted thing it denotes (``now`` → ``time.time``, ``WC`` →
+  ``repro.core.client.WormClient``), chasing aliases *and* re-exports
+  across ``repro`` modules (``from repro.core import StrongWormStore``
+  resolves through ``repro/core/__init__.py`` to the defining module);
+* a **function table** — every function and method under a qualified
+  name (``repro.core.worm.StrongWormStore.read``), with its AST node;
+* a **call graph** — resolved call edges between those functions.
+
+Call resolution is deliberately pragmatic, in line with the rest of
+wormlint (names and shapes, not values):
+
+* a plain ``name(...)`` call resolves through the symbol table;
+* ``self.m(...)`` / ``cls.m(...)`` resolves through the enclosing class
+  and its project-local base classes;
+* any other ``obj.m(...)`` falls back to *class-hierarchy-analysis by
+  name*: an edge to every project method called ``m`` (minus a denylist
+  of container-protocol names that would connect everything to
+  everything).  The result over-approximates — which is the right
+  direction for "can this call reach an SCPU round-trip / raise
+  ``TamperedError``" reachability questions, and sanctioned exceptions
+  stay visible as per-line suppressions.
+
+Fixtures build virtual projects with :meth:`ProjectModel.from_sources`,
+mapping virtual paths to source strings exactly like
+:func:`~repro.lint.engine.lint_source` does for single modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import ModuleContext
+
+__all__ = ["CallSite", "ClassInfo", "FunctionInfo", "ProjectModel",
+           "module_name_for"]
+
+#: Method names excluded from the by-name fallback resolution: container
+#: and copy protocol names that appear on dozens of unrelated classes
+#: (and on every dict/list), so an edge through them is noise, not flow.
+_CHA_DENYLIST = frozenset({
+    "add", "append", "clear", "copy", "discard", "extend", "get",
+    "insert", "items", "keys", "pop", "popitem", "put", "remove",
+    "setdefault", "sort", "update", "values",
+})
+
+#: Receiver names that denote the SCPU device or its retry-wrapped view
+#: (shared with the per-file rules; see repro.lint.rules conventions).
+SCPU_RECEIVERS = frozenset({"scpu", "_scpu", "scpu_rt", "_scpu_rt"})
+
+#: Receiver names bound to the retry executor.
+RETRY_RECEIVERS = frozenset({"retry", "_retry"})
+
+
+def module_name_for(package_path: str) -> str:
+    """``repro/core/worm.py`` → ``repro.core.worm`` (packages too)."""
+    parts = package_path.split("/")
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][:-3]  # strip .py
+    return ".".join(parts)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _terminal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method of the project."""
+
+    qname: str                       # repro.core.worm.StrongWormStore.read
+    name: str                        # read
+    module: str                      # repro.core.worm
+    path: str                        # real or virtual file path
+    node: ast.AST                    # FunctionDef / AsyncFunctionDef
+    class_qname: Optional[str] = None
+
+
+@dataclass
+class ClassInfo:
+    """One class of the project, with raw base names for MRO walking."""
+
+    qname: str
+    name: str
+    module: str
+    bases: Tuple[str, ...] = ()      # raw dotted names, resolved lazily
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> fn qname
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function, with its resolution."""
+
+    node: ast.Call
+    callee_qnames: Tuple[str, ...]   # resolved project functions (may be ())
+    #: terminal receiver name for attribute calls (``scpu`` of
+    #: ``self.scpu.witness_write``), None for plain-name calls.
+    receiver: Optional[str]
+    attr: Optional[str]              # method/function terminal name
+    #: first positional argument when it is a string literal — the
+    #: ``retry.call("scpu.witness_write", ...)`` op-label idiom.
+    str_arg0: Optional[str] = None
+
+
+class ProjectModel:
+    """Symbol table + function table + call graph over one source tree."""
+
+    def __init__(self, contexts: Iterable[ModuleContext]) -> None:
+        #: module name -> context, for every module inside the package.
+        self.modules: Dict[str, ModuleContext] = {}
+        #: module name -> {local name -> dotted target}
+        self.symbols: Dict[str, Dict[str, str]] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: method name -> [fn qnames] for the by-name fallback.
+        self._methods_by_name: Dict[str, List[str]] = {}
+        #: fn qname -> call sites (resolved lazily, all at once).
+        self._call_sites: Dict[str, List[CallSite]] = {}
+        self._edges: Optional[Dict[str, Set[str]]] = None
+
+        for ctx in contexts:
+            if ctx.package_path is None:
+                continue
+            self.modules[module_name_for(ctx.package_path)] = ctx
+        for name, ctx in self.modules.items():
+            self._index_module(name, ctx)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_sources(cls, sources: Dict[str, str]) -> "ProjectModel":
+        """Build a model from ``{virtual_path: source}`` (fixtures)."""
+        return cls(ModuleContext(src, path) for path, src in sources.items())
+
+    def _index_module(self, mod: str, ctx: ModuleContext) -> None:
+        table: Dict[str, str] = {}
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        table[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        table[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(mod, ctx, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    table[alias.asname or alias.name] = f"{base}.{alias.name}"
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qname = f"{mod}.{node.name}"
+                table[node.name] = qname
+                self.functions[qname] = FunctionInfo(
+                    qname=qname, name=node.name, module=mod,
+                    path=ctx.path, node=node)
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(mod, ctx, node)
+                table[node.name] = f"{mod}.{node.name}"
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = _dotted(node.value)
+                if isinstance(target, ast.Name) and value is not None:
+                    table[target.id] = value
+        self.symbols[mod] = table
+
+    def _index_class(self, mod: str, ctx: ModuleContext,
+                     node: ast.ClassDef) -> None:
+        qname = f"{mod}.{node.name}"
+        bases = tuple(b for b in (_dotted(base) for base in node.bases)
+                      if b is not None)
+        info = ClassInfo(qname=qname, name=node.name, module=mod, bases=bases)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn_qname = f"{qname}.{item.name}"
+                info.methods[item.name] = fn_qname
+                self.functions[fn_qname] = FunctionInfo(
+                    qname=fn_qname, name=item.name, module=mod,
+                    path=ctx.path, node=item, class_qname=qname)
+                self._methods_by_name.setdefault(item.name, []).append(fn_qname)
+        self.classes[qname] = info
+
+    @staticmethod
+    def _import_base(mod: str, ctx: ModuleContext,
+                     node: ast.ImportFrom) -> Optional[str]:
+        """Absolute module an ImportFrom pulls names out of."""
+        if node.level == 0:
+            return node.module
+        parts = mod.split(".")
+        if not ctx.path.endswith("__init__.py"):
+            parts = parts[:-1]
+        parts = parts[:len(parts) - (node.level - 1)] if node.level > 1 else parts
+        if not parts:
+            return node.module
+        return ".".join(parts + ([node.module] if node.module else []))
+
+    # -- symbol resolution ---------------------------------------------------
+
+    def resolve(self, module: str, dotted: str,
+                _seen: Optional[Set[Tuple[str, str]]] = None) -> Optional[str]:
+        """Fully resolve *dotted* as seen from *module*.
+
+        Returns a dotted absolute name (``time.time``,
+        ``repro.core.worm.StrongWormStore``) or None when the head name
+        is unbound in the module.  Re-exports through other project
+        modules are chased to the defining module, with a cycle guard.
+        """
+        if _seen is None:
+            _seen = set()
+        key = (module, dotted)
+        if key in _seen:
+            # Cycle (incl. a module defining the very name it resolves):
+            # let the caller keep its already-prefixed form.
+            return None
+        _seen.add(key)
+        head, _, rest = dotted.partition(".")
+        table = self.symbols.get(module, {})
+        if head not in table:
+            return None
+        target = table[head]
+        full = f"{target}.{rest}" if rest else target
+        owner, remainder = self._split_known_module(full)
+        if owner is not None and remainder:
+            resolved = self.resolve(owner, remainder, _seen)
+            if resolved is not None:
+                return resolved
+        return full
+
+    def _split_known_module(self, dotted: str
+                            ) -> Tuple[Optional[str], Optional[str]]:
+        """Longest known-module prefix of *dotted* + the remainder."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in self.modules:
+                return candidate, ".".join(parts[cut:])
+        return None, None
+
+    def qname_of(self, module: str, dotted: str) -> Optional[str]:
+        """Resolve *dotted* to a project function/class qname, if any."""
+        resolved = self.resolve(module, dotted)
+        if resolved is None:
+            return None
+        if resolved in self.functions or resolved in self.classes:
+            return resolved
+        return None
+
+    # -- class hierarchy -----------------------------------------------------
+
+    def method_in_hierarchy(self, class_qname: str,
+                            method: str) -> Optional[str]:
+        """Find *method* on the class or a project-local base, MRO-ish."""
+        seen: Set[str] = set()
+        queue = [class_qname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if method in info.methods:
+                return info.methods[method]
+            for base in info.bases:
+                base_qname = self.qname_of(info.module, base)
+                if base_qname is not None:
+                    queue.append(base_qname)
+        return None
+
+    # -- call sites & the call graph -----------------------------------------
+
+    def call_sites(self, fn_qname: str) -> List[CallSite]:
+        """All call expressions inside *fn_qname*, with resolutions."""
+        if fn_qname not in self._call_sites:
+            info = self.functions[fn_qname]
+            self._call_sites[fn_qname] = list(self._resolve_calls(info))
+        return self._call_sites[fn_qname]
+
+    def _resolve_calls(self, info: FunctionInfo) -> Iterator[CallSite]:
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            yield self._resolve_call(info, node)
+
+    def _resolve_call(self, info: FunctionInfo, node: ast.Call) -> CallSite:
+        func = node.func
+        str_arg0 = None
+        if node.args and isinstance(node.args[0], ast.Constant) \
+                and isinstance(node.args[0].value, str):
+            str_arg0 = node.args[0].value
+        if isinstance(func, ast.Name):
+            qname = self.qname_of(info.module, func.id)
+            callees: Tuple[str, ...] = ()
+            if qname in self.functions:
+                callees = (qname,)
+            elif qname in self.classes:
+                init = self.classes[qname].methods.get("__init__")
+                callees = (init,) if init else ()
+            return CallSite(node=node, callee_qnames=callees,
+                            receiver=None, attr=func.id, str_arg0=str_arg0)
+        if isinstance(func, ast.Attribute):
+            receiver = _terminal(func.value)
+            attr = func.attr
+            callees = self._resolve_method(info, func, receiver, attr)
+            return CallSite(node=node, callee_qnames=callees,
+                            receiver=receiver, attr=attr, str_arg0=str_arg0)
+        return CallSite(node=node, callee_qnames=(), receiver=None, attr=None,
+                        str_arg0=str_arg0)
+
+    def _resolve_method(self, info: FunctionInfo, func: ast.Attribute,
+                        receiver: Optional[str],
+                        attr: str) -> Tuple[str, ...]:
+        # self.m() / cls.m(): the enclosing class hierarchy wins.
+        if receiver in ("self", "cls") and info.class_qname is not None \
+                and isinstance(func.value, ast.Name):
+            found = self.method_in_hierarchy(info.class_qname, attr)
+            if found is not None:
+                return (found,)
+        # Fully dotted references (module.Class.method, module.function).
+        chain = _dotted(func)
+        if chain is not None:
+            resolved = self.resolve(info.module, chain)
+            if resolved in self.functions:
+                return (resolved,)
+            if resolved is not None and resolved in self.classes:
+                init = self.classes[resolved].methods.get("__init__")
+                if init:
+                    return (init,)
+        # Fallback: CHA by method name across the whole project.
+        if attr.startswith("__") or attr in _CHA_DENYLIST:
+            return ()
+        return tuple(self._methods_by_name.get(attr, ()))
+
+    def edges(self) -> Dict[str, Set[str]]:
+        """The call graph: fn qname → set of resolved callee qnames."""
+        if self._edges is None:
+            self._edges = {}
+            for qname in self.functions:
+                targets: Set[str] = set()
+                for site in self.call_sites(qname):
+                    targets.update(site.callee_qnames)
+                self._edges[qname] = targets
+        return self._edges
+
+    def transitive_closure(self, seeds: Set[str]) -> Set[str]:
+        """Every function that can reach a *seed* through call edges."""
+        edges = self.edges()
+        reaches = set(seeds)
+        changed = True
+        while changed:
+            changed = False
+            for qname, targets in edges.items():
+                if qname not in reaches and targets & reaches:
+                    reaches.add(qname)
+                    changed = True
+        return reaches
+
+    # -- queries the rules share ---------------------------------------------
+
+    def context_for(self, fn_qname: str) -> ModuleContext:
+        return self.modules[self.functions[fn_qname].module]
+
+    def functions_in_package(self, prefix: str = "repro/"
+                             ) -> Iterator[FunctionInfo]:
+        for info in self.functions.values():
+            ctx = self.modules[info.module]
+            if ctx.in_package(prefix):
+                yield info
+
+    @staticmethod
+    def is_direct_scpu_call(site: CallSite) -> bool:
+        """An SCPU round-trip made right here (device or retry view)."""
+        if site.receiver in SCPU_RECEIVERS:
+            return True
+        return (site.receiver in RETRY_RECEIVERS and site.attr == "call"
+                and site.str_arg0 is not None
+                and site.str_arg0.startswith("scpu."))

@@ -1,13 +1,28 @@
-"""Finding reporters: human text and machine JSON."""
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua franca
+CI forges ingest for inline annotations; :func:`render_sarif` emits the
+minimal conforming document — one run, one driver, a ``rules`` entry per
+registered checker, one ``result`` per finding.  Advisory findings map
+to SARIF level ``note`` (surfaced, never blocking), errors to ``error``,
+mirroring wormlint's own gating.  The committed subset schema at
+``scripts/sarif_schema.json`` locks the shape in CI via
+:mod:`repro.obs.schema` (no third-party validator in the container).
+"""
 
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import Dict, List, Optional
 
-from repro.lint.engine import Finding, LintResult
+from repro.lint.engine import Finding, LintResult, all_rules
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
+
+#: The canonical SARIF 2.1.0 schema URI (informational in the document).
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+SARIF_VERSION = "2.1.0"
 
 
 def _sorted(findings: List[Finding]) -> List[Finding]:
@@ -21,10 +36,17 @@ def render_text(result: LintResult, verbose: bool = True) -> str:
         lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
         if verbose and finding.source_line:
             lines.append(f"    | {finding.source_line}")
+    if result.advisories:
+        lines.append("")
+        lines.append(f"advisories ({len(result.advisories)} — reported, "
+                     "never gate):")
+        for finding in _sorted(result.advisories):
+            lines.append(
+                f"  {finding.location()}: {finding.rule} {finding.message}")
     if result.stale_baseline:
         lines.append("")
         lines.append("stale baseline entries (fixed — prune them with "
-                     "--write-baseline):")
+                     "--prune-baseline):")
         for label in result.stale_baseline:
             lines.append(f"  - {label}")
     lines.append("")
@@ -32,6 +54,7 @@ def render_text(result: LintResult, verbose: bool = True) -> str:
     lines.append(
         f"wormlint: {status} across {result.files_checked} file(s)"
         + (f", {result.baselined} grandfathered" if result.baselined else "")
+        + (f", {len(result.advisories)} advisory" if result.advisories else "")
         + (f", {result.parse_errors} unparsable" if result.parse_errors else ""))
     return "\n".join(lines)
 
@@ -39,9 +62,11 @@ def render_text(result: LintResult, verbose: bool = True) -> str:
 def render_json(result: LintResult) -> str:
     payload = {
         "findings": [f.as_dict() for f in _sorted(result.findings)],
+        "advisories": [f.as_dict() for f in _sorted(result.advisories)],
         "summary": {
             "files_checked": result.files_checked,
             "new_findings": len(result.findings),
+            "advisories": len(result.advisories),
             "baselined": result.baselined,
             "stale_baseline": list(result.stale_baseline),
             "parse_errors": result.parse_errors,
@@ -49,3 +74,59 @@ def render_json(result: LintResult) -> str:
         },
     }
     return json.dumps(payload, indent=2)
+
+
+# ------------------------------------------------------------------- SARIF
+
+def _sarif_rules() -> List[Dict[str, object]]:
+    rules: List[Dict[str, object]] = []
+    for rule_id, cls in all_rules().items():
+        rules.append({
+            "id": rule_id,
+            "name": cls.title or rule_id,
+            "shortDescription": {"text": cls.title or rule_id},
+            "fullDescription": {"text": cls.rationale or cls.title or rule_id},
+            "defaultConfiguration": {
+                "level": "note" if cls.severity == "advisory" else "error",
+            },
+        })
+    return rules
+
+
+def _sarif_result(finding: Finding) -> Dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": "note" if finding.severity == "advisory" else "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+    }
+
+
+def render_sarif(result: LintResult,
+                 tool_version: Optional[str] = None) -> str:
+    """The full run as a SARIF 2.1.0 log (findings + advisories)."""
+    results = [_sarif_result(f) for f in _sorted(result.findings)]
+    results += [_sarif_result(f) for f in _sorted(result.advisories)]
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "wormlint",
+                    "version": tool_version or "2.0",
+                    "rules": _sarif_rules(),
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2)

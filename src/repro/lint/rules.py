@@ -4,7 +4,7 @@ Each rule encodes one invariant from the paper's security argument that
 Python's type system cannot enforce.  The checkers are syntactic — they
 reason about names and shapes, not values — so each rule documents the
 *naming conventions* it leans on; code that steps outside a convention
-for a sanctioned reason carries a ``# wormlint: disable=W00x`` comment
+for a sanctioned reason carries a ``wormlint: disable=W00x`` comment
 explaining why, which is exactly the audit trail we want.
 
 Conventions the rules rely on:
@@ -200,16 +200,20 @@ class VirtualTimeChecker(Checker):
     title = "virtual-time"
     rationale = ("wall-clock reads outside repro.sim.clock break "
                  "run-to-run determinism; thread the virtual clock")
+    wants_project = True   # resolves cross-module re-exports when available
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if ctx.package_path in _W002_ALLOWED:
             return
         time_aliases, datetime_aliases, from_imports = self._imports(ctx.tree)
+        resolver = self._project_resolver(ctx)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             finding = self._check_call(ctx, node, time_aliases,
                                        datetime_aliases, from_imports)
+            if finding is None and resolver is not None:
+                finding = self._check_resolved_call(ctx, node, resolver)
             if finding is not None:
                 yield finding
 
@@ -234,7 +238,67 @@ class VirtualTimeChecker(Checker):
                     for alias in node.names:
                         if alias.name == "datetime":
                             datetime_aliases.add(alias.asname or alias.name)
+        # Assignment aliases: ``clock = time`` / ``now = time.time`` re-bind
+        # the wall clock under a new name without any import to spot.
+        # Top-level statement order is respected so chained aliases
+        # (``t = time`` then ``now = t.time``) resolve too.
+        for node in tree.body:
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                continue
+            target = node.targets[0].id
+            value = dotted_name(node.value)
+            if value is None:
+                continue
+            head, _, attr = value.partition(".")
+            if not attr and head in time_aliases:
+                time_aliases.add(target)
+            elif not attr and head in datetime_aliases:
+                datetime_aliases.add(target)
+            elif not attr and head in from_imports:
+                from_imports.add(target)
+            elif attr and head in time_aliases and attr in _TIME_CLOCK_FUNCS:
+                from_imports.add(target)
         return time_aliases, datetime_aliases, from_imports
+
+    def _project_resolver(self, ctx: ModuleContext):
+        """Symbol resolution through the ProjectModel, in project mode.
+
+        Catches the cross-module form of alias blindness: a helper module
+        re-exporting ``now = time.time`` (or ``from time import time as
+        now``) and a consumer importing *that* — neither file alone shows
+        a time import plus a call.
+        """
+        if self.project is None or ctx.package_path is None:
+            return None
+        from repro.lint.project import module_name_for
+        module = module_name_for(ctx.package_path)
+        if module not in self.project.symbols:
+            return None
+        return lambda dotted: self.project.resolve(module, dotted)
+
+    def _check_resolved_call(self, ctx: ModuleContext, node: ast.Call,
+                             resolver) -> Optional[Finding]:
+        chain = dotted_name(node.func)
+        if chain is None:
+            return None
+        resolved = resolver(chain)
+        if resolved is None or resolved == chain:
+            return None
+        parts = resolved.split(".")
+        if parts[0] == "time" and len(parts) == 2 \
+                and parts[1] in _TIME_CLOCK_FUNCS:
+            return ctx.finding(
+                self.rule, node,
+                f"wall-clock call '{chain}()' resolves to '{resolved}' — "
+                "take the virtual clock instead (only repro.sim.clock "
+                "reads real time)")
+        if parts[0] == "datetime" and parts[-1] in _DATETIME_NOW_FUNCS:
+            return ctx.finding(
+                self.rule, node,
+                f"wall-clock call '{chain}()' resolves to '{resolved}' — "
+                "take the virtual clock instead")
+        return None
 
     def _check_call(self, ctx: ModuleContext, node: ast.Call,
                     time_aliases: Set[str], datetime_aliases: Set[str],

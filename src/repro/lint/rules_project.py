@@ -1,0 +1,288 @@
+"""Interprocedural wormlint rules: W007, W008, W009.
+
+These rules run once per project over the
+:class:`~repro.lint.project.ProjectModel` instead of once per module —
+they exist precisely for the bugs a per-file checker cannot see:
+
+* **W007 verify-before-trust** — untrusted host-side bytes reach a
+  trust decision with no verifier on some path, even when the read, the
+  (missing) verify, and the sink live in three different functions.
+  The heavy lifting is in :mod:`repro.lint.dataflow`.
+* **W008 tamper-terminal-transitive** — the interprocedural W004: a
+  handler that can swallow :class:`TamperedError` is only flagged when
+  the ``try`` body *actually reaches* a tamper trip through the call
+  graph.  W004 says "this handler shape is dangerous"; W008 says "and
+  here is the call chain that makes it a real breach-hider".  Sanctioned
+  terminal handlers carry an explicit ``wormlint: disable=W008`` pragma —
+  absorbing a tamper trip stays visible, per the W004 philosophy.
+* **W009 scpu-in-loop** (advisory) — a per-record loop whose body does
+  an SCPU round-trip, directly or transitively.  The paper's
+  performance model charges every SCPU crossing; ROADMAP's hot-path
+  campaign wants them batched per *flush*, not per record.  Advisory
+  severity: reported, never gates CI.
+
+Findings point at real module locations, so per-line suppressions and
+the committed baseline work exactly as for per-file rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.engine import Finding, ProjectChecker, register
+from repro.lint.dataflow import TaintAnalysis
+from repro.lint.project import CallSite, FunctionInfo, ProjectModel
+from repro.lint.rules import TamperTerminalChecker, _exception_names, \
+    _BROAD_EXCEPTIONS, terminal_name
+
+__all__ = ["VerifyBeforeTrustChecker", "TamperTransitiveChecker",
+           "ScpuInLoopChecker"]
+
+
+# ---------------------------------------------------- W007 verify-before-trust
+
+@register
+class VerifyBeforeTrustChecker(ProjectChecker):
+    """W007: untrusted data must pass a verifier before any trust sink.
+
+    The chain-of-custody rule of the whole design (PAPER.md: the main
+    CPU and media are adversarial; only SCPU-signed proofs are
+    trusted).  A catalog import of raw block-store bytes, a replica
+    payload replayed without its VRD check, a witness handed to a
+    client un-audited — each is this rule, and each can span several
+    calls.  The taint engine tracks source-labelled values through
+    assignments, branches (union at merges: sanitized on *every* path
+    or it is not sanitized), and project-function summaries.
+
+    Cross-*stage* custody — where the verify happened in an earlier
+    checkpointed stage over data the current stage re-reads, as in
+    ``SiteRecovery`` VERIFY→REPLAY — is invisible to dataflow and is
+    sanctioned with an explicit suppression citing the stage machine.
+    """
+
+    rule = "W007"
+    title = "verify-before-trust"
+    rationale = ("tainted host-side data reaching catalog import / record "
+                 "replay / client returns without a verify_* on every "
+                 "path defeats the trust model")
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        yield from TaintAnalysis(project).findings()
+
+
+# ----------------------------------------- W008 tamper-terminal (transitive)
+
+@register
+class TamperTransitiveChecker(ProjectChecker):
+    """W008: no transitive caller may swallow ``TamperedError``.
+
+    W004 flags handler *shapes* per file; this rule re-asks the question
+    with reachability: does the ``try`` body — through any chain of
+    project calls — reach a ``raise TamperedError`` or an SCPU
+    round-trip (which may trip the tamper latch)?  If yes, a swallowing
+    handler is hiding a breach no matter how many frames down it
+    starts.  If no, the handler is W004's business at most.
+
+    Call resolution over-approximates (CHA by name), which is the safe
+    direction here; genuinely sanctioned terminal handlers (degraded-
+    mode mirrors, top-level CLI rendering) say so with
+    ``wormlint: disable=W008`` at the handler line.
+    """
+
+    rule = "W008"
+    title = "tamper-terminal-transitive"
+    rationale = ("a broad handler over code that transitively reaches "
+                 "TamperedError converts an enclosure breach into a "
+                 "silent retry, frames away from the raise")
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        reaches = self._tamper_reachers(project)
+        for info in project.functions_in_package():
+            sites = {id(site.node): site
+                     for site in project.call_sites(info.qname)}
+            ctx = project.modules[info.module]
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Try):
+                    yield from self._check_try(ctx, node, sites, reaches)
+
+    # -- reachability --------------------------------------------------------
+
+    @staticmethod
+    def _raises_tamper_here(info: FunctionInfo) -> bool:
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                target = node.exc
+                if isinstance(target, ast.Call):
+                    target = target.func
+                if terminal_name(target) == "TamperedError":
+                    return True
+        return False
+
+    def _tamper_reachers(self, project: ProjectModel) -> Set[str]:
+        """Functions that can (transitively) trip or raise tamper."""
+        seeds: Set[str] = set()
+        for qname, info in project.functions.items():
+            if self._raises_tamper_here(info):
+                seeds.add(qname)
+                continue
+            if any(ProjectModel.is_direct_scpu_call(site)
+                   for site in project.call_sites(qname)):
+                seeds.add(qname)
+        return project.transitive_closure(seeds)
+
+    def _try_reaches_tamper(self, node: ast.Try,
+                            sites: Dict[int, CallSite],
+                            reaches: Set[str]) -> Tuple[bool, str]:
+        """(reachable?, culprit description) for the ``try`` body."""
+        for stmt in node.body:
+            for inner in ast.walk(stmt):
+                if isinstance(inner, ast.Raise) and inner.exc is not None:
+                    target = inner.exc
+                    if isinstance(target, ast.Call):
+                        target = target.func
+                    if terminal_name(target) == "TamperedError":
+                        return True, "a direct raise in the try body"
+                if not isinstance(inner, ast.Call):
+                    continue
+                site = sites.get(id(inner))
+                if site is None:
+                    continue
+                if ProjectModel.is_direct_scpu_call(site):
+                    label = site.str_arg0 or f"{site.receiver}.{site.attr}"
+                    return True, f"the SCPU round-trip '{label}'"
+                hit = next((q for q in site.callee_qnames if q in reaches),
+                           None)
+                if hit is not None:
+                    return True, f"the call chain through '{hit}'"
+        return False, ""
+
+    # -- handler triage (W004 shapes, reachability-gated) --------------------
+
+    def _check_try(self, ctx, node: ast.Try, sites: Dict[int, CallSite],
+                   reaches: Set[str]) -> Iterator[Finding]:
+        reachable, culprit = self._try_reaches_tamper(node, sites, reaches)
+        if not reachable:
+            return
+        tamper_escalated = False
+        for handler in node.handlers:
+            names = _exception_names(handler.type)
+            catches_tamper = "TamperedError" in names
+            is_broad = (handler.type is None
+                        or bool(_BROAD_EXCEPTIONS.intersection(names)))
+            if catches_tamper:
+                if TamperTerminalChecker._reraises(handler):
+                    tamper_escalated = True
+                else:
+                    yield ctx.finding(
+                        self.rule, handler,
+                        f"handler swallows TamperedError reachable via "
+                        f"{culprit} — tamper trips are terminal on every "
+                        f"call path; escalate or sanction with "
+                        f"disable=W008")
+                continue
+            if is_broad and not tamper_escalated:
+                if TamperTerminalChecker._reraises(handler):
+                    tamper_escalated = True
+                    continue
+                caught = " / ".join(names) if names else "everything"
+                yield ctx.finding(
+                    self.rule, handler,
+                    f"broad handler ({caught}) can swallow a TamperedError "
+                    f"raised via {culprit} — re-raise tamper trips or "
+                    f"sanction this terminal handler with disable=W008")
+
+
+# ----------------------------------------------------------- W009 scpu-in-loop
+
+#: Modules where flagging SCPU work in a loop is meaningless: the device
+#: itself, the retry executor (a loop by definition), and the strengthen
+#: queue drain (batched by design, the loop *is* the batch boundary).
+_W009_EXEMPT_PREFIXES = ("repro/hardware/", "repro/lint/")
+_W009_EXEMPT_MODULES = frozenset({"repro/core/retry.py"})
+
+
+@register
+class ScpuInLoopChecker(ProjectChecker):
+    """W009 (advisory): SCPU round-trips inside per-record loops.
+
+    Every crossing into the secure coprocessor pays the paper's modelled
+    device latency; a loop body that signs, seals, or witnesses one
+    record at a time serialises the whole workload behind the card.
+    ROADMAP's hot-path campaign amortises crossings per *flush* —
+    group-commit batches, cached window proofs — so a per-iteration
+    crossing is exactly the shape worth staring at.
+
+    Advisory severity: these findings are printed (and exported in
+    SARIF) but never fail the run — some loops are genuinely per-record
+    by protocol (key-rotation re-sealing).  One finding per loop, naming
+    the first offending call.
+    """
+
+    rule = "W009"
+    title = "scpu-in-loop"
+    rationale = ("per-record SCPU round-trips serialise throughput behind "
+                 "the card; batch or hoist them per flush (perf campaign)")
+    severity = "advisory"
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        scpu_users = self._scpu_users(project)
+        for info in project.functions_in_package():
+            ctx = project.modules[info.module]
+            pkg = ctx.package_path or ""
+            if pkg.startswith(_W009_EXEMPT_PREFIXES) \
+                    or pkg in _W009_EXEMPT_MODULES:
+                continue
+            sites = {id(site.node): site
+                     for site in project.call_sites(info.qname)}
+            claimed: Set[int] = set()
+            for loop in self._loops(info.node):
+                finding = self._check_loop(ctx, loop, sites, scpu_users,
+                                           claimed)
+                if finding is not None:
+                    yield finding
+
+    @staticmethod
+    def _scpu_users(project: ProjectModel) -> Set[str]:
+        seeds = {qname for qname in project.functions
+                 if any(ProjectModel.is_direct_scpu_call(site)
+                        for site in project.call_sites(qname))}
+        return project.transitive_closure(seeds)
+
+    @staticmethod
+    def _loops(fn_node: ast.AST) -> Iterator[ast.AST]:
+        for node in ast.walk(fn_node):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                yield node
+
+    def _check_loop(self, ctx, loop, sites: Dict[int, CallSite],
+                    scpu_users: Set[str], claimed: Set[int]):
+        body: List[ast.stmt] = list(loop.body) + list(
+            getattr(loop, "orelse", []))
+        for stmt in body:
+            for inner in ast.walk(stmt):
+                if not isinstance(inner, ast.Call) or id(inner) in claimed:
+                    continue
+                site = sites.get(id(inner))
+                if site is None:
+                    continue
+                if ProjectModel.is_direct_scpu_call(site):
+                    claimed.add(id(inner))
+                    label = site.str_arg0 or f"{site.receiver}.{site.attr}"
+                    return ctx.finding(
+                        self.rule, loop,
+                        f"SCPU round-trip '{label}' inside a loop at line "
+                        f"{inner.lineno} — each crossing pays device "
+                        f"latency; batch per flush",
+                        severity=self.severity)
+                hit = next((q for q in site.callee_qnames
+                            if q in scpu_users), None)
+                if hit is not None:
+                    claimed.add(id(inner))
+                    return ctx.finding(
+                        self.rule, loop,
+                        f"call at line {inner.lineno} transitively reaches "
+                        f"the SCPU via '{hit}' inside a loop — consider "
+                        f"batching the crossing per flush",
+                        severity=self.severity)
+        return None

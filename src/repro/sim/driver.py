@@ -330,7 +330,7 @@ def run_sharded_chaos_loop(shardstore: ShardedSimStore,
                     payload,
                     retention_seconds=max(request.retention, 1.0),
                     **write_kwargs)
-            except TamperedError:  # wormlint: disable=W004 - chaos harness: store death is the measured outcome
+            except TamperedError:  # wormlint: disable=W004,W008 - chaos harness: store death is the measured outcome
                 metrics.increment("chaos.store_dead")
                 queue.clear()
                 return
@@ -350,11 +350,11 @@ def run_sharded_chaos_loop(shardstore: ShardedSimStore,
             break
         try:
             receipts.extend(store.flush())
-        except TamperedError as exc:  # wormlint: disable=W004 - chaos harness: store death is the measured outcome
+        except TamperedError as exc:  # wormlint: disable=W004,W008 - chaos harness: store death is the measured outcome
             receipts.extend(getattr(exc, "partial_receipts", []))
             metrics.increment("chaos.store_dead")
             break
-        except WormError as exc:  # wormlint: disable=W004 - drain loop retries transients; tamper breaks out above
+        except WormError as exc:  # wormlint: disable=W004,W008 - drain loop retries transients; tamper breaks out above
             receipts.extend(getattr(exc, "partial_receipts", []))
             metrics.increment("chaos.drain_retries")
 

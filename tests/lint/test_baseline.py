@@ -78,3 +78,52 @@ def test_load_rejects_garbage(tmp_path):
     path.write_text("not json")
     with pytest.raises(ValueError, match="unreadable"):
         Baseline.load(path)
+
+
+# -------------------------------------------------------------- maintenance
+
+def test_pruned_to_drops_entries_no_longer_found():
+    baseline = Baseline.from_findings(
+        [_finding(), _finding(source_line="gone()")])
+    pruned, dropped = baseline.pruned_to([_finding()])
+    assert len(pruned) == 1
+    assert len(dropped) == 1 and "gone()" in dropped[0]
+
+
+def test_pruned_to_caps_counts_but_never_adds():
+    baseline = Baseline.from_findings([_finding(), _finding()])
+    pruned, dropped = baseline.pruned_to(
+        [_finding(),                       # one of two survives
+         _finding(source_line="brand_new()")])   # never enters the baseline
+    assert len(pruned) == 1
+    assert dropped and "(x1)" in dropped[0]
+    fresh, matched, _ = pruned.partition([_finding(source_line="brand_new()")])
+    assert matched == 0 and len(fresh) == 1
+
+
+def test_pruned_to_is_a_noop_when_everything_still_fires():
+    baseline = Baseline.from_findings([_finding()])
+    pruned, dropped = baseline.pruned_to([_finding()])
+    assert dropped == [] and len(pruned) == 1
+
+
+def test_growth_since_reports_new_and_increased_entries():
+    old = Baseline.from_findings([_finding()])
+    new = Baseline.from_findings(
+        [_finding(), _finding(), _finding(source_line="added()")])
+    grown = new.growth_since(old)
+    assert len(grown) == 2
+    assert any("added()" in g for g in grown)
+    assert any("(+1)" in g for g in grown)
+
+
+def test_growth_since_ignores_shrinkage():
+    old = Baseline.from_findings([_finding(), _finding(source_line="x()")])
+    new = Baseline.from_findings([_finding()])
+    assert new.growth_since(old) == []
+
+
+def test_loads_parses_text_and_labels_errors():
+    assert len(Baseline.loads('{"version": 1, "findings": []}')) == 0
+    with pytest.raises(ValueError, match="ref:wormlint.baseline.json"):
+        Baseline.loads("nonsense", label="ref:wormlint.baseline.json")

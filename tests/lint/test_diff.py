@@ -1,0 +1,89 @@
+"""Diff-aware gating: hunk parsing and the per-rule filter asymmetry."""
+
+from __future__ import annotations
+
+import subprocess
+
+import pytest
+
+from repro.lint.diff import changed_lines, filter_findings, merge_base
+from repro.lint.engine import Finding
+
+
+def _finding(rule="W001", path="src/repro/core/x.py", line=10):
+    return Finding(rule=rule, path=path, line=line, col=0,
+                   message="m", source_line="s")
+
+
+# ----------------------------------------------------------- filter_findings
+
+def test_module_rule_findings_filter_strictly_by_line():
+    changes = {"src/repro/core/x.py": {10, 11}}
+    kept = filter_findings(
+        [_finding(line=10), _finding(line=50)], changes)
+    assert [f.line for f in kept] == [10]
+
+
+def test_findings_in_untouched_files_are_dropped():
+    kept = filter_findings(
+        [_finding(path="src/repro/core/other.py")],
+        {"src/repro/core/x.py": {10}})
+    assert kept == []
+
+
+@pytest.mark.parametrize("rule", ["W007", "W008", "W009"])
+def test_project_rule_findings_are_kept_per_file_not_per_line(rule):
+    # A taint chain is not a per-line property: the finding's line may be
+    # far from the edit that created it (e.g. a deleted sanitizer call).
+    changes = {"src/repro/core/x.py": {200}}
+    kept = filter_findings([_finding(rule=rule, line=10)], changes)
+    assert [f.rule for f in kept] == [rule]
+
+
+# -------------------------------------------------------------- git plumbing
+
+def _git(tmp_path, *args):
+    subprocess.run(["git", *args], cwd=tmp_path, check=True,
+                   capture_output=True)
+
+
+@pytest.fixture()
+def repo(tmp_path, monkeypatch):
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "config", "user.email", "t@example.invalid")
+    _git(tmp_path, "config", "user.name", "t")
+    (tmp_path / "mod.py").write_text("a = 1\nb = 2\nc = 3\n")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_changed_lines_reports_edits_and_insertions(repo):
+    (repo / "mod.py").write_text("a = 1\nb = 20\nb2 = 21\nc = 3\n")
+    assert changed_lines("HEAD") == {"mod.py": {2, 3}}
+
+
+def test_changed_lines_ignores_non_python_and_deletions(repo):
+    (repo / "notes.txt").write_text("hi\n")
+    _git(repo, "add", "notes.txt")
+    (repo / "mod.py").write_text("a = 1\nc = 3\n")   # pure deletion
+    assert changed_lines("HEAD") == {}
+
+
+def test_changed_lines_sees_new_files(repo):
+    (repo / "fresh.py").write_text("x = 1\ny = 2\n")
+    _git(repo, "add", "fresh.py")
+    assert changed_lines("HEAD") == {"fresh.py": {1, 2}}
+
+
+def test_merge_base_of_head_with_itself(repo):
+    base = merge_base("HEAD")
+    head = subprocess.run(["git", "rev-parse", "HEAD"], cwd=repo,
+                          capture_output=True, text=True).stdout.strip()
+    assert base == head
+
+
+def test_git_failures_surface_as_value_errors(repo):
+    with pytest.raises(ValueError, match="git"):
+        changed_lines("no-such-ref")

@@ -11,9 +11,9 @@ from repro.lint.engine import ModuleContext
 from repro.lint.reporters import render_json, render_text
 
 
-def test_all_six_rules_are_registered():
+def test_all_nine_rules_are_registered():
     assert list(all_rules()) == ["W001", "W002", "W003", "W004", "W005",
-                                 "W006"]
+                                 "W006", "W007", "W008", "W009"]
 
 
 def test_registry_entries_carry_documentation():
@@ -79,6 +79,39 @@ def test_suppression_only_covers_its_own_line():
     """)
     assert [f.rule for f in
             lint_source(source, "src/repro/core/fixture.py")] == ["W002"]
+
+
+def test_suppression_works_on_the_last_line_of_a_file():
+    # No trailing newline, no following line — the pragma must still be
+    # read from the line it sits on.
+    source = ("import time\n"
+              "def stamp():\n"
+              "    return time.time()  # wormlint: disable=W002")
+    assert lint_source(source, "src/repro/core/fixture.py") == []
+
+
+def test_unknown_rule_id_in_pragma_is_an_e998_error():
+    # The pragma is spliced so that wormlint's own scan of THIS file does
+    # not read the fixture text as a live suppression comment.
+    source = ("def stamp():\n"
+              "    return 1  # wormlint: dis" "able=W0042\n")
+    (finding,) = lint_source(source, "src/repro/core/fixture.py")
+    assert finding.rule == "E998"
+    assert "W0042" in finding.message
+    assert "known rules" in finding.message
+
+
+def test_unknown_rule_id_is_caught_even_without_a_finding_to_hide():
+    # The dangerous case: a typo'd pragma on a line that happens to be
+    # clean today silently stops protecting once the violation appears.
+    source = "x = 1  # wormlint: dis" "able=W999\n"
+    (finding,) = lint_source(source, "src/repro/core/fixture.py")
+    assert finding.rule == "E998"
+
+
+def test_e998_itself_can_be_suppressed_explicitly():
+    source = "x = 1  # wormlint: dis" "able=W999,E998 - documenting a typo\n"
+    assert lint_source(source, "src/repro/core/fixture.py") == []
 
 
 def test_findings_carry_location_and_source_line():

@@ -1,0 +1,166 @@
+"""ProjectModel: symbol resolution, the call graph, and reachability."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+from repro.lint.engine import ModuleContext
+from repro.lint.project import ProjectModel, module_name_for
+
+
+def model(**sources: str) -> ProjectModel:
+    """Build a model from ``path_with__for_slashes=source`` kwargs."""
+    return ProjectModel.from_sources({
+        "src/" + name.replace("__", "/") + ".py": dedent(src)
+        for name, src in sources.items()})
+
+
+def test_module_name_derivation():
+    assert module_name_for("repro/core/worm.py") == "repro.core.worm"
+    assert module_name_for("repro/core/__init__.py") == "repro.core"
+    assert module_name_for("repro/cli.py") == "repro.cli"
+
+
+def test_functions_and_methods_are_indexed_under_qualified_names():
+    m = model(repro__core__store="""
+        def helper():
+            pass
+
+        class Store:
+            def read(self):
+                pass
+    """)
+    assert "repro.core.store.helper" in m.functions
+    assert "repro.core.store.Store.read" in m.functions
+    info = m.functions["repro.core.store.Store.read"]
+    assert info.class_qname == "repro.core.store.Store"
+
+
+def test_resolve_chases_aliases_and_reexports():
+    m = model(
+        repro__util__compat="""
+            import time
+            now = time.time
+        """,
+        repro__core__user="""
+            from repro.util.compat import now as clock_read
+        """,
+    )
+    assert m.resolve("repro.core.user", "clock_read") == "time.time"
+
+
+def test_resolve_chases_package_reexports_to_the_defining_module():
+    m = ProjectModel.from_sources({
+        "src/repro/core/__init__.py":
+            "from repro.core.store import Store\n",
+        "src/repro/core/store.py":
+            "class Store:\n    def read(self):\n        pass\n",
+        "src/repro/cli.py":
+            "from repro.core import Store\n",
+    })
+    assert m.resolve("repro.cli", "Store") == "repro.core.store.Store"
+    assert m.qname_of("repro.cli", "Store") == "repro.core.store.Store"
+
+
+def test_relative_imports_resolve_against_the_package():
+    m = model(
+        repro__core__a="""
+            def shared():
+                pass
+        """,
+        repro__core__b="""
+            from .a import shared
+
+            def use():
+                shared()
+        """,
+    )
+    edges = m.edges()
+    assert "repro.core.a.shared" in edges["repro.core.b.use"]
+
+
+def test_self_calls_resolve_through_the_class_hierarchy():
+    m = model(repro__core__s="""
+        class Base:
+            def leaf(self):
+                pass
+
+        class Child(Base):
+            def driver(self):
+                self.leaf()
+    """)
+    edges = m.edges()
+    assert "repro.core.s.Base.leaf" in edges["repro.core.s.Child.driver"]
+
+
+def test_unknown_receiver_falls_back_to_cha_by_name():
+    m = model(repro__core__s="""
+        class Store:
+            def certify(self):
+                pass
+
+        def driver(store):
+            store.certify()
+    """)
+    edges = m.edges()
+    assert "repro.core.s.Store.certify" in edges["repro.core.s.driver"]
+
+
+def test_container_protocol_names_are_excluded_from_cha():
+    m = model(repro__core__s="""
+        class Store:
+            def get(self, key):
+                pass
+
+        def driver(mapping):
+            mapping.get("x")
+    """)
+    # dict-protocol name: an edge here would connect every .get() in the
+    # tree to every class that happens to define one.
+    assert m.edges()["repro.core.s.driver"] == set()
+
+
+def test_transitive_closure_reaches_through_chains():
+    m = model(repro__core__s="""
+        def deep():
+            pass
+
+        def middle():
+            deep()
+
+        def top():
+            middle()
+
+        def unrelated():
+            pass
+    """)
+    reaches = m.transitive_closure({"repro.core.s.deep"})
+    assert "repro.core.s.top" in reaches
+    assert "repro.core.s.middle" in reaches
+    assert "repro.core.s.unrelated" not in reaches
+
+
+def test_direct_scpu_call_detection():
+    m = model(repro__core__s="""
+        class Store:
+            def a(self):
+                self.scpu.witness_write(b"x")
+
+            def b(self):
+                self.retry.call("scpu.sign", lambda: None)
+
+            def c(self):
+                self.retry.call("block_store.get", lambda: None)
+    """)
+    def sites(name):
+        return m.call_sites(f"repro.core.s.Store.{name}")
+    assert any(ProjectModel.is_direct_scpu_call(s) for s in sites("a"))
+    assert any(ProjectModel.is_direct_scpu_call(s) for s in sites("b"))
+    assert not any(ProjectModel.is_direct_scpu_call(s) for s in sites("c"))
+
+
+def test_non_package_files_are_excluded():
+    contexts = [ModuleContext("x = 1\n", "tests/core/test_x.py"),
+                ModuleContext("y = 2\n", "src/repro/core/mod.py")]
+    m = ProjectModel(contexts)
+    assert list(m.modules) == ["repro.core.mod"]

@@ -1,0 +1,61 @@
+"""SARIF reporter: shape, level mapping, and 2.1.0 schema validation."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.engine import Finding, LintResult
+from repro.lint.reporters import render_sarif
+from repro.obs.schema import load_schema, validate
+
+SCHEMA_PATH = Path(__file__).resolve().parents[2] / "scripts" / "sarif_schema.json"
+
+
+def result_with_findings() -> LintResult:
+    return LintResult(
+        findings=[Finding(
+            rule="W007", path="src/repro/core/x.py", line=12, col=8,
+            message="unverified block-store payload reaches catalog import",
+            source_line="self.catalog.index_record(sn, payload)")],
+        advisories=[Finding(
+            rule="W009", path="src/repro/core/y.py", line=30, col=4,
+            message="SCPU round-trip inside loop", source_line="for r in rs:",
+            severity="advisory")],
+        files_checked=2)
+
+
+def test_sarif_document_validates_against_the_2_1_0_schema():
+    document = json.loads(render_sarif(result_with_findings()))
+    problems = validate(document, load_schema(SCHEMA_PATH))
+    assert problems == []
+
+
+def test_sarif_carries_version_and_tool_identity():
+    document = json.loads(render_sarif(result_with_findings()))
+    assert document["version"] == "2.1.0"
+    driver = document["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "wormlint"
+    rule_ids = {rule["id"] for rule in driver["rules"]}
+    assert {"W007", "W008", "W009"} <= rule_ids
+
+
+def test_error_and_advisory_map_to_sarif_levels():
+    document = json.loads(render_sarif(result_with_findings()))
+    levels = {r["ruleId"]: r["level"] for r in document["runs"][0]["results"]}
+    assert levels == {"W007": "error", "W009": "note"}
+
+
+def test_sarif_locations_are_one_indexed():
+    document = json.loads(render_sarif(result_with_findings()))
+    w007 = next(r for r in document["runs"][0]["results"]
+                if r["ruleId"] == "W007")
+    region = w007["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 12
+    assert region["startColumn"] == 9      # SARIF columns are 1-based
+
+
+def test_empty_result_is_still_valid_sarif():
+    document = json.loads(render_sarif(LintResult()))
+    assert document["runs"][0]["results"] == []
+    assert validate(document, load_schema(SCHEMA_PATH)) == []

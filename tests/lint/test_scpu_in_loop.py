@@ -1,0 +1,125 @@
+"""W009 scpu-in-loop (advisory): per-record SCPU round-trip fixtures."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+from typing import Dict
+
+from repro.lint import lint_project_sources
+from repro.lint.engine import lint_paths
+
+
+def rules(sources: Dict[str, str], select=("W009",)):
+    return [f for f in lint_project_sources(
+        {path: dedent(src) for path, src in sources.items()}, select=select)]
+
+
+# ------------------------------------------------------------------ positives
+
+def test_direct_scpu_call_in_loop_is_flagged():
+    findings = rules({"src/repro/core/fixture.py": """
+        class Store:
+            def reseal_all(self, records):
+                for record in records:
+                    self.scpu.witness_write(record)
+    """})
+    assert [f.rule for f in findings] == ["W009"]
+    assert findings[0].severity == "advisory"
+    assert "witness_write" in findings[0].message
+
+
+def test_transitive_scpu_reach_in_loop_is_flagged():
+    findings = rules({"src/repro/core/fixture.py": """
+        class Store:
+            def _seal_one(self, record):
+                self.scpu_rt.sign_window(record)
+
+            def reseal_all(self, records):
+                for record in records:
+                    self._seal_one(record)
+    """})
+    assert [f.rule for f in findings] == ["W009"]
+    assert "_seal_one" in findings[0].message
+
+
+def test_retry_wrapped_scpu_op_in_while_loop_is_flagged():
+    findings = rules({"src/repro/core/fixture.py": """
+        class Store:
+            def drain(self):
+                while self.pending:
+                    item = self.pending.popleft()
+                    self.retry.call("scpu.witness_write", item)
+    """})
+    assert [f.rule for f in findings] == ["W009"]
+
+
+def test_one_finding_per_loop():
+    findings = rules({"src/repro/core/fixture.py": """
+        class Store:
+            def reseal_all(self, records):
+                for record in records:
+                    self.scpu.witness_write(record)
+                    self.scpu.sign_window(record)
+    """})
+    assert len(findings) == 1
+
+
+# ------------------------------------------------------------------ negatives
+
+def test_scpu_call_outside_a_loop_is_clean():
+    findings = rules({"src/repro/core/fixture.py": """
+        class Store:
+            def flush(self, batch):
+                digest = fold(batch)
+                self.scpu.witness_write(digest)
+    """})
+    assert findings == []
+
+
+def test_hoisted_crossing_with_host_side_loop_is_clean():
+    # The perf campaign's target shape: one crossing per flush, the
+    # per-record work stays on the host.
+    findings = rules({"src/repro/core/fixture.py": """
+        class Store:
+            def flush(self, batch):
+                hashes = []
+                for record in batch:
+                    hashes.append(hash_record(record))
+                self.scpu.witness_write(fold(hashes))
+    """})
+    assert findings == []
+
+
+def test_retry_module_is_exempt():
+    findings = rules({"src/repro/core/retry.py": """
+        class RetryExecutor:
+            def call(self, op, fn):
+                while True:
+                    self.scpu.attempt(op, fn)
+    """})
+    assert findings == []
+
+
+def test_hardware_package_is_exempt():
+    findings = rules({"src/repro/hardware/fixture_dev.py": """
+        class Device:
+            def selftest(self):
+                for block in self.banks:
+                    self.scpu.check(block)
+    """})
+    assert findings == []
+
+
+def test_advisories_never_fail_the_run(tmp_path):
+    module = tmp_path / "repro" / "core"
+    module.mkdir(parents=True)
+    (module / "fixture.py").write_text(dedent("""
+        class Store:
+            def reseal_all(self, records):
+                for record in records:
+                    self.scpu.witness_write(record)
+    """))
+    result = lint_paths([str(tmp_path)], select=["W009"], project=True)
+    assert result.clean          # advisory findings never gate
+    assert len(result.advisories) == 1
+    assert result.advisories[0].rule == "W009"

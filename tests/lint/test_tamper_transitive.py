@@ -1,0 +1,160 @@
+"""W008 tamper-terminal-transitive: interprocedural handler fixtures."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+from typing import Dict
+
+from repro.lint import lint_project_sources
+
+
+def rules(sources: Dict[str, str], select=("W008",)):
+    return [f for f in lint_project_sources(
+        {path: dedent(src) for path, src in sources.items()}, select=select)]
+
+
+# ------------------------------------------------------------------ positives
+
+def test_broad_handler_over_transitive_tamper_raise_is_flagged():
+    # The raise is two calls away — W004 cannot see it, W008 can.
+    findings = rules({"src/repro/core/fixture.py": """
+        def deep_check():
+            raise TamperedError("enclosure breached")
+
+        def middle():
+            deep_check()
+
+        def driver():
+            try:
+                middle()
+            except Exception:
+                return None
+    """})
+    assert [f.rule for f in findings] == ["W008"]
+    # The message names the entry point of the chain inside the try body.
+    assert "middle" in findings[0].message
+
+
+def test_handler_naming_tampered_error_without_reraise_is_flagged():
+    findings = rules({"src/repro/core/fixture.py": """
+        def middle():
+            raise TamperedError("breached")
+
+        def driver():
+            try:
+                middle()
+            except TamperedError:
+                return None
+    """})
+    assert [f.rule for f in findings] == ["W008"]
+
+
+def test_scpu_round_trip_in_try_body_counts_as_tamper_reachable():
+    # Any SCPU crossing may trip the tamper latch.
+    findings = rules({"src/repro/core/fixture.py": """
+        class Store:
+            def flush(self):
+                try:
+                    self.scpu.witness_write(b"x")
+                except Exception:
+                    pass
+    """})
+    assert [f.rule for f in findings] == ["W008"]
+    assert "witness_write" in findings[0].message
+
+
+def test_cross_module_chain_is_followed():
+    findings = rules({
+        "src/repro/hardware/fixture_dev.py": """
+            def tamper_trip():
+                raise TamperedError("zeroized")
+        """,
+        "src/repro/core/fixture.py": """
+            from repro.hardware.fixture_dev import tamper_trip
+
+            def driver():
+                try:
+                    tamper_trip()
+                except Exception:
+                    pass
+        """,
+    })
+    assert [(f.path, f.rule) for f in findings] == [
+        ("src/repro/core/fixture.py", "W008")]
+
+
+# ------------------------------------------------------------------ negatives
+
+def test_broad_handler_over_tamper_free_code_is_not_w008():
+    # W004's business at most; W008 needs actual reachability.
+    findings = rules({"src/repro/core/fixture.py": """
+        def harmless():
+            return 1
+
+        def driver():
+            try:
+                harmless()
+            except Exception:
+                return None
+    """})
+    assert findings == []
+
+
+def test_reraising_handler_is_clean():
+    findings = rules({"src/repro/core/fixture.py": """
+        def middle():
+            raise TamperedError("breached")
+
+        def driver():
+            try:
+                middle()
+            except TamperedError:
+                raise
+            except Exception:
+                return None
+    """})
+    assert findings == []
+
+
+def test_guarded_escalation_inside_broad_handler_is_clean():
+    findings = rules({"src/repro/core/fixture.py": """
+        def middle():
+            raise TamperedError("breached")
+
+        def driver():
+            try:
+                middle()
+            except Exception as exc:
+                if isinstance(exc, TamperedError):
+                    raise
+                return None
+    """})
+    assert findings == []
+
+
+def test_narrow_handler_is_clean_even_over_tamper_reaching_code():
+    findings = rules({"src/repro/core/fixture.py": """
+        def middle():
+            raise TamperedError("breached")
+
+        def driver():
+            try:
+                middle()
+            except KeyError:
+                return None
+    """})
+    assert findings == []
+
+
+def test_sanctioned_terminal_handler_suppression_works():
+    findings = rules({"src/repro/core/fixture.py": """
+        def middle():
+            raise TamperedError("breached")
+
+        def driver():
+            try:
+                middle()
+            except Exception:  # wormlint: disable=W008 - top-level render
+                return None
+    """})
+    assert findings == []

@@ -99,3 +99,109 @@ def test_unimported_time_attribute_is_not_confused():
         def read(self):
             return self.time.time()
     """) == []
+
+
+# ------------------------------------------------- alias-blindness regression
+
+def test_module_level_rebinding_of_time_module_fires():
+    # `clock = time` used to launder the module past W002 entirely.
+    source = dedent("""
+        import time
+
+        clock = time
+
+        def stamp():
+            return clock.time()
+    """)
+    assert [f.rule for f in lint_source(
+        source, "src/repro/core/fixture.py")] == ["W002"]
+
+
+def test_module_level_rebinding_of_clock_function_fires():
+    source = dedent("""
+        import time
+
+        now = time.time
+
+        def stamp():
+            return now()
+    """)
+    assert [f.rule for f in lint_source(
+        source, "src/repro/core/fixture.py")] == ["W002"]
+
+
+def test_rebinding_chain_fires():
+    source = dedent("""
+        import time
+
+        t = time
+        clock = t
+
+        def stamp():
+            return clock.time()
+    """)
+    assert [f.rule for f in lint_source(
+        source, "src/repro/core/fixture.py")] == ["W002"]
+
+
+def test_datetime_rebinding_fires():
+    source = dedent("""
+        import datetime
+
+        dt = datetime
+
+        def stamp():
+            return dt.datetime.utcnow()
+    """)
+    assert [f.rule for f in lint_source(
+        source, "src/repro/core/fixture.py")] == ["W002"]
+
+
+def test_harmless_rebinding_does_not_fire():
+    source = dedent("""
+        import time
+
+        sleeper = time.sleep   # rebinding alone is not a clock read
+
+        def configure():
+            return 1
+    """)
+    assert lint_source(source, "src/repro/core/fixture.py") == []
+
+
+def test_cross_module_reexport_of_clock_fires_in_project_mode():
+    # The alias lives in another module — only the project symbol table
+    # can see through it.
+    from repro.lint import lint_project_sources
+    findings = lint_project_sources({
+        "src/repro/util/compat.py": dedent("""
+            import time
+
+            now = time.time
+        """),
+        "src/repro/core/fixture.py": dedent("""
+            from repro.util.compat import now
+
+            def stamp():
+                return now()
+        """),
+    }, select=["W002"])
+    assert [(f.path, f.rule) for f in findings] == [
+        ("src/repro/core/fixture.py", "W002")]
+
+
+def test_cross_module_nonclock_import_is_clean_in_project_mode():
+    from repro.lint import lint_project_sources
+    findings = lint_project_sources({
+        "src/repro/util/compat.py": dedent("""
+            def fold(items):
+                return sum(items)
+        """),
+        "src/repro/core/fixture.py": dedent("""
+            from repro.util.compat import fold
+
+            def total(items):
+                return fold(items)
+        """),
+    }, select=["W002"])
+    assert findings == []

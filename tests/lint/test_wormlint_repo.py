@@ -98,8 +98,63 @@ def test_cli_usage_errors_exit_two(tmp_path):
 def test_cli_list_rules():
     proc = _run_cli("--list-rules")
     assert proc.returncode == 0
-    for rule in ("W001", "W002", "W003", "W004", "W005", "W006"):
+    for rule in ("W001", "W002", "W003", "W004", "W005", "W006",
+                 "W007", "W008", "W009"):
         assert rule in proc.stdout
+    assert "(advisory)" in proc.stdout     # W009 is marked as such
+    assert "[project]" in proc.stdout
+
+
+def test_cli_project_mode_is_clean_on_the_repo():
+    proc = _run_cli("--project", "src", "tests")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+    assert "advisory" in proc.stdout       # W009 reports, never gates
+
+
+def test_cli_sarif_output_validates(tmp_path):
+    from repro.obs.schema import load_schema, validate
+    out = tmp_path / "lint.sarif"
+    proc = _run_cli("--project", "--format", "sarif",
+                    "--output", str(out), "src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    document = json.loads(out.read_text())
+    schema = load_schema(REPO_ROOT / "scripts" / "sarif_schema.json")
+    assert validate(document, schema) == []
+    # Advisories ride along as "note"-level results.
+    levels = {r["level"] for r in document["runs"][0]["results"]}
+    assert levels <= {"note", "error"}
+
+
+def test_cli_baseline_gate_against_head():
+    proc = _run_cli("--baseline-gate", "HEAD", "src", "tests")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "did not grow" in proc.stdout
+
+
+def test_cli_diff_mode_runs_clean_against_head():
+    proc = _run_cli("--project", "--diff", "HEAD", "src", "tests")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_cli_prune_baseline_reports_when_nothing_is_stale(tmp_path):
+    # Run against a scratch copy so the committed file is never touched.
+    import shutil
+    scratch = tmp_path / "repo"
+    scratch.mkdir()
+    shutil.copy(REPO_ROOT / DEFAULT_BASELINE_NAME,
+                scratch / DEFAULT_BASELINE_NAME)
+    (scratch / "tests").mkdir()
+    for entry in json.loads(
+            (REPO_ROOT / DEFAULT_BASELINE_NAME).read_text())["findings"]:
+        src = REPO_ROOT / entry["path"]
+        dst = scratch / entry["path"]
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        if src.exists() and not dst.exists():
+            shutil.copy(src, dst)
+    proc = _run_cli("--prune-baseline", "tests", cwd=scratch)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "baseline" in proc.stdout.lower()
 
 
 def test_committed_baseline_only_grandfathers_white_box_tests():
