@@ -1,4 +1,4 @@
-.PHONY: check test lint wormlint lint-sarif bench chaos obs service recover auth-ablation
+.PHONY: check test lint wormlint lint-sarif bench chaos obs service recover auth-ablation perf
 
 # wormlint + ruff (if installed) + tier-1 tests. The pre-merge gate.
 check:
@@ -55,6 +55,14 @@ recover:
 # these committed artifacts matching the cost model.
 auth-ablation:
 	PYTHONPATH=src python -m repro.cli auth-ablation
+
+# Hot-path perf baselines (shard scaling, figure-1 subset, read path):
+# regenerates benchmarks/BENCH_shard/figure1/read.json.  Deterministic
+# virtual-time numbers; scripts/check.sh band-checks the committed
+# files (±10%: throughput may not drop, SCPU crossings may not grow).
+# Run this to re-baseline after an intentional perf change.
+perf:
+	PYTHONPATH=src python -m repro.cli perf
 
 # Full virtual-time evaluation suite (slow: paper-sized 1024-bit keys).
 bench:

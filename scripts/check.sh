@@ -54,6 +54,10 @@ PYTHONPATH=src python -m repro.cli obs --shards 2 --records 48 \
 echo "==> auth-ablation artifacts (committed BENCH files vs cost model)"
 PYTHONPATH=src python -m repro.cli auth-ablation --check >/dev/null
 
+echo "==> perf gate (hot-path baselines, ±10% band: throughput may not"
+echo "    drop, SCPU crossings may not grow; re-baseline with make perf)"
+PYTHONPATH=src python -m repro.cli perf --check
+
 echo "==> contract gate (service RC suites + multi-tenant overload bench)"
 PYTHONPATH=src python -m pytest -x -q tests/service
 PYTHONPATH=src python -m repro.cli tenant-bench >/dev/null

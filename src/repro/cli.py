@@ -1083,6 +1083,54 @@ def cmd_auth_ablation(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    """Regenerate (or band-check) the hot-path perf baselines.
+
+    Runs :mod:`repro.perf` — the shard-bench scaling table, a reduced
+    Figure 1 sweep, and the read+verify path — and writes
+    ``BENCH_shard.json`` / ``BENCH_figure1.json`` / ``BENCH_read.json``.
+    All numbers are virtual-time and deterministic, so ``--check``
+    (regenerate and compare with a ±10% tolerance band: throughput may
+    not drop, crossings may not grow; exit 2 on regression) is a
+    meaningful CI gate.
+    """
+    from repro import perf
+
+    out_dir = Path(args.out_dir)
+    if args.check:
+        results = perf.check_baselines(out_dir, tolerance=args.tolerance)
+        failed = False
+        for name in perf.BASELINE_NAMES:
+            problems = results.get(name, [])
+            if problems:
+                failed = True
+                print(f"REGRESSION: {name}", file=sys.stderr)
+                for problem in problems:
+                    print(f"  {problem}", file=sys.stderr)
+            else:
+                print(f"{name}: within the ±{args.tolerance:.0%} band")
+        if failed:
+            print("perf gate failed; if the change is intentional, "
+                  "re-baseline with `make perf`", file=sys.stderr)
+            return 2
+        return 0
+    written = perf.write_baselines(out_dir)
+    data = json.loads((out_dir / "BENCH_shard.json").read_text())
+    rows = [[str(p["shards"]), str(p["batch"]), f"{p['writes_per_sec']:.0f}",
+             str(p["scpu_crossings"])]
+            for p in data["points"] + [data["headline"]]]
+    print(format_table(
+        ["shards", "batch", "writes/s", "SCPU crossings"], rows,
+        title="Hot-path baseline — sharded writes (virtual time)"))
+    read = json.loads((out_dir / "BENCH_read.json").read_text())
+    print(f"\nread path: {read['reads_per_sec']:.0f} verified reads/s, "
+          f"{read['read_scpu_crossings']} SCPU crossings, "
+          f"sig-cache {read['sig_cache_hits']}/"
+          f"{read['sig_cache_hits'] + read['sig_cache_misses']} hits")
+    print(f"wrote {len(written)} artifact(s) to {out_dir}/")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.core.report import generate_report
     root, store, fs, ca = _open(args.directory)
@@ -1297,6 +1345,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="regenerate and diff against the committed "
                         "artifacts instead of writing; exit 2 on drift")
     p.set_defaults(func=cmd_auth_ablation)
+
+    p = sub.add_parser("perf",
+                       help="hot-path perf baselines: shard scaling, "
+                            "figure-1 subset, read path; writes "
+                            "BENCH_shard/figure1/read.json "
+                            "(virtual time, deterministic)")
+    p.add_argument("--out-dir", default="benchmarks",
+                   help="directory receiving the BENCH_*.json baselines")
+    p.add_argument("--check", action="store_true",
+                   help="regenerate and band-compare against the committed "
+                        "baselines instead of writing; exit 2 on regression")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="relative regression band for --check "
+                        "(default 0.10 = ±10%%)")
+    p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser("attest",
                        help="signed SCPU state snapshot; chain with --previous")

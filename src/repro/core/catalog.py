@@ -34,10 +34,16 @@ class RecordCatalog:
     def __init__(self, store: StrongWormStore) -> None:
         self._store = store
         self._by_policy: Dict[str, Set[int]] = {}
-        # sorted lists of (time, sn) for range queries
+        # sorted lists of (time, sn) for range queries; new entries are
+        # appended and a single sort runs on the next query (bulk indexing
+        # is O(n log n) total, not O(n²) insorts), and pruned entries are
+        # tombstoned in place and compacted once they outnumber the live
         self._by_created: List[Tuple[float, int]] = []
         self._by_expiry: List[Tuple[float, int]] = []
         self._indexed: Set[int] = set()
+        self._policy_of: Dict[int, str] = {}
+        self._unsorted_tail = 0
+        self._tombstones = 0
 
     # -- maintenance ----------------------------------------------------------
 
@@ -49,10 +55,18 @@ class RecordCatalog:
         if vrd is None:
             return False
         self._by_policy.setdefault(vrd.attr.policy, set()).add(sn)
-        bisect.insort(self._by_created, (vrd.attr.created_at, sn))
-        bisect.insort(self._by_expiry, (vrd.attr.expires_at, sn))
+        self._policy_of[sn] = vrd.attr.policy
+        self._by_created.append((vrd.attr.created_at, sn))
+        self._by_expiry.append((vrd.attr.expires_at, sn))
+        self._unsorted_tail += 1
         self._indexed.add(sn)
         return True
+
+    def _ensure_sorted(self) -> None:
+        if self._unsorted_tail:
+            self._by_created.sort()
+            self._by_expiry.sort()
+            self._unsorted_tail = 0
 
     def index_all(self) -> int:
         """Index every currently active record; returns how many were new."""
@@ -63,18 +77,33 @@ class RecordCatalog:
         return added
 
     def prune_expired(self) -> int:
-        """Drop entries whose records are no longer active."""
+        """Drop entries whose records are no longer active.
+
+        Removal is incremental: only the affected policy buckets are
+        touched (emptied buckets are dropped, so multi-year churn cannot
+        grow ``_by_policy`` without bound), and the sorted time lists are
+        tombstoned rather than rebuilt — range queries filter against the
+        live set and a compaction runs only once tombstones dominate.
+        """
         dead = {sn for sn in self._indexed
                 if not self._store.vrdt.is_active(sn)}
         if not dead:
             return 0
-        for policy_set in self._by_policy.values():
-            policy_set -= dead
-        self._by_created = [(t, sn) for t, sn in self._by_created
-                            if sn not in dead]
-        self._by_expiry = [(t, sn) for t, sn in self._by_expiry
-                           if sn not in dead]
+        for sn in dead:
+            policy = self._policy_of.pop(sn)
+            bucket = self._by_policy.get(policy)
+            if bucket is not None:
+                bucket.discard(sn)
+                if not bucket:
+                    del self._by_policy[policy]
         self._indexed -= dead
+        self._tombstones += len(dead)
+        if self._tombstones * 2 > len(self._by_created):
+            self._by_created = [(t, sn) for t, sn in self._by_created
+                                if sn in self._indexed]
+            self._by_expiry = [(t, sn) for t, sn in self._by_expiry
+                               if sn in self._indexed]
+            self._tombstones = 0
         return len(dead)
 
     def rebuild_verified(self, client: WormClient) -> Tuple[int, List[int]]:
@@ -89,6 +118,9 @@ class RecordCatalog:
         self._by_created.clear()
         self._by_expiry.clear()
         self._indexed.clear()
+        self._policy_of.clear()
+        self._unsorted_tail = 0
+        self._tombstones = 0
         violations: List[int] = []
         for sn in range(1, self._store.scpu.current_serial_number + 1):
             try:
@@ -119,15 +151,19 @@ class RecordCatalog:
 
     def created_between(self, start: float, end: float) -> Tuple[int, ...]:
         """SNs created in ``[start, end)``."""
+        self._ensure_sorted()
         lo = bisect.bisect_left(self._by_created, (start, -1))
         hi = bisect.bisect_left(self._by_created, (end, -1))
-        return tuple(sorted(sn for _, sn in self._by_created[lo:hi]))
+        return tuple(sorted(sn for _, sn in self._by_created[lo:hi]
+                            if sn in self._indexed))
 
     def expiring_between(self, start: float, end: float) -> Tuple[int, ...]:
         """SNs whose retention lapses in ``[start, end)``."""
+        self._ensure_sorted()
         lo = bisect.bisect_left(self._by_expiry, (start, -1))
         hi = bisect.bisect_left(self._by_expiry, (end, -1))
-        return tuple(sorted(sn for _, sn in self._by_expiry[lo:hi]))
+        return tuple(sorted(sn for _, sn in self._by_expiry[lo:hi]
+                            if sn in self._indexed))
 
     def under_litigation_hold(self) -> Tuple[int, ...]:
         """Indexed SNs currently held (reads live attr — holds change)."""

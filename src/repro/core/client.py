@@ -23,6 +23,7 @@ system in violation and is rejected.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -47,6 +48,9 @@ __all__ = ["WormClient", "VerifiedRead"]
 #: Tolerated forward clock skew between client and SCPU (seconds).
 _CLOCK_SKEW = 60.0
 
+#: Default capacity of the client's verified-signature memo (entries).
+_SIG_CACHE_SIZE = 256
+
 
 @dataclass(frozen=True)
 class VerifiedRead:
@@ -65,13 +69,20 @@ class WormClient:
     def __init__(self, ca_public_key: RsaPublicKey,
                  certificates: Iterable[Certificate],
                  clock, freshness_window: float = 300.0,
-                 accept_unverifiable: bool = False) -> None:
+                 accept_unverifiable: bool = False,
+                 signature_cache_size: int = _SIG_CACHE_SIZE) -> None:
         self._ca_key = ca_public_key
         self._clock = clock
         self.freshness_window = freshness_window
         self.accept_unverifiable = accept_unverifiable
         # fingerprint -> (public key, role)
         self._trusted: Dict[str, Tuple[RsaPublicKey, str]] = {}
+        # LRU memo of signatures that already verified; see _signature_valid.
+        self._sig_cache: "OrderedDict[Tuple[str, str, bytes, bytes], None]" \
+            = OrderedDict()
+        self._sig_cache_size = signature_cache_size
+        self.sig_cache_hits = 0
+        self.sig_cache_misses = 0
         for cert in certificates:
             self.add_certificate(cert)
 
@@ -108,8 +119,7 @@ class WormClient:
         if role not in roles:
             raise VerificationError(
                 f"envelope signed by role {role!r}; expected one of {roles}")
-        if not public_key.verify(signed.envelope.canonical_bytes(),
-                                 signed.signature, hash_name=signed.hash_name):
+        if not self._signature_valid(signed, public_key):
             raise VerificationError(f"signature check failed for {purpose}")
         if role == "burst":
             lifetime = security_lifetime(public_key.bits)
@@ -117,6 +127,35 @@ class WormClient:
                 raise FreshnessError(
                     "short-lived signature outlived its security lifetime "
                     "without being strengthened")
+
+    def _signature_valid(self, signed: SignedEnvelope,
+                         public_key: RsaPublicKey) -> bool:
+        """RSA-verify with a bounded memo of past successes.
+
+        Repeated reads re-present the same signed constructs — the
+        shared ``S_s(SN_current)``, a hot record's metasig/datasig,
+        deletion-window bounds — and a signature that verified once
+        verifies forever.  The memo key binds signer, hash, signature
+        *and* the signed bytes, so a valid signature replayed onto
+        different envelope contents still misses and fails the real
+        check.  Time-dependent checks (freshness windows, burst-key
+        lifetimes) stay outside the memo.
+        """
+        message = signed.envelope.canonical_bytes()
+        key = (signed.key_fingerprint, signed.hash_name, signed.signature,
+               message)
+        if key in self._sig_cache:
+            self._sig_cache.move_to_end(key)
+            self.sig_cache_hits += 1
+            return True
+        self.sig_cache_misses += 1
+        if not public_key.verify(message, signed.signature,
+                                 hash_name=signed.hash_name):
+            return False
+        self._sig_cache[key] = None
+        if len(self._sig_cache) > self._sig_cache_size:
+            self._sig_cache.popitem(last=False)
+        return True
 
     def _check_fresh(self, signed: SignedEnvelope) -> None:
         """Enforce the freshness window on a timestamped construct."""

@@ -23,9 +23,11 @@ of what they were absorbed with.
 
 from __future__ import annotations
 
+import bisect
 import heapq
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.obs.bus import NULL_BUS, TelemetryBus
 
@@ -68,6 +70,15 @@ class StrengtheningQueue:
         self.safety_factor = safety_factor
         self.obs = obs if obs is not None else NULL_BUS
         self._heap: List[Tuple[float, int, PendingStrengthening]] = []
+        # Gauge-side view of the backlog, maintained incrementally so the
+        # telemetry pulls (active_backlog / next_deadline / overdue_count)
+        # are O(log n) lookups instead of O(n) sweeps of the heap with a
+        # VRDT liveness probe per entry.  Deletions arrive lazily via
+        # :meth:`note_deleted` (pushed by the store when a record's
+        # deletion proof lands) and are reconciled against the VRDT on
+        # every pop and prune, so a missed push self-heals.
+        self._live_deadlines: List[float] = []
+        self._deadlines_by_sn: Dict[int, List[float]] = {}
         self._counter = 0
         self.strengthened_count = 0
         self.lifetime_violations = 0
@@ -99,15 +110,52 @@ class StrengtheningQueue:
         )
         self._counter += 1
         heapq.heappush(self._heap, (pending.deadline, self._counter, pending))
+        bisect.insort(self._live_deadlines, pending.deadline)
+        self._deadlines_by_sn.setdefault(sn, []).append(pending.deadline)
 
     def _is_live(self, pending: PendingStrengthening) -> bool:
         """Does this entry still protect anything?  Deleted records don't:
         a deletion proof supersedes the data signatures."""
         return self._store.vrdt.is_active(pending.sn)
 
+    def _discard_gauge_entry(self, sn: int, deadline: float) -> None:
+        """Drop one (sn, deadline) pair from the gauge view, if present."""
+        lst = self._deadlines_by_sn.get(sn)
+        if lst is None:
+            return
+        try:
+            lst.remove(deadline)
+        except ValueError:
+            return
+        if not lst:
+            del self._deadlines_by_sn[sn]
+        idx = bisect.bisect_left(self._live_deadlines, deadline)
+        del self._live_deadlines[idx]
+
+    def note_deleted(self, sn: int) -> None:
+        """Record that *sn*'s record was deleted: its entries stop counting
+        toward the live backlog immediately.  The heap entries themselves
+        are removed lazily, on pop or prune."""
+        deadlines = self._deadlines_by_sn.pop(sn, None)
+        if not deadlines:
+            return
+        for deadline in deadlines:
+            idx = bisect.bisect_left(self._live_deadlines, deadline)
+            del self._live_deadlines[idx]
+
+    def _rebuild_gauges(self) -> None:
+        """Recompute the gauge view from the heap's live entries."""
+        self._live_deadlines = []
+        self._deadlines_by_sn = {}
+        for deadline, _, pending in self._heap:
+            if self._is_live(pending):
+                self._live_deadlines.append(deadline)
+                self._deadlines_by_sn.setdefault(pending.sn, []).append(deadline)
+        self._live_deadlines.sort()
+
     def active_backlog(self) -> int:
         """Entries whose record is still active (the real strengthening debt)."""
-        return sum(1 for _, _, p in self._heap if self._is_live(p))
+        return len(self._live_deadlines)
 
     def next_deadline(self) -> Optional[float]:
         """Earliest deadline among *live* entries (None when none remain).
@@ -115,13 +163,11 @@ class StrengtheningQueue:
         Entries whose record was deleted are not deadlines — there is
         nothing left to strengthen — so they are skipped, not reported.
         """
-        return min((deadline for deadline, _, p in self._heap
-                    if self._is_live(p)), default=None)
+        return self._live_deadlines[0] if self._live_deadlines else None
 
     def overdue_count(self, now: float) -> int:
         """Live entries whose *deadline* (not hard expiry) has passed."""
-        return sum(1 for deadline, _, p in self._heap
-                   if deadline <= now and self._is_live(p))
+        return bisect.bisect_right(self._live_deadlines, now)
 
     def strengthen_next(self, now: float) -> Optional[int]:
         """Strengthen the most urgent entry; returns its SN (None if idle).
@@ -145,6 +191,9 @@ class StrengtheningQueue:
             item = heapq.heappop(self._heap)
             pending = item[2]
             if not self._store.vrdt.is_active(pending.sn):
+                # Reconcile the gauge view in case the deletion was never
+                # pushed via note_deleted (no-op when it was).
+                self._discard_gauge_entry(pending.sn, item[0])
                 self._drop_deleted()
                 continue
             if now > pending.hard_expiry and pending.sn not in self._violated:
@@ -159,6 +208,7 @@ class StrengtheningQueue:
             except BaseException:
                 heapq.heappush(self._heap, item)
                 raise
+            self._discard_gauge_entry(pending.sn, item[0])
             self.strengthened_count += 1
             self.obs.inc("strengthen.completed")
             return pending.sn
@@ -178,6 +228,7 @@ class StrengtheningQueue:
             heapq.heapify(self._heap)
             for _ in range(dropped):
                 self._drop_deleted()
+            self._rebuild_gauges()
 
     def report(self, now: float) -> dict:
         """The strengthening backlog, for health reports and escalation.
@@ -223,7 +274,7 @@ class HashVerificationQueue:
     def __init__(self, store, obs: Optional[TelemetryBus] = None) -> None:
         self._store = store
         self.obs = obs if obs is not None else NULL_BUS
-        self._pending: List[Tuple[float, int]] = []  # (written_at, sn) FIFO
+        self._pending: Deque[Tuple[float, int]] = deque()  # (written_at, sn)
         self.verified_count = 0
         self.skipped_deleted = 0
         self.mismatches: List[int] = []
@@ -247,7 +298,7 @@ class HashVerificationQueue:
     def verify_next(self) -> Optional[bool]:
         """Verify the oldest pending hash; returns the outcome (None if idle)."""
         while self._pending:
-            entry = self._pending.pop(0)
+            entry = self._pending.popleft()
             vrd = self._store.vrdt.get_active(entry[1])
             if vrd is None:
                 # Deleted meanwhile; nothing left to protect — but the
@@ -260,7 +311,7 @@ class HashVerificationQueue:
             except BaseException:
                 # Same no-laundering rule as strengthening: an unverified
                 # host hash stays in the backlog if the SCPU call fails.
-                self._pending.insert(0, entry)
+                self._pending.appendleft(entry)
                 raise
             self.verified_count += 1
             self.obs.inc("hashverify.verified")

@@ -556,25 +556,32 @@ class ShardedWormStore:
                     **write_kwargs) -> List[ShardedWriteReceipt]:
         """Group-commit *payloads* across the shards in one call.
 
-        Each payload is one logical record.  Payloads are dealt to
-        shards round-robin and each shard commits its share as a single
-        multi-record ``write()`` — one SN, one metasig/datasig pair —
-        so SCPU witnessing cost is paid once per shard, not once per
-        record.  Receipts come back in input order.  With an intent
-        journal attached, each payload is journalled before its commit
-        and acknowledged with its locator, like :meth:`submit`.
+        Each payload is one logical record.  Payloads are split into
+        contiguous chunks of up to ``config.group_commit_size`` records,
+        and each chunk lands on the next shard round-robin as a single
+        multi-record ``write()`` — one SN, one metasig/datasig pair for
+        the whole chunk — so SCPU witnessing cost amortizes over the full
+        group-commit size rather than thinning out to batch/shard-count
+        records per signature.  Concurrent batches (the closed-loop
+        drivers issue one per worker) still spread across every shard.
+        Receipts come back in input order.  With an intent journal
+        attached, each payload is journalled before its commit and
+        acknowledged with its locator, like :meth:`submit`.
         """
         if isinstance(payloads, (bytes, bytearray)):
             raise TypeError("pass a sequence of record payloads")
+        payloads = list(payloads)
+        chunk = max(1, self.config.group_commit_size)
         slots: List[List[bytes]] = [[] for _ in self._stores]
         entry_slots: List[List[Optional[int]]] = [[] for _ in self._stores]
         order: List[Tuple[int, int]] = []  # (shard_id, index-in-shard-batch)
-        for payload in payloads:
+        for start in range(0, len(payloads), chunk):
             shard_id = self._pick_shard()
-            order.append((shard_id, len(slots[shard_id])))
-            slots[shard_id].append(payload)
-            entry_slots[shard_id].append(
-                self._journal_direct([payload], write_kwargs))
+            for payload in payloads[start:start + chunk]:
+                order.append((shard_id, len(slots[shard_id])))
+                slots[shard_id].append(payload)
+                entry_slots[shard_id].append(
+                    self._journal_direct([payload], write_kwargs))
         per_shard: Dict[int, List[ShardedWriteReceipt]] = {}
         for shard_id, batch in enumerate(slots):
             if batch:

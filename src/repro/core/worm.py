@@ -440,15 +440,13 @@ class StrongWormStore:
         if vrd.attr.litigation_hold and now < vrd.attr.litigation_timeout:
             return "held"
 
-        # Shred payloads that no other active VR still references.
-        still_referenced = {
-            rd.key
-            for other_sn in self.vrdt.active_sns if other_sn != sn
-            for rd in self.vrdt.get_active(other_sn).rdl
-        }
+        # Shred payloads that no other active VR still references (this
+        # VR itself holds one reference until mark_expired below).
         shredded = 0
         for rd in vrd.rdl:
-            if rd.key in still_referenced or rd.key not in self.blocks:
+            if self.vrdt.block_references(rd.key) > 1:
+                continue
+            if rd.key not in self.blocks:
                 continue
             result = shred(self.blocks, rd.key, rd.length,
                            vrd.attr.shredding_algorithm)
@@ -458,6 +456,7 @@ class StrongWormStore:
 
         proof = self.auth.witness_deletion(sn)
         self.vrdt.mark_expired(sn, proof)
+        self.strengthening.note_deleted(sn)
         self.host.table_touch()
         self.disk.write(256, sequential=True)
         if self.obs.enabled:
@@ -527,12 +526,16 @@ class StrongWormStore:
     # ---------------------------------------------- deferred-queue callbacks
 
     def strengthen_vrd(self, sn: int) -> None:
-        """Upgrade one weak/HMAC-witnessed VRD to strong signatures."""
+        """Upgrade one weak/HMAC-witnessed VRD to strong signatures.
+
+        Both signatures travel to the card together — one boundary
+        crossing per record instead of one per signature.
+        """
         vrd = self.vrdt.get_active(sn)
         if vrd is None:
             return
-        metasig = self._scpu_rt.strengthen(vrd.metasig)
-        datasig = self._scpu_rt.strengthen(vrd.datasig)
+        metasig, datasig = self._scpu_rt.strengthen_batch(
+            [vrd.metasig, vrd.datasig])
         self.vrdt.replace_active(vrd.with_signatures(metasig, datasig))
         self.host.table_touch()
         self.disk.write(256, sequential=True)
@@ -549,10 +552,12 @@ class StrongWormStore:
         if signed.scheme == "hmac":
             return self._scpu_rt.verify_own_hmac(signed)
         publics = self._scpu_rt.public_keys()
-        for key in (publics["s"], publics["burst"]):
-            if signed.key_fingerprint == key.fingerprint():
-                return self._scpu_rt.verify_envelope(signed, key)
-        return False
+        by_fingerprint = {key.fingerprint(): key
+                          for key in (publics["s"], publics["burst"])}
+        key = by_fingerprint.get(signed.key_fingerprint)
+        if key is None:
+            return False
+        return self._scpu_rt.verify_envelope(signed, key)
 
     def scpu_verify_data_hash(self, vrd: VirtualRecordDescriptor) -> bool:
         """SCPU re-reads the VR's data and verifies a host-claimed hash."""
@@ -628,6 +633,59 @@ class StrongWormStore:
         self.auth.on_write(vrd)
         return WriteReceipt(sn=sn, vrd=vrd, strength=Strength.STRONG,
                             costs=self._cost_delta(marks))
+
+    def import_records(self, items: Sequence[Tuple[RecordAttributes,
+                                                   Sequence[bytes]]]
+                       ) -> List[WriteReceipt]:
+        """Batched :meth:`import_record` for bulk replay (recovery, drills).
+
+        Hashing, SN issue, and witnessing each cross the SCPU boundary
+        once for the whole batch rather than once per record; per-record
+        crypto costs are unchanged and the batch's device costs are split
+        evenly across the returned receipts.
+        """
+        if not items:
+            return []
+        marks = self._cost_checkpoints()
+        rdls: List[Tuple[RecordDescriptor, ...]] = []
+        total_bytes = 0
+        for _, payloads in items:
+            rdl: List[RecordDescriptor] = []
+            for payload in payloads:
+                key = self.retry.call("block_store.put", self.blocks.put,
+                                      payload)
+                total_bytes += len(payload)
+                self.host.memcpy_cost(len(payload))
+                rdl.append(RecordDescriptor(key=key, length=len(payload)))
+            rdls.append(tuple(rdl))
+        # Bulk replay lands as one sequential stream, not per-payload seeks.
+        self.disk.write(total_bytes, sequential=True)
+        hashes = self._scpu_rt.hash_record_data_batch(
+            [payloads for _, payloads in items])
+        sns = self._scpu_rt.issue_serial_numbers(len(items))
+        sig_pairs = self._scpu_rt.witness_write_batch(
+            [(sn, attr.canonical_bytes(), data_hash)
+             for sn, (attr, _), data_hash in zip(sns, items, hashes)],
+            strength=Strength.STRONG)
+        vrds: List[VirtualRecordDescriptor] = []
+        self.disk.write(256 * len(items), sequential=True)
+        for sn, (attr, _), rdl, data_hash, (metasig, datasig) in zip(  # wormlint: disable=W009 - host-side table bookkeeping; the batch's SCPU crossings (hash/SN/witness) are amortised above, and the auth hook is per-record by protocol
+                sns, items, rdls, hashes, sig_pairs):
+            vrd = VirtualRecordDescriptor(sn=sn, attr=attr, rdl=rdl,
+                                          metasig=metasig, datasig=datasig,
+                                          data_hash=data_hash)
+            self.vrdt.insert_active(vrd)
+            self.host.table_touch()
+            self.retention.on_write(
+                sn, max(attr.expires_at,
+                        attr.litigation_timeout if attr.litigation_hold
+                        else 0.0))
+            self.auth.on_write(vrd)
+            vrds.append(vrd)
+        share = {device: cost / len(items)
+                 for device, cost in self._cost_delta(marks).items()}
+        return [WriteReceipt(sn=vrd.sn, vrd=vrd, strength=Strength.STRONG,
+                             costs=dict(share)) for vrd in vrds]
 
     # ---------------------------------------------------------- client setup
 

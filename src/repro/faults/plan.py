@@ -160,18 +160,27 @@ class FaultPlan:
 
     # -- consultation --------------------------------------------------------
 
-    def advise(self, op: str, now: float, op_index: int) -> List[FaultAction]:
+    def advise(self, op: str, now: float, op_index: int,
+               alias: Optional[str] = None) -> List[FaultAction]:
         """The fault actions firing on this call (consumes scheduled events).
 
         *op_index* is the wrapped device's 1-based service-call counter.
         Scheduled events are checked first, then the steady-state
         transient draw — exactly one RNG draw per consultation, so the
         random stream is independent of which events are scheduled.
+
+        *alias* is a second operation name the call answers to: a
+        batched entry point is the same card operation as its singular
+        form, so a plan targeting ``strengthen`` must also hit a
+        ``strengthen_batch`` crossing.  An event matching either name
+        fires exactly once.
         """
         self.consulted += 1
         actions: List[FaultAction] = []
         for event in self.events:
-            if event.matches(op, now, op_index):
+            if event.matches(op, now, op_index) or (
+                    alias is not None
+                    and event.matches(alias, now, op_index)):
                 event.fired += 1
                 actions.append(FaultAction(event.kind, seconds=event.seconds))
         if self._rng.random() < self.transient_rate:

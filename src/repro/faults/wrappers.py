@@ -45,6 +45,7 @@ __all__ = ["FaultyScpu", "FaultyBlockStore", "SCPU_FAULTABLE_OPS"]
 #: dead card is modelled by the tamper latch, not by flaky attributes.
 SCPU_FAULTABLE_OPS = (
     "issue_serial_number",
+    "issue_serial_numbers",
     "advance_sn_base",
     "sign_sn_base",
     "sign_sn_current",
@@ -52,11 +53,15 @@ SCPU_FAULTABLE_OPS = (
     "public_keys",
     "certify_with",
     "hash_record_data",
+    "hash_record_data_batch",
     "verify_deferred_hash",
     "witness_write",
+    "witness_write_batch",
     "strengthen",
+    "strengthen_batch",
     "verify_own_hmac",
     "verify_envelope",
+    "verify_envelope_batch",
     "resign_metadata",
     "make_deletion_proof",
     "compact_deletion_window",
@@ -72,6 +77,18 @@ SCPU_FAULTABLE_OPS = (
 
 #: Block-store operations subject to fault injection.
 BLOCK_FAULTABLE_OPS = ("put", "get", "overwrite", "delete")
+
+#: Batched entry points answer to their singular op name too: a fault
+#: plan written against ``strengthen`` predates (and must survive) the
+#: call site converting to ``strengthen_batch`` — same card operation,
+#: one crossing instead of N.
+_BATCH_OP_ALIASES = {
+    "hash_record_data_batch": "hash_record_data",
+    "witness_write_batch": "witness_write",
+    "strengthen_batch": "strengthen",
+    "verify_envelope_batch": "verify_envelope",
+    "issue_serial_numbers": "issue_serial_number",
+}
 
 
 class _FaultingBase:
@@ -99,7 +116,8 @@ class _FaultingBase:
         once the real operation has completed.
         """
         self._op_index += 1
-        actions = self.plan.advise(op, self._now(), self._op_index)
+        actions = self.plan.advise(op, self._now(), self._op_index,
+                                   alias=_BATCH_OP_ALIASES.get(op))
         for action in actions:
             if action.kind == FaultKind.CRASH_BEFORE:
                 raise CrashError(f"injected crash before {op}")

@@ -57,6 +57,8 @@ class OpMeter:
     def __init__(self) -> None:
         self._records: List[OpRecord] = []
         self._total = 0.0
+        self._crossings = 0
+        self._bytes_crossed = 0
         self._bus = None
         self._bus_device: Optional[str] = None
 
@@ -89,6 +91,28 @@ class OpMeter:
             self._bus.device_charge(self._bus_device, name, seconds)
         return seconds
 
+    def crossing(self, nbytes: int = 0) -> None:
+        """Count one host↔device boundary round trip carrying *nbytes*.
+
+        Crossings are the amortization target of the batching API: the
+        virtual-time cost model stays calibrated per operation, while
+        this counter exposes how many separate trips across the trust
+        boundary a protocol step required — the quantity batched entry
+        points exist to shrink.
+        """
+        self._crossings += 1
+        self._bytes_crossed += nbytes
+
+    @property
+    def crossings(self) -> int:
+        """Host↔device round trips counted so far."""
+        return self._crossings
+
+    @property
+    def bytes_crossed(self) -> int:
+        """Payload bytes carried across the boundary so far."""
+        return self._bytes_crossed
+
     @property
     def total_seconds(self) -> float:
         """Total virtual seconds charged since construction."""
@@ -117,6 +141,8 @@ class OpMeter:
         """Clear all records (benchmark warm-up boundaries)."""
         self._records.clear()
         self._total = 0.0
+        self._crossings = 0
+        self._bytes_crossed = 0
 
 
 @runtime_checkable
@@ -158,6 +184,8 @@ class ScpuLike(Protocol):
     # -- serial-number authority -------------------------------------------
     def issue_serial_number(self) -> int: ...
 
+    def issue_serial_numbers(self, count: int) -> List[int]: ...
+
     @property
     def current_serial_number(self) -> int: ...
 
@@ -186,6 +214,23 @@ class ScpuLike(Protocol):
 
     def verify_envelope(self, signed: "SignedEnvelope",
                         public_key: object) -> bool: ...
+
+    # -- batched entry points (one boundary crossing, per-item costs) --------
+    def hash_record_data_batch(
+            self, chunk_lists: Iterable[Iterable[bytes]]) -> List[bytes]: ...
+
+    def witness_write_batch(
+            self, items: Iterable[Tuple[int, bytes, bytes]],
+            strength: str = ...
+    ) -> List[Tuple["SignedEnvelope", "SignedEnvelope"]]: ...
+
+    def strengthen_batch(
+            self, signed_seq: Iterable["SignedEnvelope"]
+    ) -> List["SignedEnvelope"]: ...
+
+    def verify_envelope_batch(
+            self, pairs: Iterable[Tuple["SignedEnvelope", object]]
+    ) -> List[bool]: ...
 
     def resign_metadata(self, sn: int,
                         attr_bytes: bytes) -> "SignedEnvelope": ...

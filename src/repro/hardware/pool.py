@@ -43,6 +43,7 @@ __all__ = ["ScpuPool"]
 #: and durable-key operations that must stay single-writer / consistent).
 _AUTHORITY_METHODS = (
     "issue_serial_number",
+    "issue_serial_numbers",
     "advance_sn_base",
     "sign_sn_base",
     "sign_migration_manifest",
@@ -64,11 +65,15 @@ _AUTHORITY_METHODS = (
 #: signing / hashing / verification work the pool exists to parallelize).
 _WORKER_METHODS = (
     "hash_record_data",
+    "hash_record_data_batch",
     "verify_deferred_hash",
     "witness_write",
+    "witness_write_batch",
     "strengthen",
+    "strengthen_batch",
     "verify_own_hmac",
     "verify_envelope",
+    "verify_envelope_batch",
     "resign_metadata",
     "make_deletion_proof",
     "compact_deletion_window",

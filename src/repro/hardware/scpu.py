@@ -220,9 +220,28 @@ class SecureCoprocessor:
     def issue_serial_number(self) -> int:
         """Allocate the next system-wide unique SN (monotonic, in NVRAM)."""
         self.tamper.check()
+        self.meter.crossing()
         self.meter.charge("sn_counter", _NVRAM_TOUCH_SECONDS)
         self._sn_counter += 1
         return self._sn_counter
+
+    def issue_serial_numbers(self, count: int) -> List[int]:
+        """Allocate *count* consecutive SNs in one boundary crossing.
+
+        Each allocation still touches NVRAM (the monotonic counter is
+        per-SN), but a burst of writes pays for one host↔card round trip
+        instead of *count* of them.
+        """
+        if count < 0:
+            raise ValueError("cannot issue a negative number of SNs")
+        self.tamper.check()
+        self.meter.crossing()
+        sns: List[int] = []
+        for _ in range(count):
+            self.meter.charge("sn_counter", _NVRAM_TOUCH_SECONDS)
+            self._sn_counter += 1
+            sns.append(self._sn_counter)
+        return sns
 
     @property
     def current_serial_number(self) -> int:
@@ -241,6 +260,11 @@ class SecureCoprocessor:
         record size grows.
         """
         self.tamper.check()
+        digest, total = self._hash_one(chunks)
+        self.meter.crossing(total)
+        return digest
+
+    def _hash_one(self, chunks: Iterable[bytes]) -> Tuple[bytes, int]:
         hasher = ChainedHasher()
         total = 0
         for chunk in chunks:
@@ -248,7 +272,24 @@ class SecureCoprocessor:
             hasher.update(chunk)
         self.meter.charge("dma", self.profile.dma_seconds(total))
         self.meter.charge("sha", self.profile.sha_seconds(total, self.hash_block_size))
-        return hasher.digest()
+        return hasher.digest(), total
+
+    def hash_record_data_batch(
+            self, chunk_lists: Iterable[Iterable[bytes]]) -> List[bytes]:
+        """Hash several records' data in one DMA setup / boundary crossing.
+
+        Per-record DMA and SHA costs are charged identically to the
+        singular call; only the round-trip count is amortized.
+        """
+        self.tamper.check()
+        digests: List[bytes] = []
+        total = 0
+        for chunks in chunk_lists:
+            digest, nbytes = self._hash_one(chunks)
+            digests.append(digest)
+            total += nbytes
+        self.meter.crossing(total)
+        return digests
 
     def verify_deferred_hash(self, chunks: Iterable[bytes], claimed: bytes) -> bool:
         """Idle-time check of a host-provided hash (§4.2.2 weaker model).
@@ -271,6 +312,11 @@ class SecureCoprocessor:
         are HMAC-tagged instead (not client-verifiable until upgraded).
         """
         self.tamper.check()
+        self.meter.crossing(len(attr_bytes) + len(data_hash))
+        return self._witness_one(sn, attr_bytes, data_hash, strength)
+
+    def _witness_one(self, sn: int, attr_bytes: bytes, data_hash: bytes,
+                     strength: str) -> Tuple[SignedEnvelope, SignedEnvelope]:
         meta_fields = {"sn": sn, "attr": attr_bytes}
         data_fields = {"sn": sn, "data_hash": data_hash}
         if strength == Strength.HMAC:
@@ -279,6 +325,22 @@ class SecureCoprocessor:
         key = self._witness_key(strength)
         return (self._sign(key, Purpose.METASIG, meta_fields),
                 self._sign(key, Purpose.DATASIG, data_fields))
+
+    def witness_write_batch(
+            self, items: Iterable[Tuple[int, bytes, bytes]],
+            strength: str = Strength.STRONG
+    ) -> List[Tuple[SignedEnvelope, SignedEnvelope]]:
+        """Witness several writes in one boundary crossing (§4.3 bursts).
+
+        *items* is an iterable of ``(sn, attr_bytes, data_hash)``.  Every
+        record still pays its full signing cost — batching amortizes the
+        round trip, not the cryptography.
+        """
+        self.tamper.check()
+        items = list(items)
+        self.meter.crossing(sum(len(a) + len(h) for _, a, h in items))
+        return [self._witness_one(sn, attr_bytes, data_hash, strength)
+                for sn, attr_bytes, data_hash in items]
 
     # -- deferred-strength upgrades (§4.3) ---------------------------------------
 
@@ -292,6 +354,23 @@ class SecureCoprocessor:
         out (a tampered queue entry must never be laundered into a strong
         signature).
         """
+        self.meter.crossing(len(signed.signature))
+        return self._strengthen_one(signed)
+
+    def strengthen_batch(
+            self, signed_seq: Iterable[SignedEnvelope]) -> List[SignedEnvelope]:
+        """Strengthen several constructs in one boundary crossing.
+
+        Fail-fast: a construct that does not check out raises exactly as
+        the singular call would, after the preceding items were already
+        strengthened — callers that need per-item isolation submit
+        per-record batches (e.g. one record's metasig + datasig).
+        """
+        signed_seq = list(signed_seq)
+        self.meter.crossing(sum(len(s.signature) for s in signed_seq))
+        return [self._strengthen_one(signed) for signed in signed_seq]
+
+    def _strengthen_one(self, signed: SignedEnvelope) -> SignedEnvelope:
         keys = self._keys_or_die()
         message = signed.envelope.canonical_bytes()
         if signed.scheme == "hmac":
@@ -331,6 +410,7 @@ class SecureCoprocessor:
     def verify_own_hmac(self, signed: SignedEnvelope) -> bool:
         """Check an HMAC tag this SCPU issued (night scan of burst writes)."""
         keys = self._keys_or_die()
+        self.meter.crossing()
         message = signed.envelope.canonical_bytes()
         self.meter.charge("hmac", self.profile.sha_seconds(len(message), block_size=1024))
         return keys.hmac.verify(message, signed.signature)
@@ -344,6 +424,7 @@ class SecureCoprocessor:
         is provided.
         """
         keys = self._keys_or_die()
+        self.meter.crossing()
         self._retired_burst_fingerprints.append(keys.burst_key.fingerprint)
         self.meter.charge("rsa_keygen", 0.5)  # card-side keygen, sub-second
         keys.burst_key = SigningKey.generate(weak_bits, role="burst")
@@ -359,6 +440,7 @@ class SecureCoprocessor:
         Clients reject this construct once older than the freshness
         window; the SCPU refreshes it every few minutes even when idle.
         """
+        self.meter.crossing()
         keys = self._keys_or_die()
         return self._sign(keys.s_key, Purpose.SN_CURRENT, {"sn_current": sn_current})
 
@@ -375,6 +457,7 @@ class SecureCoprocessor:
         value, only request a fresh signature.  The expiry stops Mallory
         replaying an old (lower) base signature to dodge proper expiry.
         """
+        self.meter.crossing()
         keys = self._keys_or_die()
         expires_at = self.now + validity_seconds
         return self._sign(keys.s_key, Purpose.SN_BASE,
@@ -428,6 +511,7 @@ class SecureCoprocessor:
         "rewriting history" Theorem 2 rules out.
         """
         self.tamper.check()
+        self.meter.crossing()
         if new_base <= self._sn_base:
             raise ValueError("base may only advance")
         if new_base > self._sn_counter + 1:
@@ -457,6 +541,7 @@ class SecureCoprocessor:
         never be conjured over live data.
         """
         self.tamper.check()
+        self.meter.crossing()
         if high_sn - low_sn + 1 < 3:
             raise ValueError("deletion windows need at least 3 expired VRs")
         for sn in range(low_sn, high_sn + 1):
@@ -487,6 +572,7 @@ class SecureCoprocessor:
 
     def make_deletion_proof(self, sn: int) -> SignedEnvelope:
         """S_d(SN): the proof of rightful deletion stored in the VRDT."""
+        self.meter.crossing()
         keys = self._keys_or_die()
         return self._sign(keys.d_key, Purpose.DELETION_PROOF, {"sn": sn})
 
@@ -508,6 +594,7 @@ class SecureCoprocessor:
         never-allocated denials, replacing SN_current for this scheme).
         """
         keys = self._keys_or_die()
+        self.meter.crossing()
         nbytes = max(1, path_nodes) * self._MERKLE_NODE_BYTES
         self.meter.charge("merkle_path_dma", self.profile.dma_seconds(nbytes))
         self.meter.charge("merkle_path_sha",
@@ -545,6 +632,7 @@ class SecureCoprocessor:
         Returns the prime representative (public — verifiers recompute it
         from the SN, so returning it is a convenience, not a secret).
         """
+        self.meter.crossing()
         acc = self._accumulator(label)
         self.meter.charge(f"acc_update_{acc.bits}",
                           self.profile.rsa_verify_seconds(acc.bits))
@@ -553,6 +641,7 @@ class SecureCoprocessor:
 
     def accumulator_remove(self, label: str, sn: int) -> int:
         """Delete *sn* from the set via the trapdoor: O(1) full-width modexp."""
+        self.meter.crossing()
         acc = self._accumulator(label)
         self.meter.charge(f"acc_trapdoor_{acc.bits}",
                           self.profile.rsa_sign_seconds(acc.bits))
@@ -565,6 +654,7 @@ class SecureCoprocessor:
         This is the trapdoor-assisted update path of the distributed
         accumulator — without the trapdoor a witness costs O(set size).
         """
+        self.meter.crossing()
         acc = self._accumulator(label)
         self.meter.charge(f"acc_trapdoor_{acc.bits}",
                           self.profile.rsa_sign_seconds(acc.bits))
@@ -578,6 +668,7 @@ class SecureCoprocessor:
         never-allocated denials.  Clients reject stale statements by the
         freshness window, exactly like SN_current.
         """
+        self.meter.crossing()
         keys = self._keys_or_die()
         acc = self._accumulator(label)
         return self._sign(keys.s_key, Purpose.ACCUMULATOR_VALUE, {
@@ -593,6 +684,7 @@ class SecureCoprocessor:
     def resign_metadata(self, sn: int, attr_bytes: bytes) -> SignedEnvelope:
         """Re-issue metasig after an authorized attr change (lit_hold/release)."""
         keys = self._keys_or_die()
+        self.meter.crossing()
         return self._sign(keys.s_key, Purpose.METASIG, {"sn": sn, "attr": attr_bytes})
 
     def verify_regulator_credential(self, credential: SignedEnvelope,
@@ -605,6 +697,7 @@ class SecureCoprocessor:
         replays of old court orders).
         """
         self.tamper.check()
+        self.meter.crossing()
         env = credential.envelope
         if env.purpose != Purpose.LITIGATION_CREDENTIAL:
             return False
@@ -822,6 +915,7 @@ class SecureCoprocessor:
         migrated state as authentic.
         """
         keys = self._keys_or_die()
+        self.meter.crossing()
         return self._sign(keys.s_key, Purpose.MIGRATION_MANIFEST, {
             "manifest_hash": manifest_hash,
             "record_count": record_count,
@@ -832,9 +926,25 @@ class SecureCoprocessor:
     def verify_envelope(self, signed: SignedEnvelope, public_key) -> bool:
         """Verify a foreign SCPU's envelope (migration), charging verify cost."""
         self.tamper.check()
+        self.meter.crossing(len(signed.signature))
+        return self._verify_envelope_one(signed, public_key)
+
+    def _verify_envelope_one(self, signed: SignedEnvelope, public_key) -> bool:
         self.meter.charge(
             f"rsa_verify_{public_key.bits}",
             self.profile.rsa_verify_seconds(public_key.bits),
         )
         return public_key.verify(signed.envelope.canonical_bytes(), signed.signature,
                                  hash_name=signed.hash_name)
+
+    def verify_envelope_batch(
+            self, pairs: Iterable[Tuple[SignedEnvelope, object]]) -> List[bool]:
+        """Verify many (envelope, public_key) pairs in one crossing.
+
+        The bulk shape of :meth:`verify_envelope` for recovery VERIFY and
+        catalog rebuilds: per-item verify costs are charged unchanged.
+        """
+        self.tamper.check()
+        pairs = list(pairs)
+        self.meter.crossing(sum(len(s.signature) for s, _ in pairs))
+        return [self._verify_envelope_one(signed, key) for signed, key in pairs]

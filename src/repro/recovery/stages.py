@@ -27,9 +27,9 @@ exactly those two things, through five explicit stages::
   records are *unverifiable by construction*, not tampered: they are
   excluded here and re-ingested from the journal in RESUME.)
 * **REPLAY** — verified records are re-witnessed under the new site's
-  SCPU via :meth:`~repro.core.worm.StrongWormStore.import_record`
-  (attributes preserved, retention clocks keep running), building the
-  old→new locator mapping.
+  SCPU via :meth:`~repro.core.worm.StrongWormStore.import_records`
+  (attributes preserved, retention clocks keep running; one batched
+  crossing per shard), building the old→new locator mapping.
 * **RESUME** — the zero-loss ledger walk: every entry of the mirrored
   intent journal that is not already covered by a replayed record is
   re-submitted (at-least-once; WORM duplicates are harmless, lost
@@ -276,12 +276,16 @@ class SiteRecovery:
                 for shard_id in self.replica.shard_ids}
         return self._images
 
-    def _verify_signed(self, shard_id: int, signed: SignedEnvelope,
-                       purpose: str, roles: Tuple[str, ...],
-                       label: str) -> None:
-        """One authenticator check against the dead site's trusted keys."""
+    def _stage_signed(self, shard_id: int, signed: SignedEnvelope,
+                      purpose: str, roles: Tuple[str, ...], label: str,
+                      queue: List[Tuple[SignedEnvelope, Any, str]]) -> None:
+        """Host-side checks for one authenticator; the SCPU check is deferred.
+
+        Purpose and signer-trust checks run immediately (they need no
+        crossing); the signature itself joins *queue* for the shard's
+        single batched :meth:`_flush_verifies` crossing.
+        """
         trusted = self._ensure_trusted()
-        scpu_rt = self.store.shard(shard_id).scpu_rt
         if signed.envelope.purpose != purpose:
             raise TamperedError(
                 f"shard {shard_id} {label}: wrong envelope purpose "
@@ -290,9 +294,22 @@ class SiteRecovery:
         if signer is None or signer[1] not in roles:
             raise TamperedError(
                 f"shard {shard_id} {label}: signed by an untrusted key")
-        if not scpu_rt.verify_envelope(signed, signer[0]):
-            raise TamperedError(
-                f"shard {shard_id} {label}: signature verification failed")
+        queue.append((signed, signer[0],
+                      f"shard {shard_id} {label}: signature verification "
+                      f"failed"))
+
+    def _flush_verifies(self, shard_id: int,
+                        queue: List[Tuple[SignedEnvelope, Any, str]]) -> None:
+        """One batched SCPU crossing checks every staged signature."""
+        if not queue:
+            return
+        scpu_rt = self.store.shard(shard_id).scpu_rt
+        results = scpu_rt.verify_envelope_batch(
+            [(signed, key) for signed, key, _ in queue])
+        for ok, (_, _, failure) in zip(results, queue):
+            if not ok:
+                raise TamperedError(failure)
+        del queue[:]
 
     # -- stages ----------------------------------------------------------------------
 
@@ -325,53 +342,78 @@ class SiteRecovery:
         self.store.advance_clocks(transfer)
 
     def _verify(self) -> None:
-        """Check every replicated construct before any of it is imported."""
-        for shard_id, image in sorted(self._ensure_images().items()):
-            self._verify_shard_windows(shard_id, image)
+        """Check every replicated construct before any of it is imported.
+
+        Structural checks (purpose, trust, SN fields, attr match, data
+        hash) run host-side per item; every signature in a shard's
+        image is staged and crosses into the new site's SCPU as one
+        batched verify call — VERIFY pays one round trip per shard
+        instead of one per envelope.
+        """
+        for shard_id, image in sorted(self._ensure_images().items()):  # wormlint: disable=W009 - the shard is the batch boundary: all staged signatures cross once in _flush_verifies
+            queue: List[Tuple[SignedEnvelope, Any, str]] = []
+            windows = self._stage_shard_windows(shard_id, image, queue)
+            records = 0
             for sn in sorted(image["vrds"]):
                 vrd = VirtualRecordDescriptor.from_dict(image["vrds"][sn])
-                self._verify_record(shard_id, vrd, image["blocks"])
+                records += self._stage_record(shard_id, vrd,
+                                              image["blocks"], queue)
+            self._flush_verifies(shard_id, queue)
+            if windows:
+                self._count("windows_verified", windows)
+                self.obs.inc("recovery.windows_verified", windows)
+            if records:
+                self._count("records_verified", records)
+                self.obs.inc("recovery.records_verified", records)
 
-    def _verify_shard_windows(self, shard_id: int,
-                              image: Dict[str, Any]) -> None:
-        """The shard's window authenticators: the O(1) trust skeleton."""
+    def _stage_shard_windows(self, shard_id: int, image: Dict[str, Any],
+                             queue: List[Tuple[SignedEnvelope, Any, str]]
+                             ) -> int:
+        """Stage the shard's window authenticators: the O(1) trust skeleton."""
         if image["vrds"] and image["sn_current"] is None:
             raise RecoveryError(
                 f"shard {shard_id}: replica has active records but no "
                 f"signed SN_current authenticator")
+        staged = 0
         pairs = (("sn_current", Purpose.SN_CURRENT, ("s",)),
                  ("sn_base", Purpose.SN_BASE, ("s",)))
         for key, purpose, roles in pairs:
             if image[key] is None:
                 continue
-            self._verify_signed(
+            self._stage_signed(
                 shard_id, SignedEnvelope.from_dict(image[key]),
-                purpose, roles, key)
-            self._count("windows_verified")
-            self.obs.inc("recovery.windows_verified")
+                purpose, roles, key, queue)
+            staged += 1
         for window in image["deletion_windows"]:
-            self._verify_signed(
+            self._stage_signed(
                 shard_id, SignedEnvelope.from_dict(window["lower"]),
-                Purpose.WINDOW_LOWER, ("s",), "deletion-window lower bound")
-            self._verify_signed(
+                Purpose.WINDOW_LOWER, ("s",), "deletion-window lower bound",
+                queue)
+            self._stage_signed(
                 shard_id, SignedEnvelope.from_dict(window["upper"]),
-                Purpose.WINDOW_UPPER, ("s",), "deletion-window upper bound")
-            self._count("windows_verified", 2)
-            self.obs.inc("recovery.windows_verified", 2)
+                Purpose.WINDOW_UPPER, ("s",), "deletion-window upper bound",
+                queue)
+            staged += 2
         for sn, proof_data in sorted(image["deletion_proofs"].items()):
             proof = SignedEnvelope.from_dict(proof_data)
-            self._verify_signed(shard_id, proof, Purpose.DELETION_PROOF,
-                                ("d",), f"deletion proof SN {sn}")
+            self._stage_signed(shard_id, proof, Purpose.DELETION_PROOF,
+                               ("d",), f"deletion proof SN {sn}", queue)
             if int(proof.field("sn")) != int(sn):
                 raise TamperedError(
                     f"shard {shard_id}: deletion proof names SN "
                     f"{proof.field('sn')} but is filed under {sn}")
-            self._count("windows_verified")
-            self.obs.inc("recovery.windows_verified")
+            staged += 1
+        return staged
 
-    def _verify_record(self, shard_id: int, vrd: VirtualRecordDescriptor,
-                       blocks: Dict[str, bytes]) -> None:
-        """Migration-grade verification of one replicated record."""
+    def _stage_record(self, shard_id: int, vrd: VirtualRecordDescriptor,
+                      blocks: Dict[str, bytes],
+                      queue: List[Tuple[SignedEnvelope, Any, str]]) -> int:
+        """Migration-grade checks for one replicated record (sigs deferred).
+
+        Returns the number of records staged (0 for hmac-unverifiable
+        ones) so the caller can count only what the batch actually
+        covers.
+        """
         shard = self.store.shard(shard_id)
         if vrd.metasig.scheme == "hmac" or vrd.datasig.scheme == "hmac":
             # Only the dead card could check its own HMAC: unverifiable
@@ -379,7 +421,7 @@ class SiteRecovery:
             self._unverifiable.append(
                 (shard_id, vrd.sn, "hmac-witnessed (burst mode); "
                                    "re-ingested from the journal"))
-            return
+            return 0
         trusted = self._ensure_trusted()
         for signed, label in ((vrd.metasig, "metasig"),
                               (vrd.datasig, "datasig")):
@@ -388,10 +430,9 @@ class SiteRecovery:
                 raise TamperedError(
                     f"shard {shard_id} SN {vrd.sn}: {label} signed by an "
                     f"untrusted key")
-            if not shard.scpu_rt.verify_envelope(signed, signer[0]):
-                raise TamperedError(
-                    f"shard {shard_id} SN {vrd.sn}: {label} signature "
-                    f"verification failed")
+            queue.append((signed, signer[0],
+                          f"shard {shard_id} SN {vrd.sn}: {label} signature "
+                          f"verification failed"))
         if (vrd.metasig.field("sn") != vrd.sn
                 or vrd.datasig.field("sn") != vrd.sn):
             raise TamperedError(
@@ -417,22 +458,28 @@ class SiteRecovery:
             raise TamperedError(
                 f"shard {shard_id} SN {vrd.sn}: record data does not "
                 f"match the datasig")
-        self._count("records_verified")
-        self.obs.inc("recovery.records_verified")
+        return 1
 
     def _replay(self) -> None:
-        """Re-witness every verified record under the new site's SCPUs."""
+        """Re-witness every verified record under the new site's SCPUs.
+
+        All of a shard's verified records replay through one
+        :meth:`~repro.core.worm.StrongWormStore.import_records` call, so
+        hashing, SN issue, and witnessing cross the new SCPU once per
+        shard rather than once per record.
+        """
         unverifiable = {(s, sn) for s, sn, _ in self._unverifiable}
-        for shard_id, image in sorted(self._ensure_images().items()):
+        for shard_id, image in sorted(self._ensure_images().items()):  # wormlint: disable=W009 - the shard is the batch boundary: each iteration makes one batched import_records crossing
             if self._replayed_shards.get(str(shard_id)):
                 continue  # resumed recovery: this shard already landed
-            for sn in sorted(image["vrds"]):
-                if (shard_id, sn) in unverifiable:
-                    continue
-                vrd = VirtualRecordDescriptor.from_dict(image["vrds"][sn])
-                payloads = [image["blocks"][rd.key] for rd in vrd.rdl]
-                receipt = self.store.shard(shard_id).import_record(  # wormlint: disable=W007 - custody spans stages: _verify_records checked every (shard, sn) against its metasig/datasig before REPLAY can start, and unverifiable records are skipped above
-                    vrd.attr, payloads)
+            sns = [sn for sn in sorted(image["vrds"])
+                   if (shard_id, sn) not in unverifiable]
+            vrds = [VirtualRecordDescriptor.from_dict(image["vrds"][sn])
+                    for sn in sns]
+            receipts = self.store.shard(shard_id).import_records(  # wormlint: disable=W007 - custody spans stages: _stage_record checked every (shard, sn) against its metasig/datasig before REPLAY can start, and unverifiable records are skipped above
+                [(vrd.attr, [image["blocks"][rd.key] for rd in vrd.rdl])
+                 for vrd in vrds])
+            for sn, vrd, receipt in zip(sns, vrds, receipts):
                 for index in range(len(vrd.rdl)):
                     old = RecordLocator(shard_id=shard_id, sn=sn,
                                         record_index=index).pack()

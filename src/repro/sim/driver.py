@@ -417,16 +417,21 @@ def _maintenance_loop(simstore: SimulatedStore, interval: float):
         return (simstore.scpu_dev.resource.queue_length == 0
                 and simstore.scpu_dev.resource.in_use == 0)
 
+    # Drain in batches: one cost replay (and one batched SCPU round
+    # trip per record's signature pair) per chunk instead of a full
+    # checkpoint/replay cycle — and a simulation event — per entry.
+    batch = 8
     while True:
         yield simstore.sim.timeout(interval)
         while len(store.strengthening) > 0 and card_idle():
             marks = store._cost_checkpoints()
-            if store.strengthening.strengthen_next(simstore.sim.now) is None:
+            if store.strengthening.drain(simstore.sim.now,
+                                         max_items=batch) == 0:
                 break
             yield from simstore.replay(store._cost_delta(marks))
         while len(store.hash_verification) > 0 and card_idle():
             marks = store._cost_checkpoints()
-            if store.hash_verification.verify_next() is None:
+            if store.hash_verification.drain(max_items=batch) == 0:
                 break
             yield from simstore.replay(store._cost_delta(marks))
 

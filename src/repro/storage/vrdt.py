@@ -22,6 +22,7 @@ security tests check that clients detect all of it.
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.errors import MissingRecordError
@@ -75,20 +76,44 @@ class VrdTable:
         self.sn_current_envelope: Optional[SignedEnvelope] = None
         self.sn_base_envelope: Optional[SignedEnvelope] = None
         self.deletion_windows: List[DeletionWindow] = []
+        # block key -> number of *distinct active SNs* referencing it, so
+        # shred-eligibility checks don't sweep every active VRD per delete
+        self._block_refs: Dict[str, int] = {}
+        # lazily rebuilt sorted view of deletion_windows for O(log k)
+        # covering lookups; keyed on (id, len) so appends and wholesale
+        # replacements of the (public, untrusted) list invalidate it
+        self._window_index_key: Tuple[int, int] = (0, -1)
+        self._window_starts: List[int] = []
+        self._window_order: List[DeletionWindow] = []
 
     # -- entry management ---------------------------------------------------
+
+    def _retain_blocks(self, vrd: VirtualRecordDescriptor) -> None:
+        for key in {rd.key for rd in vrd.rdl}:
+            self._block_refs[key] = self._block_refs.get(key, 0) + 1
+
+    def _release_blocks(self, vrd: VirtualRecordDescriptor) -> None:
+        for key in {rd.key for rd in vrd.rdl}:
+            remaining = self._block_refs.get(key, 0) - 1
+            if remaining > 0:
+                self._block_refs[key] = remaining
+            else:
+                self._block_refs.pop(key, None)
 
     def insert_active(self, vrd: VirtualRecordDescriptor) -> None:
         """Add a freshly written VRD (rejects SN collisions)."""
         if vrd.sn in self._active or vrd.sn in self._deletion_proofs:
             raise ValueError(f"SN {vrd.sn} already present in VRDT")
         self._active[vrd.sn] = vrd
+        self._retain_blocks(vrd)
 
     def replace_active(self, vrd: VirtualRecordDescriptor) -> None:
         """Swap an active VRD in place (signature upgrade, lit_hold)."""
         if vrd.sn not in self._active:
             raise MissingRecordError(f"SN {vrd.sn} is not active")
+        self._release_blocks(self._active[vrd.sn])
         self._active[vrd.sn] = vrd
+        self._retain_blocks(vrd)
 
     def get_active(self, sn: int) -> Optional[VirtualRecordDescriptor]:
         return self._active.get(sn)
@@ -100,6 +125,7 @@ class VrdTable:
         """Replace an active entry with its deletion proof (§4.2.2 delete)."""
         if sn not in self._active:
             raise MissingRecordError(f"SN {sn} is not active")
+        self._release_blocks(self._active[sn])
         del self._active[sn]
         self._deletion_proofs[sn] = deletion_proof
 
@@ -133,11 +159,26 @@ class VrdTable:
     def proof_count(self) -> int:
         return len(self._deletion_proofs)
 
+    def block_references(self, key: str) -> int:
+        """How many distinct active SNs reference block *key*."""
+        return self._block_refs.get(key, 0)
+
     def window_covering(self, sn: int) -> Optional[DeletionWindow]:
-        """The compacted deletion window containing *sn*, if any."""
-        for window in self.deletion_windows:
-            if window.covers(sn):
-                return window
+        """The compacted deletion window containing *sn*, if any.
+
+        O(log k) via a sorted index over window bounds (windows are
+        disjoint by construction), rebuilt lazily whenever the public
+        ``deletion_windows`` list is appended to or replaced.
+        """
+        windows = self.deletion_windows
+        key = (id(windows), len(windows))
+        if key != self._window_index_key:
+            self._window_order = sorted(windows, key=lambda w: w.low_sn)
+            self._window_starts = [w.low_sn for w in self._window_order]
+            self._window_index_key = key
+        idx = bisect.bisect_right(self._window_starts, sn) - 1
+        if idx >= 0 and self._window_order[idx].covers(sn):
+            return self._window_order[idx]
         return None
 
     def contiguous_expired_runs(self, minimum: int = 3) -> List[Tuple[int, int]]:

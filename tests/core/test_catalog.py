@@ -111,3 +111,89 @@ class TestVerifiedRebuild:
         assert receipts["sox-early"].sn not in catalog.by_policy("sox")
         catalog.rebuild_verified(client)
         assert receipts["sox-early"].sn in catalog.by_policy("sox")
+
+
+class TestIncrementalMaintenance:
+    """Hot-path campaign regressions: prune touches only affected
+    buckets (emptied policy keys vanish), indexing appends instead of
+    insorting, and interleaved churn stays consistent with a brute
+    sweep of the VRDT."""
+
+    def test_prune_drops_empty_policy_buckets(self, store, catalog):
+        # Only the "default" policy admits short retention, so it is the
+        # bucket that empties out when its sole record expires.
+        store.write([b"gone"], retention_seconds=5.0)
+        keeper = store.write([b"kept"], policy="sox")
+        catalog.index_all()
+        assert "default" in catalog._by_policy
+        store.scpu.clock.advance(10.0)
+        store.retention.tick(store.now)
+        assert catalog.prune_expired() == 1
+        # The bucket is gone, not left as an empty set that accretes
+        # one dead key per policy over multi-year churn.
+        assert "default" not in catalog._by_policy
+        assert catalog.by_policy("default") == ()
+        assert catalog.by_policy("sox") == (keeper.sn,)
+
+    def test_index_all_makes_no_insorts(self, store, catalog, monkeypatch):
+        """Regression: index_record used bisect.insort per record —
+        O(n) list shifts turning bulk indexing into O(n^2)."""
+        import repro.core.catalog as catalog_module
+        _seed(store)
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError(
+                "index_record must append + sort on flush, not insort")
+
+        monkeypatch.setattr(catalog_module.bisect, "insort", forbidden)
+        assert catalog.index_all() == 4
+        # Queries still see a correctly sorted index (the deferred sort).
+        all_sns = catalog.created_between(0.0, float("inf"))
+        assert all_sns == tuple(sorted(catalog._indexed))
+
+    def test_queries_filter_tombstones_before_compaction(self, store,
+                                                         catalog):
+        receipts = _seed(store)
+        catalog.index_all()
+        store.scpu.clock.advance(100.0)
+        store.retention.tick(store.now)  # "short" dies
+        assert catalog.prune_expired() == 1
+        # One tombstone among four entries: compaction has not run yet,
+        # but range queries must not resurrect the pruned record.
+        assert catalog._tombstones == 1
+        dead_sn = receipts["short"].sn
+        assert dead_sn not in catalog.created_between(0.0, float("inf"))
+        assert dead_sn not in catalog.expiring_between(0.0, float("inf"))
+
+    def test_churn_matches_brute_force_sweep(self, store, catalog):
+        """Interleaved write → index → expire → prune cycles against a
+        brute-force recomputation from the VRDT."""
+        policies = ("sox", "hipaa", "default")
+        for cycle in range(4):
+            for i in range(6):
+                if i % 2:
+                    # Short-lived default-policy records churn out...
+                    store.write([b"x"], retention_seconds=50.0)
+                else:
+                    # ...among long-lived regulated ones that persist.
+                    store.write([b"x"], policy=policies[(i // 2) % 2])
+            catalog.index_all()
+            store.scpu.clock.advance(60.0)
+            store.retention.tick(store.now)
+            catalog.prune_expired()
+
+            active = set(store.vrdt.active_sns)
+            assert set(catalog._indexed) == active
+            for policy in policies:
+                brute = tuple(sorted(
+                    sn for sn in active
+                    if store.vrdt.get_active(sn).attr.policy == policy))
+                assert catalog.by_policy(policy) == brute
+            assert (catalog.created_between(0.0, float("inf"))
+                    == tuple(sorted(active)))
+            horizon = store.now + 1e9
+            brute_expiring = tuple(sorted(
+                sn for sn in active
+                if store.vrdt.get_active(sn).attr.expires_at < horizon))
+            assert (catalog.expiring_between(0.0, horizon)
+                    == brute_expiring)

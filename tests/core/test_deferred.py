@@ -231,3 +231,59 @@ class TestHashVerificationQueue:
     def test_scpu_hash_mode_not_enqueued(self, store):
         store.write([b"direct"], defer_data_hash=False)
         assert len(store.hash_verification) == 0
+
+
+class TestGaugeIndexRegressions:
+    """Hot-path campaign: gauge pulls read a live-deadline index, not an
+    O(n) sweep of the heap that asks the VRDT about every entry."""
+
+    def test_gauge_pulls_do_not_touch_the_vrdt(self, store, monkeypatch):
+        for _ in range(8):
+            store.write([b"w"], strength=Strength.WEAK)
+        store.scpu.clock.advance(31 * 60.0)  # half the entries overdue? no: all
+
+        calls = []
+        real = store.vrdt.is_active
+
+        def spy(sn):
+            calls.append(sn)
+            return real(sn)
+
+        monkeypatch.setattr(store.vrdt, "is_active", spy)
+        assert store.strengthening.active_backlog() == 8
+        assert store.strengthening.next_deadline() is not None
+        assert store.strengthening.overdue_count(store.now) == 8
+        assert calls == []
+
+    def test_gauge_pulls_do_not_scan_the_heap(self, store, monkeypatch):
+        """The obs wiring pulls these gauges on every snapshot; a pull
+        must not iterate the pending heap."""
+        import repro.core.deferred as deferred_module
+        for _ in range(4):
+            store.write([b"w"], strength=Strength.WEAK)
+        queue = store.strengthening
+
+        class NoIterHeap(list):
+            def __iter__(self):
+                raise AssertionError("gauge pull iterated the heap")
+
+        monkeypatch.setattr(queue, "_heap", NoIterHeap(queue._heap))
+        assert queue.active_backlog() == 4
+        assert queue.next_deadline() is not None
+        assert queue.overdue_count(store.now) == 0
+
+    def test_deletion_updates_gauges_without_drain(self, store):
+        doomed = store.write([b"doomed"], strength=Strength.WEAK,
+                             retention_seconds=5.0)
+        keeper = store.write([b"keeper"], strength=Strength.WEAK,
+                             retention_seconds=1e6)
+        assert store.strengthening.active_backlog() == 2
+        store.scpu.clock.advance(10.0)
+        store.retention.tick(store.now)  # deletes doomed, no drain yet
+        assert store.strengthening.active_backlog() == 1
+        assert len(store.strengthening) == 2  # heap still holds the ghost
+        # Draining reconciles: one live strengthen, one skipped ghost.
+        assert store.strengthening.strengthen_next(store.now) == keeper.sn
+        assert store.strengthening.active_backlog() == 0
+        assert doomed.sn not in store.strengthening.report(
+            store.now)["pending_sns"]

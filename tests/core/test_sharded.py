@@ -158,14 +158,20 @@ class TestGroupCommit:
         assert [sharded.read_record(r) for r in receipts] == payloads
 
     def test_batch_shares_one_vr_per_shard(self, sharded):
+        # group_commit_size=4: the first four records form one chunk on
+        # shard 0 (a single four-record VR), the remainder the next chunk
+        # on shard 1 — full-size groups, not batch/shard_count slivers.
         receipts = sharded.write_batch([b"a", b"b", b"c", b"d", b"e", b"f"],
                                        policy="sox")
         first, fourth = receipts[0], receipts[3]  # both landed on shard 0
         assert first.shard_id == fourth.shard_id
         assert first.sn == fourth.sn  # one SN — one metasig/datasig pair
-        assert (first.record_index, fourth.record_index) == (0, 1)
-        assert first.batch_size == fourth.batch_size == 2
-        assert first.vrd.record_count == 2
+        assert (first.record_index, fourth.record_index) == (0, 3)
+        assert first.batch_size == fourth.batch_size == 4
+        assert first.vrd.record_count == 4
+        fifth = receipts[4]  # the overflow chunk went to the next shard
+        assert fifth.shard_id != first.shard_id
+        assert fifth.batch_size == 2
 
     def test_batched_costs_reconstruct_flush_cost(self, sharded):
         receipts = sharded.write_batch([b"x"] * 4, policy="sox")
@@ -181,13 +187,13 @@ class TestGroupCommit:
     def test_batched_record_client_verifiable(self, sharded, sharded_client):
         payloads = [b"alpha", b"beta", b"gamma", b"delta", b"echo", b"fox"]
         receipts = sharded.write_batch(payloads, policy="sox")
-        target = receipts[4]  # second record of shard 1's two-record VR
+        target = receipts[5]  # second record of shard 1's two-record VR
         assert target.record_index == 1
         result = sharded.read(target.locator)
         verified = sharded_client.verify_read(result, target.sn)
         assert verified.status == "active"
-        assert result.records[target.record_index] == b"echo"
-        assert b"echo" in verified.data
+        assert result.records[target.record_index] == b"fox"
+        assert b"fox" in verified.data
 
     def test_submit_flushes_at_group_commit_size(self, regulator_key):
         one = ShardedWormStore.build(

@@ -1,0 +1,77 @@
+"""The perf gate's tolerance-band comparison (no benches run here).
+
+``compare_baseline`` is the function scripts/check.sh trusts to catch
+hot-path regressions, so its direction convention is pinned by tests:
+``*_per_sec``/``_gain``/``_speedup``/``_hits`` leaves are throughput-like
+(may not drop), every other numeric leaf is cost-like (may not grow),
+improvements always pass, and structural drift is an exact-match error.
+"""
+
+import pytest
+
+from repro.perf import TOLERANCE, compare_baseline
+
+
+def test_identical_baselines_pass():
+    data = {"headline": {"writes_per_sec": 100.0, "scpu_crossings": 10}}
+    assert compare_baseline(data, data) == []
+
+
+def test_throughput_drop_beyond_band_fails():
+    old = {"writes_per_sec": 100.0}
+    assert compare_baseline(old, {"writes_per_sec": 91.0}) == []
+    problems = compare_baseline(old, {"writes_per_sec": 89.0})
+    assert len(problems) == 1
+    assert "regressed below" in problems[0]
+
+
+def test_cost_growth_beyond_band_fails():
+    old = {"scpu_crossings": 100}
+    assert compare_baseline(old, {"scpu_crossings": 110}) == []
+    problems = compare_baseline(old, {"scpu_crossings": 112})
+    assert len(problems) == 1
+    assert "grew past" in problems[0]
+
+
+def test_improvements_always_pass():
+    old = {"writes_per_sec": 100.0, "scpu_crossings": 100,
+           "sig_cache_hits": 50}
+    new = {"writes_per_sec": 500.0, "scpu_crossings": 3,
+           "sig_cache_hits": 400}
+    assert compare_baseline(old, new) == []
+
+
+def test_direction_follows_leaf_key_not_path():
+    # A cost leaf nested under a throughput-sounding parent stays a cost.
+    old = {"group_commit": {"scpu_bytes_crossed": 100}}
+    new = {"group_commit": {"scpu_bytes_crossed": 120}}
+    assert compare_baseline(old, new)
+    # And list indices are stripped before the suffix check.
+    old = {"points": [{"records_per_sec": 100.0}]}
+    new = {"points": [{"records_per_sec": 80.0}]}
+    assert compare_baseline(old, new)
+
+
+def test_structural_drift_is_reported():
+    old = {"points": [{"shards": 1}], "headline": {"batch": 8}}
+    new = {"points": [{"shards": 1}, {"shards": 2}], "headline": {"batch": 8}}
+    problems = compare_baseline(old, new)
+    assert any("not in committed baseline" in p for p in problems)
+    problems = compare_baseline(new, old)
+    assert any("missing from regenerated run" in p for p in problems)
+
+
+def test_non_numeric_leaves_must_match_exactly():
+    old = {"workload": {"mode": "strong"}}
+    new = {"workload": {"mode": "weak"}}
+    problems = compare_baseline(old, new)
+    assert problems and "!=" in problems[0]
+    # bool is not "numeric within 10%".
+    assert compare_baseline({"flag": True}, {"flag": False})
+
+
+def test_custom_tolerance_widens_the_band():
+    old = {"writes_per_sec": 100.0}
+    new = {"writes_per_sec": 75.0}
+    assert compare_baseline(old, new, tolerance=TOLERANCE)
+    assert compare_baseline(old, new, tolerance=0.30) == []
